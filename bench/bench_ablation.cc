@@ -1,0 +1,133 @@
+// Experiment E10 (ablation; Sections 3.1.1/3.2): the framework's two
+// traffic-reduction design choices, against the plain notify+propagate
+// baseline.
+//
+//  (a) CM-side cache (Section 3.2's Cx example, which the paper pairs with
+//      a Periodic Notify Interface): the shell suppresses write requests
+//      whose value equals the cached copy, turning per-report writes into
+//      per-change writes. No guarantee is affected.
+//  (b) Conditional notify (Section 3.1.1): the *database* suppresses
+//      notifications for changes below a threshold. Cheaper at the source,
+//      but sub-threshold values never propagate, so x-leads-y is lost —
+//      the framework makes that trade explicit in the guarantee set.
+
+#include "bench/bench_util.h"
+
+#include "src/common/rng.h"
+
+namespace hcm::bench {
+namespace {
+
+struct Row {
+  std::string variant;
+  uint64_t notifications;
+  uint64_t writes_at_b;
+  bool y_follows_x;
+  bool x_leads_y;
+};
+
+// 40 spontaneous updates, 8s apart; each moves the value by 2% (below a
+// 10% notify threshold) or 50% (above it) with equal probability.
+Row RunCell(const std::string& variant, const std::string& rid_a_interfaces,
+            bool cached, uint64_t seed) {
+  auto d = PayrollDeployment::Create(rid_a_interfaces, 1);
+  spec::StrategySpec strategy;
+  if (cached) {
+    strategy = *spec::MakeCachedPropagationStrategy(
+        "salary1(n)", "salary2(n)", "C_salary1", Duration::Seconds(5),
+        Duration::Seconds(60));
+  } else {
+    strategy = *spec::MakeUpdatePropagationStrategy(
+        "salary1(n)", "salary2(n)", Duration::Seconds(5),
+        Duration::Seconds(60));
+  }
+  d.system->InstallStrategy("payroll", d.constraint, strategy);
+
+  Rng rng(seed);
+  int64_t value = 50000;
+  for (int i = 0; i < 40; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      value += value / 50;  // 2% move
+    } else {
+      value += value / 2;  // 50% move
+    }
+    d.system->WorkloadWrite(rule::ItemId{"salary1", {Value::Int(1)}},
+                            Value::Int(value));
+    d.system->RunFor(Duration::Seconds(8));
+  }
+  d.system->RunFor(Duration::Minutes(1));
+  trace::Trace t = d.system->FinishTrace();
+
+  Row row;
+  row.variant = variant;
+  row.notifications = 0;
+  row.writes_at_b = 0;
+  for (const auto& e : t.events) {
+    if (e.kind == rule::EventKind::kNotify) ++row.notifications;
+    if (e.kind == rule::EventKind::kWrite && e.item.base == "salary2") {
+      ++row.writes_at_b;
+    }
+  }
+  trace::GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(50);
+  row.y_follows_x =
+      trace::CheckGuarantee(t, spec::YFollowsX("salary1(n)", "salary2(n)"),
+                            opts)
+          ->holds;
+  row.x_leads_y =
+      trace::CheckGuarantee(t, spec::XLeadsY("salary1(n)", "salary2(n)"),
+                            opts)
+          ->holds;
+  return row;
+}
+
+}  // namespace
+}  // namespace hcm::bench
+
+int main() {
+  using namespace hcm;
+  using namespace hcm::bench;
+  Banner("E10 (ablation): traffic-reduction design choices, Sections "
+         "3.1.1/3.2",
+         "the CM cache turns periodic per-report writes into per-change "
+         "writes with identical guarantees; conditional notify cuts "
+         "notifications but forfeits x-leads-y");
+  std::printf("%-28s %-14s %-10s | %-12s %-12s\n", "variant",
+              "notifications", "writes@B", "y-follows-x", "x-leads-y");
+  const char* kNotify = "interface notify salary1(n) 1s\n";
+  // Reports every 4s against updates every 8s: each value is reported at
+  // least once (so nothing is missed), but roughly twice on average.
+  const char* kPeriodic = "interface periodic-notify salary1(n) 4s 1s\n";
+  const char* kCondNotify =
+      "interface conditional-notify salary1(n) 1s abs(b - a) > a / 10\n";
+  auto base = RunCell("notify + propagate", kNotify, false, 42);
+  auto periodic = RunCell("periodic-notify + propagate", kPeriodic, false,
+                          42);
+  auto periodic_cached =
+      RunCell("periodic-notify + CM cache", kPeriodic, true, 42);
+  auto cond = RunCell("conditional notify", kCondNotify, false, 42);
+  for (const auto& row : {base, periodic, periodic_cached, cond}) {
+    std::printf("%-28s %-14llu %-10llu | %-12s %-12s\n", row.variant.c_str(),
+                static_cast<unsigned long long>(row.notifications),
+                static_cast<unsigned long long>(row.writes_at_b),
+                row.y_follows_x ? "HOLDS" : "VIOLATED",
+                row.x_leads_y ? "HOLDS" : "VIOLATED");
+  }
+  bool ok = true;
+  // y-follows-x holds everywhere: Y only ever receives genuine X values.
+  ok = ok && base.y_follows_x && periodic.y_follows_x &&
+       periodic_cached.y_follows_x && cond.y_follows_x;
+  // Baseline propagates everything.
+  ok = ok && base.x_leads_y;
+  // The cache removes the duplicate per-report writes (>= ~40% saving
+  // here) without losing coverage.
+  ok = ok && periodic_cached.writes_at_b * 3 < periodic.writes_at_b * 2 &&
+       periodic_cached.x_leads_y == periodic.x_leads_y;
+  // Conditional notify is cheaper at the source but loses x-leads-y.
+  ok = ok && cond.notifications < base.notifications && !cond.x_leads_y;
+  std::printf("\nresult: %s — the CM-side optimization is free; the "
+              "database-side one costs a guarantee, and the framework "
+              "surfaces exactly which.\n",
+              ok ? "REPRODUCED" : "NOT REPRODUCED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+// Experiment E3 (Section 6.1): the Demarcation Protocol for X <= Y. The
+// paper's claims: (a) the protocol guarantees X <= Y *always* — a strong
+// non-metric guarantee, unusual for a loosely coupled system; (b) different
+// limit-change *policies* trade liveness and messaging for the same safety
+// guarantee, and the framework makes the comparison precise. This harness
+// runs the same stochastic workload under three policies and reports
+// applied/denied updates, limit-change traffic, and trace-checked validity
+// of AlwaysLeq.
+
+#include "bench/bench_util.h"
+
+#include "src/common/rng.h"
+#include "src/protocols/demarcation.h"
+
+namespace hcm::bench {
+namespace {
+
+constexpr const char* kRidX = R"(
+ris relational
+site A
+item Stock
+  read  select v from vals where k = 1
+  write update vals set v = $v where k = 1
+interface read Stock 1s
+interface write Stock 1s
+)";
+
+constexpr const char* kRidY = R"(
+ris relational
+site B
+item Quota
+  read  select v from vals where k = 1
+  write update vals set v = $v where k = 1
+interface read Quota 1s
+interface write Quota 1s
+)";
+
+struct Row {
+  protocols::DemarcationPolicy policy;
+  protocols::DemarcationProtocol::Stats stats;
+  uint64_t demarc_messages;
+  bool always_leq;
+  double applied_fraction;
+};
+
+Row RunCell(protocols::DemarcationPolicy policy, int num_ops) {
+  toolkit::System system;
+  for (const char* site : {"A", "B"}) {
+    auto* db = *system.AddRelationalSite(site);
+    db->Execute("create table vals (k int primary key, v int)");
+    db->Execute("insert into vals values (1, 0)");
+  }
+  system.ConfigureTranslator(kRidX);
+  system.ConfigureTranslator(kRidY);
+  protocols::DemarcationProtocol::Options opts;
+  opts.x = rule::ItemId{"Stock", {}};
+  opts.y = rule::ItemId{"Quota", {}};
+  opts.initial_x = 0;
+  opts.initial_y = 8000;
+  opts.initial_limit = 300;
+  opts.policy = policy;
+  opts.eager_headroom = 300;
+  auto protocol = std::move(*protocols::DemarcationProtocol::Install(&system, opts));
+
+  Rng rng(99);
+  for (int i = 0; i < num_ops; ++i) {
+    switch (rng.Index(4)) {
+      case 0:
+      case 1:
+        protocol->TryIncrementX(rng.UniformInt(20, 150));
+        break;
+      case 2:
+        protocol->DecrementX(rng.UniformInt(5, 40));
+        break;
+      case 3:
+        protocol->TryDecrementY(rng.UniformInt(10, 60));
+        break;
+    }
+    system.RunFor(Duration::Seconds(3));
+  }
+  system.RunFor(Duration::Seconds(30));
+
+  Row row;
+  row.policy = policy;
+  row.stats = protocol->stats();
+  row.demarc_messages =
+      system.network().messages_on_channel("A#dem-x", "B#dem-y") +
+      system.network().messages_on_channel("B#dem-y", "A#dem-x");
+  trace::Trace t = system.FinishTrace();
+  row.always_leq =
+      trace::CheckGuarantee(t, spec::AlwaysLeq("Stock", "Quota"))->holds;
+  uint64_t attempts = row.stats.x_applied + row.stats.x_denied +
+                      row.stats.y_applied + row.stats.y_denied;
+  row.applied_fraction =
+      attempts == 0 ? 0
+                    : static_cast<double>(row.stats.x_applied +
+                                          row.stats.y_applied) /
+                          static_cast<double>(attempts);
+  return row;
+}
+
+}  // namespace
+}  // namespace hcm::bench
+
+int main() {
+  using namespace hcm;
+  using namespace hcm::bench;
+  Banner("E3: Demarcation Protocol policies, Section 6.1",
+         "X <= Y holds ALWAYS under every policy; never-grant sacrifices "
+         "liveness, eager-grant cuts limit-change traffic vs exact-grant");
+  std::printf("%-13s %-9s %-8s %-9s %-8s %-8s %-10s | %-8s\n", "policy",
+              "applied", "denied", "requests", "grants", "msgs",
+              "applied%", "X<=Y");
+  bool ok = true;
+  uint64_t exact_requests = 0;
+  uint64_t eager_requests = 0;
+  uint64_t never_denied = 0;
+  for (auto policy : {protocols::DemarcationPolicy::kNeverGrant,
+                      protocols::DemarcationPolicy::kExactGrant,
+                      protocols::DemarcationPolicy::kEagerGrant}) {
+    auto row = RunCell(policy, 120);
+    std::printf("%-13s %-9llu %-8llu %-9llu %-8llu %-8llu %-10.2f | %-8s\n",
+                protocols::DemarcationPolicyName(policy),
+                static_cast<unsigned long long>(row.stats.x_applied +
+                                                row.stats.y_applied),
+                static_cast<unsigned long long>(row.stats.x_denied +
+                                                row.stats.y_denied),
+                static_cast<unsigned long long>(row.stats.limit_requests),
+                static_cast<unsigned long long>(row.stats.limit_grants),
+                static_cast<unsigned long long>(row.demarc_messages),
+                row.applied_fraction,
+                row.always_leq ? "HOLDS" : "VIOLATED");
+    ok = ok && row.always_leq;
+    if (policy == protocols::DemarcationPolicy::kExactGrant) {
+      exact_requests = row.stats.limit_requests;
+    }
+    if (policy == protocols::DemarcationPolicy::kEagerGrant) {
+      eager_requests = row.stats.limit_requests;
+    }
+    if (policy == protocols::DemarcationPolicy::kNeverGrant) {
+      never_denied = row.stats.x_denied + row.stats.y_denied;
+    }
+  }
+  // Shape: safety everywhere; never-grant denies work; eager needs fewer
+  // round trips than exact.
+  ok = ok && never_denied > 0 && eager_requests < exact_requests;
+  std::printf("\nresult: %s — safety is policy-independent; policies differ "
+              "only in liveness (denials) and messaging.\n",
+              ok ? "REPRODUCED" : "NOT REPRODUCED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+// Experiment E5 (Section 6.3): monitor-only constraint management. The
+// paper's claim: when the CM can write neither copy, it can still offer
+// ((Flag = true and Tb = s)@t => (X = Y)@@[s, t - kappa]) for a kappa that
+// covers the notification and processing lag — and the guarantee is
+// *tight*: shrink kappa below the lag and it breaks. This harness sweeps
+// the update rate, measures Flag coverage against ground-truth equality,
+// and checks the guarantee at the derived kappa and at kappa/50.
+
+#include "bench/bench_util.h"
+
+#include "src/common/rng.h"
+#include "src/trace/trace.h"
+
+namespace hcm::bench {
+namespace {
+
+constexpr const char* kRidTemplate = R"(
+ris relational
+site %SITE%
+param notify_delay 150ms
+item %ITEM%
+  read   select v from vals where k = 1
+  write  update vals set v = $v where k = 1
+  notify trigger vals v
+interface notify %ITEM% 1s
+)";
+
+std::string Rid(const std::string& site, const std::string& item) {
+  std::string out = kRidTemplate;
+  auto replace_all = [&out](const std::string& from, const std::string& to) {
+    size_t pos = 0;
+    while ((pos = out.find(from, pos)) != std::string::npos) {
+      out.replace(pos, from.size(), to);
+      pos += to.size();
+    }
+  };
+  replace_all("%SITE%", site);
+  replace_all("%ITEM%", item);
+  return out;
+}
+
+// Fraction of [0, horizon] during which `predicate-equal` per the timeline.
+double EqualFraction(const trace::StateTimeline& tl, const rule::ItemId& x,
+                     const rule::ItemId& y, TimePoint horizon) {
+  int64_t equal_ms = 0;
+  int64_t step = 500;
+  for (int64_t t = 0; t < horizon.millis(); t += step) {
+    auto vx = tl.ValueAt(x, TimePoint::FromMillis(t));
+    auto vy = tl.ValueAt(y, TimePoint::FromMillis(t));
+    if (vx.has_value() && vy.has_value() && *vx == *vy) equal_ms += step;
+  }
+  return static_cast<double>(equal_ms) /
+         static_cast<double>(horizon.millis());
+}
+
+struct Row {
+  int64_t mean_gap_ms;
+  double equal_fraction;
+  double flag_fraction;
+  bool guarantee_holds;
+  bool tight_kappa_violated;
+};
+
+Row RunCell(int64_t mean_gap_ms, int rounds) {
+  toolkit::System system;
+  for (const char* site : {"A", "B"}) {
+    auto* db = *system.AddRelationalSite(site);
+    db->Execute("create table vals (k int primary key, v int)");
+    db->Execute("insert into vals values (1, 0)");
+  }
+  system.ConfigureTranslator(Rid("A", "X"));
+  system.ConfigureTranslator(Rid("B", "Y"));
+  system.DeclareInitial(rule::ItemId{"X", {}});
+  system.DeclareInitial(rule::ItemId{"Y", {}});
+  system.AddShellOnlySite("APP");
+  for (const char* base : {"MonCx", "MonCy", "MonFlag", "MonTb"}) {
+    system.RegisterPrivateItem(base, "APP");
+  }
+  Duration kappa = Duration::Seconds(5);
+  auto constraint = *spec::MakeCopyConstraint("X", "Y");
+  auto strategy =
+      *spec::MakeMonitorStrategy("X", "Y", "Mon", Duration::Seconds(2), kappa);
+  system.InstallStrategy("mon", constraint, strategy);
+
+  Rng rng(static_cast<uint64_t>(mean_gap_ms));
+  for (int round = 0; round < rounds; ++round) {
+    int64_t v = 100 + round;
+    system.WorkloadWrite(rule::ItemId{"X", {}}, Value::Int(v));
+    system.RunFor(Duration::Millis(
+        1 + static_cast<int64_t>(rng.Exponential(
+                static_cast<double>(mean_gap_ms)))));
+    system.WorkloadWrite(rule::ItemId{"Y", {}}, Value::Int(v));
+    system.RunFor(Duration::Millis(
+        1 + static_cast<int64_t>(rng.Exponential(
+                static_cast<double>(mean_gap_ms * 3)))));
+  }
+  system.RunFor(Duration::Seconds(30));
+  trace::Trace t = system.FinishTrace();
+  trace::StateTimeline tl = trace::StateTimeline::Build(t);
+
+  Row row;
+  row.mean_gap_ms = mean_gap_ms;
+  row.equal_fraction = EqualFraction(tl, rule::ItemId{"X", {}},
+                                     rule::ItemId{"Y", {}}, t.horizon);
+  // Flag coverage: fraction of time MonFlag = true.
+  int64_t flag_ms = 0;
+  const auto& segs = tl.SegmentsOf(rule::ItemId{"MonFlag", {}});
+  for (size_t i = 0; i < segs.size(); ++i) {
+    TimePoint end = i + 1 < segs.size() ? segs[i + 1].from : t.horizon;
+    if (segs[i].value.has_value() &&
+        *segs[i].value == Value::Bool(true)) {
+      flag_ms += (end - segs[i].from).millis();
+    }
+  }
+  row.flag_fraction =
+      static_cast<double>(flag_ms) / static_cast<double>(t.horizon.millis());
+  row.guarantee_holds =
+      trace::CheckGuarantee(t, spec::MonitorFlagGuarantee(
+                                   "X", "Y", "MonFlag", "MonTb", kappa))
+          ->holds;
+  row.tight_kappa_violated =
+      !trace::CheckGuarantee(t, spec::MonitorFlagGuarantee(
+                                    "X", "Y", "MonFlag", "MonTb",
+                                    Duration::Millis(100)))
+           ->holds;
+  return row;
+}
+
+}  // namespace
+}  // namespace hcm::bench
+
+int main() {
+  using namespace hcm;
+  using namespace hcm::bench;
+  Banner("E5: monitor-only constraint, Section 6.3",
+         "the Flag/Tb guarantee holds for kappa covering the notify lag and "
+         "breaks for kappa far below it; Flag tracks true equality minus "
+         "detection lag");
+  std::printf("%-12s %-12s %-12s | %-14s %-18s\n", "update gap",
+              "equal-frac", "flag-frac", "kappa=5s", "kappa=100ms");
+  bool ok = true;
+  for (int64_t gap : {3000, 10000, 30000}) {
+    auto row = RunCell(gap, 8);
+    std::printf("%-12s %-12.2f %-12.2f | %-14s %-18s\n",
+                (std::to_string(gap / 1000) + "s").c_str(),
+                row.equal_fraction, row.flag_fraction,
+                row.guarantee_holds ? "HOLDS" : "VIOLATED",
+                row.tight_kappa_violated ? "VIOLATED (tight)" : "HOLDS");
+    // Shape: guarantee holds at the derived kappa; Flag coverage is below
+    // but tracks the true equal fraction (detection lag).
+    ok = ok && row.guarantee_holds &&
+         row.flag_fraction <= row.equal_fraction + 0.02;
+  }
+  std::printf("\nresult: %s — monitoring provides a checkable consistency "
+              "statement without any write access.\n",
+              ok ? "REPRODUCED" : "NOT REPRODUCED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+// Experiment E6 (Section 6.4): periodic guarantees in the banking scenario.
+// The paper's claim: given an interface promising no updates outside
+// business hours and an end-of-day batch that completes within 15 minutes,
+// the copy constraint is valid every day from 5:15 p.m. to 8 a.m. This
+// harness runs multi-day workloads at several intensities and checks each
+// overnight window, plus a business-hours window as a negative control.
+
+#include "bench/bench_util.h"
+
+#include "src/common/rng.h"
+#include "src/protocols/periodic.h"
+
+namespace hcm::bench {
+namespace {
+
+constexpr const char* kRidBranch = R"(
+ris relational
+site BR
+item Bal1
+  read   select amount from balances where acct = $1
+  write  update balances set amount = $v where acct = $1
+  list   select acct from balances
+interface read Bal1(n) 1s
+)";
+
+constexpr const char* kRidHq = R"(
+ris relational
+site HQ
+item Bal2
+  read   select amount from balances where acct = $1
+  write  update balances set amount = $v where acct = $1
+  list   select acct from balances
+interface write Bal2(n) 2s
+)";
+
+struct Row {
+  int txn_per_day;
+  int days;
+  int windows_valid;
+  bool business_violated;
+};
+
+// Virtual time: t=0 is 5 p.m. on day 0.
+Row RunCell(int txn_per_day, int days, int accounts) {
+  toolkit::System system;
+  for (const char* site : {"BR", "HQ"}) {
+    auto* db = *system.AddRelationalSite(site);
+    db->Execute("create table balances (acct int primary key, amount int)");
+    for (int a = 1; a <= accounts; ++a) {
+      db->Execute("insert into balances values (" + std::to_string(a) +
+                  ", 1000)");
+    }
+  }
+  system.ConfigureTranslator(kRidBranch);
+  system.ConfigureTranslator(kRidHq);
+  for (int a = 1; a <= accounts; ++a) {
+    system.DeclareInitial(rule::ItemId{"Bal1", {Value::Int(a)}});
+    system.DeclareInitial(rule::ItemId{"Bal2", {Value::Int(a)}});
+  }
+  auto constraint = *spec::MakeCopyConstraint("Bal1(n)", "Bal2(n)");
+  auto strategy = *spec::MakePollingStrategy("Bal1(n)", "Bal2(n)",
+                                             Duration::Hours(24),
+                                             Duration::Minutes(5),
+                                             Duration::Hours(25));
+  system.InstallStrategy("banking", constraint, strategy);
+
+  Rng rng(static_cast<uint64_t>(txn_per_day) * 7 + 3);
+  for (int day = 1; day <= days; ++day) {
+    TimePoint nine_am = TimePoint::Origin() +
+                        Duration::Hours(24) * (day - 1) + Duration::Hours(16);
+    system.RunFor(nine_am - system.executor().now());
+    for (int i = 0; i < txn_per_day; ++i) {
+      int acct = 1 + static_cast<int>(rng.Index(static_cast<size_t>(accounts)));
+      rule::ItemId item{"Bal1", {Value::Int(acct)}};
+      auto balance = system.WorkloadRead(item);
+      if (!balance.ok()) continue;
+      system.WorkloadWrite(
+          item, Value::Int(balance->AsInt() + rng.UniformInt(-150, 200)));
+      // Spread transactions over the 8 business hours.
+      system.RunFor(Duration::Millis(8LL * 3600 * 1000 / (txn_per_day + 1)));
+    }
+  }
+  system.RunFor(TimePoint::Origin() + Duration::Hours(24) * days +
+                Duration::Hours(15) - system.executor().now());
+  trace::Trace t = system.FinishTrace();
+
+  Row row;
+  row.txn_per_day = txn_per_day;
+  row.days = days;
+  row.windows_valid = 0;
+  auto windows = protocols::DailyWindowGuarantees(
+      "Bal1(n)", "Bal2(n)", Duration::Hours(24),
+      Duration::Hours(24) + Duration::Minutes(15),
+      Duration::Hours(24) + Duration::Hours(15), days);
+  for (const auto& g : windows) {
+    if (trace::CheckGuarantee(t, g)->holds) ++row.windows_valid;
+  }
+  auto business = protocols::WindowEqualityGuarantee(
+      "Bal1(n)", "Bal2(n)", Duration::Hours(18), Duration::Hours(23));
+  row.business_violated = !trace::CheckGuarantee(t, business)->holds;
+  return row;
+}
+
+}  // namespace
+}  // namespace hcm::bench
+
+int main() {
+  using namespace hcm;
+  using namespace hcm::bench;
+  Banner("E6: periodic guarantees (banking), Section 6.4",
+         "copies agree every day 5:15 p.m. - 8 a.m.; no guarantee during "
+         "business hours");
+  std::printf("%-12s %-6s %-18s %-22s\n", "txn/day", "days",
+              "overnight windows", "business-hours control");
+  bool ok = true;
+  for (int txn : {4, 10, 24}) {
+    auto row = RunCell(txn, 3, 4);
+    std::printf("%-12d %-6d %d/%d valid          %-22s\n", row.txn_per_day,
+                row.days, row.windows_valid, row.days,
+                row.business_violated ? "VIOLATED (expected)" : "held");
+    ok = ok && row.windows_valid == row.days && row.business_violated;
+  }
+  std::printf("\nresult: %s — the periodic guarantee holds on every "
+              "overnight window at every load, and only there.\n",
+              ok ? "REPRODUCED" : "NOT REPRODUCED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Experiment E1 (Section 4.2): update propagation with a notify interface
+// at the source and a write interface at the copy. The paper proves that
+// guarantees (1) y-follows-x, (2) x-leads-y, (3) y-strictly-follows-x, and
+// (4) metric-y-follows-x (for an appropriate kappa) are all valid. This
+// harness regenerates that claim across update rates and measures the
+// actual propagation lag against the derived kappa.
+
+#include "bench/bench_util.h"
+
+#include "src/common/rng.h"
+
+namespace hcm::bench {
+namespace {
+
+struct Row {
+  int64_t mean_interval_ms;
+  size_t updates;
+  LagStats lag;
+  int64_t kappa_ms;
+  std::map<std::string, trace::GuaranteeCheckResult> results;
+};
+
+Row RunCell(int64_t mean_interval_ms, int num_updates, int num_employees) {
+  auto d = PayrollDeployment::Create("interface notify salary1(n) 1s\n",
+                                     num_employees);
+  auto suggestions = *d.system->Suggest(d.constraint);
+  const spec::StrategySpec& strategy = suggestions.at(0).strategy;
+  d.system->InstallStrategy("payroll", d.constraint, strategy);
+
+  Rng rng(mean_interval_ms * 31 + 7);
+  int64_t salary = 50000;
+  for (int i = 0; i < num_updates; ++i) {
+    int n = 1 + static_cast<int>(rng.Index(static_cast<size_t>(num_employees)));
+    d.system->WorkloadWrite(rule::ItemId{"salary1", {Value::Int(n)}},
+                            Value::Int(++salary));
+    d.system->RunFor(Duration::Millis(
+        1 + static_cast<int64_t>(rng.Exponential(
+                static_cast<double>(mean_interval_ms)))));
+  }
+  d.system->RunFor(Duration::Minutes(2));
+  trace::Trace t = d.system->FinishTrace();
+
+  Row row;
+  row.mean_interval_ms = mean_interval_ms;
+  row.updates = static_cast<size_t>(num_updates);
+  row.lag = ComputeLag(t, "salary1", "salary2");
+  row.kappa_ms = 0;
+  for (const auto& g : strategy.guarantees) {
+    if (g.name == "metric-y-follows-x") {
+      // Kappa is the offset in the guarantee's first RHS time constraint.
+      row.kappa_ms = -g.rhs_time[0].lhs.offset.millis();
+    }
+  }
+  trace::GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Minutes(1);
+  row.results = *trace::CheckGuarantees(t, strategy.guarantees, opts);
+  return row;
+}
+
+}  // namespace
+}  // namespace hcm::bench
+
+int main() {
+  using namespace hcm;
+  using namespace hcm::bench;
+  Banner("E1: update propagation (notify -> write), Section 4.2",
+         "guarantees (1),(2),(3) and metric (4) are ALL valid; propagation "
+         "lag stays within the derived kappa");
+  std::printf("%-12s %-8s %-10s %-9s %-8s | %-9s %-9s %-9s %-9s\n",
+              "interval", "updates", "lag(mean)", "lag(max)", "kappa",
+              "(1)yfx", "(2)xly", "(3)strict", "(4)metric");
+  bool all_ok = true;
+  for (int64_t interval : {500, 2000, 10000}) {
+    auto row = RunCell(interval, 40, 4);
+    const auto& r1 = row.results.at("y-follows-x");
+    const auto& r2 = row.results.at("x-leads-y");
+    const auto& r3 = row.results.at("y-strictly-follows-x");
+    const auto& r4 = row.results.at("metric-y-follows-x");
+    std::printf("%-12s %-8zu %-10.0f %-9lld %-8lld | %-9s %-9s %-9s %-9s\n",
+                (std::to_string(interval) + "ms").c_str(), row.updates,
+                row.lag.mean_ms, static_cast<long long>(row.lag.max_ms),
+                static_cast<long long>(row.kappa_ms), HoldsStr(r1),
+                HoldsStr(r2), HoldsStr(r3), HoldsStr(r4));
+    all_ok = all_ok && r1.holds && r2.holds && r3.holds && r4.holds &&
+             row.lag.max_ms <= row.kappa_ms;
+  }
+  std::printf("\nresult: %s — all four guarantees hold at every rate and "
+              "observed lag <= kappa.\n",
+              all_ok ? "REPRODUCED" : "NOT REPRODUCED");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Section 4.2.3: the administrator at site A withdraws the notify interface
+// for salary1(n), leaving only a read interface. The databases and
+// applications are untouched; re-running the toolkit's suggestion step
+// yields a polling strategy with a strictly weaker guarantee set — and this
+// program demonstrates the weakness concretely: an update that lands inside
+// a polling interval is missed (guarantee (2), x-leads-y, fails), while
+// guarantee (1), y-follows-x, still holds.
+//
+// Build & run:  ./build/examples/interface_change
+
+#include <cstdio>
+
+#include "src/toolkit/system.h"
+#include "src/trace/guarantee_checker.h"
+
+using namespace hcm;
+
+namespace {
+
+constexpr const char* kRidAReadOnly = R"(
+ris relational
+site A
+param read_delay 50ms
+item salary1
+  read   select salary from employees where empid = $1
+  write  update employees set salary = $v where empid = $1
+  list   select empid from employees
+interface read salary1(n) 1s
+)";
+
+constexpr const char* kRidB = R"(
+ris relational
+site B
+param write_delay 100ms
+item salary2
+  read   select salary from employees where empid = $1
+  write  update employees set salary = $v where empid = $1
+  list   select empid from employees
+interface write salary2(n) 2s
+)";
+
+}  // namespace
+
+int main() {
+  toolkit::System system;
+  auto* db_a = *system.AddRelationalSite("A");
+  auto* db_b = *system.AddRelationalSite("B");
+  for (auto* db : {db_a, db_b}) {
+    db->Execute(
+        "create table employees (empid int primary key, name str, "
+        "salary int)");
+    db->Execute("insert into employees values (1, 'ann', 50000)");
+  }
+  if (!system.ConfigureTranslator(kRidAReadOnly).ok() ||
+      !system.ConfigureTranslator(kRidB).ok()) {
+    std::printf("translator configuration failed\n");
+    return 1;
+  }
+  system.DeclareInitial(rule::ItemId{"salary1", {Value::Int(1)}});
+  system.DeclareInitial(rule::ItemId{"salary2", {Value::Int(1)}});
+
+  auto constraint = *spec::MakeCopyConstraint("salary1(n)", "salary2(n)");
+  spec::SuggestOptions sopts;
+  sopts.polling_period = Duration::Seconds(60);
+  auto suggestions = *system.Suggest(constraint, sopts);
+  std::printf("site A now offers only a read interface.\n");
+  std::printf("suggested strategies:\n");
+  for (const auto& sug : suggestions) {
+    std::printf("- %s (%zu guarantees): %s\n", sug.strategy.name.c_str(),
+                sug.strategy.guarantees.size(), sug.rationale.c_str());
+  }
+  const spec::StrategySpec& polling = suggestions.at(0).strategy;
+  system.InstallStrategy("payroll", constraint, polling);
+  std::printf("installed '%s' with rules:\n", polling.name.c_str());
+  for (const auto& r : polling.rules) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+
+  // Two raises inside one 60s polling interval: the first is invisible.
+  std::printf("\ntwo raises 5 seconds apart (polling every 60s):\n");
+  system.RunFor(Duration::Seconds(5));
+  system.WorkloadWrite(rule::ItemId{"salary1", {Value::Int(1)}},
+                       Value::Int(51000));
+  std::printf("  t=%s salary1(1) <- 51000\n",
+              system.executor().now().ToString().c_str());
+  system.RunFor(Duration::Seconds(5));
+  system.WorkloadWrite(rule::ItemId{"salary1", {Value::Int(1)}},
+                       Value::Int(52000));
+  std::printf("  t=%s salary1(1) <- 52000\n",
+              system.executor().now().ToString().c_str());
+  system.RunFor(Duration::Minutes(5));
+
+  auto at_b = system.WorkloadRead(rule::ItemId{"salary2", {Value::Int(1)}});
+  std::printf("\nheadquarters: salary2(1) = %s (51000 was never seen)\n",
+              at_b.ok() ? at_b->ToString().c_str() : "?");
+
+  trace::Trace t = system.FinishTrace();
+  trace::GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Minutes(2);
+  auto yfx = *trace::CheckGuarantee(
+      t, spec::YFollowsX("salary1(n)", "salary2(n)"), opts);
+  auto xly = *trace::CheckGuarantee(
+      t, spec::XLeadsY("salary1(n)", "salary2(n)"), opts);
+  std::printf("\nguarantee (1) y-follows-x: %s\n", yfx.ToString().c_str());
+  std::printf("guarantee (2) x-leads-y:   %s\n", xly.ToString().c_str());
+  std::printf("\nAs Section 4.2.3 predicts, polling preserves (1) but not "
+              "(2).\n");
+  return (yfx.holds && !xly.holds) ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// trace_inspector — offline analysis of recorded executions.
+//
+// Usage:
+//   trace_inspector <trace-file>                     summary + timelines
+//   trace_inspector <trace-file> check '<guarantee>' [settle]
+//
+// With no arguments, generates a small demo trace, saves it to a temp
+// file, and inspects it (so the binary is runnable in the bench sweep).
+//
+// Example:
+//   ./build/examples/trace_inspector run.trace \
+//       check '(salary2(n) = y)@t1 => (salary1(n) = y)@t2 & t2 < t1' 30s
+
+#include <cstdio>
+
+#include "src/rule/lexer.h"
+#include "src/trace/guarantee_checker.h"
+#include "src/trace/trace_io.h"
+
+using namespace hcm;
+
+namespace {
+
+void PrintSummary(const trace::Trace& t) {
+  std::printf("trace: %zu events, horizon %s, %zu initial values\n",
+              t.events.size(), t.horizon.ToString().c_str(),
+              t.initial_values.size());
+  std::map<std::string, size_t> by_kind;
+  std::map<std::string, size_t> by_site;
+  for (const auto& e : t.events) {
+    ++by_kind[rule::EventKindName(e.kind)];
+    ++by_site[e.site];
+  }
+  std::printf("events by kind:");
+  for (const auto& [kind, n] : by_kind) {
+    std::printf("  %s=%zu", kind.c_str(), n);
+  }
+  std::printf("\nevents by site:");
+  for (const auto& [site, n] : by_site) {
+    std::printf("  %s=%zu", site.c_str(), n);
+  }
+  std::printf("\n\nper-item timelines:\n");
+  trace::StateTimeline tl = trace::StateTimeline::Build(t);
+  for (const auto& item : tl.AllItems()) {
+    const auto& segs = tl.SegmentsOf(item);
+    std::printf("  %-20s %zu segments:", item.ToString().c_str(),
+                segs.size());
+    size_t shown = 0;
+    for (const auto& seg : segs) {
+      if (shown++ >= 6) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" [%s: %s]", seg.from.ToString().c_str(),
+                  seg.value.has_value() ? seg.value->ToString().c_str()
+                                        : "absent");
+    }
+    std::printf("\n");
+  }
+}
+
+trace::Trace DemoTrace() {
+  trace::TraceRecorder rec;
+  rule::ItemId x{"X", {}}, y{"Y", {}};
+  rec.SetInitialValue(x, Value::Int(0));
+  rec.SetInitialValue(y, Value::Int(0));
+  for (int i = 1; i <= 4; ++i) {
+    rule::Event ws;
+    ws.time = TimePoint::FromMillis(i * 10000);
+    ws.site = "A";
+    ws.kind = rule::EventKind::kWriteSpont;
+    ws.item = x;
+    ws.values = {Value::Int(i - 1), Value::Int(i)};
+    rec.Record(ws);
+    rule::Event w;
+    w.time = TimePoint::FromMillis(i * 10000 + 700);
+    w.site = "B";
+    w.kind = rule::EventKind::kWrite;
+    w.item = y;
+    w.values = {Value::Int(i)};
+    rec.Record(w);
+  }
+  return rec.Finish(TimePoint::FromMillis(60000));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  trace::Trace t;
+  if (argc < 2) {
+    std::printf("(no trace file given: inspecting a generated demo trace)\n");
+    t = DemoTrace();
+    std::string path = "/tmp/hcm_demo.trace";
+    if (trace::SaveTraceFile(t, path).ok()) {
+      std::printf("demo trace saved to %s\n\n", path.c_str());
+    }
+  } else {
+    auto loaded = trace::LoadTraceFile(argv[1]);
+    if (!loaded.ok()) {
+      std::printf("cannot load %s: %s\n", argv[1],
+                  loaded.status().ToString().c_str());
+      return 2;
+    }
+    t = std::move(*loaded);
+  }
+  PrintSummary(t);
+
+  if (argc >= 4 && std::string(argv[2]) == "check") {
+    auto g = spec::ParseGuarantee(argv[3]);
+    if (!g.ok()) {
+      std::printf("bad guarantee: %s\n", g.status().ToString().c_str());
+      return 2;
+    }
+    trace::GuaranteeCheckOptions opts;
+    if (argc >= 5) {
+      auto settle = rule::ParseDurationText(argv[4]);
+      if (settle.ok()) opts.settle_margin = *settle;
+    }
+    auto r = trace::CheckGuarantee(t, *g, opts);
+    if (!r.ok()) {
+      std::printf("check failed: %s\n", r.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("\nguarantee %s\n  %s\n", g->ToString().c_str(),
+                r->ToString().c_str());
+    return r->holds ? 0 : 1;
+  }
+  if (argc < 2) {
+    // Demo mode: also run a sample check so the output shows the feature.
+    auto g = spec::YFollowsX("X", "Y");
+    auto r = trace::CheckGuarantee(t, g);
+    std::printf("\nsample check — %s: %s\n", g.ToString().c_str(),
+                r.ok() ? r->ToString().c_str() : "error");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace hcm {
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarning;
+std::string* g_capture = nullptr;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+LogLevel Logger::threshold() { return g_threshold; }
+void Logger::set_threshold(LogLevel level) { g_threshold = level; }
+void Logger::set_capture(std::string* sink) { g_capture = sink; }
+
+void Logger::Write(LogLevel level, const char* file, int line,
+                   const std::string& message) {
+  if (level < g_threshold) return;
+  if (g_capture != nullptr) {
+    g_capture->append(LevelName(level));
+    g_capture->append(" ");
+    g_capture->append(message);
+    g_capture->append("\n");
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
+               line, message.c_str());
+}
+
+}  // namespace hcm

@@ -1,0 +1,55 @@
+#ifndef HCM_COMMON_LOGGING_H_
+#define HCM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hcm {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+// Process-wide log configuration. Default: kWarning to stderr, so tests and
+// benches stay quiet unless something is wrong.
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+  // When set, log lines are appended to this string instead of stderr
+  // (used by tests that assert on diagnostics). Pass nullptr to restore
+  // stderr output.
+  static void set_capture(std::string* sink);
+
+  static void Write(LogLevel level, const char* file, int line,
+                    const std::string& message);
+};
+
+namespace internal_logging {
+
+// Builds one log line via operator<< and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Write(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hcm
+
+#define HCM_LOG(level)                                            \
+  ::hcm::internal_logging::LogMessage(::hcm::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+#endif  // HCM_COMMON_LOGGING_H_

@@ -1,0 +1,47 @@
+#ifndef HCM_COMMON_RNG_H_
+#define HCM_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hcm {
+
+// Deterministic, seedable pseudo-random generator (xoshiro256**).
+// Used for workload generation and stochastic network latency so that every
+// experiment is exactly reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Poisson-distributed count with the given mean (Knuth/inversion; fine for
+  // the small means used by workload generators).
+  int64_t Poisson(double mean);
+
+  // Fisher-Yates index helper: uniform in [0, n). Precondition: n > 0.
+  size_t Index(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hcm
+
+#endif  // HCM_COMMON_RNG_H_

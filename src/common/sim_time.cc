@@ -1,0 +1,33 @@
+#include "src/common/sim_time.h"
+
+#include <cstdio>
+
+namespace hcm {
+
+std::string Duration::ToString() const {
+  int64_t ms = ms_;
+  bool neg = ms < 0;
+  if (neg) ms = -ms;
+  std::string out = neg ? "-" : "";
+  if (ms % 1000 != 0) {
+    out += std::to_string(ms) + "ms";
+    return out;
+  }
+  int64_t s = ms / 1000;
+  if (s % 3600 == 0 && s != 0) {
+    out += std::to_string(s / 3600) + "h";
+  } else if (s % 60 == 0 && s != 0) {
+    out += std::to_string(s / 60) + "m";
+  } else {
+    out += std::to_string(s) + "s";
+  }
+  return out;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs", seconds());
+  return buf;
+}
+
+}  // namespace hcm

@@ -1,0 +1,155 @@
+#ifndef HCM_COMMON_STATUS_H_
+#define HCM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hcm {
+
+// Canonical error codes, patterned after the google/absl canonical space.
+// The toolkit never throws; every fallible operation returns a Status or a
+// Result<T> (see below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // malformed input (bad rule text, bad SQL, bad RID)
+  kNotFound,            // missing table/item/site/file
+  kAlreadyExists,       // duplicate table/constraint/site registration
+  kFailedPrecondition,  // operation not valid in current state
+  kPermissionDenied,    // interface does not permit the operation
+  kUnavailable,         // transient: RIS down / overloaded (metric failure)
+  kTimedOut,            // deadline missed (metric failure)
+  kCorruption,          // RIS returned data that fails validation (logical)
+  kUnimplemented,       // capability not offered by this RIS
+  kInternal,            // invariant violation inside the toolkit
+};
+
+// Human-readable name of a status code, e.g. "NotFound".
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error value. OK carries no message; errors carry
+// a code and a message suitable for logs and test assertions.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-error holder in the spirit of absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hcm
+
+// Propagates a non-OK status to the caller. Usable in functions returning
+// Status or Result<T>.
+#define HCM_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::hcm::Status _hcm_st = (expr);          \
+    if (!_hcm_st.ok()) return _hcm_st;       \
+  } while (0)
+
+// Evaluates a Result<T> expression, propagating errors; on success binds the
+// value to `lhs`. `lhs` may include a declaration, e.g.
+//   HCM_ASSIGN_OR_RETURN(auto rows, db.Query(sql));
+#define HCM_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  HCM_ASSIGN_OR_RETURN_IMPL(                                \
+      HCM_STATUS_CONCAT(_hcm_result_, __LINE__), lhs, rexpr)
+
+#define HCM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define HCM_STATUS_CONCAT(a, b) HCM_STATUS_CONCAT_IMPL(a, b)
+#define HCM_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // HCM_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+#ifndef HCM_COMMON_STRING_UTIL_H_
+#define HCM_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hcm {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Splits on a single-character delimiter. Adjacent delimiters yield empty
+// fields; an empty input yields one empty field.
+std::vector<std::string> StrSplit(const std::string& s, char delim);
+
+// Splits on a delimiter, trimming ASCII whitespace from each piece and
+// dropping pieces that end up empty.
+std::vector<std::string> StrSplitTrim(const std::string& s, char delim);
+
+// Removes leading/trailing ASCII whitespace.
+std::string StrTrim(const std::string& s);
+
+// Joins pieces with a separator.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& sep);
+
+bool StrStartsWith(const std::string& s, const std::string& prefix);
+bool StrEndsWith(const std::string& s, const std::string& suffix);
+
+// ASCII case-insensitive equality (used by the SQL-subset parser).
+bool StrEqualsIgnoreCase(const std::string& a, const std::string& b);
+
+std::string StrToLower(const std::string& s);
+std::string StrToUpper(const std::string& s);
+
+// Strict integer parse of the whole string.
+Result<int64_t> ParseInt64(const std::string& s);
+
+// Strict double parse of the whole string.
+Result<double> ParseDouble(const std::string& s);
+
+}  // namespace hcm
+
+#endif  // HCM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,219 @@
+#include "src/common/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+namespace hcm {
+namespace {
+
+// Formats a double without trailing noise but with a distinguishing ".0"
+// so Real values round-trip through Parse as Reals.
+std::string FormatReal(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+  return s;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kReal:
+      return "real";
+    case ValueKind::kStr:
+      return "str";
+  }
+  return "unknown";
+}
+
+bool Value::AsBool() const {
+  assert(is_bool());
+  return std::get<bool>(rep_);
+}
+
+int64_t Value::AsInt() const {
+  assert(is_int());
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsReal() const {
+  assert(is_real());
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsStr() const {
+  assert(is_str());
+  return std::get<std::string>(rep_);
+}
+
+double Value::NumericValue() const {
+  assert(is_numeric());
+  return is_int() ? static_cast<double>(std::get<int64_t>(rep_))
+                  : std::get<double>(rep_);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return AsInt() == other.AsInt();
+    return NumericValue() == other.NumericValue();
+  }
+  return rep_ == other.rep_;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return AsInt() < other.AsInt();
+    return NumericValue() < other.NumericValue();
+  }
+  return rep_ < other.rep_;
+}
+
+Result<Value> Value::Add(const Value& other) const {
+  if (is_str() && other.is_str()) return Value::Str(AsStr() + other.AsStr());
+  if (!is_numeric() || !other.is_numeric()) {
+    return Status::InvalidArgument("Add requires numeric (or str) operands");
+  }
+  if (is_int() && other.is_int()) return Value::Int(AsInt() + other.AsInt());
+  return Value::Real(NumericValue() + other.NumericValue());
+}
+
+Result<Value> Value::Sub(const Value& other) const {
+  if (!is_numeric() || !other.is_numeric()) {
+    return Status::InvalidArgument("Sub requires numeric operands");
+  }
+  if (is_int() && other.is_int()) return Value::Int(AsInt() - other.AsInt());
+  return Value::Real(NumericValue() - other.NumericValue());
+}
+
+Result<Value> Value::Mul(const Value& other) const {
+  if (!is_numeric() || !other.is_numeric()) {
+    return Status::InvalidArgument("Mul requires numeric operands");
+  }
+  if (is_int() && other.is_int()) return Value::Int(AsInt() * other.AsInt());
+  return Value::Real(NumericValue() * other.NumericValue());
+}
+
+Result<Value> Value::Div(const Value& other) const {
+  if (!is_numeric() || !other.is_numeric()) {
+    return Status::InvalidArgument("Div requires numeric operands");
+  }
+  if (other.NumericValue() == 0.0) {
+    return Status::InvalidArgument("division by zero");
+  }
+  if (is_int() && other.is_int() && AsInt() % other.AsInt() == 0) {
+    return Value::Int(AsInt() / other.AsInt());
+  }
+  return Value::Real(NumericValue() / other.NumericValue());
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kReal:
+      return FormatReal(AsReal());
+    case ValueKind::kStr:
+      return EscapeString(AsStr());
+  }
+  return "<?>";
+}
+
+Result<Value> Value::Parse(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty value text");
+  if (text == "null") return Value::Null();
+  if (text == "true") return Value::Bool(true);
+  if (text == "false") return Value::Bool(false);
+  if (text.front() == '"') {
+    if (text.size() < 2 || text.back() != '"') {
+      return Status::InvalidArgument("unterminated string literal: " + text);
+    }
+    std::string out;
+    for (size_t i = 1; i + 1 < text.size(); ++i) {
+      char c = text[i];
+      if (c == '\\' && i + 2 < text.size()) {
+        char next = text[++i];
+        switch (next) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            out += next;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Value::Str(std::move(out));
+  }
+  // Numeric: integer if it parses fully as one, else real.
+  char* end = nullptr;
+  errno = 0;
+  long long iv = std::strtoll(text.c_str(), &end, 10);
+  if (errno == 0 && end != nullptr && *end == '\0') {
+    return Value::Int(static_cast<int64_t>(iv));
+  }
+  errno = 0;
+  double dv = std::strtod(text.c_str(), &end);
+  if (errno == 0 && end != nullptr && *end == '\0') return Value::Real(dv);
+  return Status::InvalidArgument("unparsable value: " + text);
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueKind::kBool:
+      return AsBool() ? 0x1234567 : 0x7654321;
+    case ValueKind::kInt:
+      return std::hash<double>()(static_cast<double>(AsInt()));
+    case ValueKind::kReal:
+      return std::hash<double>()(AsReal());
+    case ValueKind::kStr:
+      return std::hash<std::string>()(AsStr());
+  }
+  return 0;
+}
+
+}  // namespace hcm

@@ -1,0 +1,88 @@
+#ifndef HCM_COMMON_VALUE_H_
+#define HCM_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace hcm {
+
+// The dynamic type of a Value.
+enum class ValueKind { kNull = 0, kBool, kInt, kReal, kStr };
+
+const char* ValueKindName(ValueKind kind);
+
+// A dynamically typed datum: the unit of data exchanged between raw
+// information sources, CM-Translators, CM-Shells, and rule conditions.
+//
+// Semantics follow SQL-ish conventions:
+//  - Null compares equal only to Null (three-valued logic is NOT used; the
+//    rule language of the paper has plain booleans, so comparisons involving
+//    Null simply evaluate to false except Null==Null).
+//  - Int/Real compare and combine numerically (Int promotes to Real).
+//  - Ordering across unrelated kinds is defined (by kind index) so Values can
+//    key ordered containers deterministically.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Str(std::string s) { return Value(Rep(std::move(s))); }
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_real() const { return kind() == ValueKind::kReal; }
+  bool is_str() const { return kind() == ValueKind::kStr; }
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  // Accessors; precondition: matching kind (checked by assert).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsReal() const;
+  const std::string& AsStr() const;
+
+  // Numeric coercion: Int or Real as double. Precondition: is_numeric().
+  double NumericValue() const;
+
+  // Equality per the semantics above (Int 3 == Real 3.0).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  // Total order: by kind first (except Int/Real merge numerically), then
+  // value. Suitable for std::map keys.
+  bool operator<(const Value& other) const;
+
+  // Arithmetic on numerics; error on other kinds or Null operands.
+  Result<Value> Add(const Value& other) const;
+  Result<Value> Sub(const Value& other) const;
+  Result<Value> Mul(const Value& other) const;
+  Result<Value> Div(const Value& other) const;
+
+  // Renders the value in the textual rule-language syntax: null, true,
+  // 42, 3.5, "str" (with backslash escapes).
+  std::string ToString() const;
+
+  // Parses the output of ToString back into a Value.
+  static Result<Value> Parse(const std::string& text);
+
+  // Hash compatible with operator== (numerics hash by double value).
+  size_t Hash() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace hcm
+
+#endif  // HCM_COMMON_VALUE_H_

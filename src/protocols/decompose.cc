@@ -1,0 +1,90 @@
+#include "src/protocols/decompose.h"
+
+#include "src/common/string_util.h"
+#include "src/rule/parser.h"
+
+namespace hcm::protocols {
+
+Result<std::unique_ptr<SumDecomposition>> SumDecomposition::Install(
+    toolkit::System* system, const Options& options) {
+  if (!options.x.args.empty() || !options.y.args.empty() ||
+      !options.z.args.empty()) {
+    return Status::InvalidArgument(
+        "sum decomposition supports non-parameterized items");
+  }
+  std::unique_ptr<SumDecomposition> d(new SumDecomposition());
+  HCM_ASSIGN_OR_RETURN(toolkit::ItemLocation x_loc,
+                       system->registry().Locate(options.x.base));
+  d->home_site_ = x_loc.site;
+  const std::string& p = options.prefix;
+  d->xc_ = rule::ItemId{p + "Xc", {}};
+  d->yc_ = rule::ItemId{p + "Yc", {}};
+  d->zc_ = rule::ItemId{p + "Zc", {}};
+  d->flag_ = rule::ItemId{p + "Flag", {}};
+  for (const auto& item : {d->xc_, d->yc_, d->zc_, d->flag_}) {
+    HCM_RETURN_IF_ERROR(
+        system->RegisterPrivateItem(item.base, d->home_site_));
+  }
+
+  // One rule per source: refresh the cache, then re-evaluate the local
+  // arithmetic constraint X = Yc + Zc over the caches. The re-evaluation
+  // steps are the paper's "local constraint"; everything distributed is a
+  // plain copy.
+  auto cache_rule = [&](const std::string& src,
+                        const std::string& cache) -> std::string {
+    return StrFormat(
+        "sum_%s: N(%s, b) -> %s W(%s, b), "
+        "(%sXc != null and %sYc != null and %sZc != null and "
+        "%sXc = %sYc + %sZc) ? W(%sFlag, true), "
+        "(%sXc = null or %sYc = null or %sZc = null or "
+        "%sXc != %sYc + %sZc) ? W(%sFlag, false)",
+        cache.c_str(), src.c_str(), options.delta.ToString().c_str(),
+        cache.c_str(), p.c_str(), p.c_str(), p.c_str(), p.c_str(), p.c_str(),
+        p.c_str(), p.c_str(), p.c_str(), p.c_str(), p.c_str(), p.c_str(),
+        p.c_str(), p.c_str(), p.c_str());
+  };
+  std::string rules_text = cache_rule(options.x.base, p + "Xc") + ";\n" +
+                           cache_rule(options.y.base, p + "Yc") + ";\n" +
+                           cache_rule(options.z.base, p + "Zc");
+  spec::StrategySpec strategy;
+  strategy.name = "sum-decomposition";
+  strategy.enforces = false;
+  strategy.description = "X = Y + Z via cached copies at " + d->home_site_;
+  HCM_ASSIGN_OR_RETURN(strategy.rules, rule::ParseRuleSet(rules_text));
+  // The distributed parts are plain copy guarantees source -> cache.
+  spec::Guarantee gy = spec::YFollowsX(options.y.base, p + "Yc");
+  gy.name = "yc-follows-" + options.y.base;
+  spec::Guarantee gz = spec::YFollowsX(options.z.base, p + "Zc");
+  gz.name = "zc-follows-" + options.z.base;
+  strategy.guarantees = {std::move(gy), std::move(gz)};
+  // Install under three formal copy constraints (source = cache); any of
+  // them resolves the rule placement identically.
+  HCM_ASSIGN_OR_RETURN(spec::Constraint constraint,
+                       spec::MakeCopyConstraint(options.y.base, p + "Yc"));
+  HCM_RETURN_IF_ERROR(
+      system->InstallStrategy("sum/" + options.x.base, constraint, strategy));
+
+  // Seed the caches (and the flag) from the sources' current values so the
+  // monitor is meaningful from t=0.
+  auto seed = [&](const rule::ItemId& source,
+                  const rule::ItemId& cache) -> Status {
+    auto v = system->WorkloadRead(source);
+    if (!v.ok()) return v.status();
+    return system->DeclareInitialPrivate(cache, *v);
+  };
+  HCM_RETURN_IF_ERROR(seed(options.x, d->xc_));
+  HCM_RETURN_IF_ERROR(seed(options.y, d->yc_));
+  HCM_RETURN_IF_ERROR(seed(options.z, d->zc_));
+  auto xv = system->WorkloadRead(options.x);
+  auto yv = system->WorkloadRead(options.y);
+  auto zv = system->WorkloadRead(options.z);
+  if (xv.ok() && yv.ok() && zv.ok()) {
+    auto sum = yv->Add(*zv);
+    bool equal = sum.ok() && *xv == *sum;
+    HCM_RETURN_IF_ERROR(
+        system->DeclareInitialPrivate(d->flag_, Value::Bool(equal)));
+  }
+  return d;
+}
+
+}  // namespace hcm::protocols

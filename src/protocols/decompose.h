@@ -1,0 +1,65 @@
+#ifndef HCM_PROTOCOLS_DECOMPOSE_H_
+#define HCM_PROTOCOLS_DECOMPOSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/toolkit/system.h"
+
+namespace hcm::protocols {
+
+// Section 7.1's recipe for complex constraints: "consider the constraint
+// X = Y + Z, where X, Y, and Z are at three different sites. A common way
+// to manage this constraint is to have cached copies Yc and Zc of Y and Z
+// at the site where X is. Hence, we would have the constraints
+// X = Yc + Zc, Yc = Y and Zc = Z. Only the simple copy constraints are
+// distributed."
+//
+// This helper installs exactly that: an update-propagation strategy per
+// remote term into a CM-private cache at X's site, plus a local rule that
+// re-evaluates the arithmetic constraint whenever a cache changes,
+// exposing a SumFlag auxiliary item. Applications at X's site read
+// SumFlag to learn whether X = Y + Z held as of the CM's latest knowledge
+// (a monitor-style weakened guarantee: caches lag the sources by the
+// notification delay).
+class SumDecomposition {
+ public:
+  struct Options {
+    // The constrained items. x must live at the site that will host the
+    // caches; y and z may be anywhere with notify interfaces.
+    rule::ItemId x;
+    rule::ItemId y;
+    rule::ItemId z;
+    // Strategy rule deadline for propagation and re-evaluation.
+    Duration delta = Duration::Seconds(5);
+    // Prefix for the auxiliary items: <prefix>Yc, <prefix>Zc, <prefix>Xc,
+    // <prefix>Flag. Must start with an upper-case letter.
+    std::string prefix = "Sum";
+  };
+
+  // Installs the decomposition. Requires notify interfaces for x, y, z
+  // (x's own changes also flow into a cache so the flag stays current).
+  // Declares the initial cache values from the sources' current state.
+  static Result<std::unique_ptr<SumDecomposition>> Install(
+      toolkit::System* system, const Options& options);
+
+  // Auxiliary item ids, for application reads.
+  rule::ItemId flag_item() const { return flag_; }
+  rule::ItemId yc_item() const { return yc_; }
+  rule::ItemId zc_item() const { return zc_; }
+  rule::ItemId xc_item() const { return xc_; }
+
+  // The site hosting the caches (x's site).
+  const std::string& home_site() const { return home_site_; }
+
+ private:
+  SumDecomposition() = default;
+
+  std::string home_site_;
+  rule::ItemId flag_, yc_, zc_, xc_;
+};
+
+}  // namespace hcm::protocols
+
+#endif  // HCM_PROTOCOLS_DECOMPOSE_H_

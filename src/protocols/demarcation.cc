@@ -1,0 +1,264 @@
+#include "src/protocols/demarcation.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace hcm::protocols {
+namespace {
+
+// Change-limit request: "raise" asks Y's side for room to raise LimitX
+// (X wants to grow); otherwise X's side is asked for room to lower LimitY
+// (Y wants to shrink). `pending_delta` is echoed so the requester can apply
+// the deferred update on grant.
+struct DemarcRequest {
+  int64_t needed = 0;
+  int64_t pending_delta = 0;
+  bool raise = true;
+};
+
+struct DemarcReply {
+  int64_t granted = 0;  // 0 = denied
+  int64_t pending_delta = 0;
+  bool raise = true;
+};
+
+std::string XEndpoint(const std::string& site) { return site + "#dem-x"; }
+std::string YEndpoint(const std::string& site) { return site + "#dem-y"; }
+
+}  // namespace
+
+const char* DemarcationPolicyName(DemarcationPolicy policy) {
+  switch (policy) {
+    case DemarcationPolicy::kNeverGrant:
+      return "never-grant";
+    case DemarcationPolicy::kExactGrant:
+      return "exact-grant";
+    case DemarcationPolicy::kEagerGrant:
+      return "eager-grant";
+  }
+  return "?";
+}
+
+DemarcationProtocol::DemarcationProtocol(toolkit::System* system,
+                                         Options options)
+    : system_(system), options_(std::move(options)) {}
+
+Result<std::unique_ptr<DemarcationProtocol>> DemarcationProtocol::Install(
+    toolkit::System* system, const Options& options) {
+  std::unique_ptr<DemarcationProtocol> protocol(
+      new DemarcationProtocol(system, options));
+  HCM_RETURN_IF_ERROR(protocol->Wire());
+  return protocol;
+}
+
+Status DemarcationProtocol::Wire() {
+  HCM_ASSIGN_OR_RETURN(toolkit::ItemLocation x_loc,
+                       system_->registry().Locate(options_.x.base));
+  HCM_ASSIGN_OR_RETURN(toolkit::ItemLocation y_loc,
+                       system_->registry().Locate(options_.y.base));
+  x_site_ = x_loc.site;
+  y_site_ = y_loc.site;
+  limit_x_item_ = rule::ItemId{"Lim_" + options_.x.base, options_.x.args};
+  limit_y_item_ = rule::ItemId{"Lim_" + options_.y.base, options_.y.args};
+  HCM_RETURN_IF_ERROR(
+      system_->RegisterPrivateItem(limit_x_item_.base, x_site_));
+  HCM_RETURN_IF_ERROR(
+      system_->RegisterPrivateItem(limit_y_item_.base, y_site_));
+
+  // Seed database values and limits; declare the trace's initial state.
+  HCM_ASSIGN_OR_RETURN(toolkit::Translator * tr_x,
+                       system_->TranslatorAt(x_site_));
+  HCM_ASSIGN_OR_RETURN(toolkit::Translator * tr_y,
+                       system_->TranslatorAt(y_site_));
+  x_value_ = options_.initial_x;
+  y_value_ = options_.initial_y;
+  limit_x_ = options_.initial_limit;
+  limit_y_ = options_.initial_limit;
+  HCM_RETURN_IF_ERROR(
+      tr_x->ApplicationWrite(options_.x, Value::Int(x_value_)));
+  HCM_RETURN_IF_ERROR(
+      tr_y->ApplicationWrite(options_.y, Value::Int(y_value_)));
+  system_->recorder().SetInitialValue(options_.x, Value::Int(x_value_));
+  system_->recorder().SetInitialValue(options_.y, Value::Int(y_value_));
+  HCM_RETURN_IF_ERROR(
+      system_->DeclareInitialPrivate(limit_x_item_, Value::Int(limit_x_)));
+  HCM_RETURN_IF_ERROR(
+      system_->DeclareInitialPrivate(limit_y_item_, Value::Int(limit_y_)));
+
+  HCM_RETURN_IF_ERROR(system_->network().RegisterEndpoint(
+      XEndpoint(x_site_),
+      [this](const sim::Message& m) { OnXSideMessage(m); }));
+  HCM_RETURN_IF_ERROR(system_->network().RegisterEndpoint(
+      YEndpoint(y_site_),
+      [this](const sim::Message& m) { OnYSideMessage(m); }));
+  return Status::OK();
+}
+
+void DemarcationProtocol::ApplyX(int64_t delta) {
+  x_value_ += delta;
+  Status s = system_->WorkloadWrite(options_.x, Value::Int(x_value_));
+  if (!s.ok()) {
+    HCM_LOG(Warning) << "demarcation X write failed: " << s.ToString();
+  }
+  ++stats_.x_applied;
+}
+
+void DemarcationProtocol::ApplyY(int64_t delta) {
+  y_value_ += delta;
+  Status s = system_->WorkloadWrite(options_.y, Value::Int(y_value_));
+  if (!s.ok()) {
+    HCM_LOG(Warning) << "demarcation Y write failed: " << s.ToString();
+  }
+  ++stats_.y_applied;
+}
+
+void DemarcationProtocol::TryIncrementX(int64_t delta) {
+  if (delta <= 0) return;
+  if (x_value_ + delta <= limit_x_) {
+    ApplyX(delta);
+    return;
+  }
+  ++stats_.limit_requests;
+  DemarcRequest req;
+  req.needed = x_value_ + delta - limit_x_;
+  req.pending_delta = delta;
+  req.raise = true;
+  Status s = system_->network().Send(
+      {XEndpoint(x_site_), YEndpoint(y_site_), "dem-request", req});
+  if (!s.ok()) {
+    HCM_LOG(Warning) << "demarcation request undeliverable: " << s.ToString();
+  }
+}
+
+void DemarcationProtocol::TryDecrementY(int64_t delta) {
+  if (delta <= 0) return;
+  if (y_value_ - delta >= limit_y_) {
+    ApplyY(-delta);
+    return;
+  }
+  ++stats_.limit_requests;
+  DemarcRequest req;
+  req.needed = limit_y_ - (y_value_ - delta);
+  req.pending_delta = delta;
+  req.raise = false;
+  Status s = system_->network().Send(
+      {YEndpoint(y_site_), XEndpoint(x_site_), "dem-request", req});
+  if (!s.ok()) {
+    HCM_LOG(Warning) << "demarcation request undeliverable: " << s.ToString();
+  }
+}
+
+void DemarcationProtocol::DecrementX(int64_t delta) {
+  if (delta <= 0) return;
+  ApplyX(-delta);
+}
+
+void DemarcationProtocol::IncrementY(int64_t delta) {
+  if (delta <= 0) return;
+  ApplyY(delta);
+}
+
+// Y's side arbitrates requests to RAISE the shared demarcation line; its
+// slack is y_value - limit_y.
+void DemarcationProtocol::OnYSideMessage(const sim::Message& message) {
+  if (message.kind == "dem-request") {
+    const auto& req = std::any_cast<const DemarcRequest&>(message.payload);
+    DemarcReply reply;
+    reply.pending_delta = req.pending_delta;
+    reply.raise = true;
+    int64_t slack = y_value_ - limit_y_;
+    if (options_.policy == DemarcationPolicy::kNeverGrant ||
+        slack < req.needed) {
+      reply.granted = 0;
+      ++stats_.limit_denials;
+    } else {
+      int64_t grant = req.needed;
+      if (options_.policy == DemarcationPolicy::kEagerGrant) {
+        grant = std::min(slack, req.needed + options_.eager_headroom);
+      }
+      reply.granted = grant;
+      limit_y_ += grant;
+      auto shell = system_->ShellAt(y_site_);
+      if (shell.ok()) {
+        (*shell)->WritePrivate(limit_y_item_, Value::Int(limit_y_));
+      }
+      ++stats_.limit_grants;
+    }
+    Status s = system_->network().Send(
+        {YEndpoint(y_site_), XEndpoint(x_site_), "dem-reply", reply});
+    if (!s.ok()) {
+      HCM_LOG(Warning) << "demarcation reply undeliverable: " << s.ToString();
+    }
+  } else if (message.kind == "dem-reply") {
+    // Reply to Y's own lower-limit request.
+    const auto& reply = std::any_cast<const DemarcReply&>(message.payload);
+    if (reply.granted <= 0) {
+      ++stats_.y_denied;
+      return;
+    }
+    limit_y_ -= reply.granted;
+    auto shell = system_->ShellAt(y_site_);
+    if (shell.ok()) {
+      (*shell)->WritePrivate(limit_y_item_, Value::Int(limit_y_));
+    }
+    if (y_value_ - reply.pending_delta >= limit_y_) {
+      ApplyY(-reply.pending_delta);
+    } else {
+      ++stats_.y_denied;
+    }
+  }
+}
+
+// X's side arbitrates requests to LOWER the line; its slack is
+// limit_x - x_value.
+void DemarcationProtocol::OnXSideMessage(const sim::Message& message) {
+  if (message.kind == "dem-request") {
+    const auto& req = std::any_cast<const DemarcRequest&>(message.payload);
+    DemarcReply reply;
+    reply.pending_delta = req.pending_delta;
+    reply.raise = false;
+    int64_t slack = limit_x_ - x_value_;
+    if (options_.policy == DemarcationPolicy::kNeverGrant ||
+        slack < req.needed) {
+      reply.granted = 0;
+      ++stats_.limit_denials;
+    } else {
+      int64_t grant = req.needed;
+      if (options_.policy == DemarcationPolicy::kEagerGrant) {
+        grant = std::min(slack, req.needed + options_.eager_headroom);
+      }
+      reply.granted = grant;
+      limit_x_ -= grant;
+      auto shell = system_->ShellAt(x_site_);
+      if (shell.ok()) {
+        (*shell)->WritePrivate(limit_x_item_, Value::Int(limit_x_));
+      }
+      ++stats_.limit_grants;
+    }
+    Status s = system_->network().Send(
+        {XEndpoint(x_site_), YEndpoint(y_site_), "dem-reply", reply});
+    if (!s.ok()) {
+      HCM_LOG(Warning) << "demarcation reply undeliverable: " << s.ToString();
+    }
+  } else if (message.kind == "dem-reply") {
+    // Reply to X's own raise request.
+    const auto& reply = std::any_cast<const DemarcReply&>(message.payload);
+    if (reply.granted <= 0) {
+      ++stats_.x_denied;
+      return;
+    }
+    limit_x_ += reply.granted;
+    auto shell = system_->ShellAt(x_site_);
+    if (shell.ok()) {
+      (*shell)->WritePrivate(limit_x_item_, Value::Int(limit_x_));
+    }
+    if (x_value_ + reply.pending_delta <= limit_x_) {
+      ApplyX(reply.pending_delta);
+    } else {
+      ++stats_.x_denied;
+    }
+  }
+}
+
+}  // namespace hcm::protocols

@@ -1,0 +1,107 @@
+#ifndef HCM_PROTOCOLS_DEMARCATION_H_
+#define HCM_PROTOCOLS_DEMARCATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/toolkit/system.h"
+
+namespace hcm::protocols {
+
+// How the limit-holder responds to change-limit requests (the paper calls
+// these "policies" after [BGM92], and notes that comparing them needs the
+// liveness guarantee of Section 6.1).
+enum class DemarcationPolicy {
+  kNeverGrant,  // degenerate: safe but not live (limits never move)
+  kExactGrant,  // grant exactly the requested amount when slack allows
+  kEagerGrant,  // grant the request plus headroom, reducing future traffic
+};
+
+const char* DemarcationPolicyName(DemarcationPolicy policy);
+
+// The Demarcation Protocol [BGM92] for the inter-site inequality constraint
+// X <= Y (Section 6.1), implemented as a host-language strategy over the
+// toolkit: each side keeps a local limit (CM-private data) and locally
+// enforces X <= LimitX / Y >= LimitY with LimitX <= LimitY, so the global
+// constraint holds at every instant with no distributed coordination on the
+// fast path. Updates that would cross the local limit trigger a
+// change-limit request to the peer, granted or denied per the policy.
+//
+// Applications drive X and Y exclusively through TryIncrementX /
+// TryDecrementY (increment-of-Y and decrement-of-X are always safe and
+// applied directly). All applied updates are recorded as spontaneous writes
+// so the AlwaysLeq guarantee is checkable on the trace.
+class DemarcationProtocol {
+ public:
+  struct Options {
+    rule::ItemId x;  // at the site registered for x.base
+    rule::ItemId y;
+    int64_t initial_x = 0;
+    int64_t initial_y = 0;
+    // Initial shared limit: X may grow to it, Y may shrink to it.
+    int64_t initial_limit = 0;
+    DemarcationPolicy policy = DemarcationPolicy::kExactGrant;
+    int64_t eager_headroom = 100;  // extra slack granted by kEagerGrant
+  };
+
+  struct Stats {
+    uint64_t x_applied = 0;       // increments applied (immediately or late)
+    uint64_t x_denied = 0;        // increments refused (no slack granted)
+    uint64_t y_applied = 0;
+    uint64_t y_denied = 0;
+    uint64_t limit_requests = 0;  // change-limit round trips initiated
+    uint64_t limit_grants = 0;
+    uint64_t limit_denials = 0;
+  };
+
+  // Seeds X/Y in their databases, registers the limit items as CM-private
+  // data, declares initial trace values, and wires the protocol's network
+  // endpoints. The system must already have translators for both items.
+  static Result<std::unique_ptr<DemarcationProtocol>> Install(
+      toolkit::System* system, const Options& options);
+
+  // Requests X += delta (delta > 0). Applied locally when X + delta stays
+  // within LimitX; otherwise a change-limit request is sent to Y's side and
+  // the increment is applied upon grant, or counted as denied.
+  void TryIncrementX(int64_t delta);
+
+  // Requests Y -= delta (delta > 0); symmetric.
+  void TryDecrementY(int64_t delta);
+
+  // Always-safe operations.
+  void DecrementX(int64_t delta);
+  void IncrementY(int64_t delta);
+
+  const Stats& stats() const { return stats_; }
+  int64_t x() const { return x_value_; }
+  int64_t y() const { return y_value_; }
+  int64_t limit_x() const { return limit_x_; }
+  int64_t limit_y() const { return limit_y_; }
+
+ private:
+  DemarcationProtocol(toolkit::System* system, Options options);
+  Status Wire();
+
+  void ApplyX(int64_t delta);
+  void ApplyY(int64_t delta);
+  void OnXSideMessage(const sim::Message& message);
+  void OnYSideMessage(const sim::Message& message);
+
+  toolkit::System* system_;
+  Options options_;
+  std::string x_site_;
+  std::string y_site_;
+  rule::ItemId limit_x_item_;
+  rule::ItemId limit_y_item_;
+
+  int64_t x_value_ = 0;
+  int64_t y_value_ = 0;
+  int64_t limit_x_ = 0;
+  int64_t limit_y_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hcm::protocols
+
+#endif  // HCM_PROTOCOLS_DEMARCATION_H_

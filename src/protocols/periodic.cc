@@ -1,0 +1,44 @@
+#include "src/protocols/periodic.h"
+
+#include "src/common/string_util.h"
+
+namespace hcm::protocols {
+
+spec::Guarantee WindowEqualityGuarantee(const std::string& x,
+                                        const std::string& y,
+                                        Duration window_start,
+                                        Duration window_end) {
+  // The LHS existence atom binds the item parameters *universally* (every
+  // account that exists at the origin), so the RHS must hold per instance;
+  // a bare (true)@0s LHS would leave the parameter existentially
+  // quantified on the right. The RHS interval uses absolute times.
+  std::string text = StrFormat("E(%s)@0s => (%s = %s)@@[%s, %s]", x.c_str(),
+                               x.c_str(), y.c_str(),
+                               window_start.ToString().c_str(),
+                               window_end.ToString().c_str());
+  auto g = spec::ParseGuarantee(text);
+  spec::Guarantee out = g.ok() ? *g : spec::Guarantee{};
+  out.name = StrFormat("window-equality[%s,%s]",
+                       window_start.ToString().c_str(),
+                       window_end.ToString().c_str());
+  if (!g.ok()) out.name = "PARSE-ERROR(" + out.name + ")";
+  return out;
+}
+
+std::vector<spec::Guarantee> DailyWindowGuarantees(const std::string& x,
+                                                   const std::string& y,
+                                                   Duration period,
+                                                   Duration start_offset,
+                                                   Duration end_offset,
+                                                   int num_days) {
+  std::vector<spec::Guarantee> out;
+  out.reserve(static_cast<size_t>(num_days));
+  for (int day = 0; day < num_days; ++day) {
+    Duration base = period * day;
+    out.push_back(WindowEqualityGuarantee(x, y, base + start_offset,
+                                          base + end_offset));
+  }
+  return out;
+}
+
+}  // namespace hcm::protocols

@@ -1,0 +1,39 @@
+#ifndef HCM_PROTOCOLS_PERIODIC_H_
+#define HCM_PROTOCOLS_PERIODIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/spec/guarantee.h"
+
+namespace hcm::protocols {
+
+// Section 6.4: periodic guarantees. For the old-fashioned banking scenario
+// — updates only during business hours, end-of-day batch propagation — the
+// constraint is valid on a fixed daily window ("every day from 5:15 p.m. to
+// 8 a.m. the next day"). The window guarantees below are expressed with
+// absolute virtual times, one guarantee per day, checkable with the
+// standard guarantee checker.
+
+// The copy x = y holds throughout [window_start, window_end] (absolute
+// offsets from the trace origin). `x`/`y` are item texts (uppercase or
+// parameterized, e.g. "Balance1(n)").
+spec::Guarantee WindowEqualityGuarantee(const std::string& x,
+                                        const std::string& y,
+                                        Duration window_start,
+                                        Duration window_end);
+
+// Convenience: daily windows for days [0, num_days). Day k's window is
+// [k*period + start_offset, k*period + end_offset]; end_offset may exceed
+// the period (overnight windows reach into the next day).
+std::vector<spec::Guarantee> DailyWindowGuarantees(const std::string& x,
+                                                   const std::string& y,
+                                                   Duration period,
+                                                   Duration start_offset,
+                                                   Duration end_offset,
+                                                   int num_days);
+
+}  // namespace hcm::protocols
+
+#endif  // HCM_PROTOCOLS_PERIODIC_H_

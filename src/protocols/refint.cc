@@ -1,0 +1,76 @@
+#include "src/protocols/refint.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace hcm::protocols {
+
+Result<std::unique_ptr<ReferentialSweep>> ReferentialSweep::Install(
+    toolkit::System* system, const Options& options) {
+  std::unique_ptr<ReferentialSweep> sweep(
+      new ReferentialSweep(system, options));
+  HCM_RETURN_IF_ERROR(sweep->Wire());
+  return sweep;
+}
+
+Status ReferentialSweep::Wire() {
+  HCM_ASSIGN_OR_RETURN(
+      toolkit::ItemLocation ref_loc,
+      system_->registry().Locate(options_.referencing_base));
+  HCM_ASSIGN_OR_RETURN(
+      toolkit::ItemLocation target_loc,
+      system_->registry().Locate(options_.referenced_base));
+  referencing_site_ = ref_loc.site;
+  referenced_site_ = target_loc.site;
+  HCM_ASSIGN_OR_RETURN(toolkit::Shell * shell,
+                       system_->ShellAt(referencing_site_));
+  shell->AddPeriodicTask(options_.period, [this]() { Sweep(); });
+  return Status::OK();
+}
+
+spec::Guarantee ReferentialSweep::guarantee() const {
+  return spec::ExistsWithin(options_.referencing_base + "(i)",
+                            options_.referenced_base + "(i)",
+                            options_.bound);
+}
+
+void ReferentialSweep::Sweep() {
+  ++stats_.sweeps;
+  auto tr_ref = system_->TranslatorAt(referencing_site_);
+  auto tr_target = system_->TranslatorAt(referenced_site_);
+  if (!tr_ref.ok() || !tr_target.ok()) {
+    HCM_LOG(Warning) << "referential sweep missing translators";
+    return;
+  }
+  auto instances = (*tr_ref)->ApplicationList(options_.referencing_base);
+  if (!instances.ok()) {
+    HCM_LOG(Warning) << "referential sweep list failed: "
+                     << instances.status().ToString();
+    return;
+  }
+  for (const auto& args : *instances) {
+    ++stats_.records_checked;
+    rule::ItemId target{options_.referenced_base, args};
+    auto value = (*tr_target)->ApplicationRead(target);
+    if (value.ok()) continue;  // salary record exists
+    if (value.status().code() != StatusCode::kNotFound) {
+      HCM_LOG(Warning) << "referential sweep read error: "
+                       << value.status().ToString();
+      continue;
+    }
+    // Orphaned project record: the CM deletes it (the paper suggests also
+    // notifying the record's owner; we log).
+    rule::ItemId orphan{options_.referencing_base, args};
+    Status s = system_->WorkloadDelete(orphan);
+    if (s.ok()) {
+      ++stats_.orphans_deleted;
+      HCM_LOG(Info) << "referential sweep deleted orphan "
+                    << orphan.ToString();
+    } else {
+      HCM_LOG(Warning) << "referential sweep delete failed: "
+                       << s.ToString();
+    }
+  }
+}
+
+}  // namespace hcm::protocols

@@ -1,0 +1,61 @@
+#ifndef HCM_PROTOCOLS_REFINT_H_
+#define HCM_PROTOCOLS_REFINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/toolkit/system.h"
+
+namespace hcm::protocols {
+
+// The weakened referential-integrity strategy of Section 6.2: every
+// employee id with a project record in one database must have a salary
+// record in another — allowed to be violated per id for at most `bound`.
+//
+// Strategy: a periodic sweep (the paper's "end of each working day") run by
+// the CM-Shell at the referencing site. The sweep lists project records,
+// checks each id against the referenced database, and deletes orphans via
+// the CM's delete capability, recording DEL events so the ExistsWithin
+// guarantee is checkable on the trace.
+class ReferentialSweep {
+ public:
+  struct Options {
+    std::string referencing_base;  // e.g. "project" — swept and pruned
+    std::string referenced_base;   // e.g. "salary" — must exist
+    Duration period = Duration::Hours(24);
+    // Time bound of the offered guarantee; should be >= period plus sweep
+    // processing time.
+    Duration bound = Duration::Hours(24);
+  };
+
+  struct Stats {
+    uint64_t sweeps = 0;
+    uint64_t records_checked = 0;
+    uint64_t orphans_deleted = 0;
+  };
+
+  static Result<std::unique_ptr<ReferentialSweep>> Install(
+      toolkit::System* system, const Options& options);
+
+  // The guarantee this strategy realizes (register/check it as needed).
+  spec::Guarantee guarantee() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ReferentialSweep(toolkit::System* system, Options options)
+      : system_(system), options_(std::move(options)) {}
+  Status Wire();
+  void Sweep();
+
+  toolkit::System* system_;
+  Options options_;
+  std::string referencing_site_;
+  std::string referenced_site_;
+  Stats stats_;
+};
+
+}  // namespace hcm::protocols
+
+#endif  // HCM_PROTOCOLS_REFINT_H_

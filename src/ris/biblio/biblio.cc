@@ -1,0 +1,52 @@
+#include "src/ris/biblio/biblio.h"
+
+namespace hcm::ris::biblio {
+
+std::string BiblioRecord::FieldOrEmpty(const std::string& field) const {
+  for (const auto& [f, v] : fields) {
+    if (f == field) return v;
+  }
+  return "";
+}
+
+int64_t BiblioStore::AddRecord(
+    std::vector<std::pair<std::string, std::string>> fields) {
+  BiblioRecord record;
+  record.id = next_id_++;
+  record.fields = std::move(fields);
+  auto [it, inserted] = records_.emplace(record.id, std::move(record));
+  (void)inserted;
+  if (on_add_) on_add_(it->second);
+  return it->second.id;
+}
+
+Status BiblioStore::RemoveRecord(int64_t id) {
+  if (records_.erase(id) == 0) {
+    return Status::NotFound("no biblio record " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::vector<int64_t> BiblioStore::Search(const std::string& field,
+                                         const std::string& term) const {
+  std::vector<int64_t> out;
+  for (const auto& [id, record] : records_) {
+    for (const auto& [f, v] : record.fields) {
+      if (f == field && v.find(term) != std::string::npos) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<BiblioRecord> BiblioStore::Fetch(int64_t id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("no biblio record " + std::to_string(id));
+  }
+  return it->second;
+}
+
+}  // namespace hcm::ris::biblio

@@ -1,0 +1,68 @@
+#ifndef HCM_RIS_BIBLIO_BIBLIO_H_
+#define HCM_RIS_BIBLIO_BIBLIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hcm::ris::biblio {
+
+// One bibliographic record: an id plus free-form (field, value) pairs, e.g.
+// ("author", "J. Widom"), ("title", "..."), ("year", "1996").
+struct BiblioRecord {
+  int64_t id = 0;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  // First value of a field, or "" when absent.
+  std::string FieldOrEmpty(const std::string& field) const;
+};
+
+// A WAIS-flavored bibliographic information system: append-mostly records
+// searched by field/term. The native interface is a *search* interface —
+// there is no SQL, no per-item read, and the only change notification is
+// "a record was added", which is exactly the awkward shape the paper's
+// Stanford scenario has to integrate (Section 4.3).
+class BiblioStore {
+ public:
+  explicit BiblioStore(std::string name) : name_(std::move(name)) {}
+  BiblioStore(const BiblioStore&) = delete;
+  BiblioStore& operator=(const BiblioStore&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Appends a record; the store assigns and returns its id.
+  int64_t AddRecord(std::vector<std::pair<std::string, std::string>> fields);
+
+  // Removes a record (rare in practice; used by failure experiments).
+  Status RemoveRecord(int64_t id);
+
+  // Case-sensitive substring search over one field; returns matching ids in
+  // insertion order. An empty `term` matches every record with the field.
+  std::vector<int64_t> Search(const std::string& field,
+                              const std::string& term) const;
+
+  // Fetches a record by id.
+  Result<BiblioRecord> Fetch(int64_t id) const;
+
+  // Registers a callback invoked after each AddRecord (at most one; this is
+  // the store's entire notification facility).
+  void SetOnAdd(std::function<void(const BiblioRecord&)> fn) {
+    on_add_ = std::move(fn);
+  }
+
+  size_t num_records() const { return records_.size(); }
+
+ private:
+  std::string name_;
+  int64_t next_id_ = 1;
+  std::map<int64_t, BiblioRecord> records_;
+  std::function<void(const BiblioRecord&)> on_add_;
+};
+
+}  // namespace hcm::ris::biblio
+
+#endif  // HCM_RIS_BIBLIO_BIBLIO_H_

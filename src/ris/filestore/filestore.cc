@@ -1,0 +1,82 @@
+#include "src/ris/filestore/filestore.h"
+
+namespace hcm::ris::filestore {
+
+const char* FileErrnoName(FileErrno err) {
+  switch (err) {
+    case FileErrno::kOk:
+      return "OK";
+    case FileErrno::kNoEnt:
+      return "ENOENT";
+    case FileErrno::kAccess:
+      return "EACCES";
+    case FileErrno::kIo:
+      return "EIO";
+    case FileErrno::kBusy:
+      return "EBUSY";
+  }
+  return "?";
+}
+
+FileErrno FileStore::Read(const std::string& path,
+                          std::string* contents) const {
+  if (forced_error_ != FileErrno::kOk) return forced_error_;
+  auto it = files_.find(path);
+  if (it == files_.end()) return FileErrno::kNoEnt;
+  *contents = it->second.contents;
+  return FileErrno::kOk;
+}
+
+FileErrno FileStore::Write(const std::string& path,
+                           const std::string& contents) {
+  if (forced_error_ != FileErrno::kOk) return forced_error_;
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    if (!it->second.stat.writable) return FileErrno::kAccess;
+    it->second.contents = contents;
+    it->second.stat.size = contents.size();
+    it->second.stat.mtime_ms = now_ms_;
+    return FileErrno::kOk;
+  }
+  FileEntry entry;
+  entry.contents = contents;
+  entry.stat.size = contents.size();
+  entry.stat.mtime_ms = now_ms_;
+  files_.emplace(path, std::move(entry));
+  return FileErrno::kOk;
+}
+
+FileErrno FileStore::Unlink(const std::string& path) {
+  if (forced_error_ != FileErrno::kOk) return forced_error_;
+  auto it = files_.find(path);
+  if (it == files_.end()) return FileErrno::kNoEnt;
+  if (!it->second.stat.writable) return FileErrno::kAccess;
+  files_.erase(it);
+  return FileErrno::kOk;
+}
+
+FileErrno FileStore::Stat(const std::string& path, FileStat* out) const {
+  if (forced_error_ != FileErrno::kOk) return forced_error_;
+  auto it = files_.find(path);
+  if (it == files_.end()) return FileErrno::kNoEnt;
+  *out = it->second.stat;
+  return FileErrno::kOk;
+}
+
+std::vector<std::string> FileStore::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+FileErrno FileStore::Chmod(const std::string& path, bool writable) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return FileErrno::kNoEnt;
+  it->second.stat.writable = writable;
+  return FileErrno::kOk;
+}
+
+}  // namespace hcm::ris::filestore

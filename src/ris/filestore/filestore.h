@@ -1,0 +1,85 @@
+#ifndef HCM_RIS_FILESTORE_FILESTORE_H_
+#define HCM_RIS_FILESTORE_FILESTORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hcm::ris::filestore {
+
+// POSIX-flavored error numbers surfaced by the store. The CM-Translator
+// maps these onto metric/logical interface failures, mirroring the paper's
+// Unix `read()` example in Section 5.
+enum class FileErrno {
+  kOk = 0,
+  kNoEnt,   // no such file
+  kAccess,  // permission denied
+  kIo,      // device error — logical failure material
+  kBusy,    // transient contention — metric failure material
+};
+
+const char* FileErrnoName(FileErrno err);
+
+struct FileStat {
+  size_t size = 0;
+  int64_t mtime_ms = 0;  // set by the caller's clock via set_clock_ms
+  bool writable = true;
+};
+
+// A Unix-file-system-like raw information source: flat namespace of paths
+// ('/'-separated by convention) mapping to text contents. The native
+// interface (the RISI) is deliberately syscall-shaped — Read/Write/Unlink
+// returning errno-style codes — and unlike every other RIS in the tree.
+class FileStore {
+ public:
+  explicit FileStore(std::string name) : name_(std::move(name)) {}
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Injected virtual time used for mtimes; callers advance it.
+  void set_clock_ms(int64_t now_ms) { now_ms_ = now_ms; }
+
+  // Reads the whole file. FileErrno::kOk on success.
+  FileErrno Read(const std::string& path, std::string* contents) const;
+
+  // Creates or replaces the file. Fails with kAccess on read-only files.
+  FileErrno Write(const std::string& path, const std::string& contents);
+
+  // Removes the file.
+  FileErrno Unlink(const std::string& path);
+
+  // Metadata, including mtime — the polling translator uses mtime to skip
+  // unchanged files.
+  FileErrno Stat(const std::string& path, FileStat* out) const;
+
+  // Paths with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  // Marks a file read-only / read-write (kAccess on writes when read-only).
+  FileErrno Chmod(const std::string& path, bool writable);
+
+  // Test/failure hook: while set, every call returns this error.
+  void set_forced_error(FileErrno err) { forced_error_ = err; }
+
+  size_t num_files() const { return files_.size(); }
+
+ private:
+  struct FileEntry {
+    std::string contents;
+    FileStat stat;
+  };
+
+  std::string name_;
+  int64_t now_ms_ = 0;
+  FileErrno forced_error_ = FileErrno::kOk;
+  std::map<std::string, FileEntry> files_;
+};
+
+}  // namespace hcm::ris::filestore
+
+#endif  // HCM_RIS_FILESTORE_FILESTORE_H_

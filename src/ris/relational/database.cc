@@ -1,0 +1,193 @@
+#include "src/ris/relational/database.h"
+
+#include "src/common/string_util.h"
+
+namespace hcm::ris::relational {
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  HCM_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& table) {
+  auto it = tables_.find(StrToLower(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table + "' in database " + name_);
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& table) const {
+  auto it = tables_.find(StrToLower(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table + "' in database " + name_);
+  }
+  return const_cast<const Table*>(it->second.get());
+}
+
+bool Database::HasTable(const std::string& table) const {
+  return tables_.count(StrToLower(table)) > 0;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) {
+    out.push_back(table->schema().name());
+    (void)key;
+  }
+  return out;
+}
+
+Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
+  QueryResult result;
+  if (const auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+    std::string key = StrToLower(create->schema.name());
+    if (tables_.count(key) > 0) {
+      return Status::AlreadyExists("table already exists: " +
+                                   create->schema.name());
+    }
+    tables_.emplace(key, std::make_unique<Table>(create->schema));
+    return result;
+  }
+  if (const auto* drop = std::get_if<DropTableStmt>(&stmt)) {
+    std::string key = StrToLower(drop->table);
+    if (tables_.erase(key) == 0) {
+      return Status::NotFound("no table '" + drop->table + "'");
+    }
+    return result;
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    HCM_ASSIGN_OR_RETURN(Table * table, GetMutableTable(insert->table));
+    const TableSchema& schema = table->schema();
+    Row row(schema.num_columns(), Value::Null());
+    if (insert->columns.empty()) {
+      if (insert->values.size() != schema.num_columns()) {
+        return Status::InvalidArgument(
+            StrFormat("insert into %s: %zu values for %zu columns",
+                      insert->table.c_str(), insert->values.size(),
+                      schema.num_columns()));
+      }
+      row = insert->values;
+    } else {
+      if (insert->columns.size() != insert->values.size()) {
+        return Status::InvalidArgument("insert column/value count mismatch");
+      }
+      for (size_t i = 0; i < insert->columns.size(); ++i) {
+        HCM_ASSIGN_OR_RETURN(size_t idx,
+                             schema.ColumnIndex(insert->columns[i]));
+        row[idx] = insert->values[i];
+      }
+    }
+    HCM_RETURN_IF_ERROR(table->Insert(row));
+    result.affected_rows = 1;
+    FireTriggers(schema.name(), TriggerKind::kInsert,
+                 {RowChange{std::nullopt, std::move(row)}});
+    return result;
+  }
+  if (const auto* update = std::get_if<UpdateStmt>(&stmt)) {
+    HCM_ASSIGN_OR_RETURN(Table * table, GetMutableTable(update->table));
+    const TableSchema& schema = table->schema();
+    std::vector<Assignment> assignments;
+    assignments.reserve(update->sets.size());
+    for (const auto& [col, val] : update->sets) {
+      HCM_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(col));
+      assignments.push_back(Assignment{idx, val});
+    }
+    Predicate where = update->where;
+    HCM_RETURN_IF_ERROR(where.Bind(schema));
+    std::vector<RowChange> changes;
+    HCM_ASSIGN_OR_RETURN(result.affected_rows,
+                         table->Update(where, assignments, &changes));
+    FireTriggers(schema.name(), TriggerKind::kUpdate, changes);
+    return result;
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    HCM_ASSIGN_OR_RETURN(Table * table, GetMutableTable(del->table));
+    Predicate where = del->where;
+    HCM_RETURN_IF_ERROR(where.Bind(table->schema()));
+    std::vector<RowChange> changes;
+    HCM_ASSIGN_OR_RETURN(result.affected_rows, table->Delete(where, &changes));
+    FireTriggers(table->schema().name(), TriggerKind::kDelete, changes);
+    return result;
+  }
+  if (const auto* select = std::get_if<SelectStmt>(&stmt)) {
+    HCM_ASSIGN_OR_RETURN(Table * table, GetMutableTable(select->table));
+    const TableSchema& schema = table->schema();
+    Predicate where = select->where;
+    HCM_RETURN_IF_ERROR(where.Bind(schema));
+    std::vector<Row> rows = table->Select(where);
+    if (select->columns.empty()) {
+      for (const Column& c : schema.columns()) result.columns.push_back(c.name);
+      result.rows = std::move(rows);
+    } else {
+      std::vector<size_t> indexes;
+      for (const std::string& col : select->columns) {
+        HCM_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(col));
+        indexes.push_back(idx);
+        result.columns.push_back(schema.columns()[idx].name);
+      }
+      for (const Row& row : rows) {
+        Row projected;
+        projected.reserve(indexes.size());
+        for (size_t idx : indexes) projected.push_back(row[idx]);
+        result.rows.push_back(std::move(projected));
+      }
+    }
+    return result;
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<int64_t> Database::CreateTrigger(
+    const std::string& table, TriggerKind kind, const std::string& column,
+    std::function<void(const TriggerEvent&)> fn) {
+  HCM_ASSIGN_OR_RETURN(const Table* t, GetTable(table));
+  int column_index = -1;
+  if (!column.empty()) {
+    HCM_ASSIGN_OR_RETURN(size_t idx, t->schema().ColumnIndex(column));
+    column_index = static_cast<int>(idx);
+  }
+  int64_t id = next_trigger_id_++;
+  triggers_.push_back(
+      Trigger{id, StrToLower(table), kind, column_index, std::move(fn)});
+  return id;
+}
+
+Status Database::DropTrigger(int64_t trigger_id) {
+  for (auto it = triggers_.begin(); it != triggers_.end(); ++it) {
+    if (it->id == trigger_id) {
+      triggers_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StrFormat("no trigger %lld",
+                                    static_cast<long long>(trigger_id)));
+}
+
+void Database::FireTriggers(const std::string& table, TriggerKind kind,
+                            const std::vector<RowChange>& changes) {
+  if (changes.empty()) return;
+  std::string table_lower = StrToLower(table);
+  // Copy the trigger list: a callback may add/remove triggers.
+  std::vector<const Trigger*> to_fire;
+  for (const Trigger& trig : triggers_) {
+    if (trig.table_lower == table_lower && trig.kind == kind) {
+      to_fire.push_back(&trig);
+    }
+  }
+  for (const RowChange& change : changes) {
+    for (const Trigger* trig : to_fire) {
+      if (kind == TriggerKind::kUpdate && trig->column_index >= 0) {
+        size_t idx = static_cast<size_t>(trig->column_index);
+        if (change.old_row.has_value() && change.new_row.has_value() &&
+            (*change.old_row)[idx] == (*change.new_row)[idx]) {
+          continue;  // watched column unchanged
+        }
+      }
+      trig->fn(TriggerEvent{table, kind, change.old_row, change.new_row});
+    }
+  }
+}
+
+}  // namespace hcm::ris::relational

@@ -1,0 +1,93 @@
+#ifndef HCM_RIS_RELATIONAL_DATABASE_H_
+#define HCM_RIS_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ris/relational/sql.h"
+#include "src/ris/relational/table.h"
+
+namespace hcm::ris::relational {
+
+// Result of executing one SQL statement. SELECT fills columns/rows; the
+// mutating statements fill affected_rows.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  size_t affected_rows = 0;
+};
+
+// Kinds of data-change triggers.
+enum class TriggerKind { kInsert, kUpdate, kDelete };
+
+// Payload delivered to a trigger callback, Sybase "inserted/deleted table"
+// style: old_row absent for inserts, new_row absent for deletes.
+struct TriggerEvent {
+  std::string table;
+  TriggerKind kind;
+  std::optional<Row> old_row;
+  std::optional<Row> new_row;
+};
+
+// A named, loosely-Sybase-flavored relational database: tables addressed by
+// name, SQL-subset execution, and row-level triggers. This is the raw
+// information source behind the toolkit's relational CM-Translator; the
+// translator talks to it *only* through Execute() and CreateTrigger(), the
+// way a real translator speaks the server's wire protocol.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Parses and executes one statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  // Executes a pre-parsed statement (used by tests and by the engine's own
+  // Execute after parsing).
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+
+  // Registers a row-level trigger. `column` restricts UPDATE triggers to
+  // fire only when that column's value actually changes; pass "" for any
+  // change. Returns a trigger id usable with DropTrigger.
+  Result<int64_t> CreateTrigger(const std::string& table, TriggerKind kind,
+                                const std::string& column,
+                                std::function<void(const TriggerEvent&)> fn);
+
+  Status DropTrigger(int64_t trigger_id);
+
+  // Direct (non-SQL) access used by tests and workload generators.
+  Result<const Table*> GetTable(const std::string& table) const;
+  bool HasTable(const std::string& table) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  struct Trigger {
+    int64_t id;
+    std::string table_lower;
+    TriggerKind kind;
+    int column_index;  // -1 = any column
+    std::function<void(const TriggerEvent&)> fn;
+  };
+
+  Result<Table*> GetMutableTable(const std::string& table);
+  void FireTriggers(const std::string& table, TriggerKind kind,
+                    const std::vector<RowChange>& changes);
+
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lower name
+  std::vector<Trigger> triggers_;
+  int64_t next_trigger_id_ = 1;
+};
+
+}  // namespace hcm::ris::relational
+
+#endif  // HCM_RIS_RELATIONAL_DATABASE_H_

@@ -1,0 +1,61 @@
+#ifndef HCM_RIS_RELATIONAL_PREDICATE_H_
+#define HCM_RIS_RELATIONAL_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/ris/relational/schema.h"
+
+namespace hcm::ris::relational {
+
+// Comparison operators usable in WHERE clauses.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpSymbol(CompareOp op);
+
+// Applies `op` to two Values. Comparisons involving Null are false except
+// Null == Null; ordering across non-comparable kinds is false.
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs);
+
+// One conjunct: <column> <op> <literal>.
+struct Condition {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+// A conjunction of simple conditions — the WHERE clause shape the SQL
+// subset supports. An empty predicate matches every row.
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<Condition> conditions)
+      : conditions_(std::move(conditions)) {}
+
+  const std::vector<Condition>& conditions() const { return conditions_; }
+  bool empty() const { return conditions_.empty(); }
+
+  // Resolves column names against `schema` (error when unknown).
+  Status Bind(const TableSchema& schema);
+
+  // Evaluates against a row. Precondition: Bind succeeded.
+  bool Matches(const Row& row) const;
+
+  // If the predicate pins the primary key with equality (e.g.
+  // "empid = 17 and ..."), returns that literal; used for index lookups.
+  // Requires Bind; `pk_index` is the schema's primary_key_index().
+  const Value* PrimaryKeyEquality(int pk_index) const;
+
+  // "empid = 17 and salary > 1000"; "true" for the empty predicate.
+  std::string ToString() const;
+
+ private:
+  std::vector<Condition> conditions_;
+  std::vector<size_t> column_indexes_;  // filled by Bind
+};
+
+}  // namespace hcm::ris::relational
+
+#endif  // HCM_RIS_RELATIONAL_PREDICATE_H_

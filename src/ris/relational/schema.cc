@@ -1,0 +1,102 @@
+#include "src/ris/relational/schema.h"
+
+#include <set>
+
+#include "src/common/string_util.h"
+
+namespace hcm::ris::relational {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kReal:
+      return "real";
+    case ColumnType::kStr:
+      return "str";
+    case ColumnType::kBool:
+      return "bool";
+    case ColumnType::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+Result<ColumnType> ParseColumnType(const std::string& name) {
+  std::string n = StrToLower(name);
+  if (n == "int" || n == "integer" || n == "bigint") return ColumnType::kInt;
+  if (n == "real" || n == "float" || n == "double") return ColumnType::kReal;
+  if (n == "str" || n == "text" || n == "varchar" || n == "char") {
+    return ColumnType::kStr;
+  }
+  if (n == "bool" || n == "boolean") return ColumnType::kBool;
+  if (n == "any") return ColumnType::kAny;
+  return Status::InvalidArgument("unknown column type: " + name);
+}
+
+bool ValueMatchesType(const Value& v, ColumnType type) {
+  if (v.is_null()) return true;
+  switch (type) {
+    case ColumnType::kInt:
+      return v.is_int();
+    case ColumnType::kReal:
+      return v.is_numeric();
+    case ColumnType::kStr:
+      return v.is_str();
+    case ColumnType::kBool:
+      return v.is_bool();
+    case ColumnType::kAny:
+      return true;
+  }
+  return false;
+}
+
+Result<size_t> TableSchema::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (StrEqualsIgnoreCase(columns_[i].name, column_name)) return i;
+  }
+  return Status::NotFound("no column '" + column_name + "' in table " + name_);
+}
+
+int TableSchema::primary_key_index() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableSchema::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("table name empty");
+  if (columns_.empty()) {
+    return Status::InvalidArgument("table " + name_ + " has no columns");
+  }
+  std::set<std::string> seen;
+  int pk_count = 0;
+  for (const Column& c : columns_) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("empty column name in " + name_);
+    }
+    if (!seen.insert(StrToLower(c.name)).second) {
+      return Status::InvalidArgument("duplicate column '" + c.name + "' in " +
+                                     name_);
+    }
+    if (c.primary_key) ++pk_count;
+  }
+  if (pk_count > 1) {
+    return Status::InvalidArgument("multiple primary keys in " + name_);
+  }
+  return Status::OK();
+}
+
+std::string TableSchema::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    std::string s = c.name + " " + ColumnTypeName(c.type);
+    if (c.primary_key) s += " primary key";
+    cols.push_back(std::move(s));
+  }
+  return name_ + "(" + StrJoin(cols, ", ") + ")";
+}
+
+}  // namespace hcm::ris::relational

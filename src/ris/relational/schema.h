@@ -1,0 +1,62 @@
+#ifndef HCM_RIS_RELATIONAL_SCHEMA_H_
+#define HCM_RIS_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace hcm::ris::relational {
+
+// Column types supported by the mini engine. kAny admits every Value kind
+// (useful for scratch tables used as CM auxiliary storage).
+enum class ColumnType { kInt, kReal, kStr, kBool, kAny };
+
+const char* ColumnTypeName(ColumnType type);
+Result<ColumnType> ParseColumnType(const std::string& name);
+
+// Whether `v` is storable in a column of type `type` (Null always is).
+bool ValueMatchesType(const Value& v, ColumnType type);
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kAny;
+  bool primary_key = false;
+};
+
+// The schema of one table. At most one primary-key column (composite keys
+// are out of scope for the toolkit's needs).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<Column> columns)
+      : name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  // Index of a column by (case-insensitive) name, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& column_name) const;
+
+  // Index of the primary-key column, or -1 when the table has none.
+  int primary_key_index() const;
+
+  // Validates: non-empty name, >=1 column, unique column names, <=1 PK.
+  Status Validate() const;
+
+  // "employees(empid int primary key, name str, salary int)"
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+// A row is a vector of Values positionally matching the schema's columns.
+using Row = std::vector<Value>;
+
+}  // namespace hcm::ris::relational
+
+#endif  // HCM_RIS_RELATIONAL_SCHEMA_H_

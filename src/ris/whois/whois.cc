@@ -1,0 +1,92 @@
+#include "src/ris/whois/whois.h"
+
+#include "src/common/string_util.h"
+
+namespace hcm::ris::whois {
+
+std::string WhoisServer::Query(const std::string& request) {
+  std::vector<std::string> parts = StrSplitTrim(request, ' ');
+  if (parts.empty()) return "ERROR empty request";
+  const std::string& cmd = parts[0];
+
+  if (cmd == "lookup") {
+    if (parts.size() != 2) return "ERROR usage: lookup <login>";
+    auto it = entries_.find(parts[1]);
+    if (it == entries_.end()) return "ERROR no entry for " + parts[1];
+    std::string out = "login: " + parts[1];
+    for (const auto& [attr, value] : it->second) {
+      out += "\n" + attr + ": " + value;
+    }
+    return out;
+  }
+  if (cmd == "get") {
+    if (parts.size() != 3) return "ERROR usage: get <login> <attr>";
+    auto it = entries_.find(parts[1]);
+    if (it == entries_.end()) return "ERROR no entry for " + parts[1];
+    auto attr_it = it->second.find(parts[2]);
+    if (attr_it == it->second.end()) {
+      return "ERROR no attribute " + parts[2] + " for " + parts[1];
+    }
+    return attr_it->second;
+  }
+  if (cmd == "set") {
+    if (parts.size() < 4) return "ERROR usage: set <login> <attr> <value>";
+    // The value may contain spaces; rejoin the tail.
+    std::string value = parts[3];
+    for (size_t i = 4; i < parts.size(); ++i) value += " " + parts[i];
+    entries_[parts[1]][parts[2]] = value;
+    if (on_update_) on_update_(parts[1], parts[2], value);
+    return "OK";
+  }
+  if (cmd == "unset") {
+    if (parts.size() != 3) return "ERROR usage: unset <login> <attr>";
+    auto it = entries_.find(parts[1]);
+    if (it == entries_.end() || it->second.erase(parts[2]) == 0) {
+      return "ERROR no attribute " + parts[2] + " for " + parts[1];
+    }
+    if (on_update_) on_update_(parts[1], parts[2], "");
+    return "OK";
+  }
+  if (cmd == "remove") {
+    if (parts.size() != 2) return "ERROR usage: remove <login>";
+    if (entries_.erase(parts[1]) == 0) {
+      return "ERROR no entry for " + parts[1];
+    }
+    if (on_update_) on_update_(parts[1], "", "");
+    return "OK";
+  }
+  if (cmd == "list") {
+    std::vector<std::string> logins = Logins();
+    return StrJoin(logins, "\n");
+  }
+  return "ERROR unknown command " + cmd;
+}
+
+Result<std::string> WhoisServer::GetAttr(const std::string& login,
+                                         const std::string& attr) const {
+  auto it = entries_.find(login);
+  if (it == entries_.end()) {
+    return Status::NotFound("no whois entry for " + login);
+  }
+  auto attr_it = it->second.find(attr);
+  if (attr_it == it->second.end()) {
+    return Status::NotFound("no attribute " + attr + " for " + login);
+  }
+  return attr_it->second;
+}
+
+bool WhoisServer::HasEntry(const std::string& login) const {
+  return entries_.count(login) > 0;
+}
+
+std::vector<std::string> WhoisServer::Logins() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [login, attrs] : entries_) {
+    out.push_back(login);
+    (void)attrs;
+  }
+  return out;
+}
+
+}  // namespace hcm::ris::whois

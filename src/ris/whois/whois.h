@@ -1,0 +1,64 @@
+#ifndef HCM_RIS_WHOIS_WHOIS_H_
+#define HCM_RIS_WHOIS_WHOIS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hcm::ris::whois {
+
+// A whois-style directory server, modeled on the Stanford "whois" database
+// from the paper's Section 4.3 deployment. The native interface is a
+// *line protocol*: Query("lookup chaw") / Query("set chaw phone 723-1234"),
+// returning textual responses — completely unlike the SQL, syscall, and
+// search interfaces of the other raw sources.
+//
+// Entries map a login name to attribute key/value pairs (phone, address,
+// email, ...). The server supports an update-notification hook, which is
+// what makes it the paper's canonical Notify Interface provider.
+class WhoisServer {
+ public:
+  explicit WhoisServer(std::string name) : name_(std::move(name)) {}
+  WhoisServer(const WhoisServer&) = delete;
+  WhoisServer& operator=(const WhoisServer&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // The wire protocol. Commands:
+  //   lookup <login>              -> "login: x\nphone: y\n..." or "ERROR ..."
+  //   get <login> <attr>          -> value or "ERROR ..."
+  //   set <login> <attr> <value>  -> "OK" (creates entry/attr as needed)
+  //   unset <login> <attr>        -> "OK" or "ERROR ..."
+  //   remove <login>              -> "OK" or "ERROR ..."
+  //   list                        -> newline-separated logins
+  std::string Query(const std::string& request);
+
+  // Structured accessors (used by tests; the translator uses Query()).
+  Result<std::string> GetAttr(const std::string& login,
+                              const std::string& attr) const;
+  bool HasEntry(const std::string& login) const;
+  std::vector<std::string> Logins() const;
+
+  // At most one update hook: fired on every successful set/unset/remove with
+  // (login, attr, new_value); new_value is "" for removals.
+  void SetOnUpdate(std::function<void(const std::string& login,
+                                      const std::string& attr,
+                                      const std::string& value)>
+                       fn) {
+    on_update_ = std::move(fn);
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::map<std::string, std::string>> entries_;
+  std::function<void(const std::string&, const std::string&,
+                     const std::string&)>
+      on_update_;
+};
+
+}  // namespace hcm::ris::whois
+
+#endif  // HCM_RIS_WHOIS_WHOIS_H_

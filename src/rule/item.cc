@@ -1,0 +1,153 @@
+#include "src/rule/item.h"
+
+#include "src/common/string_util.h"
+
+namespace hcm::rule {
+
+Term Term::Lit(Value v) {
+  Term t;
+  t.kind_ = Kind::kLiteral;
+  t.literal_ = std::move(v);
+  return t;
+}
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind_ = Kind::kVariable;
+  t.var_name_ = std::move(name);
+  return t;
+}
+
+Term Term::Wildcard() {
+  Term t;
+  t.kind_ = Kind::kWildcard;
+  return t;
+}
+
+bool Term::Unify(const Value& value, Binding* binding) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_ == value;
+    case Kind::kWildcard:
+      return true;
+    case Kind::kVariable: {
+      auto it = binding->find(var_name_);
+      if (it == binding->end()) {
+        binding->emplace(var_name_, value);
+        return true;
+      }
+      return it->second == value;
+    }
+  }
+  return false;
+}
+
+Result<Value> Term::Ground(const Binding& binding) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kWildcard:
+      return Status::FailedPrecondition(
+          "wildcard cannot appear in an instantiated position");
+    case Kind::kVariable: {
+      auto it = binding.find(var_name_);
+      if (it == binding.end()) {
+        return Status::FailedPrecondition("unbound variable: " + var_name_);
+      }
+      return it->second;
+    }
+  }
+  return Status::Internal("bad term kind");
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_.ToString();
+    case Kind::kVariable:
+      return var_name_;
+    case Kind::kWildcard:
+      return "*";
+  }
+  return "?";
+}
+
+bool Term::operator==(const Term& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_ == other.literal_;
+    case Kind::kVariable:
+      return var_name_ == other.var_name_;
+    case Kind::kWildcard:
+      return true;
+  }
+  return false;
+}
+
+std::string ItemId::ToString() const {
+  if (args.empty()) return base;
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Value& v : args) parts.push_back(v.ToString());
+  return base + "(" + StrJoin(parts, ", ") + ")";
+}
+
+bool ItemId::operator==(const ItemId& other) const {
+  return base == other.base && args == other.args;
+}
+
+bool ItemId::operator<(const ItemId& other) const {
+  if (base != other.base) return base < other.base;
+  if (args.size() != other.args.size()) {
+    return args.size() < other.args.size();
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] < other.args[i]) return true;
+    if (other.args[i] < args[i]) return false;
+  }
+  return false;
+}
+
+bool ItemRef::Unify(const ItemId& item, Binding* binding) const {
+  if (base != item.base || args.size() != item.args.size()) return false;
+  // Unify into a scratch copy so a partial match leaves `binding` untouched.
+  Binding scratch = *binding;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!args[i].Unify(item.args[i], &scratch)) return false;
+  }
+  *binding = std::move(scratch);
+  return true;
+}
+
+Result<ItemId> ItemRef::Ground(const Binding& binding) const {
+  ItemId out;
+  out.base = base;
+  out.args.reserve(args.size());
+  for (const Term& t : args) {
+    HCM_ASSIGN_OR_RETURN(Value v, t.Ground(binding));
+    out.args.push_back(std::move(v));
+  }
+  return out;
+}
+
+bool ItemRef::is_ground() const {
+  for (const Term& t : args) {
+    if (!t.is_literal()) return false;
+  }
+  return true;
+}
+
+std::string ItemRef::ToString() const {
+  if (args.empty()) return base;
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Term& t : args) parts.push_back(t.ToString());
+  return base + "(" + StrJoin(parts, ", ") + ")";
+}
+
+bool ItemRef::operator==(const ItemRef& other) const {
+  return base == other.base && args == other.args;
+}
+
+}  // namespace hcm::rule

@@ -1,0 +1,89 @@
+#ifndef HCM_RULE_ITEM_H_
+#define HCM_RULE_ITEM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace hcm::rule {
+
+// A variable binding environment: parameter name -> ground Value. Produced
+// by matching an event against an event template (the paper's "matching
+// interpretation" mi(E, calE)) and consumed when instantiating right-hand
+// sides and evaluating conditions.
+using Binding = std::map<std::string, Value>;
+
+// A term appearing in a template argument position: a ground literal, a
+// named variable (the paper's lower-case parameters), or the anonymous
+// wildcard '*'.
+class Term {
+ public:
+  static Term Lit(Value v);
+  static Term Var(std::string name);
+  static Term Wildcard();
+
+  bool is_literal() const { return kind_ == Kind::kLiteral; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_wildcard() const { return kind_ == Kind::kWildcard; }
+
+  const Value& literal() const { return literal_; }
+  const std::string& var_name() const { return var_name_; }
+
+  // Unifies this term with a ground value under `binding`:
+  //  - literal: equality check;
+  //  - wildcard: always matches;
+  //  - variable: matches if unbound (binds it) or bound to an equal value.
+  bool Unify(const Value& value, Binding* binding) const;
+
+  // Instantiates to a ground value: literals return themselves; variables
+  // look up the binding (error when unbound); wildcard is an error.
+  Result<Value> Ground(const Binding& binding) const;
+
+  std::string ToString() const;
+  bool operator==(const Term& other) const;
+
+ private:
+  enum class Kind { kLiteral, kVariable, kWildcard };
+  Kind kind_ = Kind::kWildcard;
+  Value literal_;
+  std::string var_name_;
+};
+
+// The ground identity of a data item at run time: a base name plus ground
+// arguments, e.g. salary1(17) or Flag (no arguments).
+struct ItemId {
+  std::string base;
+  std::vector<Value> args;
+
+  // "salary1(17)", "Flag".
+  std::string ToString() const;
+  bool operator==(const ItemId& other) const;
+  bool operator!=(const ItemId& other) const { return !(*this == other); }
+  bool operator<(const ItemId& other) const;
+};
+
+// A possibly-parameterized reference to a data item as written in rules:
+// base name plus argument terms, e.g. salary1(n) or phone(n) or Cx.
+struct ItemRef {
+  std::string base;
+  std::vector<Term> args;
+
+  // Unifies with a ground item (same base, arg-wise term unification).
+  bool Unify(const ItemId& item, Binding* binding) const;
+
+  // Instantiates to a ground ItemId under the binding.
+  Result<ItemId> Ground(const Binding& binding) const;
+
+  // True when all args are literals.
+  bool is_ground() const;
+
+  std::string ToString() const;
+  bool operator==(const ItemRef& other) const;
+};
+
+}  // namespace hcm::rule
+
+#endif  // HCM_RULE_ITEM_H_

@@ -1,0 +1,39 @@
+#ifndef HCM_RULE_LEXER_H_
+#define HCM_RULE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+
+namespace hcm::rule {
+
+// Token kinds for the rule, interface, strategy, and guarantee languages.
+enum class TokenKind {
+  kIdent,     // salary1, n, Flag, and, or, not (keywords resolved in parser)
+  kInt,       // 42, -7
+  kReal,      // 2.5
+  kString,    // "text"
+  kDuration,  // 5s, 300ms, 2m, 24h (number with attached unit)
+  kSymbol,    // ( ) , ? : ; @ @@ [ ] -> => & = != < <= > >= + - * / | .
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+// Tokenizes rule-language text. Comments run from '#' to end of line.
+// Numbers immediately followed by a unit (ms/s/m/h) lex as kDuration.
+Result<std::vector<Token>> TokenizeRuleText(const std::string& input);
+
+// Parses a duration token's text ("5s", "300ms", "2m", "24h"; a bare
+// number means seconds, matching the paper's convention).
+Result<Duration> ParseDurationText(const std::string& text);
+
+}  // namespace hcm::rule
+
+#endif  // HCM_RULE_LEXER_H_

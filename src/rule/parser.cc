@@ -1,0 +1,419 @@
+#include "src/rule/parser.h"
+
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace hcm::rule {
+
+bool TokenCursor::AcceptSymbol(const std::string& sym) {
+  if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::AcceptIdent(const std::string& ident) {
+  if (Peek().kind == TokenKind::kIdent && Peek().text == ident) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+Status TokenCursor::ExpectSymbol(const std::string& sym) {
+  if (!AcceptSymbol(sym)) {
+    return Error("expected '" + sym + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> TokenCursor::ExpectIdent() {
+  if (Peek().kind != TokenKind::kIdent) {
+    return Error("expected identifier");
+  }
+  return Advance().text;
+}
+
+Status TokenCursor::Error(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::InvalidArgument(StrFormat(
+      "%s, got '%s' at offset %zu", message.c_str(), t.text.c_str(),
+      t.offset));
+}
+
+namespace {
+
+bool IsUpperFirst(const std::string& s) {
+  return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+bool IsKeyword(const std::string& s) {
+  return s == "and" || s == "or" || s == "not" || s == "abs" || s == "true" ||
+         s == "false" || s == "null";
+}
+
+Result<Value> ParseLiteralToken(TokenCursor& cursor) {
+  const Token& t = cursor.Peek();
+  if (t.kind == TokenKind::kInt) {
+    HCM_ASSIGN_OR_RETURN(int64_t v, ParseInt64(cursor.Advance().text));
+    return Value::Int(v);
+  }
+  if (t.kind == TokenKind::kReal) {
+    HCM_ASSIGN_OR_RETURN(double v, ParseDouble(cursor.Advance().text));
+    return Value::Real(v);
+  }
+  if (t.kind == TokenKind::kString) {
+    return Value::Str(cursor.Advance().text);
+  }
+  if (t.kind == TokenKind::kIdent) {
+    if (t.text == "true") {
+      cursor.Advance();
+      return Value::Bool(true);
+    }
+    if (t.text == "false") {
+      cursor.Advance();
+      return Value::Bool(false);
+    }
+    if (t.text == "null") {
+      cursor.Advance();
+      return Value::Null();
+    }
+  }
+  return cursor.Error("expected literal");
+}
+
+// Negative numeric literal support in term position: '-' INT/REAL.
+Result<Value> ParseSignedLiteral(TokenCursor& cursor) {
+  if (cursor.Peek().kind == TokenKind::kSymbol && cursor.Peek().text == "-") {
+    cursor.Advance();
+    HCM_ASSIGN_OR_RETURN(Value v, ParseLiteralToken(cursor));
+    if (!v.is_numeric()) {
+      return cursor.Error("'-' must precede a number");
+    }
+    return *Value::Int(0).Sub(v);
+  }
+  return ParseLiteralToken(cursor);
+}
+
+Result<ItemRef> ParseItemRefFrom(TokenCursor& cursor) {
+  ItemRef ref;
+  HCM_ASSIGN_OR_RETURN(ref.base, cursor.ExpectIdent());
+  if (cursor.AcceptSymbol("(")) {
+    while (true) {
+      HCM_ASSIGN_OR_RETURN(Term t, ParseTermFrom(cursor));
+      ref.args.push_back(std::move(t));
+      if (cursor.AcceptSymbol(",")) continue;
+      HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+      break;
+    }
+  }
+  return ref;
+}
+
+}  // namespace
+
+Result<Term> ParseTermFrom(TokenCursor& cursor) {
+  const Token& t = cursor.Peek();
+  if (t.kind == TokenKind::kSymbol && t.text == "*") {
+    cursor.Advance();
+    return Term::Wildcard();
+  }
+  if (t.kind == TokenKind::kIdent && !IsKeyword(t.text)) {
+    return Term::Var(cursor.Advance().text);
+  }
+  HCM_ASSIGN_OR_RETURN(Value v, ParseSignedLiteral(cursor));
+  return Term::Lit(std::move(v));
+}
+
+Result<EventTemplate> ParseTemplateFrom(TokenCursor& cursor) {
+  HCM_ASSIGN_OR_RETURN(std::string kind_name, cursor.ExpectIdent());
+  HCM_ASSIGN_OR_RETURN(EventKind kind, ParseEventKind(kind_name));
+  EventTemplate tpl;
+  tpl.kind = kind;
+  if (kind == EventKind::kFalse) {
+    // 'F' or 'F()' both accepted.
+    if (cursor.AcceptSymbol("(")) {
+      HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+    }
+  } else if (kind == EventKind::kPeriodic) {
+    HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("("));
+    // Period: a duration token, a bare number (seconds), or a variable.
+    const Token& t = cursor.Peek();
+    if (t.kind == TokenKind::kDuration) {
+      HCM_ASSIGN_OR_RETURN(Duration d,
+                           ParseDurationText(cursor.Advance().text));
+      tpl.values.push_back(Term::Lit(Value::Int(d.millis())));
+    } else if (t.kind == TokenKind::kInt || t.kind == TokenKind::kReal) {
+      HCM_ASSIGN_OR_RETURN(Duration d,
+                           ParseDurationText(cursor.Advance().text));
+      tpl.values.push_back(Term::Lit(Value::Int(d.millis())));
+    } else {
+      HCM_ASSIGN_OR_RETURN(Term term, ParseTermFrom(cursor));
+      tpl.values.push_back(std::move(term));
+    }
+    HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+  } else {
+    HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("("));
+    HCM_ASSIGN_OR_RETURN(tpl.item, ParseItemRefFrom(cursor));
+    while (cursor.AcceptSymbol(",")) {
+      HCM_ASSIGN_OR_RETURN(Term t, ParseTermFrom(cursor));
+      tpl.values.push_back(std::move(t));
+    }
+    HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+    size_t want = EventPayloadArity(kind);
+    if (kind == EventKind::kWriteSpont && tpl.values.size() == 1) {
+      // Paper shorthand: Ws(X, b) == Ws(X, *, b).
+      tpl.values.insert(tpl.values.begin(), Term::Wildcard());
+    }
+    if (tpl.values.size() != want) {
+      return cursor.Error(StrFormat("%s takes %zu value argument(s)",
+                                    EventKindName(kind), want));
+    }
+  }
+  if (cursor.AcceptSymbol("@")) {
+    HCM_ASSIGN_OR_RETURN(tpl.site, cursor.ExpectIdent());
+  }
+  return tpl;
+}
+
+namespace {
+
+// Expression grammar (precedence climbing):
+//   or    := and ('or' and)*
+//   and   := cmp ('and' cmp)*
+//   cmp   := add [('='|'!='|'<'|'<='|'>'|'>=') add]
+//   add   := mul (('+'|'-') mul)*
+//   mul   := unary (('*'|'/') unary)*
+//   unary := 'not' unary | '-' unary | 'abs' '(' or ')' | primary
+//   primary := literal | Ident[ '(' terms ')' ] | '(' or ')'
+Result<ExprPtr> ParseOr(TokenCursor& cursor);
+
+Result<ExprPtr> ParsePrimary(TokenCursor& cursor) {
+  if (cursor.AcceptSymbol("(")) {
+    HCM_ASSIGN_OR_RETURN(ExprPtr e, ParseOr(cursor));
+    HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+    return e;
+  }
+  const Token& t = cursor.Peek();
+  if (t.kind == TokenKind::kIdent && !IsKeyword(t.text)) {
+    // Upper-case first letter: local data item; lower-case: variable.
+    // A parenthesized argument list always means a (parameterized) item.
+    std::string name = cursor.Advance().text;
+    if (cursor.Peek().kind == TokenKind::kSymbol &&
+        cursor.Peek().text == "(") {
+      cursor.Advance();
+      ItemRef ref;
+      ref.base = name;
+      while (true) {
+        HCM_ASSIGN_OR_RETURN(Term term, ParseTermFrom(cursor));
+        ref.args.push_back(std::move(term));
+        if (cursor.AcceptSymbol(",")) continue;
+        HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+        break;
+      }
+      return Expr::Item(std::move(ref));
+    }
+    if (IsUpperFirst(name)) {
+      return Expr::Item(ItemRef{name, {}});
+    }
+    return Expr::Variable(std::move(name));
+  }
+  HCM_ASSIGN_OR_RETURN(Value v, ParseLiteralToken(cursor));
+  return Expr::Literal(std::move(v));
+}
+
+Result<ExprPtr> ParseUnary(TokenCursor& cursor) {
+  if (cursor.AcceptIdent("not")) {
+    HCM_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary(cursor));
+    return Expr::Unary(ExprOp::kNot, std::move(e));
+  }
+  if (cursor.AcceptSymbol("-")) {
+    HCM_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary(cursor));
+    return Expr::Unary(ExprOp::kNeg, std::move(e));
+  }
+  if (cursor.AcceptIdent("abs")) {
+    HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("("));
+    HCM_ASSIGN_OR_RETURN(ExprPtr e, ParseOr(cursor));
+    HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+    return Expr::Unary(ExprOp::kAbs, std::move(e));
+  }
+  return ParsePrimary(cursor);
+}
+
+Result<ExprPtr> ParseMul(TokenCursor& cursor) {
+  HCM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary(cursor));
+  while (true) {
+    ExprOp op;
+    if (cursor.AcceptSymbol("*")) {
+      op = ExprOp::kMul;
+    } else if (cursor.AcceptSymbol("/")) {
+      op = ExprOp::kDiv;
+    } else {
+      return lhs;
+    }
+    HCM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary(cursor));
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> ParseAdd(TokenCursor& cursor) {
+  HCM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul(cursor));
+  while (true) {
+    ExprOp op;
+    if (cursor.AcceptSymbol("+")) {
+      op = ExprOp::kAdd;
+    } else if (cursor.AcceptSymbol("-")) {
+      op = ExprOp::kSub;
+    } else {
+      return lhs;
+    }
+    HCM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul(cursor));
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> ParseCmp(TokenCursor& cursor) {
+  HCM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd(cursor));
+  ExprOp op;
+  if (cursor.AcceptSymbol("=")) {
+    op = ExprOp::kEq;
+  } else if (cursor.AcceptSymbol("!=")) {
+    op = ExprOp::kNe;
+  } else if (cursor.AcceptSymbol("<=")) {
+    op = ExprOp::kLe;
+  } else if (cursor.AcceptSymbol(">=")) {
+    op = ExprOp::kGe;
+  } else if (cursor.AcceptSymbol("<")) {
+    op = ExprOp::kLt;
+  } else if (cursor.AcceptSymbol(">")) {
+    op = ExprOp::kGt;
+  } else {
+    return lhs;
+  }
+  HCM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd(cursor));
+  return Expr::Binary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> ParseAnd(TokenCursor& cursor) {
+  HCM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCmp(cursor));
+  while (cursor.AcceptIdent("and")) {
+    HCM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCmp(cursor));
+    lhs = Expr::Binary(ExprOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParseOr(TokenCursor& cursor) {
+  HCM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd(cursor));
+  while (cursor.AcceptIdent("or")) {
+    HCM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd(cursor));
+    lhs = Expr::Binary(ExprOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<Duration> ParseDurationFrom(TokenCursor& cursor) {
+  const Token& t = cursor.Peek();
+  if (t.kind == TokenKind::kDuration || t.kind == TokenKind::kInt ||
+      t.kind == TokenKind::kReal) {
+    return ParseDurationText(cursor.Advance().text);
+  }
+  return cursor.Error("expected duration");
+}
+
+Result<Rule> ParseRuleFrom(TokenCursor& cursor) {
+  Rule rule;
+  // Optional "name :" prefix — an identifier followed by ':' that is not an
+  // event-kind call. Detect by lookahead: ident ':'.
+  if (cursor.Peek().kind == TokenKind::kIdent) {
+    TokenCursor probe = cursor;  // cheap copy of cursor state
+    std::string maybe_name = probe.Advance().text;
+    if (probe.AcceptSymbol(":")) {
+      rule.name = maybe_name;
+      cursor = probe;
+    }
+  }
+  HCM_ASSIGN_OR_RETURN(rule.lhs, ParseTemplateFrom(cursor));
+  if (cursor.AcceptSymbol("&")) {
+    HCM_ASSIGN_OR_RETURN(rule.lhs_condition, ParseOr(cursor));
+  }
+  HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("->"));
+  HCM_ASSIGN_OR_RETURN(rule.delta, ParseDurationFrom(cursor));
+  while (true) {
+    RhsStep step;
+    // Lookahead: try template first; on failure parse "cond ? template".
+    TokenCursor probe = cursor;
+    auto tpl = ParseTemplateFrom(probe);
+    bool is_plain_template =
+        tpl.ok() && !(probe.Peek().kind == TokenKind::kSymbol &&
+                      probe.Peek().text == "?");
+    if (is_plain_template) {
+      step.event = std::move(*tpl);
+      cursor = probe;
+    } else {
+      HCM_ASSIGN_OR_RETURN(step.condition, ParseOr(cursor));
+      HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("?"));
+      HCM_ASSIGN_OR_RETURN(step.event, ParseTemplateFrom(cursor));
+    }
+    rule.rhs.push_back(std::move(step));
+    if (!cursor.AcceptSymbol(",")) break;
+  }
+  if (rule.rhs.empty()) {
+    return cursor.Error("rule has no right-hand side");
+  }
+  return rule;
+}
+
+}  // namespace
+
+Result<Rule> ParseRule(const std::string& text) {
+  HCM_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeRuleText(text));
+  TokenCursor cursor(std::move(tokens));
+  HCM_ASSIGN_OR_RETURN(Rule rule, ParseRuleFrom(cursor));
+  cursor.AcceptSymbol(";");
+  if (!cursor.AtEnd()) {
+    return cursor.Error("trailing tokens after rule");
+  }
+  return rule;
+}
+
+Result<std::vector<Rule>> ParseRuleSet(const std::string& text) {
+  HCM_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeRuleText(text));
+  TokenCursor cursor(std::move(tokens));
+  std::vector<Rule> rules;
+  while (!cursor.AtEnd()) {
+    HCM_ASSIGN_OR_RETURN(Rule rule, ParseRuleFrom(cursor));
+    rules.push_back(std::move(rule));
+    if (!cursor.AcceptSymbol(";")) break;
+  }
+  if (!cursor.AtEnd()) {
+    return cursor.Error("trailing tokens after rules");
+  }
+  return rules;
+}
+
+Result<ExprPtr> ParseExpr(const std::string& text) {
+  HCM_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeRuleText(text));
+  TokenCursor cursor(std::move(tokens));
+  HCM_ASSIGN_OR_RETURN(ExprPtr e, ParseOr(cursor));
+  if (!cursor.AtEnd()) {
+    return cursor.Error("trailing tokens after expression");
+  }
+  return e;
+}
+
+Result<EventTemplate> ParseTemplate(const std::string& text) {
+  HCM_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeRuleText(text));
+  TokenCursor cursor(std::move(tokens));
+  HCM_ASSIGN_OR_RETURN(EventTemplate tpl, ParseTemplateFrom(cursor));
+  if (!cursor.AtEnd()) {
+    return cursor.Error("trailing tokens after template");
+  }
+  return tpl;
+}
+
+Result<ExprPtr> ParseExprFrom(TokenCursor& cursor) { return ParseOr(cursor); }
+
+}  // namespace hcm::rule

@@ -1,0 +1,68 @@
+#ifndef HCM_RULE_PARSER_H_
+#define HCM_RULE_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rule/lexer.h"
+#include "src/rule/rule.h"
+
+namespace hcm::rule {
+
+// Cursor over a token vector with the accept/expect helpers shared by the
+// rule parser and the guarantee parser (src/spec).
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool AcceptSymbol(const std::string& sym);
+  bool AcceptIdent(const std::string& ident);  // exact, case-sensitive
+  Status ExpectSymbol(const std::string& sym);
+  Result<std::string> ExpectIdent();
+
+  // Error status tagged with the current token.
+  Status Error(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// Parses rule-language text per Appendix A.1 with the toolkit's concrete
+// syntax:
+//
+//   [name ':'] LHS ['&' cond] '->' duration RHS (',' RHS)*
+//   RHS  ::=  [cond '?'] template
+//   template ::= Kind '(' item-ref (',' term)* ')' ['@' site]   |   'F'
+//
+// Terms: literals, lower-case variables, '*' wildcards. Identifiers whose
+// first letter is upper-case denote local data items inside conditions
+// (the paper's convention); all identifiers in template argument positions
+// are variables. Durations: 5s, 300ms, 2m, 24h, or a bare number meaning
+// seconds. Ws templates may be written with one value (Ws(X, b)), which
+// normalizes to Ws(X, *, b).
+Result<Rule> ParseRule(const std::string& text);
+
+// Parses a ';'-separated sequence of rules ('#' comments allowed).
+Result<std::vector<Rule>> ParseRuleSet(const std::string& text);
+
+// Parses one condition expression.
+Result<ExprPtr> ParseExpr(const std::string& text);
+
+// Parses one event template.
+Result<EventTemplate> ParseTemplate(const std::string& text);
+
+// Stream-level entry points used by other parsers in the toolkit.
+Result<EventTemplate> ParseTemplateFrom(TokenCursor& cursor);
+Result<ExprPtr> ParseExprFrom(TokenCursor& cursor);
+Result<Term> ParseTermFrom(TokenCursor& cursor);
+
+}  // namespace hcm::rule
+
+#endif  // HCM_RULE_PARSER_H_

@@ -1,0 +1,27 @@
+#include "src/rule/rule.h"
+
+#include "src/common/string_util.h"
+
+namespace hcm::rule {
+
+std::string RhsStep::ToString() const {
+  std::string out;
+  if (condition != nullptr) out += condition->ToString() + " ? ";
+  out += event.ToString();
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::string out;
+  if (!name.empty()) out += name + ": ";
+  out += lhs.ToString();
+  if (lhs_condition != nullptr) out += " & " + lhs_condition->ToString();
+  out += " -> " + delta.ToString() + " ";
+  std::vector<std::string> steps;
+  steps.reserve(rhs.size());
+  for (const RhsStep& step : rhs) steps.push_back(step.ToString());
+  out += StrJoin(steps, ", ");
+  return out;
+}
+
+}  // namespace hcm::rule

@@ -1,0 +1,54 @@
+#ifndef HCM_RULE_RULE_H_
+#define HCM_RULE_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/rule/event.h"
+#include "src/rule/expr.h"
+
+namespace hcm::rule {
+
+// One step on a rule's right-hand side: an optional condition guarding an
+// event template ("C ? E" in the paper's strategy statements).
+struct RhsStep {
+  ExprPtr condition;  // null = unconditional
+  EventTemplate event;
+
+  std::string ToString() const;
+};
+
+// A rule of the language defined in Appendix A.1:
+//
+//   E0 & C0  ->delta  C1 ? E1, C2 ? E2, ..., Ck ? Ek
+//
+// If an event matching E0 occurs at time t with C0 true, then there exist
+// t <= t1 < t2 < ... <= t+delta such that at each ti the condition Ci is
+// evaluated and, when true, an event matching Ei occurs. All RHS events are
+// at the same site; conditions read data local to that site only.
+//
+// Both *interface statements* (promises made by a database) and *strategy
+// statements* (obligations executed by the CM) share this shape.
+struct Rule {
+  int64_t id = -1;      // assigned when registered with an engine/registry
+  std::string name;     // optional label from the rule text
+  EventTemplate lhs;
+  ExprPtr lhs_condition;  // null = unconditional
+  Duration delta = Duration::Zero();
+  std::vector<RhsStep> rhs;
+
+  // True when the single RHS step is the F event (a prohibition, as in the
+  // No Spontaneous Write interface).
+  bool forbids() const {
+    return rhs.size() == 1 && rhs[0].event.kind == EventKind::kFalse;
+  }
+
+  // Round-trips through the parser: "name: Ws(X, a, b) -> 5s N(X, b)".
+  std::string ToString() const;
+};
+
+}  // namespace hcm::rule
+
+#endif  // HCM_RULE_RULE_H_

@@ -1,0 +1,93 @@
+#include "src/sim/executor.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace hcm::sim {
+
+Timer Executor::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Entry{when, next_seq_++, std::move(fn), flag});
+  return Timer(flag);
+}
+
+Timer Executor::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::Zero()) delay = Duration::Zero();
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Executor::Step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (*entry.cancelled) continue;
+    now_ = entry.when;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t Executor::RunUntilIdle(size_t max_steps) {
+  size_t steps = 0;
+  while (Step()) {
+    ++steps;
+    if (max_steps != 0 && steps >= max_steps) break;
+  }
+  return steps;
+}
+
+size_t Executor::RunRealtimeFor(Duration d, double time_scale) {
+  assert(time_scale > 0);
+  TimePoint deadline = now_ + d;
+  TimePoint virtual_start = now_;
+  auto wall_start = std::chrono::steady_clock::now();
+  size_t steps = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (deadline < top.when) break;
+    // Sleep until the event's wall-clock due time.
+    double virtual_ms = static_cast<double>((top.when - virtual_start).millis());
+    auto wall_due =
+        wall_start + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             virtual_ms / time_scale));
+    std::this_thread::sleep_until(wall_due);
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.fn();
+    ++steps;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return steps;
+}
+
+size_t Executor::RunUntil(TimePoint deadline) {
+  size_t steps = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (deadline < top.when) break;
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.fn();
+    ++steps;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return steps;
+}
+
+}  // namespace hcm::sim

@@ -1,0 +1,93 @@
+#ifndef HCM_SIM_EXECUTOR_H_
+#define HCM_SIM_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace hcm::sim {
+
+// Handle to a scheduled callback; lets the owner cancel it before it runs.
+// Cancellation is cooperative: the entry stays in the queue but is skipped.
+class Timer {
+ public:
+  void Cancel() { *cancelled_ = true; }
+  bool cancelled() const { return *cancelled_; }
+
+ private:
+  friend class Executor;
+  explicit Timer(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+// Single-threaded discrete-event executor with a virtual clock.
+//
+// All components of the simulated distributed system (raw information
+// sources, CM-Translators, CM-Shells, workload generators, the network)
+// schedule callbacks here. Events run in (time, sequence) order, giving a
+// deterministic total order over the whole system — Appendix A.2 property 1
+// holds by construction.
+class Executor {
+ public:
+  Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `when` (clamped to now()).
+  Timer ScheduleAt(TimePoint when, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` (clamped to Zero).
+  Timer ScheduleAfter(Duration delay, std::function<void()> fn);
+
+  // Runs the earliest pending callback, advancing the clock. Returns false
+  // when the queue is empty (cancelled entries are drained silently).
+  bool Step();
+
+  // Runs callbacks until the queue is empty. Returns the number executed.
+  // `max_steps` bounds runaway self-rescheduling loops (0 = unlimited).
+  size_t RunUntilIdle(size_t max_steps = 0);
+
+  // Runs callbacks with scheduled time <= `deadline`, then sets the clock to
+  // `deadline`. Periodic self-rescheduling tasks (e.g. polling strategies)
+  // make the queue never-empty, so bounded runs are the normal mode.
+  size_t RunUntil(TimePoint deadline);
+
+  // Runs for `d` of virtual time from now().
+  size_t RunFor(Duration d) { return RunUntil(now() + d); }
+
+  // Like RunFor, but paces execution against the wall clock: one second of
+  // virtual time takes 1/time_scale wall seconds. Useful for live demos of
+  // the toolkit; tests use large scales so pacing stays fast. time_scale
+  // must be positive.
+  size_t RunRealtimeFor(Duration d, double time_scale);
+
+  size_t pending_count() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return b.when < a.when;
+      return b.seq < a.seq;
+    }
+  };
+
+  TimePoint now_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+};
+
+}  // namespace hcm::sim
+
+#endif  // HCM_SIM_EXECUTOR_H_

@@ -1,0 +1,73 @@
+#include "src/sim/failure_injector.h"
+
+namespace hcm::sim {
+
+const char* SiteHealthName(SiteHealth health) {
+  switch (health) {
+    case SiteHealth::kUp:
+      return "up";
+    case SiteHealth::kSlow:
+      return "slow";
+    case SiteHealth::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+void FailureInjector::AddOutage(const SiteId& site, TimePoint from,
+                                TimePoint to) {
+  windows_[site].push_back(
+      Window{from, to, SiteHealth::kDown, Duration::Zero()});
+}
+
+void FailureInjector::AddSlowdown(const SiteId& site, TimePoint from,
+                                  TimePoint to, Duration extra) {
+  windows_[site].push_back(Window{from, to, SiteHealth::kSlow, extra});
+}
+
+SiteHealth FailureInjector::HealthAt(const SiteId& site, TimePoint t) const {
+  auto it = windows_.find(site);
+  if (it == windows_.end()) return SiteHealth::kUp;
+  // Down wins over slow if windows overlap.
+  SiteHealth result = SiteHealth::kUp;
+  for (const Window& w : it->second) {
+    if (w.from <= t && t < w.to) {
+      if (w.health == SiteHealth::kDown) return SiteHealth::kDown;
+      result = w.health;
+    }
+  }
+  return result;
+}
+
+Duration FailureInjector::ExtraDelayAt(const SiteId& site, TimePoint t) const {
+  auto it = windows_.find(site);
+  if (it == windows_.end()) return Duration::Zero();
+  Duration extra = Duration::Zero();
+  for (const Window& w : it->second) {
+    if (w.from <= t && t < w.to && w.health == SiteHealth::kSlow) {
+      if (w.extra > extra) extra = w.extra;
+    }
+  }
+  return extra;
+}
+
+TimePoint FailureInjector::NextUpTime(const SiteId& site, TimePoint t) const {
+  TimePoint candidate = t;
+  // Iterate until no down-window covers the candidate (windows may chain).
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    auto it = windows_.find(site);
+    if (it == windows_.end()) break;
+    for (const Window& w : it->second) {
+      if (w.health == SiteHealth::kDown && w.from <= candidate &&
+          candidate < w.to) {
+        candidate = w.to;
+        moved = true;
+      }
+    }
+  }
+  return candidate;
+}
+
+}  // namespace hcm::sim

@@ -1,0 +1,61 @@
+#ifndef HCM_SIM_FAILURE_INJECTOR_H_
+#define HCM_SIM_FAILURE_INJECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace hcm::sim {
+
+using SiteId = std::string;
+
+// Health of a site at an instant.
+//  kUp   — normal operation.
+//  kSlow — operations and message deliveries incur an extra delay; this is
+//          how the paper's *metric failures* (time bounds missed, work
+//          eventually done) are produced.
+//  kDown — the site performs no work and answers no messages; depending on
+//          the toolkit's mapping this surfaces as a metric failure (work
+//          resumes after recovery) or a *logical failure* (state lost).
+enum class SiteHealth { kUp = 0, kSlow, kDown };
+
+const char* SiteHealthName(SiteHealth health);
+
+// Declarative schedule of failures for the simulated system. The network
+// and the raw information sources consult it; the toolkit only observes the
+// consequences (timeouts, errors), exactly as in a real deployment.
+class FailureInjector {
+ public:
+  FailureInjector() = default;
+
+  // Site is kDown during [from, to).
+  void AddOutage(const SiteId& site, TimePoint from, TimePoint to);
+
+  // Site is kSlow during [from, to); operations take `extra` longer.
+  void AddSlowdown(const SiteId& site, TimePoint from, TimePoint to,
+                   Duration extra);
+
+  SiteHealth HealthAt(const SiteId& site, TimePoint t) const;
+
+  // Extra latency for operations at `site` at time `t` (Zero unless kSlow).
+  Duration ExtraDelayAt(const SiteId& site, TimePoint t) const;
+
+  // Earliest instant >= t at which the site is not kDown. If the site is up
+  // at t, returns t. Used by the network to hold messages across outages.
+  TimePoint NextUpTime(const SiteId& site, TimePoint t) const;
+
+ private:
+  struct Window {
+    TimePoint from;
+    TimePoint to;  // exclusive
+    SiteHealth health;
+    Duration extra;
+  };
+  std::map<SiteId, std::vector<Window>> windows_;
+};
+
+}  // namespace hcm::sim
+
+#endif  // HCM_SIM_FAILURE_INJECTOR_H_

@@ -1,0 +1,87 @@
+#include "src/sim/network.h"
+
+#include "src/common/logging.h"
+
+namespace hcm::sim {
+
+namespace {
+
+// Endpoint ids may carry a component suffix after '#' (e.g. "B#tr" for the
+// CM-Translator at site B). Health holds model *site process* outages and
+// apply to the plain site endpoint only: a down raw information source is
+// the translator's PreflightOp concern, not the network's — the paper
+// assumes a reliable network.
+bool SubjectToHealthHolds(const SiteId& endpoint) {
+  return endpoint.find('#') == std::string::npos;
+}
+
+}  // namespace
+
+Status Network::RegisterEndpoint(const SiteId& site, Handler handler) {
+  auto [it, inserted] = endpoints_.emplace(site, std::move(handler));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("endpoint already registered: " + site);
+  }
+  return Status::OK();
+}
+
+TimePoint Network::ComputeDeliveryTime(const Message& message) {
+  TimePoint now = executor_->now();
+  Duration latency = message.src == message.dst
+                         ? config_.local_latency
+                         : config_.base_latency;
+  if (message.src != message.dst && config_.jitter > Duration::Zero()) {
+    latency = latency + Duration::Millis(
+                            rng_.UniformInt(0, config_.jitter.millis()));
+  }
+  if (injector_ != nullptr) {
+    // Slowdowns at either end delay the message.
+    latency = latency + injector_->ExtraDelayAt(message.src, now) +
+              injector_->ExtraDelayAt(message.dst, now);
+  }
+  TimePoint delivery = now + latency;
+  if (injector_ != nullptr && SubjectToHealthHolds(message.dst)) {
+    // Hold delivery until the destination is back up.
+    delivery = injector_->NextUpTime(message.dst, delivery);
+  }
+  // FIFO per channel.
+  auto key = std::make_pair(message.src, message.dst);
+  auto it = last_delivery_.find(key);
+  if (it != last_delivery_.end() && delivery < it->second) {
+    delivery = it->second;
+  }
+  last_delivery_[key] = delivery;
+  return delivery;
+}
+
+Status Network::Send(Message message) {
+  auto it = endpoints_.find(message.dst);
+  if (it == endpoints_.end()) {
+    return Status::NotFound("no endpoint for site: " + message.dst);
+  }
+  if (injector_ != nullptr && config_.drop_when_down &&
+      SubjectToHealthHolds(message.dst)) {
+    TimePoint now = executor_->now();
+    if (injector_->HealthAt(message.dst, now) == SiteHealth::kDown) {
+      HCM_LOG(Debug) << "dropping message to down site " << message.dst;
+      return Status::OK();  // silently lost, like a crashed server
+    }
+  }
+  TimePoint delivery = ComputeDeliveryTime(message);
+  ++messages_sent_;
+  ++channel_counts_[std::make_pair(message.src, message.dst)];
+  Handler* handler = &it->second;
+  executor_->ScheduleAt(delivery, [handler, msg = std::move(message)]() {
+    (*handler)(msg);
+  });
+  return Status::OK();
+}
+
+uint64_t Network::messages_on_channel(const SiteId& src,
+                                      const SiteId& dst) const {
+  auto it = channel_counts_.find(std::make_pair(src, dst));
+  return it == channel_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace hcm::sim

@@ -1,0 +1,61 @@
+#include "src/spec/constraint.h"
+
+#include "src/rule/parser.h"
+
+namespace hcm::spec {
+
+const char* ConstraintKindName(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kCopy:
+      return "copy";
+    case ConstraintKind::kInequality:
+      return "inequality";
+    case ConstraintKind::kReferential:
+      return "referential";
+  }
+  return "?";
+}
+
+std::string Constraint::ToString() const {
+  const char* op = "=";
+  if (kind == ConstraintKind::kInequality) op = "<=";
+  if (kind == ConstraintKind::kReferential) op = "references";
+  return std::string(ConstraintKindName(kind)) + ": " + lhs.ToString() + " " +
+         op + " " + rhs.ToString();
+}
+
+namespace {
+
+Result<rule::ItemRef> ParseItem(const std::string& text) {
+  HCM_ASSIGN_OR_RETURN(rule::EventTemplate probe,
+                       rule::ParseTemplate("RR(" + text + ")"));
+  return probe.item;
+}
+
+Result<Constraint> Make(ConstraintKind kind, const std::string& lhs,
+                        const std::string& rhs) {
+  Constraint c;
+  c.kind = kind;
+  HCM_ASSIGN_OR_RETURN(c.lhs, ParseItem(lhs));
+  HCM_ASSIGN_OR_RETURN(c.rhs, ParseItem(rhs));
+  return c;
+}
+
+}  // namespace
+
+Result<Constraint> MakeCopyConstraint(const std::string& primary,
+                                      const std::string& copy) {
+  return Make(ConstraintKind::kCopy, primary, copy);
+}
+
+Result<Constraint> MakeInequalityConstraint(const std::string& lhs,
+                                            const std::string& rhs) {
+  return Make(ConstraintKind::kInequality, lhs, rhs);
+}
+
+Result<Constraint> MakeReferentialConstraint(const std::string& referencing,
+                                             const std::string& referenced) {
+  return Make(ConstraintKind::kReferential, referencing, referenced);
+}
+
+}  // namespace hcm::spec

@@ -1,0 +1,43 @@
+#ifndef HCM_SPEC_CONSTRAINT_H_
+#define HCM_SPEC_CONSTRAINT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/rule/item.h"
+
+namespace hcm::spec {
+
+// The inter-site constraint classes the toolkit manages. Section 7.1 argues
+// these simple classes cover the vast majority of loosely coupled scenarios
+// (complex constraints decompose into copies plus local constraints).
+enum class ConstraintKind {
+  kCopy,         // lhs = rhs, lhs is the primary
+  kInequality,   // lhs <= rhs
+  kReferential,  // E(lhs(i)) implies E(rhs(i))
+};
+
+const char* ConstraintKindName(ConstraintKind kind);
+
+// A declared constraint over two (possibly parameterized) data items at
+// different sites.
+struct Constraint {
+  ConstraintKind kind = ConstraintKind::kCopy;
+  rule::ItemRef lhs;
+  rule::ItemRef rhs;
+
+  // "copy: salary1(n) = salary2(n)".
+  std::string ToString() const;
+};
+
+// Convenience constructors taking item text, e.g. "salary1(n)".
+Result<Constraint> MakeCopyConstraint(const std::string& primary,
+                                      const std::string& copy);
+Result<Constraint> MakeInequalityConstraint(const std::string& lhs,
+                                            const std::string& rhs);
+Result<Constraint> MakeReferentialConstraint(const std::string& referencing,
+                                             const std::string& referenced);
+
+}  // namespace hcm::spec
+
+#endif  // HCM_SPEC_CONSTRAINT_H_

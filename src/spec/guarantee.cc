@@ -1,0 +1,293 @@
+#include "src/spec/guarantee.h"
+
+#include "src/common/string_util.h"
+#include "src/rule/lexer.h"
+#include "src/rule/parser.h"
+
+namespace hcm::spec {
+
+std::string TimeExpr::ToString() const {
+  if (is_absolute()) return offset.ToString();
+  if (offset == Duration::Zero()) return var;
+  if (offset > Duration::Zero()) return var + " + " + offset.ToString();
+  return var + " - " + (Duration::Zero() - offset).ToString();
+}
+
+std::string GuaranteeAtom::ToString() const {
+  std::string head;
+  if (exists_item.has_value()) {
+    head = std::string(negated_exists ? "not " : "") + "E(" +
+           exists_item->ToString() + ")";
+  } else {
+    head = "(" + pred->ToString() + ")";
+  }
+  switch (mode) {
+    case AtomMode::kAt:
+      return head + "@" + at.ToString();
+    case AtomMode::kThroughout:
+      return head + "@@[" + lo.ToString() + ", " + hi.ToString() + "]";
+    case AtomMode::kSometimeIn:
+      return head + "@in[" + lo.ToString() + ", " + hi.ToString() + "]";
+  }
+  return head;
+}
+
+std::string TimeConstraint::ToString() const {
+  return lhs.ToString() + (strict ? " < " : " <= ") + rhs.ToString();
+}
+
+bool Guarantee::is_metric() const {
+  auto timeexpr_metric = [](const TimeExpr& t) {
+    return t.is_absolute() || t.offset != Duration::Zero();
+  };
+  auto atom_metric = [&](const GuaranteeAtom& a) {
+    if (a.mode == AtomMode::kAt) return timeexpr_metric(a.at);
+    return timeexpr_metric(a.lo) || timeexpr_metric(a.hi);
+  };
+  for (const auto& a : lhs_atoms) {
+    if (atom_metric(a)) return true;
+  }
+  for (const auto& a : rhs_atoms) {
+    if (atom_metric(a)) return true;
+  }
+  for (const auto& c : lhs_time) {
+    if (timeexpr_metric(c.lhs) || timeexpr_metric(c.rhs)) return true;
+  }
+  for (const auto& c : rhs_time) {
+    if (timeexpr_metric(c.lhs) || timeexpr_metric(c.rhs)) return true;
+  }
+  return false;
+}
+
+std::string Guarantee::ToString() const {
+  std::vector<std::string> lhs_parts;
+  for (const auto& a : lhs_atoms) lhs_parts.push_back(a.ToString());
+  for (const auto& c : lhs_time) lhs_parts.push_back(c.ToString());
+  std::vector<std::string> rhs_parts;
+  for (const auto& a : rhs_atoms) rhs_parts.push_back(a.ToString());
+  for (const auto& c : rhs_time) rhs_parts.push_back(c.ToString());
+  return StrJoin(lhs_parts, " & ") + " => " + StrJoin(rhs_parts, " & ");
+}
+
+namespace {
+
+using rule::Token;
+using rule::TokenCursor;
+using rule::TokenKind;
+
+// timeexpr := IDENT [('+'|'-') duration] | duration
+Result<TimeExpr> ParseTimeExprFrom(TokenCursor& cursor) {
+  TimeExpr out;
+  const Token& t = cursor.Peek();
+  auto expect_duration = [&cursor]() -> Result<Duration> {
+    const Token& tok = cursor.Peek();
+    if (tok.kind != TokenKind::kDuration && tok.kind != TokenKind::kInt &&
+        tok.kind != TokenKind::kReal) {
+      return cursor.Error("expected duration");
+    }
+    return rule::ParseDurationText(cursor.Advance().text);
+  };
+  if (t.kind == TokenKind::kIdent) {
+    out.var = cursor.Advance().text;
+    if (cursor.AcceptSymbol("+")) {
+      HCM_ASSIGN_OR_RETURN(out.offset, expect_duration());
+    } else if (cursor.AcceptSymbol("-")) {
+      HCM_ASSIGN_OR_RETURN(Duration d, expect_duration());
+      out.offset = Duration::Zero() - d;
+    }
+    return out;
+  }
+  if (t.kind == TokenKind::kDuration || t.kind == TokenKind::kInt ||
+      t.kind == TokenKind::kReal) {
+    HCM_ASSIGN_OR_RETURN(out.offset,
+                         rule::ParseDurationText(cursor.Advance().text));
+    return out;
+  }
+  return cursor.Error("expected time expression");
+}
+
+// Parses "@ timeexpr", "@@ [a, b]" or "@ in [a, b]" into the atom.
+Status ParseAnnotationInto(TokenCursor& cursor, GuaranteeAtom* atom) {
+  if (cursor.AcceptSymbol("@@")) {
+    atom->mode = AtomMode::kThroughout;
+  } else if (cursor.AcceptSymbol("@")) {
+    if (cursor.AcceptIdent("in")) {
+      atom->mode = AtomMode::kSometimeIn;
+    } else {
+      atom->mode = AtomMode::kAt;
+      HCM_ASSIGN_OR_RETURN(atom->at, ParseTimeExprFrom(cursor));
+      return Status::OK();
+    }
+  } else {
+    return cursor.Error("expected '@' or '@@' time annotation");
+  }
+  HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("["));
+  HCM_ASSIGN_OR_RETURN(atom->lo, ParseTimeExprFrom(cursor));
+  HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(","));
+  HCM_ASSIGN_OR_RETURN(atom->hi, ParseTimeExprFrom(cursor));
+  HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("]"));
+  return Status::OK();
+}
+
+// Is the next run of tokens a time constraint (timeexpr cmp timeexpr)?
+// Distinguished from atoms because atoms start with '(' / 'E' / 'not E'.
+bool LooksLikeTimeConstraint(const TokenCursor& cursor) {
+  const Token& t = cursor.Peek();
+  if (t.kind == TokenKind::kSymbol && t.text == "(") return false;
+  if (t.kind == TokenKind::kIdent && (t.text == "E" || t.text == "not")) {
+    return false;
+  }
+  return true;
+}
+
+Result<rule::ItemRef> ParseItemRefOnly(TokenCursor& cursor) {
+  rule::ItemRef ref;
+  HCM_ASSIGN_OR_RETURN(ref.base, cursor.ExpectIdent());
+  if (cursor.AcceptSymbol("(")) {
+    while (true) {
+      HCM_ASSIGN_OR_RETURN(rule::Term t, rule::ParseTermFrom(cursor));
+      ref.args.push_back(std::move(t));
+      if (cursor.AcceptSymbol(",")) continue;
+      HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+      break;
+    }
+  }
+  return ref;
+}
+
+Status ParseConjunctsInto(TokenCursor& cursor,
+                          std::vector<GuaranteeAtom>* atoms,
+                          std::vector<TimeConstraint>* constraints) {
+  while (true) {
+    if (LooksLikeTimeConstraint(cursor)) {
+      TimeConstraint c;
+      HCM_ASSIGN_OR_RETURN(c.lhs, ParseTimeExprFrom(cursor));
+      if (cursor.AcceptSymbol("<=")) {
+        c.strict = false;
+      } else if (cursor.AcceptSymbol("<")) {
+        c.strict = true;
+      } else {
+        return cursor.Error("expected '<' or '<=' in time constraint");
+      }
+      HCM_ASSIGN_OR_RETURN(c.rhs, ParseTimeExprFrom(cursor));
+      constraints->push_back(std::move(c));
+    } else {
+      GuaranteeAtom atom;
+      bool negated = cursor.AcceptIdent("not");
+      if (cursor.AcceptIdent("E")) {
+        HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("("));
+        HCM_ASSIGN_OR_RETURN(rule::ItemRef item, ParseItemRefOnly(cursor));
+        HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+        atom.exists_item = std::move(item);
+        atom.negated_exists = negated;
+      } else if (negated) {
+        return cursor.Error("'not' is only supported before E(...)");
+      } else {
+        HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("("));
+        HCM_ASSIGN_OR_RETURN(atom.pred, rule::ParseExprFrom(cursor));
+        HCM_RETURN_IF_ERROR(cursor.ExpectSymbol(")"));
+      }
+      HCM_RETURN_IF_ERROR(ParseAnnotationInto(cursor, &atom));
+      atoms->push_back(std::move(atom));
+    }
+    if (!cursor.AcceptSymbol("&")) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Guarantee> ParseGuarantee(const std::string& text) {
+  HCM_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                       rule::TokenizeRuleText(text));
+  TokenCursor cursor(std::move(tokens));
+  Guarantee g;
+  HCM_RETURN_IF_ERROR(
+      ParseConjunctsInto(cursor, &g.lhs_atoms, &g.lhs_time));
+  HCM_RETURN_IF_ERROR(cursor.ExpectSymbol("=>"));
+  HCM_RETURN_IF_ERROR(
+      ParseConjunctsInto(cursor, &g.rhs_atoms, &g.rhs_time));
+  if (!cursor.AtEnd()) {
+    return cursor.Error("trailing tokens after guarantee");
+  }
+  if (g.lhs_atoms.empty() && g.lhs_time.empty()) {
+    return Status::InvalidArgument("guarantee has an empty left-hand side");
+  }
+  if (g.rhs_atoms.empty()) {
+    return Status::InvalidArgument("guarantee has no right-hand-side atoms");
+  }
+  return g;
+}
+
+namespace {
+
+Guarantee MustParse(const std::string& name, const std::string& text) {
+  auto g = ParseGuarantee(text);
+  // Catalog strings are compile-time constants; a failure is a programming
+  // error surfaced loudly in tests.
+  if (!g.ok()) {
+    Guarantee bad;
+    bad.name = "PARSE-ERROR(" + name + "): " + g.status().ToString();
+    return bad;
+  }
+  g->name = name;
+  return *g;
+}
+
+}  // namespace
+
+Guarantee YFollowsX(const std::string& x, const std::string& y) {
+  return MustParse("y-follows-x", "(" + y + " = yv)@t1 => (" + x +
+                                      " = yv)@t2 & t2 < t1");
+}
+
+Guarantee XLeadsY(const std::string& x, const std::string& y) {
+  return MustParse("x-leads-y", "(" + x + " = xv)@t1 => (" + y +
+                                    " = xv)@t2 & t1 < t2");
+}
+
+Guarantee YStrictlyFollowsX(const std::string& x, const std::string& y) {
+  return MustParse("y-strictly-follows-x",
+                   "(" + y + " = y1)@t1 & (" + y + " = y2)@t2 & t1 < t2 => "
+                   "(" + x + " = y1)@t3 & (" + x + " = y2)@t4 & t3 < t4");
+}
+
+Guarantee MetricYFollowsX(const std::string& x, const std::string& y,
+                          Duration kappa) {
+  return MustParse("metric-y-follows-x",
+                   "(" + y + " = yv)@t1 => (" + x + " = yv)@t2 & t1 - " +
+                       kappa.ToString() + " < t2 & t2 <= t1");
+}
+
+Guarantee ExistsWithin(const std::string& ref_item,
+                       const std::string& target_item, Duration bound) {
+  // "The constraint may be violated for any one id for at most `bound`":
+  // whenever the referencing record exists throughout a full bound-length
+  // window, the referenced record must appear somewhere in that window.
+  // (Deleting the orphaned referencing record discharges the obligation,
+  // which is exactly what the Section 6.2 sweep strategy does.)
+  const std::string b = bound.ToString();
+  return MustParse("exists-within", "E(" + ref_item + ")@@[t, t + " + b +
+                                        "] => E(" + target_item +
+                                        ")@in[t, t + " + b + "]");
+}
+
+Guarantee MonitorFlagGuarantee(const std::string& x, const std::string& y,
+                               const std::string& flag_item,
+                               const std::string& tb_item, Duration kappa) {
+  return MustParse("monitor-flag",
+                   "(" + flag_item + " = true and " + tb_item +
+                       " = sv)@t => (" + x + " = " + y + ")@@[sv, t - " +
+                       kappa.ToString() + "]");
+}
+
+Guarantee AlwaysLeq(const std::string& x, const std::string& y) {
+  return MustParse("always-leq",
+                   "(true)@t => (" + x + " <= " + y + ")@t");
+}
+
+Guarantee AlwaysEq(const std::string& x, const std::string& y) {
+  return MustParse("always-eq", "(true)@t => (" + x + " = " + y + ")@t");
+}
+
+}  // namespace hcm::spec

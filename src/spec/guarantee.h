@@ -1,0 +1,115 @@
+#ifndef HCM_SPEC_GUARANTEE_H_
+#define HCM_SPEC_GUARANTEE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/rule/expr.h"
+#include "src/rule/item.h"
+
+namespace hcm::spec {
+
+// A time expression in the guarantee language: a time variable plus a
+// constant offset, e.g. `t1`, `t - 5s`, `t + 24h`. An empty variable name
+// denotes an absolute instant (offset from the trace origin).
+struct TimeExpr {
+  std::string var;
+  Duration offset = Duration::Zero();
+
+  bool is_absolute() const { return var.empty(); }
+  std::string ToString() const;
+  bool operator==(const TimeExpr& other) const {
+    return var == other.var && offset == other.offset;
+  }
+};
+
+// How an atom's predicate is anchored in time.
+//   kAt         — (pred)@t          true at instant t
+//   kThroughout — (pred)@@[a, b]    true at every instant of [a, b]
+//   kSometimeIn — (pred)@in[a, b]   true at some instant of [a, b]
+enum class AtomMode { kAt, kThroughout, kSometimeIn };
+
+// One conjunct of a guarantee: either a state predicate over data items and
+// value variables, or an existence predicate E(item) (Section 6.2), with a
+// time anchor.
+struct GuaranteeAtom {
+  rule::ExprPtr pred;                        // null when exists_item is set
+  std::optional<rule::ItemRef> exists_item;  // E(item)
+  bool negated_exists = false;               // not E(item)
+  AtomMode mode = AtomMode::kAt;
+  TimeExpr at;        // kAt
+  TimeExpr lo, hi;    // interval modes
+
+  std::string ToString() const;
+};
+
+// An ordering constraint between time expressions: lhs < rhs or lhs <= rhs.
+struct TimeConstraint {
+  TimeExpr lhs;
+  bool strict = true;
+  TimeExpr rhs;
+
+  std::string ToString() const;
+};
+
+// A guarantee:  LHS-conjuncts  =>  RHS-conjuncts.
+//
+// Time and value variables on the left of `=>` are universally quantified;
+// those appearing only on the right are existentially quantified (Section
+// 3.3). A guarantee is *metric* when any time expression carries a nonzero
+// offset or an interval bound is involved — i.e. when it "makes explicit
+// reference to time intervals". Metric guarantees are invalidated by metric
+// failures; non-metric ones survive them (Section 5).
+struct Guarantee {
+  std::string name;  // e.g. "y-follows-x"
+  std::vector<GuaranteeAtom> lhs_atoms;
+  std::vector<TimeConstraint> lhs_time;
+  std::vector<GuaranteeAtom> rhs_atoms;
+  std::vector<TimeConstraint> rhs_time;
+
+  // True when the guarantee mentions explicit durations (see above).
+  bool is_metric() const;
+
+  // Parsable rendering: "(Y = y)@t1 => (X = y)@t2 & t2 < t1".
+  std::string ToString() const;
+};
+
+// Parses guarantee text. Syntax:
+//
+//   guarantee := conjuncts '=>' conjuncts
+//   conjunct  := '(' expr ')' anno | 'E' '(' item ')' anno
+//              | 'not' 'E' '(' item ')' anno | timeexpr ('<'|'<=') timeexpr
+//   anno      := '@' timeexpr | '@@' '[' timeexpr ',' timeexpr ']'
+//              | '@' 'in' '[' timeexpr ',' timeexpr ']'
+//   timeexpr  := IDENT [('+'|'-') duration] | duration
+//
+// Conjuncts are separated by '&'. Value variables are lower-case; data
+// items are upper-case or parameterized (paper convention).
+Result<Guarantee> ParseGuarantee(const std::string& text);
+
+// The catalog of guarantees used throughout the paper, pre-instantiated for
+// the copy constraint X = Y (pass the item names, possibly parameterized).
+// Sections 3.3.1, 6.2, 6.3.
+Guarantee YFollowsX(const std::string& x, const std::string& y);        // (1)
+Guarantee XLeadsY(const std::string& x, const std::string& y);          // (2)
+Guarantee YStrictlyFollowsX(const std::string& x, const std::string& y);// (3)
+Guarantee MetricYFollowsX(const std::string& x, const std::string& y,
+                          Duration kappa);                              // (4)
+// Referential integrity: E(ref(i))@t => E(target(i)) within `bound`.
+Guarantee ExistsWithin(const std::string& ref_item,
+                       const std::string& target_item, Duration bound);
+// Monitor: (Flag = true & Tb = s)@t => (x = y)@@[s, t - kappa].
+Guarantee MonitorFlagGuarantee(const std::string& x, const std::string& y,
+                               const std::string& flag_item,
+                               const std::string& tb_item, Duration kappa);
+// Strong inequality (Demarcation Protocol): (true)@t => (x <= y)@t.
+Guarantee AlwaysLeq(const std::string& x, const std::string& y);
+// Always-equal (strict consistency, for comparison columns in benches).
+Guarantee AlwaysEq(const std::string& x, const std::string& y);
+
+}  // namespace hcm::spec
+
+#endif  // HCM_SPEC_GUARANTEE_H_

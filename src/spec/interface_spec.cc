@@ -1,0 +1,134 @@
+#include "src/spec/interface_spec.h"
+
+#include "src/common/string_util.h"
+#include "src/rule/parser.h"
+
+namespace hcm::spec {
+
+const char* InterfaceKindName(InterfaceKind kind) {
+  switch (kind) {
+    case InterfaceKind::kWrite:
+      return "write";
+    case InterfaceKind::kNoSpontaneousWrite:
+      return "no-spontaneous-write";
+    case InterfaceKind::kNotify:
+      return "notify";
+    case InterfaceKind::kConditionalNotify:
+      return "conditional-notify";
+    case InterfaceKind::kPeriodicNotify:
+      return "periodic-notify";
+    case InterfaceKind::kRead:
+      return "read";
+    case InterfaceKind::kInsertNotify:
+      return "insert-notify";
+    case InterfaceKind::kDeleteCapability:
+      return "delete-capability";
+  }
+  return "?";
+}
+
+std::string InterfaceSpec::ToString() const {
+  std::vector<std::string> stmts;
+  stmts.reserve(statements.size());
+  for (const auto& r : statements) stmts.push_back(r.ToString());
+  return StrFormat("%s(%s) [%s]", InterfaceKindName(kind),
+                   item.ToString().c_str(), StrJoin(stmts, "; ").c_str());
+}
+
+namespace {
+
+Result<InterfaceSpec> Build(InterfaceKind kind, const std::string& item,
+                            const std::string& rules_text) {
+  InterfaceSpec spec;
+  spec.kind = kind;
+  // Parse the item text as a template argument: reuse the template parser by
+  // wrapping in a read-request template.
+  HCM_ASSIGN_OR_RETURN(rule::EventTemplate probe,
+                       rule::ParseTemplate("RR(" + item + ")"));
+  spec.item = probe.item;
+  HCM_ASSIGN_OR_RETURN(spec.statements, rule::ParseRuleSet(rules_text));
+  return spec;
+}
+
+}  // namespace
+
+Result<InterfaceSpec> MakeWriteInterface(const std::string& item,
+                                         Duration delta) {
+  return Build(InterfaceKind::kWrite, item,
+               StrFormat("WR(%s, b) -> %s W(%s, b)", item.c_str(),
+                         delta.ToString().c_str(), item.c_str()));
+}
+
+Result<InterfaceSpec> MakeNoSpontaneousWriteInterface(
+    const std::string& item) {
+  return Build(InterfaceKind::kNoSpontaneousWrite, item,
+               StrFormat("Ws(%s, b) -> 0s F", item.c_str()));
+}
+
+Result<InterfaceSpec> MakeNotifyInterface(const std::string& item,
+                                          Duration delta) {
+  return Build(InterfaceKind::kNotify, item,
+               StrFormat("Ws(%s, b) -> %s N(%s, b)", item.c_str(),
+                         delta.ToString().c_str(), item.c_str()));
+}
+
+Result<InterfaceSpec> MakeConditionalNotifyInterface(
+    const std::string& item, const std::string& condition, Duration delta) {
+  return Build(InterfaceKind::kConditionalNotify, item,
+               StrFormat("Ws(%s, a, b) & %s -> %s N(%s, b)", item.c_str(),
+                         condition.c_str(), delta.ToString().c_str(),
+                         item.c_str()));
+}
+
+Result<InterfaceSpec> MakePeriodicNotifyInterface(const std::string& item,
+                                                  Duration period,
+                                                  Duration epsilon) {
+  return Build(InterfaceKind::kPeriodicNotify, item,
+               StrFormat("P(%lldms) & %s = b -> %s N(%s, b)",
+                         static_cast<long long>(period.millis()),
+                         item.c_str(), epsilon.ToString().c_str(),
+                         item.c_str()));
+}
+
+Result<InterfaceSpec> MakeReadInterface(const std::string& item,
+                                        Duration delta) {
+  return Build(InterfaceKind::kRead, item,
+               StrFormat("RR(%s) & %s = b -> %s R(%s, b)", item.c_str(),
+                         item.c_str(), delta.ToString().c_str(),
+                         item.c_str()));
+}
+
+Result<InterfaceSpec> MakeInsertNotifyInterface(const std::string& item,
+                                                Duration delta) {
+  return Build(InterfaceKind::kInsertNotify, item,
+               StrFormat("INS(%s) -> %s N(%s, true)", item.c_str(),
+                         delta.ToString().c_str(), item.c_str()));
+}
+
+Result<InterfaceSpec> MakeDeleteCapability(const std::string& item,
+                                           Duration delta) {
+  // Modeled as a write interface for the DEL event: a delete request (we
+  // reuse WR with the null value as the "remove" command at the RID level).
+  return Build(InterfaceKind::kDeleteCapability, item,
+               StrFormat("WR(%s, null) -> %s DEL(%s)", item.c_str(),
+                         delta.ToString().c_str(), item.c_str()));
+}
+
+std::vector<const InterfaceSpec*> SiteInterfaces::ForItem(
+    const std::string& item_base) const {
+  std::vector<const InterfaceSpec*> out;
+  for (const auto& spec : interfaces) {
+    if (spec.item.base == item_base) out.push_back(&spec);
+  }
+  return out;
+}
+
+bool SiteInterfaces::Offers(const std::string& item_base,
+                            InterfaceKind kind) const {
+  for (const auto& spec : interfaces) {
+    if (spec.item.base == item_base && spec.kind == kind) return true;
+  }
+  return false;
+}
+
+}  // namespace hcm::spec

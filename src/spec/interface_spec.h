@@ -1,0 +1,73 @@
+#ifndef HCM_SPEC_INTERFACE_SPEC_H_
+#define HCM_SPEC_INTERFACE_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/rule/rule.h"
+
+namespace hcm::spec {
+
+// The interface kinds from Section 3.1.1. A data item may carry several.
+enum class InterfaceKind {
+  kWrite,              // WR(X, b) ->d W(X, b)
+  kNoSpontaneousWrite, // Ws(X, b) -> F
+  kNotify,             // Ws(X, b) ->d N(X, b)
+  kConditionalNotify,  // Ws(X, a, b) & C ->d N(X, b)
+  kPeriodicNotify,     // P(p) & (X = b) ->e N(X, b)
+  kRead,               // RR(X) & (X = b) ->e R(X, b)
+  kInsertNotify,       // INS(X) ->d N-like existence notification (extension)
+  kDeleteCapability,   // CM may delete the item (extension, Section 6.2)
+};
+
+const char* InterfaceKindName(InterfaceKind kind);
+
+// The interface offered by a database for one (possibly parameterized) data
+// item: a kind tag plus the defining rule statements. The statements are
+// the formal contract; the kind tag is the menu label the toolkit uses for
+// strategy suggestion.
+struct InterfaceSpec {
+  InterfaceKind kind = InterfaceKind::kRead;
+  rule::ItemRef item;
+  std::vector<rule::Rule> statements;
+
+  // "notify(salary1(n)) [Ws(salary1(n), *, b) -> 1s N(salary1(n), b)]".
+  std::string ToString() const;
+};
+
+// Menu constructors (Section 3.1.1). `item` may be parameterized text like
+// "salary1(n)"; `delta`/`epsilon` are the promised time bounds.
+Result<InterfaceSpec> MakeWriteInterface(const std::string& item,
+                                         Duration delta);
+Result<InterfaceSpec> MakeNoSpontaneousWriteInterface(const std::string& item);
+Result<InterfaceSpec> MakeNotifyInterface(const std::string& item,
+                                          Duration delta);
+// `condition` is an expression over variables a (old) and b (new).
+Result<InterfaceSpec> MakeConditionalNotifyInterface(
+    const std::string& item, const std::string& condition, Duration delta);
+Result<InterfaceSpec> MakePeriodicNotifyInterface(const std::string& item,
+                                                  Duration period,
+                                                  Duration epsilon);
+Result<InterfaceSpec> MakeReadInterface(const std::string& item,
+                                        Duration delta);
+Result<InterfaceSpec> MakeInsertNotifyInterface(const std::string& item,
+                                                Duration delta);
+Result<InterfaceSpec> MakeDeleteCapability(const std::string& item,
+                                           Duration delta);
+
+// The set of interfaces one site offers for its items.
+struct SiteInterfaces {
+  std::string site;
+  std::vector<InterfaceSpec> interfaces;
+
+  // All interfaces covering `item_base` (matching the ItemRef base name).
+  std::vector<const InterfaceSpec*> ForItem(const std::string& item_base)
+      const;
+  bool Offers(const std::string& item_base, InterfaceKind kind) const;
+};
+
+}  // namespace hcm::spec
+
+#endif  // HCM_SPEC_INTERFACE_SPEC_H_

@@ -1,0 +1,126 @@
+#include "src/spec/strategy_spec.h"
+
+#include "src/common/string_util.h"
+#include "src/rule/parser.h"
+
+namespace hcm::spec {
+
+std::string StrategySpec::ToString() const {
+  std::string out = name + (enforces ? " (enforcing)" : " (monitoring)");
+  for (const auto& r : rules) out += "\n  rule: " + r.ToString();
+  for (const auto& g : guarantees) {
+    out += "\n  guarantee " + g.name + ": " + g.ToString();
+  }
+  return out;
+}
+
+namespace {
+
+Result<StrategySpec> FinishStrategy(StrategySpec spec,
+                                    const std::string& rules_text) {
+  HCM_ASSIGN_OR_RETURN(spec.rules, rule::ParseRuleSet(rules_text));
+  return spec;
+}
+
+}  // namespace
+
+Result<StrategySpec> MakeUpdatePropagationStrategy(const std::string& x,
+                                                   const std::string& y,
+                                                   Duration delta,
+                                                   Duration kappa) {
+  StrategySpec spec;
+  spec.name = "update-propagation";
+  spec.description =
+      "Forward every notification of " + x + " as a write request on " + y;
+  spec.enforces = true;
+  spec.guarantees = {YFollowsX(x, y), XLeadsY(x, y), YStrictlyFollowsX(x, y),
+                     MetricYFollowsX(x, y, kappa)};
+  return FinishStrategy(
+      std::move(spec),
+      StrFormat("propagate: N(%s, b) -> %s WR(%s, b)", x.c_str(),
+                delta.ToString().c_str(), y.c_str()));
+}
+
+Result<StrategySpec> MakeCachedPropagationStrategy(const std::string& x,
+                                                   const std::string& y,
+                                                   const std::string& cache,
+                                                   Duration delta,
+                                                   Duration kappa) {
+  StrategySpec spec;
+  spec.name = "cached-propagation";
+  spec.description = "Propagate notifications of " + x + " to " + y +
+                     " only when the value differs from the CM cache " +
+                     cache;
+  spec.enforces = true;
+  spec.guarantees = {YFollowsX(x, y), XLeadsY(x, y), YStrictlyFollowsX(x, y),
+                     MetricYFollowsX(x, y, kappa)};
+  return FinishStrategy(
+      std::move(spec),
+      StrFormat("cached: N(%s, b) -> %s %s != b ? WR(%s, b), W(%s, b)",
+                x.c_str(), delta.ToString().c_str(), cache.c_str(),
+                y.c_str(), cache.c_str()));
+}
+
+Result<StrategySpec> MakePollingStrategy(const std::string& x,
+                                         const std::string& y,
+                                         Duration period, Duration delta,
+                                         Duration kappa) {
+  StrategySpec spec;
+  spec.name = "polling";
+  spec.description =
+      StrFormat("Read %s every %s and forward the value to %s", x.c_str(),
+                period.ToString().c_str(), y.c_str());
+  spec.enforces = true;
+  // Guarantee (2) x-leads-y is deliberately absent: updates that fall inside
+  // one polling interval are missed (Section 4.2.3).
+  spec.guarantees = {YFollowsX(x, y), YStrictlyFollowsX(x, y),
+                     MetricYFollowsX(x, y, kappa)};
+  return FinishStrategy(
+      std::move(spec),
+      StrFormat("poll: P(%lldms) -> 1s RR(%s);\n"
+                "forward: R(%s, b) -> %s WR(%s, b)",
+                static_cast<long long>(period.millis()), x.c_str(), x.c_str(),
+                delta.ToString().c_str(), y.c_str()));
+}
+
+Result<StrategySpec> MakeMonitorStrategy(const std::string& x,
+                                         const std::string& y,
+                                         const std::string& prefix,
+                                         Duration delta, Duration kappa) {
+  // Parameterized items would need per-parameter auxiliary data; the paper's
+  // monitor scenario (Section 6.3) uses plain items.
+  if (x.find('(') != std::string::npos ||
+      y.find('(') != std::string::npos) {
+    return Status::InvalidArgument(
+        "monitor strategy supports non-parameterized items only");
+  }
+  std::string cx = prefix + "Cx";
+  std::string cy = prefix + "Cy";
+  std::string flag = prefix + "Flag";
+  std::string tb = prefix + "Tb";
+  StrategySpec spec;
+  spec.name = "monitor";
+  spec.enforces = false;
+  spec.description = "Monitor " + x + " = " + y +
+                     " via CM caches, exposing auxiliary items " + flag +
+                     "/" + tb + " to applications";
+  spec.guarantees = {MonitorFlagGuarantee(x, y, flag, tb, kappa)};
+  // On each notification: refresh the cache, then recompute Flag/Tb. The
+  // RHS sequence evaluates its conditions in order *after* the cache write,
+  // and `now` is bound by the shell to the firing time (milliseconds).
+  auto body = [&](const std::string& src, const std::string& cache) {
+    return StrFormat(
+        "mon_%s: N(%s, b) -> %s W(%s, b), "
+        "(%s != null and %s != null and %s = %s and %s != true) ? W(%s, now), "
+        "(%s != null and %s = %s) ? W(%s, true), "
+        "(%s != %s or %s = null or %s = null) ? W(%s, false)",
+        cache.c_str(), src.c_str(), delta.ToString().c_str(), cache.c_str(),
+        cx.c_str(), cy.c_str(), cx.c_str(), cy.c_str(), flag.c_str(),
+        tb.c_str(), cx.c_str(), cx.c_str(), cy.c_str(), flag.c_str(),
+        cx.c_str(), cy.c_str(), cx.c_str(), cy.c_str(), flag.c_str());
+  };
+  return FinishStrategy(std::move(spec),
+                        body(x, cx) + ";\n" + body(y, cy));
+}
+
+}  // namespace hcm::spec

@@ -1,0 +1,71 @@
+#ifndef HCM_SPEC_STRATEGY_SPEC_H_
+#define HCM_SPEC_STRATEGY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/rule/rule.h"
+#include "src/spec/guarantee.h"
+
+namespace hcm::spec {
+
+// A constraint-management strategy: the rule program the distributed CM
+// executes, together with the guarantees "proven" for it (Section 3.2/3.3).
+// Strategies either *enforce* (drive the data toward consistency) or only
+// *monitor* (expose validity through auxiliary data).
+struct StrategySpec {
+  std::string name;
+  std::string description;
+  bool enforces = true;
+  std::vector<rule::Rule> rules;
+  std::vector<Guarantee> guarantees;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// The strategy menu for copy constraints X = Y (item text may be
+// parameterized, e.g. "salary1(n)"). The `kappa` passed to metric
+// guarantees should upper-bound interface delay + strategy delay + write
+// delay; the suggester (suggester.h) derives it from the interface specs.
+// ---------------------------------------------------------------------------
+
+// Section 4.2.2: forward every notification of X as a write request on Y.
+// Valid guarantees: (1) y-follows-x, (2) x-leads-y, (3) strictly-follows,
+// (4) metric with kappa.
+Result<StrategySpec> MakeUpdatePropagationStrategy(const std::string& x,
+                                                   const std::string& y,
+                                                   Duration delta,
+                                                   Duration kappa);
+
+// Section 3.2: like propagation but suppresses writes when the new value
+// equals the CM-cached copy `cache_item` (reduces traffic; same
+// guarantees). The cache is CM-Shell private data.
+Result<StrategySpec> MakeCachedPropagationStrategy(const std::string& x,
+                                                   const std::string& y,
+                                                   const std::string& cache,
+                                                   Duration delta,
+                                                   Duration kappa);
+
+// Section 4.2.3: poll X every `period` and forward the value read. Valid:
+// (1), (3), (4) with kappa covering period + delays; *invalid*: (2) —
+// updates inside one polling interval are missed.
+Result<StrategySpec> MakePollingStrategy(const std::string& x,
+                                         const std::string& y,
+                                         Duration period, Duration delta,
+                                         Duration kappa);
+
+// Section 6.3: monitor-only. Both X and Y have notify interfaces; the CM
+// maintains caches plus auxiliary Flag/Tb at the application's site and
+// offers the monitor-flag guarantee with the given kappa. Aux item names
+// are `<prefix>Cx`, `<prefix>Cy`, `<prefix>Flag`, `<prefix>Tb`.
+Result<StrategySpec> MakeMonitorStrategy(const std::string& x,
+                                         const std::string& y,
+                                         const std::string& prefix,
+                                         Duration delta, Duration kappa);
+
+}  // namespace hcm::spec
+
+#endif  // HCM_SPEC_STRATEGY_SPEC_H_

@@ -1,0 +1,172 @@
+#include "src/spec/suggester.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace hcm::spec {
+
+Duration InterfaceDelay(const InterfaceSpec& spec) {
+  Duration max = Duration::Zero();
+  for (const auto& r : spec.statements) {
+    if (r.forbids()) continue;
+    if (r.delta > max) max = r.delta;
+  }
+  return max;
+}
+
+namespace {
+
+const InterfaceSpec* Find(const SiteInterfaces& site,
+                          const std::string& item_base, InterfaceKind kind) {
+  for (const auto& spec : site.interfaces) {
+    if (spec.item.base == item_base && spec.kind == kind) return &spec;
+  }
+  return nullptr;
+}
+
+void PushIfOk(std::vector<Suggestion>* out, Result<StrategySpec> strategy,
+              std::string rationale) {
+  if (!strategy.ok()) {
+    HCM_LOG(Warning) << "suggester skipped a strategy: "
+                     << strategy.status().ToString();
+    return;
+  }
+  out->push_back(Suggestion{std::move(*strategy), std::move(rationale)});
+}
+
+}  // namespace
+
+std::vector<Suggestion> SuggestStrategies(const Constraint& constraint,
+                                          const SiteInterfaces& lhs_site,
+                                          const SiteInterfaces& rhs_site,
+                                          const SuggestOptions& options) {
+  std::vector<Suggestion> out;
+  const std::string x = constraint.lhs.ToString();
+  const std::string y = constraint.rhs.ToString();
+  const std::string& xb = constraint.lhs.base;
+  const std::string& yb = constraint.rhs.base;
+
+  if (constraint.kind == ConstraintKind::kCopy) {
+    const InterfaceSpec* x_notify = Find(lhs_site, xb, InterfaceKind::kNotify);
+    const InterfaceSpec* x_read = Find(lhs_site, xb, InterfaceKind::kRead);
+    const InterfaceSpec* x_periodic =
+        Find(lhs_site, xb, InterfaceKind::kPeriodicNotify);
+    const InterfaceSpec* y_write = Find(rhs_site, yb, InterfaceKind::kWrite);
+    const InterfaceSpec* y_notify = Find(rhs_site, yb, InterfaceKind::kNotify);
+
+    if (x_notify != nullptr && y_write != nullptr) {
+      Duration kappa = InterfaceDelay(*x_notify) + options.strategy_delta +
+                       InterfaceDelay(*y_write) + options.kappa_margin;
+      PushIfOk(&out,
+               MakeUpdatePropagationStrategy(x, y, options.strategy_delta,
+                                             kappa),
+               "X offers notify and Y offers write: forward every update");
+      PushIfOk(&out,
+               MakeCachedPropagationStrategy(x, y, "C_" + xb,
+                                             options.strategy_delta, kappa),
+               "same interfaces; CM cache suppresses duplicate writes");
+    }
+    if (x_periodic != nullptr && y_write != nullptr) {
+      // Period is encoded in the interface's P(p) template payload.
+      Duration period = options.polling_period;
+      for (const auto& r : x_periodic->statements) {
+        if (r.lhs.kind == rule::EventKind::kPeriodic &&
+            !r.lhs.values.empty() && r.lhs.values[0].is_literal() &&
+            r.lhs.values[0].literal().is_int()) {
+          period = Duration::Millis(r.lhs.values[0].literal().AsInt());
+        }
+      }
+      Duration kappa = period + InterfaceDelay(*x_periodic) +
+                       options.strategy_delta + InterfaceDelay(*y_write) +
+                       options.kappa_margin;
+      size_t before = out.size();
+      PushIfOk(
+          &out,
+          MakeUpdatePropagationStrategy(x, y, options.strategy_delta, kappa),
+          "X offers periodic notify and Y offers write: forward each "
+          "periodic report (updates between reports may be missed, so "
+          "x-leads-y is not offered)");
+      // Drop the x-leads-y guarantee: periodic notification misses values.
+      if (out.size() > before) {
+        auto& gs = out.back().strategy.guarantees;
+        for (auto it = gs.begin(); it != gs.end();) {
+          if (it->name == "x-leads-y") {
+            it = gs.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    if (x_read != nullptr && y_write != nullptr) {
+      Duration kappa = options.polling_period + InterfaceDelay(*x_read) +
+                       options.strategy_delta + InterfaceDelay(*y_write) +
+                       options.kappa_margin;
+      PushIfOk(&out,
+               MakePollingStrategy(x, y, options.polling_period,
+                                   options.strategy_delta, kappa),
+               "X offers only read: poll periodically and forward "
+               "(x-leads-y cannot be guaranteed)");
+    }
+    if (x_notify != nullptr && y_notify != nullptr && y_write == nullptr &&
+        constraint.lhs.args.empty() && constraint.rhs.args.empty()) {
+      Duration kappa = InterfaceDelay(*x_notify) + InterfaceDelay(*y_notify) +
+                       options.strategy_delta + options.kappa_margin;
+      PushIfOk(&out,
+               MakeMonitorStrategy(x, y, "Mon", options.strategy_delta,
+                                   kappa),
+               "neither item is writable by the CM: monitor only, exposing "
+               "MonFlag/MonTb auxiliary data");
+    }
+  }
+  if (constraint.kind == ConstraintKind::kReferential) {
+    // The end-of-day sweep needs to enumerate and delete referencing
+    // records and to probe the referenced database (Section 6.2). Without
+    // delete permission "there may be no way for the CM to enforce the
+    // referential integrity constraint".
+    bool can_sweep =
+        Find(lhs_site, xb, InterfaceKind::kRead) != nullptr &&
+        Find(lhs_site, xb, InterfaceKind::kDeleteCapability) != nullptr &&
+        Find(rhs_site, yb, InterfaceKind::kRead) != nullptr;
+    if (can_sweep) {
+      StrategySpec spec;
+      spec.name = "referential-sweep";
+      spec.enforces = true;
+      spec.description =
+          "Periodically delete " + x + " records lacking a matching " + y +
+          " record (install via protocols::ReferentialSweep)";
+      spec.guarantees = {ExistsWithin(x, y, Duration::Hours(25))};
+      out.push_back(Suggestion{
+          std::move(spec),
+          "the referencing database permits CM deletes: an end-of-day "
+          "sweep bounds every violation window"});
+    }
+  }
+  if (constraint.kind == ConstraintKind::kInequality) {
+    // The Demarcation Protocol needs read+write on both sides (it owns the
+    // updates and the local limits). It is a host-language strategy
+    // (protocols::DemarcationProtocol); the menu entry carries its proven
+    // guarantee and an empty rule program.
+    bool both_rw = Find(lhs_site, xb, InterfaceKind::kRead) != nullptr &&
+                   Find(lhs_site, xb, InterfaceKind::kWrite) != nullptr &&
+                   Find(rhs_site, yb, InterfaceKind::kRead) != nullptr &&
+                   Find(rhs_site, yb, InterfaceKind::kWrite) != nullptr;
+    if (both_rw) {
+      StrategySpec spec;
+      spec.name = "demarcation-protocol";
+      spec.enforces = true;
+      spec.description =
+          "Maintain " + x + " <= " + y +
+          " with local limits (install via protocols::DemarcationProtocol)";
+      spec.guarantees = {AlwaysLeq(x, y)};
+      out.push_back(Suggestion{
+          std::move(spec),
+          "both sides offer read+write: the Demarcation Protocol keeps the "
+          "inequality valid at every instant without distributed "
+          "transactions"});
+    }
+  }
+  return out;
+}
+
+}  // namespace hcm::spec

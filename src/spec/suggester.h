@@ -1,0 +1,49 @@
+#ifndef HCM_SPEC_SUGGESTER_H_
+#define HCM_SPEC_SUGGESTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/spec/constraint.h"
+#include "src/spec/interface_spec.h"
+#include "src/spec/strategy_spec.h"
+
+namespace hcm::spec {
+
+// One entry of the menu the toolkit presents at initialization time
+// (Section 4.1): a strategy applicable to the constraint given the
+// interfaces the two sites actually offer, with its guarantees and a short
+// rationale.
+struct Suggestion {
+  StrategySpec strategy;
+  std::string rationale;
+};
+
+struct SuggestOptions {
+  // Polling period used when only a read interface is available.
+  Duration polling_period = Duration::Seconds(60);
+  // Strategy rule deadline (CM processing + one message hop).
+  Duration strategy_delta = Duration::Seconds(5);
+  // Safety margin added when deriving metric-guarantee kappas.
+  Duration kappa_margin = Duration::Seconds(1);
+};
+
+// Implements the initialization dialogue: "The CM then suggests strategies
+// that are applicable to these interfaces, along with the associated
+// guarantees." Returns an empty vector when no menu strategy fits (e.g. the
+// copy's target offers no write interface and monitoring is impossible).
+//
+// `lhs_site` must offer the interfaces for constraint.lhs's base item and
+// `rhs_site` for constraint.rhs's.
+std::vector<Suggestion> SuggestStrategies(const Constraint& constraint,
+                                          const SiteInterfaces& lhs_site,
+                                          const SiteInterfaces& rhs_site,
+                                          const SuggestOptions& options = {});
+
+// The largest promised delay (rule delta) among the interface's statements;
+// Zero for prohibitions. Used to derive kappas.
+Duration InterfaceDelay(const InterfaceSpec& spec);
+
+}  // namespace hcm::spec
+
+#endif  // HCM_SPEC_SUGGESTER_H_

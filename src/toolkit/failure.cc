@@ -1,0 +1,75 @@
+#include "src/toolkit/failure.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace hcm::toolkit {
+
+const char* FailureClassName(FailureClass fc) {
+  return fc == FailureClass::kMetric ? "metric" : "logical";
+}
+
+std::string FailureNotice::ToString() const {
+  return StrFormat("%s failure at site %s (%s): %s", FailureClassName(
+                       failure_class),
+                   site.c_str(), detected_at.ToString().c_str(),
+                   detail.c_str());
+}
+
+Status GuaranteeStatusRegistry::Register(const std::string& key,
+                                         const spec::Guarantee& guarantee,
+                                         std::vector<std::string> sites) {
+  if (entries_.count(key) > 0) {
+    return Status::AlreadyExists("guarantee key already registered: " + key);
+  }
+  Entry e;
+  e.guarantee = guarantee;
+  e.metric = guarantee.is_metric();
+  e.sites = std::move(sites);
+  entries_.emplace(key, std::move(e));
+  return Status::OK();
+}
+
+void GuaranteeStatusRegistry::OnFailure(const FailureNotice& notice) {
+  failures_.push_back(notice);
+  for (auto& [key, entry] : entries_) {
+    (void)key;
+    bool involved = std::find(entry.sites.begin(), entry.sites.end(),
+                              notice.site) != entry.sites.end();
+    if (!involved) continue;
+    if (notice.failure_class == FailureClass::kLogical || entry.metric) {
+      entry.validity = GuaranteeValidity::kInvalid;
+    }
+  }
+}
+
+void GuaranteeStatusRegistry::ResetSite(const std::string& site,
+                                        TimePoint at) {
+  (void)at;
+  for (auto& [key, entry] : entries_) {
+    (void)key;
+    bool involved = std::find(entry.sites.begin(), entry.sites.end(), site) !=
+                    entry.sites.end();
+    if (involved) entry.validity = GuaranteeValidity::kValid;
+  }
+}
+
+Result<GuaranteeValidity> GuaranteeStatusRegistry::StatusOf(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("no guarantee registered under key: " + key);
+  }
+  return it->second.validity;
+}
+
+std::vector<std::string> GuaranteeStatusRegistry::InvalidKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.validity == GuaranteeValidity::kInvalid) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace hcm::toolkit

@@ -1,0 +1,73 @@
+#ifndef HCM_TOOLKIT_FAILURE_H_
+#define HCM_TOOLKIT_FAILURE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/spec/guarantee.h"
+
+namespace hcm::toolkit {
+
+// Section 5's failure taxonomy.
+//  kMetric  — time bounds missed; work eventually done. Metric guarantees
+//             involving the site become invalid, non-metric ones survive.
+//  kLogical — the interface statements themselves no longer hold (crash
+//             with state loss). All guarantees involving the site are
+//             invalid until the system is reset.
+enum class FailureClass { kMetric, kLogical };
+
+const char* FailureClassName(FailureClass fc);
+
+struct FailureNotice {
+  std::string site;
+  FailureClass failure_class = FailureClass::kMetric;
+  TimePoint detected_at;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+// Validity of one guarantee as tracked at run time.
+enum class GuaranteeValidity { kValid, kInvalid };
+
+// Tracks which installed guarantees are currently valid, given the failures
+// the CM has detected and propagated (Section 5: "the affected guarantees
+// may be marked as invalid"). Guarantees are registered with the set of
+// sites whose interfaces they depend on.
+class GuaranteeStatusRegistry {
+ public:
+  // Registers a guarantee under a unique key (e.g. "payroll/y-follows-x").
+  Status Register(const std::string& key, const spec::Guarantee& guarantee,
+                  std::vector<std::string> sites);
+
+  // Failure propagation: marks affected guarantees invalid.
+  void OnFailure(const FailureNotice& notice);
+
+  // Operator reset after a logical failure is repaired: guarantees
+  // involving the site become valid again.
+  void ResetSite(const std::string& site, TimePoint at);
+
+  Result<GuaranteeValidity> StatusOf(const std::string& key) const;
+
+  // All notices seen, in detection order.
+  const std::vector<FailureNotice>& failures() const { return failures_; }
+
+  // Keys currently invalid.
+  std::vector<std::string> InvalidKeys() const;
+
+ private:
+  struct Entry {
+    spec::Guarantee guarantee;
+    bool metric;
+    std::vector<std::string> sites;
+    GuaranteeValidity validity = GuaranteeValidity::kValid;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<FailureNotice> failures_;
+};
+
+}  // namespace hcm::toolkit
+
+#endif  // HCM_TOOLKIT_FAILURE_H_

@@ -1,0 +1,58 @@
+#include "src/toolkit/registry.h"
+
+namespace hcm::toolkit {
+
+Status ItemRegistry::RegisterDatabaseItem(const std::string& base,
+                                          const std::string& site) {
+  auto it = items_.find(base);
+  if (it != items_.end()) {
+    if (it->second.site == site && !it->second.cm_private) {
+      return Status::OK();  // idempotent re-registration
+    }
+    return Status::AlreadyExists("item base already registered: " + base);
+  }
+  items_.emplace(base, ItemLocation{site, false});
+  return Status::OK();
+}
+
+Status ItemRegistry::RegisterPrivateItem(const std::string& base,
+                                         const std::string& site) {
+  auto it = items_.find(base);
+  if (it != items_.end()) {
+    if (it->second.site == site && it->second.cm_private) {
+      return Status::OK();
+    }
+    return Status::AlreadyExists("item base already registered: " + base);
+  }
+  items_.emplace(base, ItemLocation{site, true});
+  return Status::OK();
+}
+
+Result<ItemLocation> ItemRegistry::Locate(const std::string& base) const {
+  auto it = items_.find(base);
+  if (it == items_.end()) {
+    return Status::NotFound("unregistered item base: " + base);
+  }
+  return it->second;
+}
+
+Result<std::string> ItemRegistry::SiteOf(const rule::ItemRef& ref) const {
+  HCM_ASSIGN_OR_RETURN(ItemLocation loc, Locate(ref.base));
+  return loc.site;
+}
+
+bool ItemRegistry::IsPrivate(const std::string& base) const {
+  auto it = items_.find(base);
+  return it != items_.end() && it->second.cm_private;
+}
+
+std::vector<std::string> ItemRegistry::ItemsAtSite(
+    const std::string& site) const {
+  std::vector<std::string> out;
+  for (const auto& [base, loc] : items_) {
+    if (loc.site == site) out.push_back(base);
+  }
+  return out;
+}
+
+}  // namespace hcm::toolkit

@@ -1,0 +1,45 @@
+#ifndef HCM_TOOLKIT_REGISTRY_H_
+#define HCM_TOOLKIT_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rule/item.h"
+
+namespace hcm::toolkit {
+
+// Where a data item lives and who answers for it. Database-resident items
+// are served by the site's CM-Translator; private items are CM-Shell state
+// (rule caches, Flag/Tb auxiliary data — Section 6.3/7.1).
+struct ItemLocation {
+  std::string site;
+  bool cm_private = false;
+};
+
+// The toolkit's name service: item base name -> location. Populated from
+// CM-RID files (database items) and strategy installation (private items).
+// Parameterized instances share their base's location (salary1(17) lives
+// where salary1 is registered).
+class ItemRegistry {
+ public:
+  Status RegisterDatabaseItem(const std::string& base,
+                              const std::string& site);
+  Status RegisterPrivateItem(const std::string& base,
+                             const std::string& site);
+
+  // Location of an item's base; NotFound when unregistered.
+  Result<ItemLocation> Locate(const std::string& base) const;
+  Result<std::string> SiteOf(const rule::ItemRef& ref) const;
+
+  bool IsPrivate(const std::string& base) const;
+  std::vector<std::string> ItemsAtSite(const std::string& site) const;
+
+ private:
+  std::map<std::string, ItemLocation> items_;
+};
+
+}  // namespace hcm::toolkit
+
+#endif  // HCM_TOOLKIT_REGISTRY_H_

@@ -1,0 +1,187 @@
+#include "src/toolkit/rid.h"
+
+#include "src/common/string_util.h"
+#include "src/rule/lexer.h"
+
+namespace hcm::toolkit {
+
+const RidItemMapping* RidConfig::FindItem(const std::string& base) const {
+  for (const auto& item : items) {
+    if (item.item_base == base) return &item;
+  }
+  return nullptr;
+}
+
+Duration RidConfig::ParamDuration(const std::string& name,
+                                  Duration fallback) const {
+  auto it = params.find(name);
+  if (it == params.end()) return fallback;
+  auto d = rule::ParseDurationText(it->second);
+  return d.ok() ? *d : fallback;
+}
+
+namespace {
+
+// "interface notify salary1(n) 1s" / "interface periodic-notify X 300s 1s" /
+// "interface conditional-notify X 1s <condition...>".
+Result<spec::InterfaceSpec> ParseInterfaceLine(const std::string& rest) {
+  std::vector<std::string> parts = StrSplitTrim(rest, ' ');
+  if (parts.size() < 2) {
+    return Status::InvalidArgument("interface line needs kind and item: " +
+                                   rest);
+  }
+  const std::string& kind = parts[0];
+  const std::string& item = parts[1];
+  auto dur = [&parts](size_t i) -> Result<Duration> {
+    if (i >= parts.size()) {
+      return Status::InvalidArgument("interface line missing duration");
+    }
+    return rule::ParseDurationText(parts[i]);
+  };
+  if (kind == "write") {
+    HCM_ASSIGN_OR_RETURN(Duration d, dur(2));
+    return spec::MakeWriteInterface(item, d);
+  }
+  if (kind == "read") {
+    HCM_ASSIGN_OR_RETURN(Duration d, dur(2));
+    return spec::MakeReadInterface(item, d);
+  }
+  if (kind == "notify") {
+    HCM_ASSIGN_OR_RETURN(Duration d, dur(2));
+    return spec::MakeNotifyInterface(item, d);
+  }
+  if (kind == "no-spontaneous-write") {
+    return spec::MakeNoSpontaneousWriteInterface(item);
+  }
+  if (kind == "periodic-notify") {
+    HCM_ASSIGN_OR_RETURN(Duration period, dur(2));
+    HCM_ASSIGN_OR_RETURN(Duration eps, dur(3));
+    return spec::MakePeriodicNotifyInterface(item, period, eps);
+  }
+  if (kind == "conditional-notify") {
+    HCM_ASSIGN_OR_RETURN(Duration d, dur(2));
+    if (parts.size() < 4) {
+      return Status::InvalidArgument(
+          "conditional-notify needs a condition: " + rest);
+    }
+    std::vector<std::string> cond(parts.begin() + 3, parts.end());
+    return spec::MakeConditionalNotifyInterface(item, StrJoin(cond, " "), d);
+  }
+  if (kind == "insert-notify") {
+    HCM_ASSIGN_OR_RETURN(Duration d, dur(2));
+    return spec::MakeInsertNotifyInterface(item, d);
+  }
+  if (kind == "delete-capability") {
+    HCM_ASSIGN_OR_RETURN(Duration d, dur(2));
+    return spec::MakeDeleteCapability(item, d);
+  }
+  return Status::InvalidArgument("unknown interface kind: " + kind);
+}
+
+}  // namespace
+
+Result<RidConfig> ParseRid(const std::string& text) {
+  RidConfig config;
+  RidItemMapping* current_item = nullptr;
+  size_t line_no = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string line = StrTrim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.find(' ');
+    std::string keyword = space == std::string::npos
+                              ? line
+                              : line.substr(0, space);
+    std::string rest =
+        space == std::string::npos ? "" : StrTrim(line.substr(space + 1));
+    auto fail = [&](const std::string& msg) {
+      return Status::InvalidArgument(
+          StrFormat("RID line %zu: %s", line_no, msg.c_str()));
+    };
+    if (keyword == "ris") {
+      if (rest.empty()) return fail("ris needs a type");
+      config.ris_type = rest;
+    } else if (keyword == "site") {
+      if (rest.empty()) return fail("site needs a name");
+      config.site = rest;
+    } else if (keyword == "param") {
+      size_t sp = rest.find(' ');
+      if (sp == std::string::npos) return fail("param needs name and value");
+      config.params[rest.substr(0, sp)] = StrTrim(rest.substr(sp + 1));
+    } else if (keyword == "item") {
+      if (rest.empty()) return fail("item needs a base name");
+      config.items.push_back(RidItemMapping{});
+      config.items.back().item_base = rest;
+      current_item = &config.items.back();
+    } else if (keyword == "read" || keyword == "write" || keyword == "list" ||
+               keyword == "insert" || keyword == "delete" ||
+               keyword == "notify") {
+      if (current_item == nullptr) {
+        return fail("'" + keyword + "' outside an item block");
+      }
+      if (keyword == "read") {
+        current_item->read_command = rest;
+      } else if (keyword == "write") {
+        current_item->write_command = rest;
+      } else if (keyword == "list") {
+        current_item->list_command = rest;
+      } else if (keyword == "insert") {
+        current_item->insert_command = rest;
+      } else if (keyword == "delete") {
+        current_item->delete_command = rest;
+      } else {
+        current_item->notify_hint = rest;
+      }
+    } else if (keyword == "interface") {
+      HCM_ASSIGN_OR_RETURN(spec::InterfaceSpec spec,
+                           ParseInterfaceLine(rest));
+      config.interfaces.push_back(std::move(spec));
+    } else {
+      return fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (config.ris_type.empty()) {
+    return Status::InvalidArgument("RID missing 'ris' type");
+  }
+  if (config.site.empty()) {
+    return Status::InvalidArgument("RID missing 'site'");
+  }
+  return config;
+}
+
+Result<std::string> SubstituteCommand(
+    const std::string& command_template, const std::vector<Value>& args,
+    const Value* value,
+    const std::function<std::string(const Value&)>& render) {
+  std::string out;
+  for (size_t i = 0; i < command_template.size(); ++i) {
+    char c = command_template[i];
+    if (c != '$' || i + 1 >= command_template.size()) {
+      out += c;
+      continue;
+    }
+    char next = command_template[++i];
+    if (next == 'v') {
+      if (value == nullptr) {
+        return Status::InvalidArgument("command uses $v but no value given");
+      }
+      out += render(*value);
+    } else if (next >= '1' && next <= '9') {
+      size_t idx = static_cast<size_t>(next - '1');
+      if (idx >= args.size()) {
+        return Status::InvalidArgument(
+            StrFormat("command uses $%c but item has %zu argument(s)", next,
+                      args.size()));
+      }
+      out += render(args[idx]);
+    } else if (next == '$') {
+      out += '$';
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("bad placeholder $%c in command template", next));
+    }
+  }
+  return out;
+}
+
+}  // namespace hcm::toolkit

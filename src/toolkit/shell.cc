@@ -1,0 +1,286 @@
+#include "src/toolkit/shell.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace hcm::toolkit {
+
+Shell::Shell(std::string site, sim::Executor* executor, sim::Network* network,
+             trace::TraceRecorder* recorder, const ItemRegistry* registry,
+             GuaranteeStatusRegistry* guarantees)
+    : site_(std::move(site)),
+      executor_(executor),
+      network_(network),
+      recorder_(recorder),
+      registry_(registry),
+      guarantees_(guarantees) {}
+
+Status Shell::Initialize() {
+  return network_->RegisterEndpoint(
+      site_, [this](const sim::Message& m) { OnMessage(m); });
+}
+
+Status Shell::AddLhsRule(const rule::Rule& r, const std::string& rhs_site) {
+  if (r.id < 0) return Status::InvalidArgument("rule has no id assigned");
+  if (r.forbids()) {
+    return Status::InvalidArgument(
+        "prohibition rules describe interfaces; they are not executable");
+  }
+  lhs_rules_.push_back(LhsEntry{r, rhs_site});
+  return Status::OK();
+}
+
+Status Shell::AddRhsRule(const rule::Rule& r) {
+  if (r.id < 0) return Status::InvalidArgument("rule has no id assigned");
+  rhs_rules_[r.id] = r;
+  return Status::OK();
+}
+
+Status Shell::StartPeriodicRule(const rule::Rule& r) {
+  if (r.lhs.kind != rule::EventKind::kPeriodic) {
+    return Status::InvalidArgument("not a periodic rule: " + r.ToString());
+  }
+  if (r.lhs.values.empty() || !r.lhs.values[0].is_literal() ||
+      !r.lhs.values[0].literal().is_int()) {
+    return Status::InvalidArgument("periodic rule needs a literal period: " +
+                                   r.ToString());
+  }
+  Duration period = Duration::Millis(r.lhs.values[0].literal().AsInt());
+  if (period <= Duration::Zero()) {
+    return Status::InvalidArgument("periodic rule period must be positive");
+  }
+  int64_t period_ms = period.millis();
+  // Self-rescheduling timer; P events are recorded then matched normally.
+  auto fire = std::make_shared<std::function<void()>>();
+  *fire = [this, period, period_ms, fire]() {
+    rule::Event p;
+    p.kind = rule::EventKind::kPeriodic;
+    p.values = {Value::Int(period_ms)};
+    RecordAndProcess(std::move(p));
+    executor_->ScheduleAfter(period, *fire);
+  };
+  executor_->ScheduleAfter(period, *fire);
+  return Status::OK();
+}
+
+void Shell::AddPeriodicTask(Duration period, std::function<void()> task) {
+  auto fire = std::make_shared<std::function<void()>>();
+  auto shared_task = std::make_shared<std::function<void()>>(std::move(task));
+  *fire = [this, period, shared_task, fire]() {
+    (*shared_task)();
+    executor_->ScheduleAfter(period, *fire);
+  };
+  executor_->ScheduleAfter(period, *fire);
+}
+
+Value Shell::ReadPrivate(const rule::ItemId& item) const {
+  auto it = private_data_.find(item);
+  return it == private_data_.end() ? Value::Null() : it->second;
+}
+
+void Shell::WritePrivate(const rule::ItemId& item, Value value,
+                         int64_t rule_id, int64_t trigger_event_id,
+                         int rhs_step) {
+  rule::Event w;
+  w.time = executor_->now();
+  w.site = site_;
+  w.kind = rule::EventKind::kWrite;
+  w.item = item;
+  w.values = {value};
+  w.rule_id = rule_id;
+  w.trigger_event_id = trigger_event_id;
+  w.rhs_step = rhs_step;
+  recorder_->Record(w);
+  private_data_[item] = std::move(value);
+}
+
+Result<Value> Shell::ReadAuxiliary(const rule::ItemId& item) const {
+  return ReadPrivate(item);
+}
+
+rule::DataReader Shell::PrivateReader() const {
+  return [this](const rule::ItemId& item) -> Result<Value> {
+    return ReadPrivate(item);
+  };
+}
+
+void Shell::OnMessage(const sim::Message& message) {
+  if (message.kind == "event") {
+    const auto& em = std::any_cast<const EventMessage&>(message.payload);
+    RecordAndProcess(em.event);
+  } else if (message.kind == "fire") {
+    const auto& fire = std::any_cast<const FireMessage&>(message.payload);
+    ExecuteFire(fire);
+  } else if (message.kind == "failure") {
+    const auto& fm = std::any_cast<const FailureMessage&>(message.payload);
+    ReportFailure(fm.notice);
+  } else if (message.kind == "failure-relay") {
+    // Peer shells learn of the failure; the (process-wide) guarantee status
+    // registry was already updated by the reporting shell, so the relay is
+    // informational here.
+    const auto& fm = std::any_cast<const FailureMessage&>(message.payload);
+    HCM_LOG(Info) << "shell at " << site_
+                  << " learned of failure: " << fm.notice.ToString();
+  } else {
+    HCM_LOG(Warning) << "shell at " << site_ << " ignoring message kind "
+                     << message.kind;
+  }
+}
+
+void Shell::RecordAndProcess(rule::Event event) {
+  event.time = executor_->now();
+  event.site = site_;
+  event.id = recorder_->Record(event);
+  MatchEvent(event);
+}
+
+void Shell::MatchEvent(const rule::Event& event) {
+  for (const LhsEntry& entry : lhs_rules_) {
+    rule::Binding binding;
+    if (!entry.rule.lhs.Matches(event, &binding)) continue;
+    if (entry.rule.lhs_condition != nullptr) {
+      auto pass = entry.rule.lhs_condition->EvalBool(binding,
+                                                     PrivateReader());
+      if (!pass.ok()) {
+        HCM_LOG(Warning) << "LHS condition error for rule "
+                         << entry.rule.ToString() << ": "
+                         << pass.status().ToString();
+        continue;
+      }
+      if (!*pass) continue;
+    }
+    FireMessage fire;
+    fire.rule_id = entry.rule.id;
+    fire.trigger_event_id = event.id;
+    fire.trigger_time = event.time;
+    fire.binding = binding;
+    Status s = network_->Send({site_, entry.rhs_site, "fire", fire});
+    if (!s.ok()) {
+      HCM_LOG(Warning) << "fire message undeliverable: " << s.ToString();
+    }
+  }
+}
+
+void Shell::ExecuteFire(const FireMessage& fire) {
+  auto it = rhs_rules_.find(fire.rule_id);
+  if (it == rhs_rules_.end()) {
+    HCM_LOG(Warning) << "shell at " << site_ << " has no body for rule "
+                     << fire.rule_id;
+    return;
+  }
+  const rule::Rule& r = it->second;
+  ++firings_;
+  // Metric self-check: arriving after the rule's deadline means the CM (or
+  // the network) broke the strategy's timing promise.
+  if (fire.trigger_time + r.delta < executor_->now()) {
+    FailureNotice notice;
+    notice.site = site_;
+    notice.failure_class = FailureClass::kMetric;
+    notice.detected_at = executor_->now();
+    notice.detail = StrFormat("rule %lld fired after its %s deadline",
+                              static_cast<long long>(r.id),
+                              r.delta.ToString().c_str());
+    ReportFailure(notice);
+  }
+  ExecuteStep(r, fire, 0, fire.binding);
+}
+
+void Shell::ExecuteStep(const rule::Rule& r, const FireMessage& fire,
+                        size_t step, rule::Binding binding) {
+  if (step >= r.rhs.size()) return;
+  executor_->ScheduleAfter(step_delay_, [this, &r, fire, step, binding]() {
+    rule::Binding b = binding;
+    b["now"] = Value::Int(executor_->now().millis());
+    const rule::RhsStep& rhs = r.rhs[step];
+    bool emit = true;
+    if (rhs.condition != nullptr) {
+      auto pass = rhs.condition->EvalBool(b, PrivateReader());
+      if (!pass.ok()) {
+        HCM_LOG(Warning) << "RHS condition error for rule " << r.ToString()
+                         << ": " << pass.status().ToString();
+        emit = false;
+      } else {
+        emit = *pass;
+      }
+    }
+    if (emit) {
+      auto event = rhs.event.Instantiate(b);
+      bool whole_base = false;
+      if (!event.ok()) {
+        // A read request over a parameterized item with unbound arguments
+        // sweeps the whole base (e.g. P(60) -> RR(salary1(n))).
+        if (rhs.event.kind == rule::EventKind::kReadRequest) {
+          rule::Event rr;
+          rr.kind = rule::EventKind::kReadRequest;
+          rr.item = rule::ItemId{rhs.event.item.base, {}};
+          event = rr;
+          whole_base = true;
+        } else {
+          HCM_LOG(Warning) << "cannot instantiate RHS of " << r.ToString()
+                           << ": " << event.status().ToString();
+        }
+      }
+      if (event.ok()) {
+        event->rule_id = r.id;
+        event->trigger_event_id = fire.trigger_event_id;
+        event->rhs_step = static_cast<int>(step);
+        RouteGeneratedEvent(std::move(*event), whole_base);
+      }
+    }
+    ExecuteStep(r, fire, step + 1, binding);
+  });
+}
+
+void Shell::RouteGeneratedEvent(rule::Event event, bool whole_base) {
+  switch (event.kind) {
+    case rule::EventKind::kWrite: {
+      // Private-data writes execute in the shell itself; writes to
+      // database items must be phrased as WR in the strategy.
+      if (registry_ != nullptr && !registry_->IsPrivate(event.item.base)) {
+        HCM_LOG(Warning)
+            << "strategy W event on non-private item " << event.item.ToString()
+            << " ignored (use WR for database items)";
+        return;
+      }
+      WritePrivate(event.item, event.written_value(), event.rule_id,
+                   event.trigger_event_id, event.rhs_step);
+      return;
+    }
+    case rule::EventKind::kWriteRequest: {
+      Status s = network_->Send({site_, TranslatorEndpoint(site_), "wr",
+                                 RequestMessage{std::move(event), false}});
+      if (!s.ok()) HCM_LOG(Warning) << "WR undeliverable: " << s.ToString();
+      return;
+    }
+    case rule::EventKind::kReadRequest: {
+      Status s = network_->Send({site_, TranslatorEndpoint(site_), "rr",
+                                 RequestMessage{std::move(event),
+                                                whole_base}});
+      if (!s.ok()) HCM_LOG(Warning) << "RR undeliverable: " << s.ToString();
+      return;
+    }
+    case rule::EventKind::kDelete: {
+      Status s = network_->Send({site_, TranslatorEndpoint(site_), "del",
+                                 RequestMessage{std::move(event), false}});
+      if (!s.ok()) HCM_LOG(Warning) << "DEL undeliverable: " << s.ToString();
+      return;
+    }
+    default:
+      HCM_LOG(Warning) << "strategy produced unsupported event kind "
+                       << rule::EventKindName(event.kind);
+  }
+}
+
+void Shell::ReportFailure(const FailureNotice& notice) {
+  if (guarantees_ != nullptr) guarantees_->OnFailure(notice);
+  for (Shell* peer : peers_) {
+    if (peer == this) continue;
+    FailureMessage msg{notice};
+    Status s = network_->Send({site_, peer->site(), "failure-relay", msg});
+    if (!s.ok()) {
+      HCM_LOG(Warning) << "failure relay undeliverable: " << s.ToString();
+    }
+  }
+}
+
+}  // namespace hcm::toolkit

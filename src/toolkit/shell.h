@@ -1,0 +1,129 @@
+#ifndef HCM_TOOLKIT_SHELL_H_
+#define HCM_TOOLKIT_SHELL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/rule/rule.h"
+#include "src/sim/executor.h"
+#include "src/sim/network.h"
+#include "src/toolkit/failure.h"
+#include "src/toolkit/messages.h"
+#include "src/toolkit/registry.h"
+#include "src/trace/trace.h"
+
+namespace hcm::toolkit {
+
+// A per-site Constraint Manager Shell: "a general-purpose process that is
+// configured by reading the Strategy Specification" (Section 4.1).
+//
+// The shell
+//  - receives events from its local CM-Translator and from peer shells;
+//  - matches them against the rules whose LHS events occur at this site;
+//  - forwards each match (rule id + matching interpretation) to the shell
+//    responsible for the rule's RHS site, which evaluates the step
+//    conditions against ITS local data and emits the step events;
+//  - owns the CM-private data at this site (caches, Flag/Tb auxiliary
+//    items) and answers application reads of it;
+//  - runs the timers behind P(p) periodic rules;
+//  - relays failure notices from the translator to every peer shell and to
+//    the guarantee status registry.
+class Shell {
+ public:
+  Shell(std::string site, sim::Executor* executor, sim::Network* network,
+        trace::TraceRecorder* recorder, const ItemRegistry* registry,
+        GuaranteeStatusRegistry* guarantees);
+  Shell(const Shell&) = delete;
+  Shell& operator=(const Shell&) = delete;
+
+  const std::string& site() const { return site_; }
+
+  // Registers the shell's network endpoint. Call once before running.
+  Status Initialize();
+
+  // Lets this shell relay failure notices to its peers (every other shell).
+  void SetPeers(std::vector<Shell*> peers) { peers_ = std::move(peers); }
+
+  // --- Rule installation (performed by the System during initialization,
+  // implementing the paper's rule-distribution step) ---
+
+  // Installs a rule whose LHS events occur at this site; matches will be
+  // forwarded to `rhs_site` for execution.
+  Status AddLhsRule(const rule::Rule& r, const std::string& rhs_site);
+
+  // Installs the rule body at the RHS-executing shell (may be the same
+  // shell as the LHS).
+  Status AddRhsRule(const rule::Rule& r);
+
+  // Starts the timer for a P(p)-headed rule owned by this shell. The rule
+  // must also be installed via AddLhsRule/AddRhsRule.
+  Status StartPeriodicRule(const rule::Rule& r);
+
+  // Host-language strategies (Demarcation Protocol, referential sweeps)
+  // register programmatic work; see src/protocols.
+  void AddPeriodicTask(Duration period, std::function<void()> task);
+
+  // --- CM-private data (auxiliary items, Section 7.1) ---
+
+  // Reads private data; unwritten items read as Null.
+  Value ReadPrivate(const rule::ItemId& item) const;
+
+  // Writes private data, recording the W event. Used by rule execution and
+  // by host-language strategies.
+  void WritePrivate(const rule::ItemId& item, Value value,
+                    int64_t rule_id = -1, int64_t trigger_event_id = -1,
+                    int rhs_step = -1);
+
+  // Seeds private data without recording an event (initial state).
+  void SeedPrivate(const rule::ItemId& item, Value value) {
+    private_data_[item] = std::move(value);
+  }
+
+  // The application-facing read API ("a simple programmatic interface to
+  // allow applications to read auxiliary CM data").
+  Result<Value> ReadAuxiliary(const rule::ItemId& item) const;
+
+  // Count of rule firings executed here (for benches).
+  uint64_t firings() const { return firings_; }
+
+ private:
+  void OnMessage(const sim::Message& message);
+  // Records the event (stamping time/site) and runs LHS matching.
+  void RecordAndProcess(rule::Event event);
+  // LHS matching for one event that occurred at this site.
+  void MatchEvent(const rule::Event& event);
+  // RHS execution of a fired rule.
+  void ExecuteFire(const FireMessage& fire);
+  void ExecuteStep(const rule::Rule& r, const FireMessage& fire, size_t step,
+                   rule::Binding binding);
+  void RouteGeneratedEvent(rule::Event event, bool whole_base);
+  void ReportFailure(const FailureNotice& notice);
+
+  rule::DataReader PrivateReader() const;
+
+  std::string site_;
+  sim::Executor* executor_;
+  sim::Network* network_;
+  trace::TraceRecorder* recorder_;
+  const ItemRegistry* registry_;
+  GuaranteeStatusRegistry* guarantees_;
+  std::vector<Shell*> peers_;
+
+  struct LhsEntry {
+    rule::Rule rule;
+    std::string rhs_site;
+  };
+  std::vector<LhsEntry> lhs_rules_;
+  std::map<int64_t, rule::Rule> rhs_rules_;
+  std::map<rule::ItemId, Value> private_data_;
+
+  // Per-step processing delay when executing a fired rule's RHS.
+  Duration step_delay_ = Duration::Millis(5);
+  uint64_t firings_ = 0;
+};
+
+}  // namespace hcm::toolkit
+
+#endif  // HCM_TOOLKIT_SHELL_H_

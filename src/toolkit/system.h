@@ -1,0 +1,165 @@
+#ifndef HCM_TOOLKIT_SYSTEM_H_
+#define HCM_TOOLKIT_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ris/biblio/biblio.h"
+#include "src/ris/filestore/filestore.h"
+#include "src/ris/relational/database.h"
+#include "src/ris/whois/whois.h"
+#include "src/sim/executor.h"
+#include "src/sim/failure_injector.h"
+#include "src/sim/network.h"
+#include "src/spec/constraint.h"
+#include "src/spec/strategy_spec.h"
+#include "src/spec/suggester.h"
+#include "src/toolkit/registry.h"
+#include "src/toolkit/shell.h"
+#include "src/toolkit/translator.h"
+#include "src/trace/trace.h"
+
+namespace hcm::toolkit {
+
+struct SystemOptions {
+  sim::NetworkConfig network;
+  uint64_t seed = 42;
+};
+
+// The assembled toolkit: one simulated "deployment" with its raw
+// information sources, CM-Translators, CM-Shells, constraint registry, and
+// execution trace. This is the top-level public API:
+//
+//   System sys;
+//   auto* db_a = *sys.AddRelationalSite("A");
+//   auto* db_b = *sys.AddRelationalSite("B");
+//   ... create tables ...
+//   sys.ConfigureTranslator(rid_text_for_a);
+//   sys.ConfigureTranslator(rid_text_for_b);
+//   auto c = *spec::MakeCopyConstraint("salary1(n)", "salary2(n)");
+//   auto suggestions = *sys.Suggest(c);
+//   sys.InstallStrategy("payroll", c, suggestions[0].strategy);
+//   ... drive spontaneous updates via WorkloadWrite ...
+//   sys.RunFor(Duration::Minutes(10));
+//   trace::Trace t = sys.FinishTrace();
+class System {
+ public:
+  explicit System(SystemOptions options = {});
+  ~System();
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // --- Substrate access ---
+  sim::Executor& executor() { return executor_; }
+  sim::Network& network() { return network_; }
+  sim::FailureInjector& failures() { return failures_; }
+  trace::TraceRecorder& recorder() { return recorder_; }
+  const ItemRegistry& registry() const { return registry_; }
+  GuaranteeStatusRegistry& guarantee_status() { return guarantee_status_; }
+
+  // --- Deployment: raw sources (owned by the System) ---
+  Result<ris::relational::Database*> AddRelationalSite(
+      const std::string& site);
+  Result<ris::filestore::FileStore*> AddFileSite(const std::string& site);
+  Result<ris::whois::WhoisServer*> AddWhoisSite(const std::string& site);
+  Result<ris::biblio::BiblioStore*> AddBiblioSite(const std::string& site);
+
+  // Parses a CM-RID, builds the matching translator over the site's raw
+  // source (which must have been added first), registers its items, and
+  // creates the site's CM-Shell.
+  Status ConfigureTranslator(const std::string& rid_text);
+
+  // Creates a CM-Shell for a site without a raw source (an application
+  // site hosting only auxiliary data, like the monitor scenario's).
+  Status AddShellOnlySite(const std::string& site);
+
+  // Registers a CM-private item at a site (creating the shell if needed).
+  // Strategies whose rules only touch private items (e.g. the monitor
+  // strategy) need their auxiliary items placed before installation.
+  Status RegisterPrivateItem(const std::string& base,
+                             const std::string& site);
+
+  // --- Initialization dialogue (Section 4.1) ---
+
+  // Interfaces offered for the items of `constraint`, per side.
+  Result<spec::SiteInterfaces> InterfacesForItem(const std::string& base)
+      const;
+
+  // Menu of applicable strategies with their guarantees.
+  Result<std::vector<spec::Suggestion>> Suggest(
+      const spec::Constraint& constraint,
+      const spec::SuggestOptions& options = {}) const;
+
+  // Distributes the strategy's rules to shells (by LHS site), registers
+  // private items at the RHS site, starts periodic rules, and registers the
+  // strategy's guarantees under "<key>/<guarantee-name>".
+  Status InstallStrategy(const std::string& key,
+                         const spec::Constraint& constraint,
+                         const spec::StrategySpec& strategy);
+
+  // --- Workload harness: simulated applications operating directly on the
+  // raw sources (spontaneous events, ground-truth recorded) ---
+  Status WorkloadWrite(const rule::ItemId& item, const Value& value);
+  Status WorkloadInsert(const rule::ItemId& item);
+  Status WorkloadDelete(const rule::ItemId& item);
+  Result<Value> WorkloadRead(const rule::ItemId& item);
+
+  // Ground-truth declarations for existence changes performed directly
+  // against a raw source by application code (e.g. a native AddRecord on
+  // the bibliographic store). They record the INS/DEL event only; the
+  // native operation is the caller's.
+  void NoteSpontaneousInsert(const rule::ItemId& item,
+                             const std::string& site);
+  void NoteSpontaneousDelete(const rule::ItemId& item,
+                             const std::string& site);
+
+  // Declares the item's current raw-source value as the trace's initial
+  // state (call after seeding tables, before running).
+  Status DeclareInitial(const rule::ItemId& item);
+  // Declares an initial value for a CM-private item.
+  Status DeclareInitialPrivate(const rule::ItemId& item, Value value);
+
+  // --- Application API ---
+  Result<Value> ReadAuxiliary(const std::string& site,
+                              const rule::ItemId& item) const;
+  Result<GuaranteeValidity> GuaranteeStatus(const std::string& key) const;
+
+  // --- Execution ---
+  void RunFor(Duration d) { executor_.RunFor(d); }
+  trace::Trace FinishTrace() { return recorder_.Finish(executor_.now()); }
+
+  // Access for protocols/ and tests.
+  Result<Shell*> ShellAt(const std::string& site);
+  Result<Translator*> TranslatorAt(const std::string& site);
+
+  // Human-readable deployment summary (the Figure 2 topology): per site,
+  // the raw source kind, translator presence, registered items with their
+  // interfaces, and CM-private items.
+  std::string DescribeDeployment() const;
+
+ private:
+  Status EnsureShell(const std::string& site);
+  Result<std::string> RhsSiteOfRule(const rule::Rule& r,
+                                    bool lenient = false) const;
+
+  SystemOptions options_;
+  sim::Executor executor_;
+  sim::FailureInjector failures_;
+  sim::Network network_;
+  trace::TraceRecorder recorder_;
+  ItemRegistry registry_;
+  GuaranteeStatusRegistry guarantee_status_;
+
+  std::map<std::string, std::unique_ptr<ris::relational::Database>> dbs_;
+  std::map<std::string, std::unique_ptr<ris::filestore::FileStore>> files_;
+  std::map<std::string, std::unique_ptr<ris::whois::WhoisServer>> whois_;
+  std::map<std::string, std::unique_ptr<ris::biblio::BiblioStore>> biblio_;
+  std::map<std::string, std::unique_ptr<Translator>> translators_;
+  std::map<std::string, std::unique_ptr<Shell>> shells_;
+  int64_t next_rule_id_ = 1;
+};
+
+}  // namespace hcm::toolkit
+
+#endif  // HCM_TOOLKIT_SYSTEM_H_

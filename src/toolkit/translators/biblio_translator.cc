@@ -1,0 +1,92 @@
+#include "src/toolkit/translators/biblio_translator.h"
+
+#include "src/common/string_util.h"
+
+namespace hcm::toolkit {
+namespace {
+
+Result<int64_t> RecordIdArg(const std::vector<Value>& args) {
+  if (args.size() != 1 || !args[0].is_int()) {
+    return Status::InvalidArgument(
+        "biblio items take a single integer record-id argument");
+  }
+  return args[0].AsInt();
+}
+
+}  // namespace
+
+Result<Value> BiblioTranslator::NativeRead(const RidItemMapping& mapping,
+                                           const std::vector<Value>& args) {
+  HCM_ASSIGN_OR_RETURN(int64_t id, RecordIdArg(args));
+  HCM_ASSIGN_OR_RETURN(ris::biblio::BiblioRecord record, store_->Fetch(id));
+  const std::string& field = mapping.read_command;
+  if (field.empty()) {
+    return Status::InvalidArgument("biblio read command must name a field");
+  }
+  std::string value = record.FieldOrEmpty(field);
+  if (value.empty()) {
+    return Status::NotFound(StrFormat("record %lld has no field '%s'",
+                                      static_cast<long long>(id),
+                                      field.c_str()));
+  }
+  return Value::Str(value);
+}
+
+Status BiblioTranslator::NativeWrite(const RidItemMapping& mapping,
+                                     const std::vector<Value>& args,
+                                     const Value& value) {
+  (void)mapping;
+  (void)args;
+  (void)value;
+  return Status::PermissionDenied(
+      "the bibliographic store is append-only; records cannot be edited");
+}
+
+Result<std::vector<std::vector<Value>>> BiblioTranslator::NativeList(
+    const RidItemMapping& mapping) {
+  // list_command: "field=term" search; empty term matches field presence.
+  size_t eq = mapping.list_command.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument(
+        "biblio list command must be 'field=term', got: " +
+        mapping.list_command);
+  }
+  std::string field = StrTrim(mapping.list_command.substr(0, eq));
+  std::string term = StrTrim(mapping.list_command.substr(eq + 1));
+  std::vector<std::vector<Value>> out;
+  for (int64_t id : store_->Search(field, term)) {
+    out.push_back({Value::Int(id)});
+  }
+  return out;
+}
+
+Status BiblioTranslator::NativeDelete(const RidItemMapping& mapping,
+                                      const std::vector<Value>& args) {
+  (void)mapping;
+  HCM_ASSIGN_OR_RETURN(int64_t id, RecordIdArg(args));
+  return store_->RemoveRecord(id);
+}
+
+Status BiblioTranslator::InstallChangeHook(const RidItemMapping& mapping,
+                                           ChangeHook hook) {
+  std::vector<std::string> parts = StrSplitTrim(mapping.notify_hint, ' ');
+  if (parts.size() != 2 || parts[0] != "onadd") {
+    return Status::InvalidArgument(
+        "biblio notify_hint must be 'onadd <field>', got: " +
+        mapping.notify_hint);
+  }
+  if (hook_installed_) {
+    return Status::FailedPrecondition(
+        "biblio offers a single add callback and it is already in use");
+  }
+  hook_installed_ = true;
+  std::string field = parts[1];
+  store_->SetOnAdd(
+      [hook = std::move(hook), field](const ris::biblio::BiblioRecord& r) {
+        hook({Value::Int(r.id)}, Value::Null(),
+             Value::Str(r.FieldOrEmpty(field)));
+      });
+  return Status::OK();
+}
+
+}  // namespace hcm::toolkit

@@ -1,0 +1,85 @@
+#include "src/toolkit/translators/filestore_translator.h"
+
+namespace hcm::toolkit {
+namespace {
+
+std::string RenderBare(const Value& v) {
+  return v.is_str() ? v.AsStr() : v.ToString();
+}
+
+Status MapErrno(ris::filestore::FileErrno err, const std::string& path) {
+  using ris::filestore::FileErrno;
+  switch (err) {
+    case FileErrno::kOk:
+      return Status::OK();
+    case FileErrno::kNoEnt:
+      return Status::NotFound("ENOENT: " + path);
+    case FileErrno::kAccess:
+      return Status::PermissionDenied("EACCES: " + path);
+    case FileErrno::kBusy:
+      return Status::Unavailable("EBUSY: " + path);
+    case FileErrno::kIo:
+      return Status::Corruption("EIO: " + path);
+  }
+  return Status::Internal("unknown errno");
+}
+
+}  // namespace
+
+Result<Value> FilestoreTranslator::NativeRead(const RidItemMapping& mapping,
+                                              const std::vector<Value>& args) {
+  HCM_ASSIGN_OR_RETURN(
+      std::string path,
+      SubstituteCommand(mapping.read_command, args, nullptr, RenderBare));
+  std::string contents;
+  HCM_RETURN_IF_ERROR(MapErrno(fs_->Read(path, &contents), path));
+  // Contents are the value's textual form; fall back to a raw string for
+  // files written by non-CM applications.
+  auto parsed = Value::Parse(contents);
+  if (parsed.ok()) return *parsed;
+  return Value::Str(contents);
+}
+
+Status FilestoreTranslator::NativeWrite(const RidItemMapping& mapping,
+                                        const std::vector<Value>& args,
+                                        const Value& value) {
+  HCM_ASSIGN_OR_RETURN(
+      std::string path,
+      SubstituteCommand(mapping.write_command, args, nullptr, RenderBare));
+  fs_->set_clock_ms(executor()->now().millis());
+  return MapErrno(fs_->Write(path, value.ToString()), path);
+}
+
+Result<std::vector<std::vector<Value>>> FilestoreTranslator::NativeList(
+    const RidItemMapping& mapping) {
+  if (mapping.list_command.empty()) {
+    return std::vector<std::vector<Value>>{{}};
+  }
+  const std::string& prefix = mapping.list_command;
+  std::vector<std::vector<Value>> out;
+  for (const auto& path : fs_->List(prefix)) {
+    out.push_back({Value::Str(path.substr(prefix.size()))});
+  }
+  return out;
+}
+
+Status FilestoreTranslator::NativeInsert(const RidItemMapping& mapping,
+                                         const std::vector<Value>& args) {
+  // Creating the file with empty contents makes the item exist.
+  HCM_ASSIGN_OR_RETURN(
+      std::string path,
+      SubstituteCommand(mapping.write_command, args, nullptr, RenderBare));
+  fs_->set_clock_ms(executor()->now().millis());
+  return MapErrno(fs_->Write(path, ""), path);
+}
+
+Status FilestoreTranslator::NativeDelete(const RidItemMapping& mapping,
+                                         const std::vector<Value>& args) {
+  std::string tpl = mapping.delete_command.empty() ? mapping.write_command
+                                                   : mapping.delete_command;
+  HCM_ASSIGN_OR_RETURN(std::string path,
+                       SubstituteCommand(tpl, args, nullptr, RenderBare));
+  return MapErrno(fs_->Unlink(path), path);
+}
+
+}  // namespace hcm::toolkit

@@ -1,0 +1,94 @@
+#include "src/toolkit/translators/whois_translator.h"
+
+#include "src/common/string_util.h"
+
+namespace hcm::toolkit {
+namespace {
+
+// Whois is an untyped text protocol: values travel bare.
+std::string RenderBare(const Value& v) {
+  return v.is_str() ? v.AsStr() : v.ToString();
+}
+
+bool IsErrorResponse(const std::string& response) {
+  return StrStartsWith(response, "ERROR");
+}
+
+}  // namespace
+
+Result<Value> WhoisTranslator::NativeRead(const RidItemMapping& mapping,
+                                          const std::vector<Value>& args) {
+  HCM_ASSIGN_OR_RETURN(
+      std::string request,
+      SubstituteCommand(mapping.read_command, args, nullptr, RenderBare));
+  std::string response = server_->Query(request);
+  if (IsErrorResponse(response)) return Status::NotFound(response);
+  return Value::Str(response);
+}
+
+Status WhoisTranslator::NativeWrite(const RidItemMapping& mapping,
+                                    const std::vector<Value>& args,
+                                    const Value& value) {
+  HCM_ASSIGN_OR_RETURN(
+      std::string request,
+      SubstituteCommand(mapping.write_command, args, &value, RenderBare));
+  std::string response = server_->Query(request);
+  if (IsErrorResponse(response)) return Status::InvalidArgument(response);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<Value>>> WhoisTranslator::NativeList(
+    const RidItemMapping& mapping) {
+  if (mapping.list_command.empty()) {
+    return std::vector<std::vector<Value>>{{}};
+  }
+  std::string response = server_->Query(mapping.list_command);
+  if (IsErrorResponse(response)) {
+    return Status::Unavailable(response);
+  }
+  std::vector<std::vector<Value>> out;
+  for (const auto& login : StrSplitTrim(response, '\n')) {
+    out.push_back({Value::Str(login)});
+  }
+  return out;
+}
+
+Status WhoisTranslator::NativeDelete(const RidItemMapping& mapping,
+                                     const std::vector<Value>& args) {
+  if (mapping.delete_command.empty()) {
+    return Status::Unimplemented("no delete command for " +
+                                 mapping.item_base);
+  }
+  HCM_ASSIGN_OR_RETURN(
+      std::string request,
+      SubstituteCommand(mapping.delete_command, args, nullptr, RenderBare));
+  std::string response = server_->Query(request);
+  if (IsErrorResponse(response)) return Status::NotFound(response);
+  return Status::OK();
+}
+
+Status WhoisTranslator::InstallChangeHook(const RidItemMapping& mapping,
+                                          ChangeHook hook) {
+  std::vector<std::string> parts = StrSplitTrim(mapping.notify_hint, ' ');
+  if (parts.size() != 2 || parts[0] != "attr") {
+    return Status::InvalidArgument(
+        "whois notify_hint must be 'attr <attribute>', got: " +
+        mapping.notify_hint);
+  }
+  if (hook_installed_) {
+    return Status::FailedPrecondition(
+        "whois offers a single update callback and it is already in use");
+  }
+  hook_installed_ = true;
+  std::string attr = parts[1];
+  server_->SetOnUpdate([hook = std::move(hook), attr](
+                           const std::string& login, const std::string& a,
+                           const std::string& value) {
+    if (a != attr) return;
+    // Whois cannot report the previous value.
+    hook({Value::Str(login)}, Value::Null(), Value::Str(value));
+  });
+  return Status::OK();
+}
+
+}  // namespace hcm::toolkit

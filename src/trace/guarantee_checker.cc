@@ -1,0 +1,586 @@
+#include "src/trace/guarantee_checker.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/string_util.h"
+
+namespace hcm::trace {
+
+std::string Counterexample::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [var, t] : times) {
+    parts.push_back(var + "=" + t.ToString());
+  }
+  for (const auto& [var, v] : values) {
+    parts.push_back(var + "=" + v.ToString());
+  }
+  return StrJoin(parts, ", ");
+}
+
+std::string GuaranteeCheckResult::ToString() const {
+  std::string out = StrFormat(
+      "%s (%zu witnesses, %zu violations%s)", holds ? "HOLDS" : "VIOLATED",
+      lhs_witnesses, violations, truncated ? ", truncated" : "");
+  for (const auto& ce : counterexamples) {
+    out += "\n  counterexample: " + ce.ToString();
+  }
+  return out;
+}
+
+namespace {
+
+using rule::Binding;
+using rule::ExprOp;
+using rule::ItemId;
+using rule::ItemRef;
+using spec::AtomMode;
+using spec::GuaranteeAtom;
+using spec::TimeConstraint;
+using spec::TimeExpr;
+
+struct Assignment {
+  Binding values;
+  std::map<std::string, TimePoint> times;
+};
+
+class CheckerImpl {
+ public:
+  CheckerImpl(const Trace& trace, const spec::Guarantee& guarantee,
+              const GuaranteeCheckOptions& options)
+      : trace_(trace),
+        guarantee_(guarantee),
+        options_(options),
+        timeline_(StateTimeline::Build(trace)) {
+    CollectGuaranteeItems();
+    BuildUniversalExtraPoints();
+  }
+
+  Result<GuaranteeCheckResult> Run() {
+    GuaranteeCheckResult result;
+    // Enumerate universal witnesses over the LHS.
+    std::vector<Assignment> witnesses = {Assignment{}};
+    for (const auto& atom : guarantee_.lhs_atoms) {
+      std::vector<Assignment> next;
+      for (const auto& a : witnesses) {
+        ExtendWithAtom(atom, a, /*existential=*/false,
+                       [&next](Assignment&& ext) {
+                         next.push_back(std::move(ext));
+                         return false;  // keep enumerating
+                       });
+        if (next.size() > options_.max_lhs_witnesses) {
+          result.truncated = true;
+          next.resize(options_.max_lhs_witnesses);
+          break;
+        }
+      }
+      witnesses = std::move(next);
+    }
+    // Apply LHS time constraints.
+    witnesses.erase(
+        std::remove_if(witnesses.begin(), witnesses.end(),
+                       [&](const Assignment& a) {
+                         return !SatisfiesConstraints(guarantee_.lhs_time, a,
+                                                      /*partial_ok=*/false);
+                       }),
+        witnesses.end());
+    // Settle margin: drop witnesses too close to the horizon.
+    if (options_.settle_margin > Duration::Zero()) {
+      TimePoint cutoff = trace_.horizon - options_.settle_margin;
+      witnesses.erase(std::remove_if(witnesses.begin(), witnesses.end(),
+                                     [&](const Assignment& a) {
+                                       for (const auto& [v, t] : a.times) {
+                                         (void)v;
+                                         if (t > cutoff) return true;
+                                       }
+                                       return false;
+                                     }),
+                      witnesses.end());
+    }
+    result.lhs_witnesses = witnesses.size();
+    // Witnesses that agree on every value variable and every time variable
+    // the RHS actually references are equivalent for satisfiability; dedupe
+    // before the (comparatively expensive) existential search.
+    std::set<std::string> rhs_time_vars;
+    auto note_var = [&rhs_time_vars](const TimeExpr& te) {
+      if (!te.var.empty()) rhs_time_vars.insert(te.var);
+    };
+    for (const auto& a : guarantee_.rhs_atoms) {
+      note_var(a.at);
+      note_var(a.lo);
+      note_var(a.hi);
+    }
+    for (const auto& c : guarantee_.rhs_time) {
+      note_var(c.lhs);
+      note_var(c.rhs);
+    }
+    std::set<std::string> seen_keys;
+    std::vector<const Assignment*> representative;
+    for (const auto& w : witnesses) {
+      std::string key;
+      for (const auto& [var, v] : w.values) {
+        key += var + "=" + v.ToString() + ";";
+      }
+      for (const auto& [var, t] : w.times) {
+        if (rhs_time_vars.count(var) > 0) {
+          key += var + "@" + std::to_string(t.millis()) + ";";
+        }
+      }
+      if (seen_keys.insert(std::move(key)).second) {
+        representative.push_back(&w);
+      }
+    }
+    for (const Assignment* wp : representative) {
+      const Assignment& w = *wp;
+      if (!SatisfyRhs(0, w)) {
+        ++result.violations;
+        if (result.counterexamples.size() < options_.max_counterexamples) {
+          Counterexample ce;
+          ce.values = w.values;
+          ce.times = w.times;
+          result.counterexamples.push_back(std::move(ce));
+        }
+      }
+    }
+    result.holds = result.violations == 0;
+    return result;
+  }
+
+ private:
+  // ------------------------------------------------------------------
+  // State access
+  // ------------------------------------------------------------------
+
+  rule::DataReader ReaderAt(TimePoint t) const {
+    return [this, t](const ItemId& item) -> Result<Value> {
+      auto v = timeline_.ValueAt(item, t);
+      if (!v.has_value()) return Status::NotFound(item.ToString());
+      return *v;
+    };
+  }
+
+  // ------------------------------------------------------------------
+  // Sample-point machinery
+  // ------------------------------------------------------------------
+
+  void CollectGuaranteeItems() {
+    auto add_atom = [&](const GuaranteeAtom& atom) {
+      if (atom.exists_item.has_value()) {
+        all_refs_.push_back(*atom.exists_item);
+      } else if (atom.pred != nullptr) {
+        atom.pred->Collect(&all_refs_, nullptr);
+      }
+    };
+    for (const auto& a : guarantee_.lhs_atoms) add_atom(a);
+    for (const auto& a : guarantee_.rhs_atoms) add_atom(a);
+  }
+
+  // Universal quantification must consider every instant where the truth
+  // of the *whole formula* (as a function of the quantified time) can flip:
+  // not just the LHS atom's own change points, but every guarantee item's
+  // change points shifted by every offset the guarantee mentions (interval
+  // bounds like `t - kappa` translate an RHS change at time c into an LHS
+  // flip at c + kappa). Precomputed once.
+  void BuildUniversalExtraPoints() {
+    std::set<Duration> offsets;
+    offsets.insert(Duration::Millis(1));  // segment-boundary epsilon
+    auto add_time = [&offsets](const TimeExpr& te) {
+      Duration o = te.offset;
+      if (o < Duration::Zero()) o = Duration::Zero() - o;
+      if (o != Duration::Zero()) offsets.insert(o);
+    };
+    auto add_atom = [&](const GuaranteeAtom& a) {
+      add_time(a.at);
+      add_time(a.lo);
+      add_time(a.hi);
+    };
+    for (const auto& a : guarantee_.lhs_atoms) add_atom(a);
+    for (const auto& a : guarantee_.rhs_atoms) add_atom(a);
+    for (const auto& c : guarantee_.lhs_time) {
+      add_time(c.lhs);
+      add_time(c.rhs);
+    }
+    for (const auto& c : guarantee_.rhs_time) {
+      add_time(c.lhs);
+      add_time(c.rhs);
+    }
+    std::set<TimePoint> points;
+    for (const auto& ref : all_refs_) {
+      for (const auto& item : timeline_.ItemsWithBase(ref.base)) {
+        for (const auto& seg : timeline_.SegmentsOf(item)) {
+          points.insert(seg.from);
+          for (Duration o : offsets) {
+            points.insert(seg.from + o);
+            points.insert(seg.from - o);
+          }
+        }
+      }
+    }
+    for (TimePoint p : points) {
+      if (TimePoint::Origin() <= p && p <= trace_.horizon) {
+        universal_extra_points_.push_back(p);
+      }
+    }
+  }
+
+  // Concrete item instances in the trace matching a (possibly open) ref
+  // under the assignment. Each match may extend the value binding.
+  std::vector<std::pair<ItemId, Binding>> MatchingItems(
+      const ItemRef& ref, const Binding& binding) const {
+    std::vector<std::pair<ItemId, Binding>> out;
+    for (const auto& item : timeline_.ItemsWithBase(ref.base)) {
+      Binding b = binding;
+      if (ref.Unify(item, &b)) out.emplace_back(item, std::move(b));
+    }
+    return out;
+  }
+
+  // Sample instants covering every truth segment of predicates over
+  // `items`: each segment's start plus two interior representatives, the
+  // origin, and the horizon. Universal (LHS) quantification ranges over
+  // [0, horizon]; existential (RHS) search may also look at the pre-origin
+  // instant where initial values hold.
+  const std::vector<TimePoint>& SamplePoints(const std::vector<ItemId>& items,
+                                             bool existential) const {
+    // Memoized: the same item sets recur for every candidate assignment.
+    std::string key = existential ? "E|" : "U|";
+    for (const auto& item : items) key += item.ToString() + "|";
+    auto cached = sample_cache_.find(key);
+    if (cached != sample_cache_.end()) return cached->second;
+    std::set<TimePoint> points;
+    points.insert(TimePoint::Origin());
+    points.insert(trace_.horizon);
+    std::vector<TimePoint> changes;
+    for (const auto& item : items) {
+      for (const auto& seg : timeline_.SegmentsOf(item)) {
+        changes.push_back(seg.from);
+      }
+    }
+    std::sort(changes.begin(), changes.end());
+    for (size_t i = 0; i < changes.size(); ++i) {
+      TimePoint start = changes[i];
+      TimePoint end =
+          (i + 1 < changes.size()) ? changes[i + 1] : trace_.horizon;
+      points.insert(start);
+      if (start < end) {
+        Duration span = end - start;
+        points.insert(start + span / 3);
+        points.insert(start + (span * 2) / 3);
+      }
+    }
+    // The extra points make both quantifiers robust to constraints that
+    // relate this atom's time to other atoms' change points (e.g. a window
+    // (t1, t1 + kappa] that opens just after a change).
+    points.insert(universal_extra_points_.begin(),
+                  universal_extra_points_.end());
+    if (!existential) {
+      // Drop pre-origin instants: universal quantification is over the
+      // observed window only.
+      while (!points.empty() && *points.begin() < TimePoint::Origin()) {
+        points.erase(points.begin());
+      }
+    }
+    auto [it, inserted] = sample_cache_.emplace(
+        std::move(key), std::vector<TimePoint>(points.begin(), points.end()));
+    (void)inserted;
+    return it->second;
+  }
+
+  // Items an atom reads, grounded as far as the binding allows; instances
+  // are enumerated from the trace. When the atom mentions no items at all
+  // (e.g. "(true)@t"), every guarantee item is relevant.
+  std::vector<ItemId> AtomItems(const GuaranteeAtom& atom,
+                                const Binding& binding) const {
+    std::vector<ItemRef> refs;
+    if (atom.exists_item.has_value()) {
+      refs.push_back(*atom.exists_item);
+    } else if (atom.pred != nullptr) {
+      atom.pred->Collect(&refs, nullptr);
+    }
+    if (refs.empty()) refs = all_refs_;
+    std::vector<ItemId> out;
+    for (const auto& ref : refs) {
+      for (const auto& [item, b] : MatchingItems(ref, binding)) {
+        out.push_back(item);
+        (void)b;
+      }
+    }
+    if (out.empty()) {
+      // Still nothing (no guarantee items at all): fall back to the trace.
+      out = timeline_.AllItems();
+    }
+    return out;
+  }
+
+  // ------------------------------------------------------------------
+  // Time expressions and constraints
+  // ------------------------------------------------------------------
+
+  // Resolves a time expression: bound time variable, Int-valued value
+  // variable (milliseconds — how CM auxiliary data like Tb stores times),
+  // or absolute offset.
+  std::optional<TimePoint> GroundTime(const TimeExpr& te,
+                                      const Assignment& a) const {
+    if (te.is_absolute()) return TimePoint::Origin() + te.offset;
+    auto it = a.times.find(te.var);
+    if (it != a.times.end()) return it->second + te.offset;
+    auto vit = a.values.find(te.var);
+    if (vit != a.values.end() && vit->second.is_int()) {
+      return TimePoint::FromMillis(vit->second.AsInt()) + te.offset;
+    }
+    return std::nullopt;
+  }
+
+  // True when all *resolvable* constraints pass; with partial_ok, the
+  // unresolvable ones are ignored (used while the RHS is half-built).
+  bool SatisfiesConstraints(const std::vector<TimeConstraint>& constraints,
+                            const Assignment& a, bool partial_ok) const {
+    for (const auto& c : constraints) {
+      auto lhs = GroundTime(c.lhs, a);
+      auto rhs = GroundTime(c.rhs, a);
+      if (!lhs.has_value() || !rhs.has_value()) {
+        if (partial_ok) continue;
+        return false;
+      }
+      if (c.strict ? !(*lhs < *rhs) : !(*lhs <= *rhs)) return false;
+    }
+    return true;
+  }
+
+  // ------------------------------------------------------------------
+  // Atom evaluation
+  // ------------------------------------------------------------------
+
+  // Binds unbound variables appearing as `item = var` / `var = item`
+  // equalities (and conjunctions thereof) from the state at time t.
+  void SolveEqualities(const rule::Expr& pred, TimePoint t,
+                       Binding* binding) const {
+    if (pred.op() == ExprOp::kAnd) {
+      SolveEqualities(*pred.lhs(), t, binding);
+      SolveEqualities(*pred.rhs(), t, binding);
+      return;
+    }
+    if (pred.op() != ExprOp::kEq) return;
+    const rule::Expr* item_side = nullptr;
+    const rule::Expr* var_side = nullptr;
+    if (pred.lhs()->op() == ExprOp::kItem &&
+        pred.rhs()->op() == ExprOp::kVariable) {
+      item_side = pred.lhs().get();
+      var_side = pred.rhs().get();
+    } else if (pred.rhs()->op() == ExprOp::kItem &&
+               pred.lhs()->op() == ExprOp::kVariable) {
+      item_side = pred.rhs().get();
+      var_side = pred.lhs().get();
+    } else {
+      return;
+    }
+    const std::string& var = var_side->variable_name();
+    if (binding->count(var) > 0) return;
+    auto grounded = item_side->item_ref().Ground(*binding);
+    if (!grounded.ok()) return;
+    auto value = timeline_.ValueAt(*grounded, t);
+    if (!value.has_value()) return;
+    binding->emplace(var, *value);
+  }
+
+  // Truth of the atom's predicate at one instant, with equality-solving.
+  // Eval errors (nonexistent item, unbound variable) count as false.
+  bool PredTrueAt(const GuaranteeAtom& atom, TimePoint t,
+                  Binding* binding) const {
+    if (atom.exists_item.has_value()) {
+      auto grounded = atom.exists_item->Ground(*binding);
+      if (!grounded.ok()) return false;
+      bool exists = timeline_.ExistsAt(*grounded, t);
+      return atom.negated_exists ? !exists : exists;
+    }
+    SolveEqualities(*atom.pred, t, binding);
+    auto ok = atom.pred->EvalBool(*binding, ReaderAt(t));
+    return ok.ok() && *ok;
+  }
+
+  // A sink receives each satisfying extension; returning true stops the
+  // enumeration (existential short-circuit).
+  using Sink = std::function<bool(Assignment&&)>;
+
+  // Extends an assignment with one atom, feeding every satisfying extension
+  // to `sink`. For kAt atoms with an unbound time variable, enumerates
+  // sample instants; otherwise verifies at the determined instant/interval.
+  // `existential` selects RHS semantics (pre-origin instants allowed).
+  // Returns true when the sink stopped the enumeration.
+  bool ExtendWithAtom(const GuaranteeAtom& atom, const Assignment& a,
+                      bool existential, const Sink& sink) const {
+    // Enumerate item-parameter bindings first (e.g. the i in project(i)).
+    std::vector<Binding> param_bindings = ParamBindings(atom, a.values);
+    for (const Binding& pb : param_bindings) {
+      Assignment base = a;
+      base.values = pb;
+      switch (atom.mode) {
+        case AtomMode::kAt: {
+          auto fixed = GroundTime(atom.at, base);
+          if (fixed.has_value()) {
+            Assignment next = base;
+            if (PredTrueAt(atom, *fixed, &next.values) &&
+                sink(std::move(next))) {
+              return true;
+            }
+            break;
+          }
+          // Unbound time variable: enumerate sample points, assigning
+          // var = sample - offset.
+          for (TimePoint t :
+               SamplePoints(AtomItems(atom, base.values), existential)) {
+            Assignment next = base;
+            if (!PredTrueAt(atom, t, &next.values)) continue;
+            next.times[atom.at.var] = t - atom.at.offset;
+            if (sink(std::move(next))) return true;
+          }
+          break;
+        }
+        case AtomMode::kThroughout:
+        case AtomMode::kSometimeIn: {
+          auto lo = GroundTime(atom.lo, base);
+          auto hi = GroundTime(atom.hi, base);
+          // An unbound time variable in the lower bound (e.g. the t of
+          // E(project(i))@@[t, t+24h]) is enumerated over sample points.
+          if (!lo.has_value() && !atom.lo.var.empty() &&
+              base.times.count(atom.lo.var) == 0) {
+            for (TimePoint t :
+                 SamplePoints(AtomItems(atom, base.values), existential)) {
+              Assignment enumerated = base;
+              enumerated.times[atom.lo.var] = t - atom.lo.offset;
+              if (ExtendWithAtom(atom, enumerated, existential, sink)) {
+                return true;
+              }
+            }
+            break;
+          }
+          if (!lo.has_value() || !hi.has_value()) break;  // unresolvable
+          if (*hi < *lo) {
+            // Empty interval: vacuous for "throughout", false for "in".
+            if (atom.mode == AtomMode::kThroughout &&
+                sink(Assignment(base))) {
+              return true;
+            }
+            break;
+          }
+          std::vector<TimePoint> points;
+          points.push_back(*lo);
+          points.push_back(*hi);
+          for (TimePoint t :
+               SamplePoints(AtomItems(atom, base.values), existential)) {
+            if (*lo < t && t < *hi) points.push_back(t);
+          }
+          bool all = true;
+          bool any = false;
+          Assignment next = base;
+          for (TimePoint t : points) {
+            if (PredTrueAt(atom, t, &next.values)) {
+              any = true;
+            } else {
+              all = false;
+              if (atom.mode == AtomMode::kThroughout) break;
+            }
+          }
+          if ((atom.mode == AtomMode::kThroughout && all) ||
+              (atom.mode == AtomMode::kSometimeIn && any)) {
+            if (sink(std::move(next))) return true;
+          }
+          break;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Bindings for the parameters inside the atom's item references,
+  // enumerated from the trace's item instances. Returns at least the input
+  // binding when the atom's refs are ground or have no instances.
+  std::vector<Binding> ParamBindings(const GuaranteeAtom& atom,
+                                     const Binding& binding) const {
+    std::vector<ItemRef> refs;
+    if (atom.exists_item.has_value()) {
+      refs.push_back(*atom.exists_item);
+    } else if (atom.pred != nullptr) {
+      atom.pred->Collect(&refs, nullptr);
+    }
+    std::vector<Binding> current = {binding};
+    for (const auto& ref : refs) {
+      bool has_open_args = false;
+      for (const auto& t : ref.args) {
+        if (t.is_variable()) has_open_args = true;
+      }
+      if (!has_open_args) continue;
+      std::vector<Binding> next;
+      for (const auto& b : current) {
+        auto matches = MatchingItems(ref, b);
+        if (matches.empty()) {
+          // No instance: keep the binding; the predicate will read as
+          // false later.
+          next.push_back(b);
+        } else {
+          for (auto& [item, nb] : matches) {
+            next.push_back(std::move(nb));
+            (void)item;
+          }
+        }
+      }
+      // Dedupe (two refs over the same parameter produce duplicates).
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  // Depth-first existential search over the RHS atoms.
+  bool SatisfyRhs(size_t index, const Assignment& a) const {
+    if (!SatisfiesConstraints(guarantee_.rhs_time, a, /*partial_ok=*/true)) {
+      return false;
+    }
+    if (index == guarantee_.rhs_atoms.size()) {
+      return SatisfiesConstraints(guarantee_.rhs_time, a,
+                                  /*partial_ok=*/false);
+    }
+    // Lazy depth-first search: stop at the first satisfying extension.
+    return ExtendWithAtom(guarantee_.rhs_atoms[index], a,
+                          /*existential=*/true,
+                          [this, index](Assignment&& next) {
+                            return SatisfyRhs(index + 1, next);
+                          });
+  }
+
+  const Trace& trace_;
+  const spec::Guarantee& guarantee_;
+  const GuaranteeCheckOptions& options_;
+  StateTimeline timeline_;
+  std::vector<ItemRef> all_refs_;
+  std::vector<TimePoint> universal_extra_points_;
+  mutable std::map<std::string, std::vector<TimePoint>> sample_cache_;
+};
+
+}  // namespace
+
+Result<GuaranteeCheckResult> CheckGuarantee(
+    const Trace& trace, const spec::Guarantee& guarantee,
+    const GuaranteeCheckOptions& options) {
+  if (guarantee.name.find("PARSE-ERROR") != std::string::npos) {
+    return Status::InvalidArgument("guarantee failed to parse: " +
+                                   guarantee.name);
+  }
+  CheckerImpl impl(trace, guarantee, options);
+  return impl.Run();
+}
+
+Result<std::map<std::string, GuaranteeCheckResult>> CheckGuarantees(
+    const Trace& trace, const std::vector<spec::Guarantee>& guarantees,
+    const GuaranteeCheckOptions& options) {
+  std::map<std::string, GuaranteeCheckResult> out;
+  for (const auto& g : guarantees) {
+    HCM_ASSIGN_OR_RETURN(GuaranteeCheckResult r,
+                         CheckGuarantee(trace, g, options));
+    out.emplace(g.name, std::move(r));
+  }
+  return out;
+}
+
+}  // namespace hcm::trace

@@ -1,0 +1,71 @@
+#ifndef HCM_TRACE_GUARANTEE_CHECKER_H_
+#define HCM_TRACE_GUARANTEE_CHECKER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/spec/guarantee.h"
+#include "src/trace/trace.h"
+
+namespace hcm::trace {
+
+struct GuaranteeCheckOptions {
+  // LHS witnesses whose latest time falls within this margin of the horizon
+  // are skipped: their RHS obligations (e.g. "eventually Y = x") may not
+  // have come due when the run ended. Callers set this to at least the
+  // expected propagation delay for "leads"-style guarantees.
+  Duration settle_margin = Duration::Zero();
+  // Stop enumerating after this many LHS witnesses (safety valve; the
+  // result is marked truncated).
+  size_t max_lhs_witnesses = 2000000;
+  // Cap on materialized counterexamples.
+  size_t max_counterexamples = 5;
+};
+
+// A universally-quantified assignment for which no existential RHS witness
+// exists.
+struct Counterexample {
+  std::map<std::string, Value> values;          // value-variable bindings
+  std::map<std::string, TimePoint> times;       // time-variable bindings
+  std::string ToString() const;
+};
+
+struct GuaranteeCheckResult {
+  bool holds = true;
+  bool truncated = false;
+  size_t lhs_witnesses = 0;     // universal instances checked
+  size_t violations = 0;        // instances with no RHS witness
+  std::vector<Counterexample> counterexamples;
+
+  std::string ToString() const;
+};
+
+// Evaluates a guarantee over a finite recorded execution.
+//
+// Semantics: data-item predicates are piecewise-constant in time, so the
+// checker samples each atom at the state-change points of the items it
+// mentions (plus in-segment representatives, the origin, and the horizon).
+// Variables on the left of `=>` are enumerated universally; the right side
+// is searched existentially per witness. Value variables are bound by
+// solving `item = var` equalities against the timeline; parameterized item
+// references (e.g. salary1(n)) enumerate the matching item instances seen
+// in the trace. `@@[a,b]` checks every change point in the interval;
+// `@in[a,b]` any; an empty interval (a > b) is vacuously true for `@@` and
+// false for `@in`.
+//
+// Returns an error only for structurally unusable guarantees (e.g. a time
+// expression that can never be resolved); an unsatisfied guarantee is a
+// normal result with holds = false.
+Result<GuaranteeCheckResult> CheckGuarantee(
+    const Trace& trace, const spec::Guarantee& guarantee,
+    const GuaranteeCheckOptions& options = {});
+
+// Convenience: checks several guarantees, returning name -> result.
+Result<std::map<std::string, GuaranteeCheckResult>> CheckGuarantees(
+    const Trace& trace, const std::vector<spec::Guarantee>& guarantees,
+    const GuaranteeCheckOptions& options = {});
+
+}  // namespace hcm::trace
+
+#endif  // HCM_TRACE_GUARANTEE_CHECKER_H_

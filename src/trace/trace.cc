@@ -1,0 +1,142 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace hcm::trace {
+
+std::string Trace::ToString(size_t max_events) const {
+  std::string out = StrFormat("trace: %zu events, horizon %s\n",
+                              events.size(), horizon.ToString().c_str());
+  size_t shown = 0;
+  for (const auto& e : events) {
+    if (shown++ >= max_events) {
+      out += StrFormat("  ... (%zu more)\n", events.size() - max_events);
+      break;
+    }
+    out += "  " + e.ToString() + "\n";
+  }
+  return out;
+}
+
+void TraceRecorder::SetInitialValue(const rule::ItemId& item, Value value) {
+  trace_.initial_values[item] = std::move(value);
+}
+
+int64_t TraceRecorder::Record(rule::Event event) {
+  event.id = next_id_++;
+  int64_t id = event.id;
+  trace_.events.push_back(std::move(event));
+  return id;
+}
+
+Trace TraceRecorder::Finish(TimePoint horizon) {
+  trace_.horizon = horizon;
+  return trace_;
+}
+
+const std::vector<Segment> StateTimeline::kEmpty;
+
+StateTimeline StateTimeline::Build(const Trace& trace) {
+  StateTimeline tl;
+  // Initial values are modeled as holding for a full second before the
+  // origin, so that "X previously had this value" obligations — including
+  // ones needing two ordered instants — are satisfiable for state that was
+  // already in place when observation began.
+  for (const auto& [item, value] : trace.initial_values) {
+    tl.timelines_[item].push_back(
+        Segment{TimePoint::FromMillis(-1000), value});
+  }
+  for (const auto& e : trace.events) {
+    switch (e.kind) {
+      case rule::EventKind::kWriteSpont:
+      case rule::EventKind::kWrite: {
+        auto& segs = tl.timelines_[e.item];
+        segs.push_back(Segment{e.time, e.written_value()});
+        break;
+      }
+      case rule::EventKind::kInsert: {
+        auto& segs = tl.timelines_[e.item];
+        // Insert establishes existence; value starts null unless the item
+        // already has one (re-insert is a no-op on the value).
+        std::optional<Value> v = Value::Null();
+        if (!segs.empty() && segs.back().value.has_value()) {
+          v = segs.back().value;
+        }
+        segs.push_back(Segment{e.time, v});
+        break;
+      }
+      case rule::EventKind::kDelete: {
+        tl.timelines_[e.item].push_back(Segment{e.time, std::nullopt});
+        break;
+      }
+      default:
+        break;  // observation events do not change state
+    }
+  }
+  return tl;
+}
+
+const std::vector<Segment>* StateTimeline::Find(
+    const rule::ItemId& item) const {
+  auto it = timelines_.find(item);
+  if (it == timelines_.end()) return nullptr;
+  return &it->second;
+}
+
+std::optional<Value> StateTimeline::ValueAt(const rule::ItemId& item,
+                                            TimePoint t) const {
+  const auto* segs = Find(item);
+  if (segs == nullptr) return std::nullopt;
+  // Last segment with from <= t.
+  auto it = std::upper_bound(
+      segs->begin(), segs->end(), t,
+      [](TimePoint lhs, const Segment& s) { return lhs < s.from; });
+  if (it == segs->begin()) return std::nullopt;  // before first knowledge
+  return std::prev(it)->value;
+}
+
+bool StateTimeline::ExistsAt(const rule::ItemId& item, TimePoint t) const {
+  return ValueAt(item, t).has_value();
+}
+
+std::optional<Value> StateTimeline::ValueBefore(const rule::ItemId& item,
+                                                TimePoint t) const {
+  const auto* segs = Find(item);
+  if (segs == nullptr) return std::nullopt;
+  // Last segment with from < t (strict).
+  auto it = std::lower_bound(
+      segs->begin(), segs->end(), t,
+      [](const Segment& s, TimePoint rhs) { return s.from < rhs; });
+  if (it == segs->begin()) return std::nullopt;
+  return std::prev(it)->value;
+}
+
+const std::vector<Segment>& StateTimeline::SegmentsOf(
+    const rule::ItemId& item) const {
+  const auto* segs = Find(item);
+  return segs == nullptr ? kEmpty : *segs;
+}
+
+std::vector<rule::ItemId> StateTimeline::ItemsWithBase(
+    const std::string& base) const {
+  std::vector<rule::ItemId> out;
+  for (const auto& [item, segs] : timelines_) {
+    if (item.base == base) out.push_back(item);
+    (void)segs;
+  }
+  return out;
+}
+
+std::vector<rule::ItemId> StateTimeline::AllItems() const {
+  std::vector<rule::ItemId> out;
+  out.reserve(timelines_.size());
+  for (const auto& [item, segs] : timelines_) {
+    out.push_back(item);
+    (void)segs;
+  }
+  return out;
+}
+
+}  // namespace hcm::trace

@@ -1,0 +1,101 @@
+#ifndef HCM_TRACE_TRACE_H_
+#define HCM_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/rule/event.h"
+
+namespace hcm::trace {
+
+// The recorded execution of a run: all events in (time, id) order, the
+// initial state of the constraint-relevant items, and the observation
+// horizon. This is the toolkit's concrete representation of an "execution"
+// in the sense of Appendix A.2; ValidExecutionChecker verifies it and
+// GuaranteeChecker evaluates guarantees over it.
+struct Trace {
+  std::vector<rule::Event> events;
+  // Items that exist at time 0 with their initial values.
+  std::map<rule::ItemId, Value> initial_values;
+  // End of observation; predicates are evaluated over [0, horizon].
+  TimePoint horizon;
+
+  std::string ToString(size_t max_events = 50) const;
+};
+
+// Assigns event ids and accumulates the trace. The CM-Shells and workload
+// generators all record through one recorder so ids are globally unique and
+// the order is the executor's total order.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Declares an item's value at time 0.
+  void SetInitialValue(const rule::ItemId& item, Value value);
+
+  // Records the event, assigning its id. Returns the assigned id.
+  int64_t Record(rule::Event event);
+
+  // Finalizes and returns the trace. `horizon` is typically executor.now().
+  Trace Finish(TimePoint horizon);
+
+  const Trace& trace() const { return trace_; }
+  size_t num_events() const { return trace_.events.size(); }
+
+ private:
+  Trace trace_;
+  int64_t next_id_ = 0;
+};
+
+// One segment of an item's history: from `from` (inclusive) the item has
+// value `value`; nullopt value = the item does not exist.
+struct Segment {
+  TimePoint from;
+  std::optional<Value> value;
+};
+
+// Piecewise-constant state reconstruction for every item touched by a
+// trace. State changes at Ws/W events (value), INS events (existence, value
+// null until written) and DEL events (non-existence). N/R/WR/RR/P events do
+// not change state (Appendix A.2 property 2).
+class StateTimeline {
+ public:
+  // Builds from a trace. Events must be time-ordered.
+  static StateTimeline Build(const Trace& trace);
+
+  // Value of the item at instant t (state *after* events at exactly t, i.e.
+  // the "new" interpretation — matching Appendix A.2 property 3 chaining).
+  // nullopt when the item does not exist at t.
+  std::optional<Value> ValueAt(const rule::ItemId& item, TimePoint t) const;
+
+  bool ExistsAt(const rule::ItemId& item, TimePoint t) const;
+
+  // Value of the item just *before* instant t (the "old" interpretation).
+  std::optional<Value> ValueBefore(const rule::ItemId& item,
+                                   TimePoint t) const;
+
+  // The item's full segment list (empty if never seen).
+  const std::vector<Segment>& SegmentsOf(const rule::ItemId& item) const;
+
+  // All item instances with the given base name.
+  std::vector<rule::ItemId> ItemsWithBase(const std::string& base) const;
+
+  // All items known to the timeline.
+  std::vector<rule::ItemId> AllItems() const;
+
+ private:
+  const std::vector<Segment>* Find(const rule::ItemId& item) const;
+
+  std::map<rule::ItemId, std::vector<Segment>> timelines_;
+  static const std::vector<Segment> kEmpty;
+};
+
+}  // namespace hcm::trace
+
+#endif  // HCM_TRACE_TRACE_H_

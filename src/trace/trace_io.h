@@ -1,0 +1,32 @@
+#ifndef HCM_TRACE_TRACE_IO_H_
+#define HCM_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/trace/trace.h"
+
+namespace hcm::trace {
+
+// Text serialization of traces, for archiving runs and offline analysis
+// (see examples/trace_inspector.cpp). Line-oriented, tokenized with the
+// rule-language lexer, round-trippable:
+//
+//   hcm-trace v1 horizon=600000ms
+//   init salary1(1) = 50000
+//   event 0 @ 10000ms site "A" Ws(salary1(1), 50000, 52000)
+//   event 3 @ 11234ms site "B" WR(salary2(1), 52000) rule 1 trigger 2 step 0
+//
+// Sites are quoted strings (they may contain '#'); values use the rule
+// language's literal syntax; provenance is omitted for spontaneous events.
+std::string SerializeTrace(const Trace& trace);
+
+Result<Trace> ParseTrace(const std::string& text);
+
+// File convenience wrappers.
+Status SaveTraceFile(const Trace& trace, const std::string& path);
+Result<Trace> LoadTraceFile(const std::string& path);
+
+}  // namespace hcm::trace
+
+#endif  // HCM_TRACE_TRACE_IO_H_

@@ -1,0 +1,367 @@
+#include "src/trace/valid_execution.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/string_util.h"
+
+namespace hcm::trace {
+
+std::string ExecutionViolation::ToString() const {
+  std::string ids;
+  for (size_t i = 0; i < event_ids.size(); ++i) {
+    if (i > 0) ids += ",";
+    ids += std::to_string(event_ids[i]);
+  }
+  return StrFormat("property %d [events %s]: %s", property, ids.c_str(),
+                   message.c_str());
+}
+
+std::string ExecutionReport::ToString() const {
+  std::string out = StrFormat(
+      "%s (%zu events, %zu obligations checked, %zu violations)\n",
+      valid ? "VALID" : "INVALID", events_checked, obligations_checked,
+      violations.size());
+  for (const auto& v : violations) out += "  " + v.ToString() + "\n";
+  return out;
+}
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const Trace& trace, const std::vector<rule::Rule>& rules,
+          const ValidExecutionOptions& options)
+      : trace_(trace),
+        rules_(rules),
+        options_(options),
+        timeline_(StateTimeline::Build(trace)) {
+    for (const auto& r : rules_) rules_by_id_[r.id] = &r;
+    for (const auto& e : trace_.events) events_by_id_[e.id] = &e;
+  }
+
+  ExecutionReport Run() {
+    report_.events_checked = trace_.events.size();
+    CheckOrdering();
+    CheckWriteConsistency();
+    CheckProvenance();
+    CheckObligations();
+    CheckInOrderProcessing();
+    report_.valid = report_.violations.empty() && extra_violations_ == 0;
+    return std::move(report_);
+  }
+
+ private:
+  void AddViolation(int property, std::vector<int64_t> ids,
+                    std::string message) {
+    if (report_.violations.size() >= options_.max_violations) {
+      ++extra_violations_;
+      return;
+    }
+    report_.violations.push_back(
+        ExecutionViolation{property, std::move(ids), std::move(message)});
+  }
+
+  // Reader for condition evaluation at state "just after instant t".
+  rule::DataReader ReaderAt(TimePoint t) const {
+    return [this, t](const rule::ItemId& item) -> Result<Value> {
+      auto v = timeline_.ValueAt(item, t);
+      // CM-private items default to Null before their first write.
+      return v.has_value() ? *v : Value::Null();
+    };
+  }
+
+  rule::DataReader ReaderBefore(TimePoint t) const {
+    return [this, t](const rule::ItemId& item) -> Result<Value> {
+      auto v = timeline_.ValueBefore(item, t);
+      return v.has_value() ? *v : Value::Null();
+    };
+  }
+
+  // Property 1.
+  void CheckOrdering() {
+    for (size_t i = 1; i < trace_.events.size(); ++i) {
+      if (trace_.events[i].time < trace_.events[i - 1].time) {
+        AddViolation(1,
+                     {trace_.events[i - 1].id, trace_.events[i].id},
+                     "events out of time order");
+      }
+    }
+  }
+
+  // Properties 2+3: a Ws event's recorded old value must equal the state
+  // just before it (writes change exactly their own item by construction of
+  // the per-item representation).
+  void CheckWriteConsistency() {
+    for (const auto& e : trace_.events) {
+      if (e.kind != rule::EventKind::kWriteSpont) continue;
+      auto before = timeline_.ValueBefore(e.item, e.time);
+      // Several writes can share a timestamp; ValueBefore then sees only the
+      // pre-batch state. Accept either the strict-before value or an earlier
+      // same-instant write's value by also consulting ValueAt of t (which
+      // includes this event itself) — so only flag when the recorded old
+      // value is *neither* Null-for-unknown nor the prior state.
+      Value expected =
+          before.has_value() ? *before : Value::Null();
+      if (!(e.old_value() == expected) && !e.old_value().is_null()) {
+        // Same-instant chains: scan same-time earlier events on this item.
+        bool matched = false;
+        for (const auto& other : trace_.events) {
+          if (other.time != e.time || other.id >= e.id) continue;
+          if (other.item == e.item &&
+              (other.kind == rule::EventKind::kWrite ||
+               other.kind == rule::EventKind::kWriteSpont) &&
+              other.written_value() == e.old_value()) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          AddViolation(2, {e.id},
+                       StrFormat("Ws old value %s != prior state %s",
+                                 e.old_value().ToString().c_str(),
+                                 expected.ToString().c_str()));
+        }
+      }
+    }
+  }
+
+  // Properties 4+5.
+  void CheckProvenance() {
+    for (const auto& e : trace_.events) {
+      if (e.spontaneous()) {
+        if (e.trigger_event_id >= 0) {
+          AddViolation(4, {e.id},
+                       "spontaneous event carries a trigger reference");
+        }
+        continue;
+      }
+      auto rule_it = rules_by_id_.find(e.rule_id);
+      if (rule_it == rules_by_id_.end()) {
+        AddViolation(5, {e.id},
+                     StrFormat("generated event names unknown rule %lld",
+                               static_cast<long long>(e.rule_id)));
+        continue;
+      }
+      const rule::Rule& r = *rule_it->second;
+      auto trig_it = events_by_id_.find(e.trigger_event_id);
+      if (trig_it == events_by_id_.end()) {
+        AddViolation(5, {e.id}, "generated event names unknown trigger");
+        continue;
+      }
+      const rule::Event& trigger = *trig_it->second;
+      rule::Binding binding;
+      if (!r.lhs.Matches(trigger, &binding)) {
+        AddViolation(5, {e.id, trigger.id},
+                     "trigger does not match the rule's LHS template");
+        continue;
+      }
+      binding["now"] = Value::Int(e.time.millis());
+      // (5c) LHS condition satisfied at trigger time (new interpretation).
+      if (r.lhs_condition != nullptr) {
+        auto ok = r.lhs_condition->EvalBool(binding, ReaderAt(trigger.time));
+        if (!ok.ok() || !*ok) {
+          AddViolation(5, {e.id, trigger.id},
+                       "rule LHS condition not satisfied at trigger time");
+        }
+      }
+      // (5b) the event matches an RHS template under the extended binding.
+      if (e.rhs_step < 0 || e.rhs_step >= static_cast<int>(r.rhs.size())) {
+        AddViolation(5, {e.id}, "generated event has no valid RHS step");
+        continue;
+      }
+      const rule::RhsStep& step = r.rhs[static_cast<size_t>(e.rhs_step)];
+      rule::Binding extended = binding;
+      // Unify the concrete event against the step template to pick up
+      // RHS-only existential variables (e.g. `now`).
+      if (!TemplateMatchesIgnoringSite(step.event, e, &extended)) {
+        AddViolation(5, {e.id, trigger.id},
+                     "generated event does not match its RHS template");
+        continue;
+      }
+      // (5d) RHS condition satisfied at the event's old interpretation.
+      if (step.condition != nullptr) {
+        auto ok = step.condition->EvalBool(extended, ReaderBefore(e.time));
+        if (!ok.ok() || !*ok) {
+          AddViolation(5, {e.id},
+                       "rule RHS condition not satisfied before the event");
+        }
+      }
+      // Timing: within [trigger.time, trigger.time + delta].
+      if (e.time < trigger.time || trigger.time + r.delta < e.time) {
+        AddViolation(5, {e.id, trigger.id},
+                     StrFormat("event outside rule window (delta %s)",
+                               r.delta.ToString().c_str()));
+      }
+    }
+  }
+
+  static bool TemplateMatchesIgnoringSite(const rule::EventTemplate& tpl,
+                                          const rule::Event& event,
+                                          rule::Binding* binding) {
+    // A read request over a parameterized item with unbound arguments is
+    // implemented as one whole-base request (the translator fans out to
+    // every instance), recorded with an argument-free item. Accept it as
+    // matching the parameterized RR template.
+    if (tpl.kind == rule::EventKind::kReadRequest &&
+        event.kind == rule::EventKind::kReadRequest &&
+        tpl.item.base == event.item.base && event.item.args.empty()) {
+      return true;
+    }
+    rule::EventTemplate copy = tpl;
+    copy.site.clear();
+    return copy.Matches(event, binding);
+  }
+
+  // Property 6: firing obligations.
+  void CheckObligations() {
+    // Index generated events by (trigger, rule, step).
+    std::map<std::tuple<int64_t, int64_t, int>, const rule::Event*> fired;
+    for (const auto& e : trace_.events) {
+      if (!e.spontaneous()) {
+        fired[{e.trigger_event_id, e.rule_id, e.rhs_step}] = &e;
+      }
+    }
+    for (const auto& e : trace_.events) {
+      for (const auto& r : rules_) {
+        rule::Binding binding;
+        if (!r.lhs.Matches(e, &binding)) continue;
+        if (r.lhs_condition != nullptr) {
+          auto ok = r.lhs_condition->EvalBool(binding, ReaderAt(e.time));
+          if (!ok.ok() || !*ok) continue;
+        }
+        if (r.forbids()) {
+          AddViolation(6, {e.id},
+                       "event matches a prohibition rule (RHS is F): " +
+                           r.ToString());
+          continue;
+        }
+        TimePoint deadline = e.time + r.delta;
+        if (options_.skip_obligations_past_horizon &&
+            trace_.horizon < deadline) {
+          continue;  // not yet due when the run ended
+        }
+        ++report_.obligations_checked;
+        TimePoint prev_step_time = e.time;
+        for (int step = 0; step < static_cast<int>(r.rhs.size()); ++step) {
+          auto it = fired.find({e.id, r.id, step});
+          if (it != fired.end()) {
+            const rule::Event& g = *it->second;
+            if (g.time < prev_step_time) {
+              AddViolation(6, {e.id, g.id},
+                           "RHS steps fired out of sequence");
+            }
+            prev_step_time = g.time;
+            continue;
+          }
+          // Step did not fire: acceptable only if its condition could have
+          // been false at some instant of the window. Sample the window at
+          // state-change points of the condition's items.
+          const rule::RhsStep& rhs = r.rhs[static_cast<size_t>(step)];
+          if (rhs.condition == nullptr) {
+            AddViolation(
+                6, {e.id},
+                StrFormat("unconditional RHS step %d of rule '%s' never "
+                          "fired within %s",
+                          step, r.ToString().c_str(),
+                          r.delta.ToString().c_str()));
+            continue;
+          }
+          if (!ConditionFalseSomewhere(*rhs.condition, binding,
+                                       prev_step_time, deadline)) {
+            AddViolation(
+                6, {e.id},
+                StrFormat("RHS step %d of rule '%s' did not fire although "
+                          "its condition held throughout the window",
+                          step, r.ToString().c_str()));
+          }
+        }
+      }
+    }
+  }
+
+  bool ConditionFalseSomewhere(const rule::Expr& condition,
+                               const rule::Binding& binding, TimePoint lo,
+                               TimePoint hi) {
+    // Candidate instants: window bounds plus every state change in (lo, hi).
+    std::vector<rule::ItemRef> items;
+    condition.Collect(&items, nullptr);
+    std::vector<TimePoint> candidates = {lo, hi};
+    for (const auto& ref : items) {
+      auto grounded = ref.Ground(binding);
+      if (!grounded.ok()) continue;
+      for (const auto& seg : timeline_.SegmentsOf(*grounded)) {
+        if (lo < seg.from && seg.from <= hi) candidates.push_back(seg.from);
+      }
+    }
+    for (TimePoint t : candidates) {
+      rule::Binding b = binding;
+      auto ok = condition.EvalBool(b, ReaderBefore(t));
+      if (ok.ok() && !*ok) return true;
+      // Also check just after t (conditions are evaluated at an instant the
+      // CM chooses; either side of a change is a legal choice).
+      auto ok2 = condition.EvalBool(b, ReaderAt(t));
+      if (ok2.ok() && !*ok2) return true;
+    }
+    return false;
+  }
+
+  // Property 7: related rules preserve trigger order in firing order.
+  void CheckInOrderProcessing() {
+    // Group generated events by (trigger site, event site).
+    struct Pair {
+      TimePoint trigger_time;
+      TimePoint event_time;
+      int64_t trigger_id;
+      int64_t event_id;
+    };
+    std::map<std::pair<std::string, std::string>, std::vector<Pair>> groups;
+    for (const auto& e : trace_.events) {
+      if (e.spontaneous()) continue;
+      auto trig_it = events_by_id_.find(e.trigger_event_id);
+      if (trig_it == events_by_id_.end()) continue;
+      const rule::Event& trigger = *trig_it->second;
+      groups[{trigger.site, e.site}].push_back(
+          Pair{trigger.time, e.time, trigger.id, e.id});
+    }
+    for (auto& [channel, pairs] : groups) {
+      std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+        if (a.trigger_time != b.trigger_time) {
+          return a.trigger_time < b.trigger_time;
+        }
+        return a.event_time < b.event_time;
+      });
+      for (size_t i = 1; i < pairs.size(); ++i) {
+        // Strictly earlier trigger must not fire strictly later.
+        if (pairs[i - 1].trigger_time < pairs[i].trigger_time &&
+            pairs[i].event_time < pairs[i - 1].event_time) {
+          AddViolation(
+              7, {pairs[i - 1].event_id, pairs[i].event_id},
+              StrFormat("out-of-order processing on channel %s -> %s",
+                        channel.first.c_str(), channel.second.c_str()));
+        }
+      }
+      (void)channel;
+    }
+  }
+
+  const Trace& trace_;
+  const std::vector<rule::Rule>& rules_;
+  const ValidExecutionOptions& options_;
+  StateTimeline timeline_;
+  std::map<int64_t, const rule::Rule*> rules_by_id_;
+  std::map<int64_t, const rule::Event*> events_by_id_;
+  ExecutionReport report_;
+  size_t extra_violations_ = 0;
+};
+
+}  // namespace
+
+ExecutionReport CheckValidExecution(const Trace& trace,
+                                    const std::vector<rule::Rule>& rules,
+                                    const ValidExecutionOptions& options) {
+  Checker checker(trace, rules, options);
+  return checker.Run();
+}
+
+}  // namespace hcm::trace

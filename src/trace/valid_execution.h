@@ -1,0 +1,61 @@
+#ifndef HCM_TRACE_VALID_EXECUTION_H_
+#define HCM_TRACE_VALID_EXECUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/rule/rule.h"
+#include "src/trace/trace.h"
+
+namespace hcm::trace {
+
+// One violated property of Appendix A.2, with the offending event ids.
+struct ExecutionViolation {
+  int property = 0;  // 1..7 per the appendix
+  std::vector<int64_t> event_ids;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct ExecutionReport {
+  bool valid = true;
+  std::vector<ExecutionViolation> violations;
+  size_t events_checked = 0;
+  size_t obligations_checked = 0;
+
+  std::string ToString() const;
+};
+
+struct ValidExecutionOptions {
+  // Obligations (property 6) whose window extends past the horizon are
+  // skipped — the run ended before they came due.
+  bool skip_obligations_past_horizon = true;
+  // Cap on reported violations (the rest are counted but not materialized).
+  size_t max_violations = 50;
+};
+
+// Checks a recorded trace against the seven valid-execution properties of
+// Appendix A.2, given the rule program the CM was executing:
+//
+//   1. events sorted by nondecreasing time;
+//   2. write events change exactly their item (old value consistent);
+//   3. interpretations chain (implied by the timeline representation; the
+//      residual check is Ws old-value consistency, folded into 2);
+//   4. spontaneous events carry no rule/trigger;
+//   5. generated events name a rule their trigger matches, with LHS/RHS
+//      conditions satisfied at the right interpretations;
+//   6. every rule firing obligation is met within its deadline (or its
+//      step condition was false throughout the window);
+//   7. related rules process events in order (in-order delivery).
+//
+// Conditions are re-evaluated against the reconstructed timeline; items the
+// timeline has never seen read as Null (matching CM-Shell semantics for
+// private data).
+ExecutionReport CheckValidExecution(const Trace& trace,
+                                    const std::vector<rule::Rule>& rules,
+                                    const ValidExecutionOptions& options = {});
+
+}  // namespace hcm::trace
+
+#endif  // HCM_TRACE_VALID_EXECUTION_H_

@@ -1,0 +1,80 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.UniformDouble(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.25);
+}
+
+TEST(RngTest, PoissonHasRoughlyRightMean) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, IndexStaysInBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Index(10), 10u);
+  EXPECT_EQ(rng.Index(1), 0u);
+}
+
+}  // namespace
+}  // namespace hcm

@@ -1,0 +1,92 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table employees");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table employees");
+  EXPECT_EQ(s.ToString(), "NotFound: table employees");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::PermissionDenied("").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::TimedOut("").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusCodeNameTest, NamesAreDistinctAndStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimedOut), "TimedOut");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::TimedOut("deadline");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseMacros(int x, int* out) {
+  HCM_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  HCM_RETURN_IF_ERROR(Status::OK());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(3, &out).ok());
+  EXPECT_EQ(out, 3);
+  Status s = UseMacros(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hcm

@@ -1,0 +1,65 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrSplitTest, BasicAndEdgeCases) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrSplitTrimTest, TrimsAndDropsEmpty) {
+  EXPECT_EQ(StrSplitTrim(" a , b ,, c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(StrSplitTrim("  ,  ", ',').empty());
+}
+
+TEST(StrTrimTest, Trims) {
+  EXPECT_EQ(StrTrim("  hi\t\n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("a b"), "a b");
+}
+
+TEST(StrJoinTest, Joins) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StrPredicatesTest, StartsEndsWith) {
+  EXPECT_TRUE(StrStartsWith("salary1(n)", "salary1"));
+  EXPECT_FALSE(StrStartsWith("sal", "salary"));
+  EXPECT_TRUE(StrEndsWith("foo.rid", ".rid"));
+  EXPECT_FALSE(StrEndsWith("rid", ".rid"));
+}
+
+TEST(StrCaseTest, IgnoreCaseAndConversions) {
+  EXPECT_TRUE(StrEqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(StrEqualsIgnoreCase("SELECT", "selects"));
+  EXPECT_EQ(StrToLower("AbC"), "abc");
+  EXPECT_EQ(StrToUpper("AbC"), "ABC");
+}
+
+TEST(ParseNumbersTest, StrictParsing) {
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_FALSE(ParseInt64("42x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_FALSE(ParseDouble("2.5.1").ok());
+}
+
+}  // namespace
+}  // namespace hcm

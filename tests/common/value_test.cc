@@ -1,0 +1,94 @@
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hcm {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Str("hi").AsStr(), "hi");
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Real(1).is_numeric());
+  EXPECT_FALSE(Value::Str("1").is_numeric());
+}
+
+TEST(ValueTest, NumericCrossKindEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Real(3.0));
+  EXPECT_NE(Value::Int(3), Value::Real(3.5));
+  EXPECT_NE(Value::Int(3), Value::Str("3"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+}
+
+TEST(ValueTest, OrderingIsTotalOverMixedKinds) {
+  std::map<Value, int> m;
+  m[Value::Null()] = 0;
+  m[Value::Int(1)] = 1;
+  m[Value::Real(1.5)] = 2;
+  m[Value::Str("a")] = 3;
+  m[Value::Bool(false)] = 4;
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_TRUE(Value::Int(1) < Value::Real(1.5));
+  EXPECT_TRUE(Value::Real(0.5) < Value::Int(1));
+}
+
+TEST(ValueTest, Arithmetic) {
+  EXPECT_EQ(*Value::Int(2).Add(Value::Int(3)), Value::Int(5));
+  EXPECT_EQ(*Value::Int(2).Add(Value::Real(0.5)), Value::Real(2.5));
+  EXPECT_EQ(*Value::Int(7).Sub(Value::Int(2)), Value::Int(5));
+  EXPECT_EQ(*Value::Int(4).Mul(Value::Int(3)), Value::Int(12));
+  EXPECT_EQ(*Value::Int(9).Div(Value::Int(3)), Value::Int(3));
+  EXPECT_EQ(*Value::Int(9).Div(Value::Int(2)), Value::Real(4.5));
+  EXPECT_EQ(*Value::Str("ab").Add(Value::Str("cd")), Value::Str("abcd"));
+}
+
+TEST(ValueTest, ArithmeticErrors) {
+  EXPECT_FALSE(Value::Str("x").Add(Value::Int(1)).ok());
+  EXPECT_FALSE(Value::Null().Add(Value::Int(1)).ok());
+  EXPECT_FALSE(Value::Int(1).Div(Value::Int(0)).ok());
+  EXPECT_FALSE(Value::Bool(true).Sub(Value::Bool(false)).ok());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Real(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::Str("a\"b").ToString(), "\"a\\\"b\"");
+}
+
+TEST(ValueTest, ParseRoundTrip) {
+  const Value cases[] = {
+      Value::Null(),        Value::Bool(true),   Value::Bool(false),
+      Value::Int(0),        Value::Int(-123456), Value::Real(3.25),
+      Value::Real(-0.0001), Value::Str(""),      Value::Str("hello world"),
+      Value::Str("quote\"back\\slash\nnl"),
+  };
+  for (const Value& v : cases) {
+    auto parsed = Value::Parse(v.ToString());
+    ASSERT_TRUE(parsed.ok()) << v.ToString();
+    EXPECT_EQ(*parsed, v) << v.ToString();
+    EXPECT_EQ(parsed->kind(), v.kind()) << v.ToString();
+  }
+}
+
+TEST(ValueTest, ParseErrors) {
+  EXPECT_FALSE(Value::Parse("").ok());
+  EXPECT_FALSE(Value::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Value::Parse("12abc").ok());
+  EXPECT_FALSE(Value::Parse("nulll").ok());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+}
+
+}  // namespace
+}  // namespace hcm

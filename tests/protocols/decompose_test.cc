@@ -1,0 +1,112 @@
+// Section 7.1: the X = Y + Z decomposition into cached copies plus a local
+// constraint, monitored through the SumFlag auxiliary item.
+
+#include "src/protocols/decompose.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::protocols {
+namespace {
+
+using rule::ItemId;
+
+std::string Rid(const std::string& site, const std::string& item) {
+  return "ris relational\nsite " + site + "\nitem " + item +
+         "\n  read   select v from vals where k = 1"
+         "\n  write  update vals set v = $v where k = 1"
+         "\n  notify trigger vals v"
+         "\ninterface notify " + item + " 1s\n";
+}
+
+class SumDecompositionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    struct Site {
+      const char* name;
+      const char* item;
+      int64_t initial;
+    };
+    // X = 30 = Y (10) + Z (20): consistent at start.
+    const Site sites[] = {{"SX", "Total", 30},
+                          {"SY", "PartA", 10},
+                          {"SZ", "PartB", 20}};
+    for (const auto& s : sites) {
+      auto db = system_.AddRelationalSite(s.name);
+      ASSERT_TRUE(db.ok());
+      ASSERT_TRUE(
+          (*db)->Execute("create table vals (k int primary key, v int)").ok());
+      ASSERT_TRUE((*db)
+                      ->Execute("insert into vals values (1, " +
+                                std::to_string(s.initial) + ")")
+                      .ok());
+      ASSERT_TRUE(system_.ConfigureTranslator(Rid(s.name, s.item)).ok());
+      ASSERT_TRUE(system_.DeclareInitial(ItemId{s.item, {}}).ok());
+    }
+    SumDecomposition::Options opts;
+    opts.x = ItemId{"Total", {}};
+    opts.y = ItemId{"PartA", {}};
+    opts.z = ItemId{"PartB", {}};
+    opts.delta = Duration::Seconds(3);
+    auto d = SumDecomposition::Install(&system_, opts);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    decomposition_ = std::move(*d);
+  }
+
+  Value Flag() {
+    auto v = system_.ReadAuxiliary(decomposition_->home_site(),
+                                   decomposition_->flag_item());
+    return v.ok() ? *v : Value::Null();
+  }
+
+  toolkit::System system_;
+  std::unique_ptr<SumDecomposition> decomposition_;
+};
+
+TEST_F(SumDecompositionTest, CachesLiveAtXsSite) {
+  EXPECT_EQ(decomposition_->home_site(), "SX");
+  EXPECT_TRUE(system_.registry().IsPrivate("SumYc"));
+  EXPECT_TRUE(system_.registry().IsPrivate("SumFlag"));
+  EXPECT_EQ(system_.registry().Locate("SumYc")->site, "SX");
+}
+
+TEST_F(SumDecompositionTest, FlagStartsTrueOnConsistentState) {
+  EXPECT_EQ(Flag(), Value::Bool(true));
+}
+
+TEST_F(SumDecompositionTest, DivergenceAndReconvergenceTracked) {
+  // Y moves: 10 -> 15. Until X catches up, X != Y + Z.
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"PartA", {}}, Value::Int(15)).ok());
+  system_.RunFor(Duration::Seconds(15));
+  EXPECT_EQ(Flag(), Value::Bool(false));
+  // A local application fixes X: 30 -> 35.
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"Total", {}}, Value::Int(35)).ok());
+  system_.RunFor(Duration::Seconds(15));
+  EXPECT_EQ(Flag(), Value::Bool(true));
+  // Caches mirror the sources.
+  EXPECT_EQ(*system_.ReadAuxiliary("SX", decomposition_->yc_item()),
+            Value::Int(15));
+  EXPECT_EQ(*system_.ReadAuxiliary("SX", decomposition_->xc_item()),
+            Value::Int(35));
+}
+
+TEST_F(SumDecompositionTest, OnlyCopyConstraintsAreDistributed) {
+  // The arithmetic is evaluated entirely at SX; remote sites only forward
+  // notifications. Drive an update and confirm no message ever flows
+  // between SY and SZ (the paper's point: no three-way coordination).
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"PartB", {}}, Value::Int(25)).ok());
+  system_.RunFor(Duration::Seconds(15));
+  EXPECT_EQ(system_.network().messages_on_channel("SY", "SZ"), 0u);
+  EXPECT_EQ(system_.network().messages_on_channel("SZ", "SY"), 0u);
+  EXPECT_GT(system_.network().messages_on_channel("SZ", "SX"), 0u);
+}
+
+TEST_F(SumDecompositionTest, ParameterizedItemsRejected) {
+  SumDecomposition::Options opts;
+  opts.x = ItemId{"Total", {Value::Int(1)}};
+  opts.y = ItemId{"PartA", {}};
+  opts.z = ItemId{"PartB", {}};
+  EXPECT_FALSE(SumDecomposition::Install(&system_, opts).ok());
+}
+
+}  // namespace
+}  // namespace hcm::protocols

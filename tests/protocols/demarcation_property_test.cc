@@ -1,0 +1,102 @@
+// Property sweep for the Demarcation Protocol: under every policy and many
+// seeds, the invariant chain X <= LimitX <= LimitY <= Y holds at every
+// step and the AlwaysLeq guarantee holds over the whole trace.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/protocols/demarcation.h"
+#include "src/trace/guarantee_checker.h"
+
+namespace hcm::protocols {
+namespace {
+
+using Param = std::tuple<DemarcationPolicy, uint64_t>;
+
+class DemarcationSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DemarcationSweep, InvariantChainAndGuarantee) {
+  auto [policy, seed] = GetParam();
+  toolkit::System system;
+  for (const char* site : {"A", "B"}) {
+    auto* db = *system.AddRelationalSite(site);
+    ASSERT_TRUE(
+        db->Execute("create table vals (k int primary key, v int)").ok());
+    ASSERT_TRUE(db->Execute("insert into vals values (1, 0)").ok());
+  }
+  ASSERT_TRUE(system.ConfigureTranslator(R"(
+ris relational
+site A
+item Stock
+  read  select v from vals where k = 1
+  write update vals set v = $v where k = 1
+interface read Stock 1s
+interface write Stock 1s
+)")
+                  .ok());
+  ASSERT_TRUE(system.ConfigureTranslator(R"(
+ris relational
+site B
+item Quota
+  read  select v from vals where k = 1
+  write update vals set v = $v where k = 1
+interface read Quota 1s
+interface write Quota 1s
+)")
+                  .ok());
+  DemarcationProtocol::Options opts;
+  opts.x = rule::ItemId{"Stock", {}};
+  opts.y = rule::ItemId{"Quota", {}};
+  opts.initial_x = 0;
+  opts.initial_y = 1500;
+  opts.initial_limit = 100;
+  opts.policy = policy;
+  opts.eager_headroom = 120;
+  auto protocol = DemarcationProtocol::Install(&system, opts);
+  ASSERT_TRUE(protocol.ok());
+
+  Rng rng(seed);
+  for (int step = 0; step < 40; ++step) {
+    switch (rng.Index(4)) {
+      case 0:
+        (*protocol)->TryIncrementX(rng.UniformInt(1, 160));
+        break;
+      case 1:
+        (*protocol)->DecrementX(rng.UniformInt(1, 50));
+        break;
+      case 2:
+        (*protocol)->IncrementY(rng.UniformInt(1, 80));
+        break;
+      case 3:
+        (*protocol)->TryDecrementY(rng.UniformInt(1, 100));
+        break;
+    }
+    system.RunFor(Duration::Seconds(2));
+    ASSERT_LE((*protocol)->x(), (*protocol)->limit_x()) << "step " << step;
+    ASSERT_LE((*protocol)->limit_x(), (*protocol)->limit_y())
+        << "step " << step;
+    ASSERT_LE((*protocol)->limit_y(), (*protocol)->y()) << "step " << step;
+  }
+  system.RunFor(Duration::Seconds(20));
+  trace::Trace t = system.FinishTrace();
+  auto r = trace::CheckGuarantee(t, spec::AlwaysLeq("Stock", "Quota"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->holds) << r->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyBySeed, DemarcationSweep,
+    ::testing::Combine(::testing::Values(DemarcationPolicy::kNeverGrant,
+                                         DemarcationPolicy::kExactGrant,
+                                         DemarcationPolicy::kEagerGrant),
+                       ::testing::Values(101, 202, 303, 404)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = DemarcationPolicyName(std::get<0>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace hcm::protocols

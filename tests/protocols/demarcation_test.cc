@@ -1,0 +1,180 @@
+#include "src/protocols/demarcation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/trace/guarantee_checker.h"
+
+namespace hcm::protocols {
+namespace {
+
+using rule::ItemId;
+
+constexpr const char* kRidX = R"(
+ris relational
+site A
+item Stock
+  read  select v from vals where k = 1
+  write update vals set v = $v where k = 1
+interface read Stock 1s
+interface write Stock 1s
+)";
+
+constexpr const char* kRidY = R"(
+ris relational
+site B
+item Quota
+  read  select v from vals where k = 1
+  write update vals set v = $v where k = 1
+interface read Quota 1s
+interface write Quota 1s
+)";
+
+class DemarcationTest : public ::testing::Test {
+ protected:
+  void Deploy(DemarcationPolicy policy, int64_t initial_x = 0,
+              int64_t initial_y = 1000, int64_t initial_limit = 100) {
+    auto db_a = system_.AddRelationalSite("A");
+    auto db_b = system_.AddRelationalSite("B");
+    ASSERT_TRUE(db_a.ok());
+    ASSERT_TRUE(db_b.ok());
+    for (auto* db : {*db_a, *db_b}) {
+      ASSERT_TRUE(
+          db->Execute("create table vals (k int primary key, v int)").ok());
+      ASSERT_TRUE(db->Execute("insert into vals values (1, 0)").ok());
+    }
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidX).ok());
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidY).ok());
+    DemarcationProtocol::Options opts;
+    opts.x = ItemId{"Stock", {}};
+    opts.y = ItemId{"Quota", {}};
+    opts.initial_x = initial_x;
+    opts.initial_y = initial_y;
+    opts.initial_limit = initial_limit;
+    opts.policy = policy;
+    opts.eager_headroom = 50;
+    auto protocol = DemarcationProtocol::Install(&system_, opts);
+    ASSERT_TRUE(protocol.ok()) << protocol.status().ToString();
+    protocol_ = std::move(*protocol);
+  }
+
+  toolkit::System system_;
+  std::unique_ptr<DemarcationProtocol> protocol_;
+};
+
+TEST_F(DemarcationTest, LocalIncrementsWithinLimitNeedNoMessages) {
+  Deploy(DemarcationPolicy::kExactGrant);
+  uint64_t before = system_.network().total_messages_sent();
+  protocol_->TryIncrementX(50);
+  system_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(protocol_->x(), 50);
+  EXPECT_EQ(protocol_->stats().limit_requests, 0u);
+  // Only the workload write's own bookkeeping, no demarcation round trip.
+  EXPECT_EQ(system_.network().messages_on_channel("A#dem-x", "B#dem-y"),
+            0u);
+  (void)before;
+}
+
+TEST_F(DemarcationTest, CrossingLimitTriggersGrantAndApplies) {
+  Deploy(DemarcationPolicy::kExactGrant);
+  protocol_->TryIncrementX(150);  // above the 100 limit; Y has slack 900
+  system_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(protocol_->x(), 150);
+  EXPECT_EQ(protocol_->stats().limit_requests, 1u);
+  EXPECT_EQ(protocol_->stats().limit_grants, 1u);
+  EXPECT_GE(protocol_->limit_x(), 150);
+  EXPECT_LE(protocol_->limit_x(), protocol_->limit_y());
+}
+
+TEST_F(DemarcationTest, NeverGrantPolicyDeniesAndPreservesConstraint) {
+  Deploy(DemarcationPolicy::kNeverGrant);
+  protocol_->TryIncrementX(150);
+  system_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(protocol_->x(), 0);  // denied
+  EXPECT_EQ(protocol_->stats().x_denied, 1u);
+  EXPECT_EQ(protocol_->stats().limit_denials, 1u);
+  EXPECT_LE(protocol_->x(), protocol_->y());
+}
+
+TEST_F(DemarcationTest, DenialWhenNoSlack) {
+  Deploy(DemarcationPolicy::kExactGrant, 0, 120, 100);
+  // Y = 120, LimitY = 100: slack 20. Request needs 80 more: denied.
+  protocol_->TryIncrementX(180);
+  system_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(protocol_->x(), 0);
+  EXPECT_EQ(protocol_->stats().limit_denials, 1u);
+  // A smaller increment within granted slack succeeds.
+  protocol_->TryIncrementX(110);
+  system_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(protocol_->x(), 110);
+}
+
+TEST_F(DemarcationTest, EagerGrantReducesSubsequentRequests) {
+  Deploy(DemarcationPolicy::kEagerGrant);
+  protocol_->TryIncrementX(150);  // grant = 50 needed + 50 headroom
+  system_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(protocol_->x(), 150);
+  EXPECT_EQ(protocol_->stats().limit_requests, 1u);
+  // Next small increment fits in the headroom: no new request.
+  protocol_->TryIncrementX(40);
+  system_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(protocol_->x(), 190);
+  EXPECT_EQ(protocol_->stats().limit_requests, 1u);
+}
+
+TEST_F(DemarcationTest, DecrementYRequestsSlackFromX) {
+  Deploy(DemarcationPolicy::kExactGrant, 0, 1000, 100);
+  // Y wants to drop to 50, below LimitY = 100. X is 0 with LimitX = 100,
+  // so X's side can lower the line by up to 100.
+  protocol_->TryDecrementY(950);
+  system_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(protocol_->y(), 50);
+  EXPECT_LE(protocol_->limit_y(), 50);
+  EXPECT_LE(protocol_->limit_x(), protocol_->limit_y());
+  EXPECT_LE(protocol_->x(), protocol_->y());
+}
+
+TEST_F(DemarcationTest, ConstraintHoldsThroughoutRandomWorkload) {
+  Deploy(DemarcationPolicy::kEagerGrant, 0, 2000, 100);
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    switch (rng.Index(4)) {
+      case 0:
+        protocol_->TryIncrementX(rng.UniformInt(1, 120));
+        break;
+      case 1:
+        protocol_->DecrementX(rng.UniformInt(1, 30));
+        break;
+      case 2:
+        protocol_->IncrementY(rng.UniformInt(1, 60));
+        break;
+      case 3:
+        protocol_->TryDecrementY(rng.UniformInt(1, 80));
+        break;
+    }
+    system_.RunFor(Duration::Seconds(2));
+    // The invariant chain holds at every step.
+    ASSERT_LE(protocol_->x(), protocol_->limit_x());
+    ASSERT_LE(protocol_->limit_x(), protocol_->limit_y());
+    ASSERT_LE(protocol_->limit_y(), protocol_->y());
+  }
+  system_.RunFor(Duration::Seconds(30));
+  // And the paper's guarantee X <= Y holds over the whole trace.
+  trace::Trace t = system_.FinishTrace();
+  auto r = trace::CheckGuarantee(t, spec::AlwaysLeq("Stock", "Quota"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->holds) << r->ToString();
+  EXPECT_GT(r->lhs_witnesses, 0u);
+}
+
+TEST_F(DemarcationTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(DemarcationPolicyName(DemarcationPolicy::kNeverGrant),
+               "never-grant");
+  EXPECT_STREQ(DemarcationPolicyName(DemarcationPolicy::kExactGrant),
+               "exact-grant");
+  EXPECT_STREQ(DemarcationPolicyName(DemarcationPolicy::kEagerGrant),
+               "eager-grant");
+}
+
+}  // namespace
+}  // namespace hcm::protocols

@@ -1,0 +1,139 @@
+// End-to-end test of the Section 6.3 monitor-only scenario: both copies
+// offer notify interfaces, neither is writable by the CM, and applications
+// learn about consistency through the MonFlag/MonTb auxiliary items at
+// their own site.
+
+#include <gtest/gtest.h>
+
+#include "src/toolkit/system.h"
+#include "src/trace/guarantee_checker.h"
+
+namespace hcm::protocols {
+namespace {
+
+using rule::ItemId;
+
+constexpr const char* kRidX = R"(
+ris relational
+site A
+param notify_delay 100ms
+item X
+  read   select v from vals where k = 1
+  write  update vals set v = $v where k = 1
+  notify trigger vals v
+interface notify X 1s
+)";
+
+constexpr const char* kRidY = R"(
+ris relational
+site B
+param notify_delay 100ms
+item Y
+  read   select v from vals where k = 1
+  write  update vals set v = $v where k = 1
+  notify trigger vals v
+interface notify Y 1s
+)";
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db_a = system_.AddRelationalSite("A");
+    auto db_b = system_.AddRelationalSite("B");
+    ASSERT_TRUE(db_a.ok());
+    ASSERT_TRUE(db_b.ok());
+    for (auto* db : {*db_a, *db_b}) {
+      ASSERT_TRUE(
+          db->Execute("create table vals (k int primary key, v int)").ok());
+      ASSERT_TRUE(db->Execute("insert into vals values (1, 10)").ok());
+    }
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidX).ok());
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidY).ok());
+    ASSERT_TRUE(system_.DeclareInitial(ItemId{"X", {}}).ok());
+    ASSERT_TRUE(system_.DeclareInitial(ItemId{"Y", {}}).ok());
+    // The application's site hosts the auxiliary data.
+    ASSERT_TRUE(system_.AddShellOnlySite("M").ok());
+    for (const char* base : {"MonCx", "MonCy", "MonFlag", "MonTb"}) {
+      ASSERT_TRUE(system_.RegisterPrivateItem(base, "M").ok());
+    }
+    constraint_ = *spec::MakeCopyConstraint("X", "Y");
+    kappa_ = Duration::Seconds(5);
+    auto strategy = spec::MakeMonitorStrategy("X", "Y", "Mon",
+                                              Duration::Seconds(2), kappa_);
+    ASSERT_TRUE(strategy.ok()) << strategy.status().ToString();
+    strategy_ = *strategy;
+    ASSERT_TRUE(
+        system_.InstallStrategy("monitor", constraint_, strategy_).ok());
+  }
+
+  Value Flag() {
+    auto v = system_.ReadAuxiliary("M", ItemId{"MonFlag", {}});
+    return v.ok() ? *v : Value::Null();
+  }
+
+  toolkit::System system_;
+  spec::Constraint constraint_;
+  spec::StrategySpec strategy_;
+  Duration kappa_;
+};
+
+TEST_F(MonitorTest, SuggesterOffersMonitorForNotifyOnlySites) {
+  auto suggestions = system_.Suggest(constraint_);
+  ASSERT_TRUE(suggestions.ok());
+  bool has_monitor = false;
+  for (const auto& s : *suggestions) {
+    if (s.strategy.name == "monitor") has_monitor = true;
+    EXPECT_NE(s.strategy.name, "update-propagation");  // nothing writable
+  }
+  EXPECT_TRUE(has_monitor);
+}
+
+TEST_F(MonitorTest, FlagTracksEqualityWithDetectionLag) {
+  // Both sides notify their (equal) values; Flag becomes true.
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"X", {}}, Value::Int(42)).ok());
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"Y", {}}, Value::Int(42)).ok());
+  system_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(Flag(), Value::Bool(true));
+  EXPECT_TRUE(
+      system_.ReadAuxiliary("M", ItemId{"MonTb", {}})->is_int());
+  // X diverges; within the notify+processing lag, Flag drops.
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"X", {}}, Value::Int(99)).ok());
+  system_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(Flag(), Value::Bool(false));
+  // Y catches up (a local application writes it); Flag returns.
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"Y", {}}, Value::Int(99)).ok());
+  system_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(Flag(), Value::Bool(true));
+}
+
+TEST_F(MonitorTest, MonitorFlagGuaranteeHoldsOnTrace) {
+  // A few convergence/divergence cycles.
+  for (int round = 0; round < 4; ++round) {
+    int64_t v = 100 + round;
+    ASSERT_TRUE(system_.WorkloadWrite(ItemId{"X", {}}, Value::Int(v)).ok());
+    system_.RunFor(Duration::Seconds(20));
+    ASSERT_TRUE(system_.WorkloadWrite(ItemId{"Y", {}}, Value::Int(v)).ok());
+    system_.RunFor(Duration::Seconds(40));
+  }
+  system_.RunFor(Duration::Minutes(1));
+  trace::Trace t = system_.FinishTrace();
+  ASSERT_EQ(strategy_.guarantees.size(), 1u);
+  auto r = trace::CheckGuarantee(t, strategy_.guarantees[0]);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->holds) << r->ToString();
+  EXPECT_GT(r->lhs_witnesses, 0u);
+}
+
+TEST_F(MonitorTest, TbRecordsEqualityStartInMilliseconds) {
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"X", {}}, Value::Int(5)).ok());
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"Y", {}}, Value::Int(5)).ok());
+  system_.RunFor(Duration::Seconds(10));
+  auto tb = system_.ReadAuxiliary("M", ItemId{"MonTb", {}});
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(tb->is_int());
+  EXPECT_GT(tb->AsInt(), 0);
+  EXPECT_LE(tb->AsInt(), system_.executor().now().millis());
+}
+
+}  // namespace
+}  // namespace hcm::protocols

@@ -1,0 +1,150 @@
+// End-to-end test of the Section 6.4 banking scenario: all updates happen
+// during business hours, an end-of-day batch propagates branch balances to
+// the head office, and the copies are guaranteed equal on the overnight
+// window.
+
+#include <gtest/gtest.h>
+
+#include "src/protocols/periodic.h"
+#include "src/toolkit/system.h"
+#include "src/trace/guarantee_checker.h"
+
+namespace hcm::protocols {
+namespace {
+
+using rule::ItemId;
+
+constexpr const char* kRidBranch = R"(
+ris relational
+site BR
+item Bal1
+  read   select amount from balances where acct = $1
+  write  update balances set amount = $v where acct = $1
+  list   select acct from balances
+interface read Bal1(n) 1s
+)";
+
+constexpr const char* kRidHq = R"(
+ris relational
+site HQ
+item Bal2
+  read   select amount from balances where acct = $1
+  write  update balances set amount = $v where acct = $1
+  list   select acct from balances
+interface write Bal2(n) 2s
+)";
+
+// Virtual time convention: t=0 is 17:00 on day 0 (end of the first business
+// day's updates happen before the run or in later windows).
+constexpr int64_t kDayMs = 24 * 3600 * 1000;
+
+class BankingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db_br = system_.AddRelationalSite("BR");
+    auto db_hq = system_.AddRelationalSite("HQ");
+    ASSERT_TRUE(db_br.ok());
+    ASSERT_TRUE(db_hq.ok());
+    for (auto* db : {*db_br, *db_hq}) {
+      ASSERT_TRUE(db->Execute("create table balances (acct int primary key, "
+                              "amount int)")
+                      .ok());
+      for (int acct = 1; acct <= 3; ++acct) {
+        ASSERT_TRUE(db->Execute("insert into balances values (" +
+                                std::to_string(acct) + ", 1000)")
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidBranch).ok());
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidHq).ok());
+    for (int acct = 1; acct <= 3; ++acct) {
+      ASSERT_TRUE(
+          system_.DeclareInitial(ItemId{"Bal1", {Value::Int(acct)}}).ok());
+      ASSERT_TRUE(
+          system_.DeclareInitial(ItemId{"Bal2", {Value::Int(acct)}}).ok());
+    }
+    // End-of-day batch: a 24h polling strategy (P fires at t=24h, 48h, ...,
+    // i.e. 17:00 each day under our time convention).
+    auto constraint = spec::MakeCopyConstraint("Bal1(n)", "Bal2(n)");
+    ASSERT_TRUE(constraint.ok());
+    auto strategy = spec::MakePollingStrategy(
+        "Bal1(n)", "Bal2(n)", Duration::Hours(24), Duration::Minutes(5),
+        Duration::Hours(25));
+    ASSERT_TRUE(strategy.ok());
+    ASSERT_TRUE(
+        system_.InstallStrategy("banking", *constraint, *strategy).ok());
+  }
+
+  // Business-hours updates for day `day` (1-based: the first window of
+  // updates happens during day 1, between t=16h and t=24h).
+  void BusinessDay(int day, int64_t delta) {
+    // Jump to 10:00 of that day: t = (day-1)*24h + 17h offset from 17:00.
+    TimePoint ten_am =
+        TimePoint::FromMillis((day - 1) * kDayMs) + Duration::Hours(17);
+    if (system_.executor().now() < ten_am) {
+      system_.RunFor(ten_am - system_.executor().now());
+    }
+    for (int acct = 1; acct <= 3; ++acct) {
+      auto cur = system_.WorkloadRead(ItemId{"Bal1", {Value::Int(acct)}});
+      ASSERT_TRUE(cur.ok());
+      ASSERT_TRUE(system_
+                      .WorkloadWrite(ItemId{"Bal1", {Value::Int(acct)}},
+                                     Value::Int(cur->AsInt() + delta))
+                      .ok());
+      system_.RunFor(Duration::Minutes(30));
+    }
+  }
+
+  toolkit::System system_;
+};
+
+TEST_F(BankingTest, OvernightWindowsAreConsistent) {
+  BusinessDay(1, 111);
+  BusinessDay(2, -57);
+  // Run into day 3's morning.
+  system_.RunFor(TimePoint::FromMillis(2 * kDayMs) + Duration::Hours(15) -
+                 system_.executor().now());
+  trace::Trace t = system_.FinishTrace();
+  // Windows: [17:15, 08:00 next day] relative to each 17:00 tick at k*24h.
+  auto guarantees = DailyWindowGuarantees(
+      "Bal1(n)", "Bal2(n)", Duration::Hours(24),
+      Duration::Hours(24) + Duration::Minutes(15),
+      Duration::Hours(24) + Duration::Hours(15), 2);
+  ASSERT_EQ(guarantees.size(), 2u);
+  for (const auto& g : guarantees) {
+    auto r = trace::CheckGuarantee(t, g);
+    ASSERT_TRUE(r.ok()) << g.name << ": " << r.status().ToString();
+    EXPECT_TRUE(r->holds) << g.name << ": " << r->ToString();
+  }
+}
+
+TEST_F(BankingTest, BusinessHoursAreNotGuaranteed) {
+  BusinessDay(1, 111);
+  system_.RunFor(TimePoint::FromMillis(1 * kDayMs) + Duration::Hours(15) -
+                 system_.executor().now());
+  trace::Trace t = system_.FinishTrace();
+  // A window covering day 1's business hours (t=16h..24h): the branch moved
+  // while HQ still had day-0 values, so equality fails there.
+  auto business = WindowEqualityGuarantee("Bal1(n)", "Bal2(n)",
+                                          Duration::Hours(18),
+                                          Duration::Hours(23));
+  auto r = trace::CheckGuarantee(t, business);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->holds);
+}
+
+TEST(PeriodicHelperTest, GuaranteeShapes) {
+  auto g = WindowEqualityGuarantee("X", "Y", Duration::Hours(1),
+                                   Duration::Hours(2));
+  EXPECT_EQ(g.name.find("PARSE-ERROR"), std::string::npos);
+  EXPECT_TRUE(g.is_metric());
+  EXPECT_EQ(g.rhs_atoms[0].mode, spec::AtomMode::kThroughout);
+  auto days = DailyWindowGuarantees("X", "Y", Duration::Hours(24),
+                                    Duration::Minutes(15), Duration::Hours(15),
+                                    3);
+  EXPECT_EQ(days.size(), 3u);
+  EXPECT_NE(days[0].name, days[1].name);
+}
+
+}  // namespace
+}  // namespace hcm::protocols

@@ -1,0 +1,141 @@
+#include "src/protocols/refint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/guarantee_checker.h"
+
+namespace hcm::protocols {
+namespace {
+
+using rule::ItemId;
+
+constexpr const char* kRidProjects = R"(
+ris relational
+site P
+item project
+  read   select descr from projects where empid = $1
+  write  update projects set descr = $v where empid = $1
+  list   select empid from projects
+  insert insert into projects (empid, descr) values ($1, 'new')
+  delete delete from projects where empid = $1
+interface read project(i) 1s
+interface delete-capability project(i) 1s
+)";
+
+constexpr const char* kRidSalaries = R"(
+ris relational
+site S
+item salary
+  read   select amount from salaries where empid = $1
+  write  update salaries set amount = $v where empid = $1
+  list   select empid from salaries
+  insert insert into salaries (empid, amount) values ($1, 0)
+  delete delete from salaries where empid = $1
+interface read salary(i) 1s
+)";
+
+class RefintTest : public ::testing::Test {
+ protected:
+  void Deploy(Duration period) {
+    auto db_p = system_.AddRelationalSite("P");
+    auto db_s = system_.AddRelationalSite("S");
+    ASSERT_TRUE(db_p.ok());
+    ASSERT_TRUE(db_s.ok());
+    ASSERT_TRUE((*db_p)
+                    ->Execute("create table projects (empid int primary "
+                              "key, descr str)")
+                    .ok());
+    ASSERT_TRUE((*db_s)
+                    ->Execute("create table salaries (empid int primary "
+                              "key, amount int)")
+                    .ok());
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidProjects).ok());
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidSalaries).ok());
+    ReferentialSweep::Options opts;
+    opts.referencing_base = "project";
+    opts.referenced_base = "salary";
+    opts.period = period;
+    opts.bound = period + Duration::Minutes(5);
+    auto sweep = ReferentialSweep::Install(&system_, opts);
+    ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+    sweep_ = std::move(*sweep);
+  }
+
+  bool ProjectExists(int64_t i) {
+    return system_.WorkloadRead(ItemId{"project", {Value::Int(i)}}).ok();
+  }
+
+  toolkit::System system_;
+  std::unique_ptr<ReferentialSweep> sweep_;
+};
+
+TEST_F(RefintTest, OrphanDeletedAtSweepCompliantKept) {
+  Deploy(Duration::Hours(24));
+  // Employee 1: project + salary (compliant). Employee 2: project only.
+  ASSERT_TRUE(system_.WorkloadInsert(ItemId{"salary", {Value::Int(1)}}).ok());
+  ASSERT_TRUE(
+      system_.WorkloadInsert(ItemId{"project", {Value::Int(1)}}).ok());
+  ASSERT_TRUE(
+      system_.WorkloadInsert(ItemId{"project", {Value::Int(2)}}).ok());
+  system_.RunFor(Duration::Hours(25));  // one sweep
+  EXPECT_TRUE(ProjectExists(1));
+  EXPECT_FALSE(ProjectExists(2));
+  EXPECT_EQ(sweep_->stats().sweeps, 1u);
+  EXPECT_EQ(sweep_->stats().orphans_deleted, 1u);
+  EXPECT_EQ(sweep_->stats().records_checked, 2u);
+}
+
+TEST_F(RefintTest, SalaryArrivingBeforeSweepPreventsDeletion) {
+  Deploy(Duration::Hours(24));
+  ASSERT_TRUE(
+      system_.WorkloadInsert(ItemId{"project", {Value::Int(7)}}).ok());
+  system_.RunFor(Duration::Hours(10));
+  // The salary record shows up mid-day.
+  ASSERT_TRUE(system_.WorkloadInsert(ItemId{"salary", {Value::Int(7)}}).ok());
+  system_.RunFor(Duration::Hours(15));  // sweep happened at 24h
+  EXPECT_TRUE(ProjectExists(7));
+  EXPECT_EQ(sweep_->stats().orphans_deleted, 0u);
+}
+
+TEST_F(RefintTest, GuaranteeHoldsOverMultiDayWorkload) {
+  Deploy(Duration::Hours(24));
+  // Day 1: compliant emp 1, orphan emp 2.
+  ASSERT_TRUE(system_.WorkloadInsert(ItemId{"salary", {Value::Int(1)}}).ok());
+  ASSERT_TRUE(
+      system_.WorkloadInsert(ItemId{"project", {Value::Int(1)}}).ok());
+  ASSERT_TRUE(
+      system_.WorkloadInsert(ItemId{"project", {Value::Int(2)}}).ok());
+  system_.RunFor(Duration::Hours(30));
+  // Day 2: another orphan.
+  ASSERT_TRUE(
+      system_.WorkloadInsert(ItemId{"project", {Value::Int(3)}}).ok());
+  system_.RunFor(Duration::Hours(30));
+  system_.RunFor(Duration::Hours(12));
+  trace::Trace t = system_.FinishTrace();
+  trace::GuaranteeCheckOptions opts;
+  opts.settle_margin = sweep_->guarantee().is_metric()
+                           ? Duration::Hours(25)
+                           : Duration::Zero();
+  auto r = trace::CheckGuarantee(t, sweep_->guarantee(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->holds) << r->ToString();
+}
+
+TEST_F(RefintTest, GuaranteeViolatedWithoutSweep) {
+  // Deploy with an enormous period so the sweep never runs.
+  Deploy(Duration::Hours(24 * 365));
+  ASSERT_TRUE(
+      system_.WorkloadInsert(ItemId{"project", {Value::Int(9)}}).ok());
+  system_.RunFor(Duration::Hours(24 * 4));
+  trace::Trace t = system_.FinishTrace();
+  // Check against the standard 24h-ish bound, not the sweep's.
+  auto g = spec::ExistsWithin("project(i)", "salary(i)", Duration::Hours(24));
+  trace::GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Hours(25);
+  auto r = trace::CheckGuarantee(t, g, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->holds);
+}
+
+}  // namespace
+}  // namespace hcm::protocols

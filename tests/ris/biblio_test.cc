@@ -1,0 +1,64 @@
+#include "src/ris/biblio/biblio.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::ris::biblio {
+namespace {
+
+class BiblioTest : public ::testing::Test {
+ protected:
+  BiblioTest() : store_("folio") {
+    id1_ = store_.AddRecord({{"author", "S. Chawathe"},
+                             {"author", "H. Garcia-Molina"},
+                             {"title", "Constraint Management Toolkit"},
+                             {"year", "1996"}});
+    id2_ = store_.AddRecord({{"author", "J. Widom"},
+                             {"title", "Active Database Systems"},
+                             {"year", "1995"}});
+  }
+  BiblioStore store_;
+  int64_t id1_, id2_;
+};
+
+TEST_F(BiblioTest, IdsAreSequential) {
+  EXPECT_EQ(id1_ + 1, id2_);
+  EXPECT_EQ(store_.num_records(), 2u);
+}
+
+TEST_F(BiblioTest, SearchBySubstring) {
+  EXPECT_EQ(store_.Search("author", "Widom"), (std::vector<int64_t>{id2_}));
+  EXPECT_EQ(store_.Search("author", "."),
+            (std::vector<int64_t>{id1_, id2_}));  // substring in both
+  EXPECT_TRUE(store_.Search("author", "Nobody").empty());
+  EXPECT_TRUE(store_.Search("venue", "ICDE").empty());  // missing field
+}
+
+TEST_F(BiblioTest, EmptyTermMatchesFieldPresence) {
+  EXPECT_EQ(store_.Search("year", "").size(), 2u);
+}
+
+TEST_F(BiblioTest, FetchAndFieldAccess) {
+  auto r = store_.Fetch(id1_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->FieldOrEmpty("title"), "Constraint Management Toolkit");
+  EXPECT_EQ(r->FieldOrEmpty("author"), "S. Chawathe");  // first author
+  EXPECT_EQ(r->FieldOrEmpty("missing"), "");
+  EXPECT_FALSE(store_.Fetch(999).ok());
+}
+
+TEST_F(BiblioTest, RemoveRecord) {
+  ASSERT_TRUE(store_.RemoveRecord(id1_).ok());
+  EXPECT_FALSE(store_.Fetch(id1_).ok());
+  EXPECT_EQ(store_.RemoveRecord(id1_).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_.num_records(), 1u);
+}
+
+TEST_F(BiblioTest, OnAddHookFires) {
+  std::vector<int64_t> added;
+  store_.SetOnAdd([&](const BiblioRecord& r) { added.push_back(r.id); });
+  int64_t id3 = store_.AddRecord({{"title", "New Paper"}});
+  EXPECT_EQ(added, (std::vector<int64_t>{id3}));
+}
+
+}  // namespace
+}  // namespace hcm::ris::biblio

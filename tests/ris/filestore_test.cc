@@ -1,0 +1,91 @@
+#include "src/ris/filestore/filestore.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::ris::filestore {
+namespace {
+
+TEST(FileStoreTest, WriteThenRead) {
+  FileStore fs("cs-files");
+  EXPECT_EQ(fs.Write("/etc/phone/chaw", "723-1234"), FileErrno::kOk);
+  std::string contents;
+  EXPECT_EQ(fs.Read("/etc/phone/chaw", &contents), FileErrno::kOk);
+  EXPECT_EQ(contents, "723-1234");
+}
+
+TEST(FileStoreTest, ReadMissingIsENOENT) {
+  FileStore fs("fs");
+  std::string contents;
+  EXPECT_EQ(fs.Read("/nope", &contents), FileErrno::kNoEnt);
+}
+
+TEST(FileStoreTest, OverwriteUpdatesMtime) {
+  FileStore fs("fs");
+  fs.set_clock_ms(100);
+  ASSERT_EQ(fs.Write("/f", "v1"), FileErrno::kOk);
+  FileStat st;
+  ASSERT_EQ(fs.Stat("/f", &st), FileErrno::kOk);
+  EXPECT_EQ(st.mtime_ms, 100);
+  EXPECT_EQ(st.size, 2u);
+  fs.set_clock_ms(250);
+  ASSERT_EQ(fs.Write("/f", "value2"), FileErrno::kOk);
+  ASSERT_EQ(fs.Stat("/f", &st), FileErrno::kOk);
+  EXPECT_EQ(st.mtime_ms, 250);
+  EXPECT_EQ(st.size, 6u);
+}
+
+TEST(FileStoreTest, UnlinkRemoves) {
+  FileStore fs("fs");
+  ASSERT_EQ(fs.Write("/f", "x"), FileErrno::kOk);
+  EXPECT_EQ(fs.Unlink("/f"), FileErrno::kOk);
+  std::string c;
+  EXPECT_EQ(fs.Read("/f", &c), FileErrno::kNoEnt);
+  EXPECT_EQ(fs.Unlink("/f"), FileErrno::kNoEnt);
+}
+
+TEST(FileStoreTest, ChmodReadOnlyBlocksWriteAndUnlink) {
+  FileStore fs("fs");
+  ASSERT_EQ(fs.Write("/ro", "locked"), FileErrno::kOk);
+  ASSERT_EQ(fs.Chmod("/ro", false), FileErrno::kOk);
+  EXPECT_EQ(fs.Write("/ro", "nope"), FileErrno::kAccess);
+  EXPECT_EQ(fs.Unlink("/ro"), FileErrno::kAccess);
+  std::string c;
+  EXPECT_EQ(fs.Read("/ro", &c), FileErrno::kOk);  // reads still fine
+  EXPECT_EQ(c, "locked");
+  ASSERT_EQ(fs.Chmod("/ro", true), FileErrno::kOk);
+  EXPECT_EQ(fs.Write("/ro", "now ok"), FileErrno::kOk);
+  EXPECT_EQ(fs.Chmod("/missing", false), FileErrno::kNoEnt);
+}
+
+TEST(FileStoreTest, ListByPrefix) {
+  FileStore fs("fs");
+  ASSERT_EQ(fs.Write("/a/1", ""), FileErrno::kOk);
+  ASSERT_EQ(fs.Write("/a/2", ""), FileErrno::kOk);
+  ASSERT_EQ(fs.Write("/b/1", ""), FileErrno::kOk);
+  EXPECT_EQ(fs.List("/a/"), (std::vector<std::string>{"/a/1", "/a/2"}));
+  EXPECT_EQ(fs.List("/"), (std::vector<std::string>{"/a/1", "/a/2", "/b/1"}));
+  EXPECT_TRUE(fs.List("/c/").empty());
+}
+
+TEST(FileStoreTest, ForcedErrorSimulatesFailures) {
+  FileStore fs("fs");
+  ASSERT_EQ(fs.Write("/f", "x"), FileErrno::kOk);
+  fs.set_forced_error(FileErrno::kBusy);
+  std::string c;
+  EXPECT_EQ(fs.Read("/f", &c), FileErrno::kBusy);
+  EXPECT_EQ(fs.Write("/f", "y"), FileErrno::kBusy);
+  FileStat st;
+  EXPECT_EQ(fs.Stat("/f", &st), FileErrno::kBusy);
+  fs.set_forced_error(FileErrno::kOk);
+  EXPECT_EQ(fs.Read("/f", &c), FileErrno::kOk);
+  EXPECT_EQ(c, "x");  // busy write did not take effect
+}
+
+TEST(FileStoreTest, ErrnoNames) {
+  EXPECT_STREQ(FileErrnoName(FileErrno::kNoEnt), "ENOENT");
+  EXPECT_STREQ(FileErrnoName(FileErrno::kAccess), "EACCES");
+  EXPECT_STREQ(FileErrnoName(FileErrno::kIo), "EIO");
+}
+
+}  // namespace
+}  // namespace hcm::ris::filestore

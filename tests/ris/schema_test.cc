@@ -1,0 +1,71 @@
+#include "src/ris/relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::ris::relational {
+namespace {
+
+TableSchema EmployeeSchema() {
+  return TableSchema("employees",
+                     {{"empid", ColumnType::kInt, true},
+                      {"name", ColumnType::kStr, false},
+                      {"salary", ColumnType::kInt, false}});
+}
+
+TEST(SchemaTest, ColumnLookupIsCaseInsensitive) {
+  TableSchema s = EmployeeSchema();
+  EXPECT_EQ(*s.ColumnIndex("empid"), 0u);
+  EXPECT_EQ(*s.ColumnIndex("SALARY"), 2u);
+  EXPECT_FALSE(s.ColumnIndex("bogus").ok());
+}
+
+TEST(SchemaTest, PrimaryKeyIndex) {
+  EXPECT_EQ(EmployeeSchema().primary_key_index(), 0);
+  TableSchema no_pk("t", {{"a", ColumnType::kInt, false}});
+  EXPECT_EQ(no_pk.primary_key_index(), -1);
+}
+
+TEST(SchemaTest, ValidateAcceptsGoodSchema) {
+  EXPECT_TRUE(EmployeeSchema().Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsBadSchemas) {
+  EXPECT_FALSE(TableSchema("", {{"a", ColumnType::kInt, false}})
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(TableSchema("t", {}).Validate().ok());
+  EXPECT_FALSE(TableSchema("t", {{"a", ColumnType::kInt, false},
+                                 {"A", ColumnType::kStr, false}})
+                   .Validate()
+                   .ok());  // duplicate (case-insensitive)
+  EXPECT_FALSE(TableSchema("t", {{"a", ColumnType::kInt, true},
+                                 {"b", ColumnType::kInt, true}})
+                   .Validate()
+                   .ok());  // two PKs
+}
+
+TEST(SchemaTest, ParseColumnTypeAliases) {
+  EXPECT_EQ(*ParseColumnType("INTEGER"), ColumnType::kInt);
+  EXPECT_EQ(*ParseColumnType("varchar"), ColumnType::kStr);
+  EXPECT_EQ(*ParseColumnType("double"), ColumnType::kReal);
+  EXPECT_EQ(*ParseColumnType("boolean"), ColumnType::kBool);
+  EXPECT_EQ(*ParseColumnType("any"), ColumnType::kAny);
+  EXPECT_FALSE(ParseColumnType("blob").ok());
+}
+
+TEST(SchemaTest, ValueTypeChecking) {
+  EXPECT_TRUE(ValueMatchesType(Value::Int(1), ColumnType::kInt));
+  EXPECT_FALSE(ValueMatchesType(Value::Str("1"), ColumnType::kInt));
+  EXPECT_TRUE(ValueMatchesType(Value::Int(1), ColumnType::kReal));
+  EXPECT_TRUE(ValueMatchesType(Value::Null(), ColumnType::kInt));
+  EXPECT_TRUE(ValueMatchesType(Value::Str("x"), ColumnType::kAny));
+  EXPECT_FALSE(ValueMatchesType(Value::Bool(true), ColumnType::kStr));
+}
+
+TEST(SchemaTest, ToStringRendersSchema) {
+  EXPECT_EQ(EmployeeSchema().ToString(),
+            "employees(empid int primary key, name str, salary int)");
+}
+
+}  // namespace
+}  // namespace hcm::ris::relational

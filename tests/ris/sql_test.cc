@@ -1,0 +1,120 @@
+#include "src/ris/relational/sql.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::ris::relational {
+namespace {
+
+TEST(SqlParseTest, CreateTable) {
+  auto r = ParseSql(
+      "CREATE TABLE employees (empid int PRIMARY KEY, name str, salary int)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stmt = std::get<CreateTableStmt>(*r);
+  EXPECT_EQ(stmt.schema.name(), "employees");
+  ASSERT_EQ(stmt.schema.num_columns(), 3u);
+  EXPECT_TRUE(stmt.schema.columns()[0].primary_key);
+  EXPECT_EQ(stmt.schema.columns()[2].type, ColumnType::kInt);
+}
+
+TEST(SqlParseTest, DropTable) {
+  auto r = ParseSql("drop table t;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<DropTableStmt>(*r).table, "t");
+}
+
+TEST(SqlParseTest, InsertPositional) {
+  auto r = ParseSql("insert into t values (1, 'a''b', 2.5, true, null)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stmt = std::get<InsertStmt>(*r);
+  EXPECT_TRUE(stmt.columns.empty());
+  ASSERT_EQ(stmt.values.size(), 5u);
+  EXPECT_EQ(stmt.values[0], Value::Int(1));
+  EXPECT_EQ(stmt.values[1], Value::Str("a'b"));
+  EXPECT_EQ(stmt.values[2], Value::Real(2.5));
+  EXPECT_EQ(stmt.values[3], Value::Bool(true));
+  EXPECT_TRUE(stmt.values[4].is_null());
+}
+
+TEST(SqlParseTest, InsertWithColumns) {
+  auto r = ParseSql("INSERT INTO emp (empid, salary) VALUES (7, 1000)");
+  ASSERT_TRUE(r.ok());
+  const auto& stmt = std::get<InsertStmt>(*r);
+  EXPECT_EQ(stmt.columns, (std::vector<std::string>{"empid", "salary"}));
+}
+
+TEST(SqlParseTest, UpdateWithWhere) {
+  auto r = ParseSql(
+      "update employees set salary = 1500, name = 'x' "
+      "where empid = 17 and salary < 2000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stmt = std::get<UpdateStmt>(*r);
+  EXPECT_EQ(stmt.table, "employees");
+  ASSERT_EQ(stmt.sets.size(), 2u);
+  EXPECT_EQ(stmt.sets[0].first, "salary");
+  EXPECT_EQ(stmt.sets[0].second, Value::Int(1500));
+  ASSERT_EQ(stmt.where.conditions().size(), 2u);
+  EXPECT_EQ(stmt.where.conditions()[1].op, CompareOp::kLt);
+}
+
+TEST(SqlParseTest, UpdateWithoutWhere) {
+  auto r = ParseSql("update t set a = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::get<UpdateStmt>(*r).where.empty());
+}
+
+TEST(SqlParseTest, DeleteForms) {
+  auto r = ParseSql("delete from t where k != 'gone'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<DeleteStmt>(*r).where.conditions()[0].op, CompareOp::kNe);
+  EXPECT_TRUE(ParseSql("delete from t").ok());
+}
+
+TEST(SqlParseTest, SelectForms) {
+  auto star = ParseSql("select * from t where a >= 5");
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(*star).columns.empty());
+  auto cols = ParseSql("SELECT name, salary FROM employees WHERE empid = 1");
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(std::get<SelectStmt>(*cols).columns,
+            (std::vector<std::string>{"name", "salary"}));
+}
+
+TEST(SqlParseTest, OperatorVariants) {
+  auto r = ParseSql("select * from t where a <> 1 and b <= 2 and c > -3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& conds = std::get<SelectStmt>(*r).where.conditions();
+  EXPECT_EQ(conds[0].op, CompareOp::kNe);
+  EXPECT_EQ(conds[1].op, CompareOp::kLe);
+  EXPECT_EQ(conds[2].op, CompareOp::kGt);
+  EXPECT_EQ(conds[2].literal, Value::Int(-3));
+}
+
+TEST(SqlParseTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("frobnicate the database").ok());
+  EXPECT_FALSE(ParseSql("select * from").ok());
+  EXPECT_FALSE(ParseSql("insert into t values (1) extra").ok());
+  EXPECT_FALSE(ParseSql("create table t (a blob)").ok());
+  EXPECT_FALSE(ParseSql("update t set a").ok());
+  EXPECT_FALSE(ParseSql("select * from t where a ~ 1").ok());
+  EXPECT_FALSE(ParseSql("insert into t values ('unterminated)").ok());
+  EXPECT_FALSE(ParseSql("create table t (a int, a str)").ok());
+}
+
+TEST(ToSqlLiteralTest, RendersAllKinds) {
+  EXPECT_EQ(ToSqlLiteral(Value::Int(5)), "5");
+  EXPECT_EQ(ToSqlLiteral(Value::Real(2.5)), "2.5");
+  EXPECT_EQ(ToSqlLiteral(Value::Str("o'brien")), "'o''brien'");
+  EXPECT_EQ(ToSqlLiteral(Value::Bool(false)), "false");
+  EXPECT_EQ(ToSqlLiteral(Value::Null()), "null");
+}
+
+TEST(ToSqlLiteralTest, RoundTripsThroughParser) {
+  Value v = Value::Str("it's a 'test'");
+  auto r = ParseSql("insert into t values (" + ToSqlLiteral(v) + ")");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::get<InsertStmt>(*r).values[0], v);
+}
+
+}  // namespace
+}  // namespace hcm::ris::relational

@@ -1,0 +1,91 @@
+#include "src/ris/whois/whois.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::ris::whois {
+namespace {
+
+class WhoisTest : public ::testing::Test {
+ protected:
+  WhoisTest() : server_("stanford-whois") {
+    EXPECT_EQ(server_.Query("set chaw phone 723-1234"), "OK");
+    EXPECT_EQ(server_.Query("set chaw office Gates-430"), "OK");
+    EXPECT_EQ(server_.Query("set widom phone 723-9999"), "OK");
+  }
+  WhoisServer server_;
+};
+
+TEST_F(WhoisTest, GetAttr) {
+  EXPECT_EQ(server_.Query("get chaw phone"), "723-1234");
+  EXPECT_EQ(*server_.GetAttr("chaw", "office"), "Gates-430");
+}
+
+TEST_F(WhoisTest, LookupRendersAllAttributes) {
+  std::string out = server_.Query("lookup chaw");
+  EXPECT_NE(out.find("login: chaw"), std::string::npos);
+  EXPECT_NE(out.find("phone: 723-1234"), std::string::npos);
+  EXPECT_NE(out.find("office: Gates-430"), std::string::npos);
+}
+
+TEST_F(WhoisTest, SetValueWithSpaces) {
+  EXPECT_EQ(server_.Query("set chaw address 353 Serra Mall"), "OK");
+  EXPECT_EQ(server_.Query("get chaw address"), "353 Serra Mall");
+}
+
+TEST_F(WhoisTest, ErrorsForMissingData) {
+  EXPECT_EQ(server_.Query("lookup nobody"), "ERROR no entry for nobody");
+  EXPECT_EQ(server_.Query("get chaw fax"),
+            "ERROR no attribute fax for chaw");
+  EXPECT_EQ(server_.Query("unset chaw fax"),
+            "ERROR no attribute fax for chaw");
+  EXPECT_EQ(server_.Query("remove nobody"), "ERROR no entry for nobody");
+  EXPECT_EQ(server_.Query("frobnicate"), "ERROR unknown command frobnicate");
+  EXPECT_EQ(server_.Query("   "), "ERROR empty request");
+  EXPECT_EQ(server_.Query("get chaw"), "ERROR usage: get <login> <attr>");
+}
+
+TEST_F(WhoisTest, UnsetAndRemove) {
+  EXPECT_EQ(server_.Query("unset chaw office"), "OK");
+  EXPECT_FALSE(server_.GetAttr("chaw", "office").ok());
+  EXPECT_EQ(server_.Query("remove chaw"), "OK");
+  EXPECT_FALSE(server_.HasEntry("chaw"));
+}
+
+TEST_F(WhoisTest, ListLogins) {
+  EXPECT_EQ(server_.Query("list"), "chaw\nwidom");
+  EXPECT_EQ(server_.Logins(), (std::vector<std::string>{"chaw", "widom"}));
+}
+
+TEST_F(WhoisTest, UpdateHookFiresOnSetUnsetRemove) {
+  struct Update {
+    std::string login, attr, value;
+  };
+  std::vector<Update> updates;
+  server_.SetOnUpdate([&](const std::string& l, const std::string& a,
+                          const std::string& v) {
+    updates.push_back({l, a, v});
+  });
+  server_.Query("set chaw phone 555-0000");
+  server_.Query("unset chaw phone");
+  server_.Query("remove widom");
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0].login, "chaw");
+  EXPECT_EQ(updates[0].attr, "phone");
+  EXPECT_EQ(updates[0].value, "555-0000");
+  EXPECT_EQ(updates[1].value, "");
+  EXPECT_EQ(updates[2].attr, "");
+}
+
+TEST_F(WhoisTest, HookNotFiredOnFailedOps) {
+  int fired = 0;
+  server_.SetOnUpdate(
+      [&](const std::string&, const std::string&, const std::string&) {
+        ++fired;
+      });
+  server_.Query("unset chaw fax");    // fails
+  server_.Query("remove nobody");     // fails
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace hcm::ris::whois

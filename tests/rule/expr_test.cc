@@ -1,0 +1,127 @@
+#include "src/rule/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rule/parser.h"
+
+namespace hcm::rule {
+namespace {
+
+// DataReader over a fixed map.
+DataReader MapReader(std::map<std::string, Value> data) {
+  return [data = std::move(data)](const ItemId& item) -> Result<Value> {
+    auto it = data.find(item.ToString());
+    if (it == data.end()) return Status::NotFound(item.ToString());
+    return it->second;
+  };
+}
+
+Result<Value> EvalText(const std::string& text, const Binding& binding,
+                       const DataReader& reader) {
+  auto e = ParseExpr(text);
+  if (!e.ok()) return e.status();
+  return (*e)->Eval(binding, reader);
+}
+
+TEST(ExprTest, LiteralsAndArithmetic) {
+  Binding b;
+  EXPECT_EQ(*EvalText("1 + 2 * 3", b, NullDataReader), Value::Int(7));
+  EXPECT_EQ(*EvalText("(1 + 2) * 3", b, NullDataReader), Value::Int(9));
+  EXPECT_EQ(*EvalText("10 / 4", b, NullDataReader), Value::Real(2.5));
+  EXPECT_EQ(*EvalText("-(3) + 1", b, NullDataReader), Value::Int(-2));
+  EXPECT_EQ(*EvalText("abs(2 - 5)", b, NullDataReader), Value::Int(3));
+  EXPECT_EQ(*EvalText("abs(2.5 - 5)", b, NullDataReader), Value::Real(2.5));
+}
+
+TEST(ExprTest, ComparisonsAndLogic) {
+  Binding b;
+  EXPECT_EQ(*EvalText("1 < 2 and 2 < 3", b, NullDataReader),
+            Value::Bool(true));
+  EXPECT_EQ(*EvalText("1 >= 2 or not (3 = 3)", b, NullDataReader),
+            Value::Bool(false));
+  EXPECT_EQ(*EvalText("\"a\" != \"b\"", b, NullDataReader),
+            Value::Bool(true));
+  EXPECT_EQ(*EvalText("true and false", b, NullDataReader),
+            Value::Bool(false));
+  EXPECT_EQ(*EvalText("null = null", b, NullDataReader), Value::Bool(true));
+  EXPECT_EQ(*EvalText("null = 0", b, NullDataReader), Value::Bool(false));
+}
+
+TEST(ExprTest, ShortCircuitSkipsBadOperand) {
+  Binding b;
+  // RHS reads a missing item; must not be evaluated.
+  EXPECT_EQ(*EvalText("false and Missing = 1", b, NullDataReader),
+            Value::Bool(false));
+  EXPECT_EQ(*EvalText("true or Missing = 1", b, NullDataReader),
+            Value::Bool(true));
+  // Without short-circuit the read error surfaces.
+  EXPECT_FALSE(EvalText("true and Missing = 1", b, NullDataReader).ok());
+}
+
+TEST(ExprTest, VariablesResolveFromBinding) {
+  Binding b{{"n", Value::Int(4)}, {"b", Value::Int(10)}};
+  EXPECT_EQ(*EvalText("b - n", b, NullDataReader), Value::Int(6));
+  EXPECT_FALSE(EvalText("missing_var + 1", b, NullDataReader).ok());
+}
+
+TEST(ExprTest, ItemsReadThroughDataReader) {
+  auto reader = MapReader({{"Cx", Value::Int(5)},
+                           {"Limit(17)", Value::Int(900)}});
+  Binding b{{"n", Value::Int(17)}, {"v", Value::Int(5)}};
+  // Upper-case first letter = data item (paper convention).
+  EXPECT_EQ(*EvalText("Cx != v", b, reader), Value::Bool(false));
+  EXPECT_EQ(*EvalText("Cx + 1", b, reader), Value::Int(6));
+  // Parameterized item grounded via the binding.
+  EXPECT_EQ(*EvalText("Limit(n) >= 900", b, reader), Value::Bool(true));
+  EXPECT_FALSE(EvalText("Nothing = 1", b, reader).ok());
+}
+
+TEST(ExprTest, ConditionalNotifyThresholdFromPaper) {
+  // Section 3.1.1: notify only when the update changes X by more than 10%:
+  // |b - a| > a * 0.1 (the paper's rendering has a typo; this is the
+  // intended condition).
+  auto cond = ParseExpr("abs(b - a) > a * 0.1");
+  ASSERT_TRUE(cond.ok());
+  Binding small{{"a", Value::Int(100)}, {"b", Value::Int(105)}};
+  Binding big{{"a", Value::Int(100)}, {"b", Value::Int(120)}};
+  EXPECT_FALSE(*(*cond)->EvalBool(small, NullDataReader));
+  EXPECT_TRUE(*(*cond)->EvalBool(big, NullDataReader));
+}
+
+TEST(ExprTest, EvalBoolRejectsNonBool) {
+  Binding b;
+  auto e = ParseExpr("1 + 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE((*e)->EvalBool(b, NullDataReader).ok());
+}
+
+TEST(ExprTest, TypeErrorsSurface) {
+  Binding b;
+  EXPECT_FALSE(EvalText("\"x\" + 1", b, NullDataReader).ok());
+  EXPECT_FALSE(EvalText("1 and true", b, NullDataReader).ok());
+  EXPECT_FALSE(EvalText("not 5", b, NullDataReader).ok());
+  EXPECT_FALSE(EvalText("abs(\"s\")", b, NullDataReader).ok());
+  EXPECT_FALSE(EvalText("1 / 0", b, NullDataReader).ok());
+}
+
+TEST(ExprTest, ToStringReparsesToSameValue) {
+  const char* cases[] = {
+      "1 + 2 * 3",
+      "abs(b - a) > a * 0.1",
+      "Cx != b and (v < 3 or v > 9)",
+      "not (x = 1)",
+  };
+  Binding b{{"a", Value::Int(10)}, {"b", Value::Int(13)},
+            {"v", Value::Int(5)}, {"x", Value::Int(2)}};
+  auto reader = MapReader({{"Cx", Value::Int(7)}});
+  for (const char* text : cases) {
+    auto e1 = ParseExpr(text);
+    ASSERT_TRUE(e1.ok()) << text;
+    auto e2 = ParseExpr((*e1)->ToString());
+    ASSERT_TRUE(e2.ok()) << (*e1)->ToString();
+    EXPECT_EQ(*(*e1)->Eval(b, reader), *(*e2)->Eval(b, reader)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace hcm::rule

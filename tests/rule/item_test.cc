@@ -1,0 +1,94 @@
+#include "src/rule/item.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::rule {
+namespace {
+
+TEST(TermTest, LiteralUnifiesByEquality) {
+  Binding b;
+  EXPECT_TRUE(Term::Lit(Value::Int(5)).Unify(Value::Int(5), &b));
+  EXPECT_FALSE(Term::Lit(Value::Int(5)).Unify(Value::Int(6), &b));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(TermTest, WildcardMatchesAnything) {
+  Binding b;
+  EXPECT_TRUE(Term::Wildcard().Unify(Value::Str("x"), &b));
+  EXPECT_TRUE(Term::Wildcard().Unify(Value::Null(), &b));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(TermTest, VariableBindsThenConstrains) {
+  Binding b;
+  Term n = Term::Var("n");
+  EXPECT_TRUE(n.Unify(Value::Int(17), &b));
+  EXPECT_EQ(b.at("n"), Value::Int(17));
+  EXPECT_TRUE(n.Unify(Value::Int(17), &b));   // same value ok
+  EXPECT_FALSE(n.Unify(Value::Int(18), &b));  // conflicting value
+}
+
+TEST(TermTest, GroundResolvesVariables) {
+  Binding b{{"n", Value::Int(3)}};
+  EXPECT_EQ(*Term::Var("n").Ground(b), Value::Int(3));
+  EXPECT_EQ(*Term::Lit(Value::Str("k")).Ground(b), Value::Str("k"));
+  EXPECT_FALSE(Term::Var("m").Ground(b).ok());
+  EXPECT_FALSE(Term::Wildcard().Ground(b).ok());
+}
+
+TEST(TermTest, ToStringForms) {
+  EXPECT_EQ(Term::Var("n").ToString(), "n");
+  EXPECT_EQ(Term::Wildcard().ToString(), "*");
+  EXPECT_EQ(Term::Lit(Value::Int(5)).ToString(), "5");
+}
+
+TEST(ItemIdTest, ToStringAndEquality) {
+  ItemId salary{"salary1", {Value::Int(17)}};
+  EXPECT_EQ(salary.ToString(), "salary1(17)");
+  EXPECT_EQ((ItemId{"Flag", {}}).ToString(), "Flag");
+  EXPECT_EQ(salary, (ItemId{"salary1", {Value::Int(17)}}));
+  EXPECT_NE(salary, (ItemId{"salary1", {Value::Int(18)}}));
+  EXPECT_NE(salary, (ItemId{"salary2", {Value::Int(17)}}));
+}
+
+TEST(ItemIdTest, OrderingIsTotal) {
+  ItemId a{"a", {}};
+  ItemId a1{"a", {Value::Int(1)}};
+  ItemId a2{"a", {Value::Int(2)}};
+  ItemId b{"b", {}};
+  EXPECT_TRUE(a < a1);   // fewer args first
+  EXPECT_TRUE(a1 < a2);
+  EXPECT_TRUE(a2 < b);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(ItemRefTest, UnifyBindsParameters) {
+  ItemRef ref{"phone", {Term::Var("n")}};
+  Binding b;
+  EXPECT_TRUE(ref.Unify(ItemId{"phone", {Value::Str("chaw")}}, &b));
+  EXPECT_EQ(b.at("n"), Value::Str("chaw"));
+  // Base mismatch.
+  EXPECT_FALSE(ref.Unify(ItemId{"fax", {Value::Str("x")}}, &b));
+  // Arity mismatch.
+  EXPECT_FALSE(ref.Unify(ItemId{"phone", {}}, &b));
+}
+
+TEST(ItemRefTest, FailedUnifyLeavesBindingUntouched) {
+  ItemRef ref{"pair", {Term::Var("x"), Term::Lit(Value::Int(1))}};
+  Binding b;
+  // First arg would bind x=5 but second fails; x must stay unbound.
+  EXPECT_FALSE(ref.Unify(ItemId{"pair", {Value::Int(5), Value::Int(2)}}, &b));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(ItemRefTest, GroundInstantiates) {
+  ItemRef ref{"salary2", {Term::Var("n")}};
+  Binding b{{"n", Value::Int(17)}};
+  EXPECT_EQ(ref.Ground(b)->ToString(), "salary2(17)");
+  EXPECT_FALSE(ref.Ground(Binding{}).ok());
+  EXPECT_FALSE((ItemRef{"x", {Term::Var("n")}}).is_ground());
+  EXPECT_TRUE((ItemRef{"x", {Term::Lit(Value::Int(1))}}).is_ground());
+}
+
+}  // namespace
+}  // namespace hcm::rule

@@ -1,0 +1,154 @@
+// Randomized round-trip property for the rule language: generate random
+// well-formed rules, render them with ToString, re-parse, and require a
+// fixpoint (parse(print(r)) prints identically). Parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/rule/parser.h"
+
+namespace hcm::rule {
+namespace {
+
+class RuleGen {
+ public:
+  explicit RuleGen(uint64_t seed) : rng_(seed) {}
+
+  std::string Rule() {
+    std::string out;
+    if (rng_.Bernoulli(0.5)) {
+      out += "r" + std::to_string(rng_.UniformInt(0, 99)) + ": ";
+    }
+    out += LhsTemplate();
+    if (rng_.Bernoulli(0.4)) out += " & " + Expr(2);
+    out += " -> " + DurationText() + " ";
+    int steps = static_cast<int>(rng_.UniformInt(1, 3));
+    for (int i = 0; i < steps; ++i) {
+      if (i > 0) out += ", ";
+      if (rng_.Bernoulli(0.4)) out += Expr(1) + " ? ";
+      out += RhsTemplate();
+    }
+    return out;
+  }
+
+ private:
+  std::string Item() {
+    std::string base = PickItemBase();
+    if (rng_.Bernoulli(0.5)) {
+      return base + "(" + Term() + ")";
+    }
+    return base;
+  }
+
+  std::string PickItemBase() {
+    static const char* kBases[] = {"salary1", "salary2", "X", "Y",
+                                   "Cache", "Flag"};
+    return kBases[rng_.Index(6)];
+  }
+
+  std::string Var() {
+    static const char* kVars[] = {"a", "b", "n", "v"};
+    return kVars[rng_.Index(4)];
+  }
+
+  std::string Term() {
+    switch (rng_.Index(3)) {
+      case 0:
+        return Var();
+      case 1:
+        return std::to_string(rng_.UniformInt(-99, 99));
+      default:
+        return "*";
+    }
+  }
+
+  std::string LhsTemplate() {
+    switch (rng_.Index(4)) {
+      case 0:
+        return "N(" + Item() + ", b)";
+      case 1:
+        return "Ws(" + Item() + ", a, b)";
+      case 2:
+        return "R(" + Item() + ", b)";
+      default:
+        return StrFormat("P(%lldms)",
+                         static_cast<long long>(rng_.UniformInt(1, 9)) * 500);
+    }
+  }
+
+  std::string RhsTemplate() {
+    switch (rng_.Index(3)) {
+      case 0:
+        return "WR(" + Item() + ", b)";
+      case 1:
+        return "W(" + Item() + ", b)";
+      default:
+        return "RR(" + Item() + ")";
+    }
+  }
+
+  std::string Atom() {
+    switch (rng_.Index(3)) {
+      case 0:
+        return Var();
+      case 1:
+        return std::to_string(rng_.UniformInt(-20, 20));
+      default:
+        return PickItemBase();
+    }
+  }
+
+  std::string Expr(int depth) {
+    if (depth <= 0 || rng_.Bernoulli(0.4)) {
+      static const char* kCmp[] = {"=", "!=", "<", "<=", ">", ">="};
+      return Atom() + " " + kCmp[rng_.Index(6)] + " " + Atom();
+    }
+    switch (rng_.Index(3)) {
+      case 0:
+        return Expr(depth - 1) + " and " + Expr(depth - 1);
+      case 1:
+        return Expr(depth - 1) + " or " + Expr(depth - 1);
+      default:
+        return "abs(" + Atom() + " - " + Atom() + ") > " + Atom();
+    }
+  }
+
+  std::string DurationText() {
+    static const char* kUnits[] = {"ms", "s", "m", "h"};
+    return std::to_string(rng_.UniformInt(1, 60)) + kUnits[rng_.Index(4)];
+  }
+
+  Rng rng_;
+};
+
+class ParserFixpointTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFixpointTest, PrintParsePrintIsAFixpoint) {
+  RuleGen gen(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    std::string text = gen.Rule();
+    auto r1 = ParseRule(text);
+    ASSERT_TRUE(r1.ok()) << text << "\n" << r1.status().ToString();
+    std::string printed = r1->ToString();
+    auto r2 = ParseRule(printed);
+    ASSERT_TRUE(r2.ok()) << printed << "\n" << r2.status().ToString();
+    EXPECT_EQ(r2->ToString(), printed) << "original: " << text;
+    // Structural agreement on the load-bearing pieces.
+    EXPECT_EQ(r2->lhs, r1->lhs);
+    EXPECT_EQ(r2->delta, r1->delta);
+    ASSERT_EQ(r2->rhs.size(), r1->rhs.size());
+    for (size_t s = 0; s < r1->rhs.size(); ++s) {
+      EXPECT_EQ(r2->rhs[s].event, r1->rhs[s].event);
+      EXPECT_EQ(r2->rhs[s].condition != nullptr,
+                r1->rhs[s].condition != nullptr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFixpointTest,
+                         ::testing::Values(1000, 2000, 3000, 4000, 5000,
+                                           6000));
+
+}  // namespace
+}  // namespace hcm::rule

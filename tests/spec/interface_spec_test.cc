@@ -1,0 +1,84 @@
+#include "src/spec/interface_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::spec {
+namespace {
+
+TEST(InterfaceSpecTest, WriteInterface) {
+  auto spec = MakeWriteInterface("salary2(n)", Duration::Seconds(2));
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, InterfaceKind::kWrite);
+  EXPECT_EQ(spec->item.base, "salary2");
+  ASSERT_EQ(spec->statements.size(), 1u);
+  EXPECT_EQ(spec->statements[0].lhs.kind, rule::EventKind::kWriteRequest);
+  EXPECT_EQ(spec->statements[0].rhs[0].event.kind, rule::EventKind::kWrite);
+  EXPECT_EQ(spec->statements[0].delta, Duration::Seconds(2));
+}
+
+TEST(InterfaceSpecTest, NoSpontaneousWriteForbids) {
+  auto spec = MakeNoSpontaneousWriteInterface("Y");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->statements[0].forbids());
+}
+
+TEST(InterfaceSpecTest, NotifyInterface) {
+  auto spec = MakeNotifyInterface("salary1(n)", Duration::Seconds(1));
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->statements[0].lhs.kind, rule::EventKind::kWriteSpont);
+  EXPECT_EQ(spec->statements[0].rhs[0].event.kind, rule::EventKind::kNotify);
+}
+
+TEST(InterfaceSpecTest, ConditionalNotifyCarriesCondition) {
+  auto spec = MakeConditionalNotifyInterface(
+      "X", "abs(b - a) > a * 0.1", Duration::Seconds(1));
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_NE(spec->statements[0].lhs_condition, nullptr);
+}
+
+TEST(InterfaceSpecTest, PeriodicNotifyEncodesPeriod) {
+  auto spec = MakePeriodicNotifyInterface("X", Duration::Seconds(300),
+                                          Duration::Millis(500));
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->statements[0].lhs.kind, rule::EventKind::kPeriodic);
+  EXPECT_EQ(spec->statements[0].lhs.values[0],
+            rule::Term::Lit(Value::Int(300000)));
+}
+
+TEST(InterfaceSpecTest, ReadInterface) {
+  auto spec = MakeReadInterface("X", Duration::Seconds(1));
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->statements[0].lhs.kind, rule::EventKind::kReadRequest);
+  EXPECT_EQ(spec->statements[0].rhs[0].event.kind, rule::EventKind::kRead);
+}
+
+TEST(InterfaceSpecTest, BadItemTextRejected) {
+  EXPECT_FALSE(MakeWriteInterface("not an item!", Duration::Seconds(1)).ok());
+}
+
+TEST(SiteInterfacesTest, LookupByItemAndKind) {
+  SiteInterfaces site;
+  site.site = "A";
+  site.interfaces.push_back(
+      *MakeNotifyInterface("salary1(n)", Duration::Seconds(1)));
+  site.interfaces.push_back(
+      *MakeReadInterface("salary1(n)", Duration::Seconds(1)));
+  site.interfaces.push_back(*MakeWriteInterface("other", Duration::Seconds(1)));
+  EXPECT_EQ(site.ForItem("salary1").size(), 2u);
+  EXPECT_EQ(site.ForItem("other").size(), 1u);
+  EXPECT_TRUE(site.Offers("salary1", InterfaceKind::kNotify));
+  EXPECT_TRUE(site.Offers("salary1", InterfaceKind::kRead));
+  EXPECT_FALSE(site.Offers("salary1", InterfaceKind::kWrite));
+  EXPECT_FALSE(site.Offers("missing", InterfaceKind::kRead));
+}
+
+TEST(InterfaceSpecTest, ToStringMentionsKindAndRules) {
+  auto spec = MakeNotifyInterface("X", Duration::Seconds(1));
+  ASSERT_TRUE(spec.ok());
+  std::string s = spec->ToString();
+  EXPECT_NE(s.find("notify(X)"), std::string::npos);
+  EXPECT_NE(s.find("N(X, b)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcm::spec

@@ -1,0 +1,87 @@
+#include "src/spec/strategy_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::spec {
+namespace {
+
+std::vector<std::string> GuaranteeNames(const StrategySpec& s) {
+  std::vector<std::string> names;
+  for (const auto& g : s.guarantees) names.push_back(g.name);
+  return names;
+}
+
+TEST(StrategySpecTest, UpdatePropagation) {
+  auto s = MakeUpdatePropagationStrategy("salary1(n)", "salary2(n)",
+                                         Duration::Seconds(5),
+                                         Duration::Seconds(10));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->rules.size(), 1u);
+  EXPECT_EQ(s->rules[0].lhs.kind, rule::EventKind::kNotify);
+  EXPECT_EQ(s->rules[0].rhs[0].event.kind, rule::EventKind::kWriteRequest);
+  EXPECT_TRUE(s->enforces);
+  // All four Section 3.3.1 guarantees.
+  EXPECT_EQ(GuaranteeNames(*s),
+            (std::vector<std::string>{"y-follows-x", "x-leads-y",
+                                      "y-strictly-follows-x",
+                                      "metric-y-follows-x"}));
+}
+
+TEST(StrategySpecTest, CachedPropagationHasConditionalStep) {
+  auto s = MakeCachedPropagationStrategy("X", "Y", "Cx", Duration::Seconds(5),
+                                         Duration::Seconds(10));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->rules.size(), 1u);
+  ASSERT_EQ(s->rules[0].rhs.size(), 2u);
+  EXPECT_NE(s->rules[0].rhs[0].condition, nullptr);  // Cx != b guard
+  EXPECT_EQ(s->rules[0].rhs[1].event.kind, rule::EventKind::kWrite);
+}
+
+TEST(StrategySpecTest, PollingOmitsXLeadsY) {
+  auto s = MakePollingStrategy("X", "Y", Duration::Seconds(60),
+                               Duration::Seconds(5), Duration::Seconds(70));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->rules.size(), 2u);
+  EXPECT_EQ(s->rules[0].lhs.kind, rule::EventKind::kPeriodic);
+  EXPECT_EQ(s->rules[1].lhs.kind, rule::EventKind::kRead);
+  auto names = GuaranteeNames(*s);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "x-leads-y"), 0);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "y-follows-x"), 1);
+}
+
+TEST(StrategySpecTest, MonitorStrategyShape) {
+  auto s = MakeMonitorStrategy("X", "Y", "Mon", Duration::Seconds(2),
+                               Duration::Seconds(5));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_FALSE(s->enforces);
+  ASSERT_EQ(s->rules.size(), 2u);
+  // Each rule: cache write + 3 conditional maintenance steps.
+  for (const auto& r : s->rules) {
+    ASSERT_EQ(r.rhs.size(), 4u) << r.ToString();
+    EXPECT_EQ(r.rhs[0].event.kind, rule::EventKind::kWrite);
+    EXPECT_NE(r.rhs[1].condition, nullptr);
+    EXPECT_NE(r.rhs[2].condition, nullptr);
+    EXPECT_NE(r.rhs[3].condition, nullptr);
+  }
+  ASSERT_EQ(s->guarantees.size(), 1u);
+  EXPECT_EQ(s->guarantees[0].name, "monitor-flag");
+}
+
+TEST(StrategySpecTest, MonitorRejectsParameterizedItems) {
+  EXPECT_FALSE(MakeMonitorStrategy("salary1(n)", "salary2(n)", "Mon",
+                                   Duration::Seconds(2), Duration::Seconds(5))
+                   .ok());
+}
+
+TEST(StrategySpecTest, ToStringListsRulesAndGuarantees) {
+  auto s = MakeUpdatePropagationStrategy("X", "Y", Duration::Seconds(5),
+                                         Duration::Seconds(10));
+  ASSERT_TRUE(s.ok());
+  std::string text = s->ToString();
+  EXPECT_NE(text.find("update-propagation"), std::string::npos);
+  EXPECT_NE(text.find("rule:"), std::string::npos);
+  EXPECT_NE(text.find("guarantee y-follows-x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcm::spec

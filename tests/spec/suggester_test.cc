@@ -1,0 +1,173 @@
+#include "src/spec/suggester.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::spec {
+namespace {
+
+SiteInterfaces SiteWith(std::string site,
+                        std::vector<InterfaceSpec> interfaces) {
+  SiteInterfaces s;
+  s.site = std::move(site);
+  s.interfaces = std::move(interfaces);
+  return s;
+}
+
+bool HasStrategy(const std::vector<Suggestion>& suggestions,
+                 const std::string& name) {
+  for (const auto& s : suggestions) {
+    if (s.strategy.name == name) return true;
+  }
+  return false;
+}
+
+const Suggestion* FindStrategy(const std::vector<Suggestion>& suggestions,
+                               const std::string& name) {
+  for (const auto& s : suggestions) {
+    if (s.strategy.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(SuggesterTest, NotifyPlusWriteYieldsPropagation) {
+  auto constraint = MakeCopyConstraint("salary1(n)", "salary2(n)");
+  ASSERT_TRUE(constraint.ok());
+  auto a = SiteWith("A", {*MakeNotifyInterface("salary1(n)",
+                                               Duration::Seconds(1))});
+  auto b = SiteWith("B", {*MakeWriteInterface("salary2(n)",
+                                              Duration::Seconds(2))});
+  auto suggestions = SuggestStrategies(*constraint, a, b);
+  EXPECT_TRUE(HasStrategy(suggestions, "update-propagation"));
+  EXPECT_TRUE(HasStrategy(suggestions, "cached-propagation"));
+  EXPECT_FALSE(HasStrategy(suggestions, "polling"));
+  // Kappa derivation: notify 1s + strategy 5s + write 2s + margin 1s = 9s.
+  const Suggestion* prop = FindStrategy(suggestions, "update-propagation");
+  ASSERT_NE(prop, nullptr);
+  bool found_metric = false;
+  for (const auto& g : prop->strategy.guarantees) {
+    if (g.name == "metric-y-follows-x") {
+      found_metric = true;
+      EXPECT_NE(g.ToString().find("9s"), std::string::npos) << g.ToString();
+    }
+  }
+  EXPECT_TRUE(found_metric);
+}
+
+TEST(SuggesterTest, ReadOnlyYieldsPollingWithoutXLeadsY) {
+  auto constraint = MakeCopyConstraint("salary1(n)", "salary2(n)");
+  ASSERT_TRUE(constraint.ok());
+  auto a = SiteWith("A", {*MakeReadInterface("salary1(n)",
+                                             Duration::Seconds(1))});
+  auto b = SiteWith("B", {*MakeWriteInterface("salary2(n)",
+                                              Duration::Seconds(2))});
+  auto suggestions = SuggestStrategies(*constraint, a, b);
+  ASSERT_TRUE(HasStrategy(suggestions, "polling"));
+  EXPECT_FALSE(HasStrategy(suggestions, "update-propagation"));
+  const Suggestion* poll = FindStrategy(suggestions, "polling");
+  for (const auto& g : poll->strategy.guarantees) {
+    EXPECT_NE(g.name, "x-leads-y");
+  }
+}
+
+TEST(SuggesterTest, NotifyOnlyBothSidesYieldsMonitor) {
+  auto constraint = MakeCopyConstraint("X", "Y");
+  ASSERT_TRUE(constraint.ok());
+  auto a = SiteWith("A", {*MakeNotifyInterface("X", Duration::Seconds(1))});
+  auto b = SiteWith("B", {*MakeNotifyInterface("Y", Duration::Seconds(1))});
+  auto suggestions = SuggestStrategies(*constraint, a, b);
+  ASSERT_TRUE(HasStrategy(suggestions, "monitor"));
+  const Suggestion* mon = FindStrategy(suggestions, "monitor");
+  EXPECT_FALSE(mon->strategy.enforces);
+}
+
+TEST(SuggesterTest, NoApplicableInterfacesYieldsNothing) {
+  auto constraint = MakeCopyConstraint("X", "Y");
+  ASSERT_TRUE(constraint.ok());
+  auto a = SiteWith("A", {});
+  auto b = SiteWith("B", {*MakeWriteInterface("Y", Duration::Seconds(1))});
+  EXPECT_TRUE(SuggestStrategies(*constraint, a, b).empty());
+}
+
+TEST(SuggesterTest, PeriodicNotifyDropsXLeadsY) {
+  auto constraint = MakeCopyConstraint("X", "Y");
+  ASSERT_TRUE(constraint.ok());
+  auto a = SiteWith("A", {*MakePeriodicNotifyInterface(
+                             "X", Duration::Seconds(300),
+                             Duration::Millis(500))});
+  auto b = SiteWith("B", {*MakeWriteInterface("Y", Duration::Seconds(2))});
+  auto suggestions = SuggestStrategies(*constraint, a, b);
+  const Suggestion* prop = FindStrategy(suggestions, "update-propagation");
+  ASSERT_NE(prop, nullptr);
+  for (const auto& g : prop->strategy.guarantees) {
+    EXPECT_NE(g.name, "x-leads-y");
+  }
+  // Kappa folds in the 300s period.
+  bool metric_found = false;
+  for (const auto& g : prop->strategy.guarantees) {
+    if (g.name == "metric-y-follows-x") {
+      metric_found = true;
+      EXPECT_NE(g.ToString().find("m"), std::string::npos);  // minutes-scale
+    }
+  }
+  EXPECT_TRUE(metric_found);
+}
+
+TEST(SuggesterTest, InequalityWithReadWriteYieldsDemarcation) {
+  auto constraint = MakeInequalityConstraint("Stock", "Quota");
+  ASSERT_TRUE(constraint.ok());
+  auto a = SiteWith("A", {*MakeReadInterface("Stock", Duration::Seconds(1)),
+                          *MakeWriteInterface("Stock", Duration::Seconds(1))});
+  auto b = SiteWith("B", {*MakeReadInterface("Quota", Duration::Seconds(1)),
+                          *MakeWriteInterface("Quota", Duration::Seconds(1))});
+  auto suggestions = SuggestStrategies(*constraint, a, b);
+  ASSERT_TRUE(HasStrategy(suggestions, "demarcation-protocol"));
+  const Suggestion* dem = FindStrategy(suggestions, "demarcation-protocol");
+  ASSERT_EQ(dem->strategy.guarantees.size(), 1u);
+  EXPECT_EQ(dem->strategy.guarantees[0].name, "always-leq");
+  EXPECT_FALSE(dem->strategy.guarantees[0].is_metric());
+}
+
+TEST(SuggesterTest, InequalityWithoutWriteAccessYieldsNothing) {
+  auto constraint = MakeInequalityConstraint("Stock", "Quota");
+  ASSERT_TRUE(constraint.ok());
+  auto a = SiteWith("A", {*MakeReadInterface("Stock", Duration::Seconds(1))});
+  auto b = SiteWith("B", {*MakeReadInterface("Quota", Duration::Seconds(1))});
+  EXPECT_TRUE(SuggestStrategies(*constraint, a, b).empty());
+}
+
+TEST(SuggesterTest, ReferentialWithDeleteCapabilityYieldsSweep) {
+  auto constraint = MakeReferentialConstraint("project(i)", "salary(i)");
+  ASSERT_TRUE(constraint.ok());
+  auto p = SiteWith(
+      "P", {*MakeReadInterface("project(i)", Duration::Seconds(1)),
+            *MakeDeleteCapability("project(i)", Duration::Seconds(1))});
+  auto s = SiteWith("S", {*MakeReadInterface("salary(i)",
+                                             Duration::Seconds(1))});
+  auto suggestions = SuggestStrategies(*constraint, p, s);
+  ASSERT_TRUE(HasStrategy(suggestions, "referential-sweep"));
+  const Suggestion* sweep = FindStrategy(suggestions, "referential-sweep");
+  ASSERT_EQ(sweep->strategy.guarantees.size(), 1u);
+  EXPECT_EQ(sweep->strategy.guarantees[0].name, "exists-within");
+}
+
+TEST(SuggesterTest, ReferentialWithoutDeleteYieldsNothing) {
+  auto constraint = MakeReferentialConstraint("project(i)", "salary(i)");
+  ASSERT_TRUE(constraint.ok());
+  auto p = SiteWith("P", {*MakeReadInterface("project(i)",
+                                             Duration::Seconds(1))});
+  auto s = SiteWith("S", {*MakeReadInterface("salary(i)",
+                                             Duration::Seconds(1))});
+  EXPECT_TRUE(SuggestStrategies(*constraint, p, s).empty());
+}
+
+TEST(InterfaceDelayTest, PicksMaxNonForbidding) {
+  auto notify = MakeNotifyInterface("X", Duration::Seconds(3));
+  ASSERT_TRUE(notify.ok());
+  EXPECT_EQ(InterfaceDelay(*notify), Duration::Seconds(3));
+  auto nsw = MakeNoSpontaneousWriteInterface("X");
+  ASSERT_TRUE(nsw.ok());
+  EXPECT_EQ(InterfaceDelay(*nsw), Duration::Zero());
+}
+
+}  // namespace
+}  // namespace hcm::spec

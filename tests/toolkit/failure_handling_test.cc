@@ -1,0 +1,141 @@
+// Deterministic unit tests for Section 5's failure pipeline: detection at
+// the translator, classification, propagation to the status registry, and
+// eventual completion of delayed work.
+
+#include <gtest/gtest.h>
+
+#include "src/toolkit/system.h"
+
+namespace hcm::toolkit {
+namespace {
+
+using rule::ItemId;
+
+constexpr const char* kRidA = R"(
+ris relational
+site A
+item X
+  read   select v from vals where k = 1
+  write  update vals set v = $v where k = 1
+  notify trigger vals v
+interface notify X 1s
+)";
+
+constexpr const char* kRidB = R"(
+ris relational
+site B
+param write_delay 100ms
+item Y
+  read   select v from vals where k = 1
+  write  update vals set v = $v where k = 1
+interface write Y 2s
+)";
+
+class FailureHandlingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* site : {"A", "B"}) {
+      auto db = system_.AddRelationalSite(site);
+      ASSERT_TRUE(db.ok());
+      ASSERT_TRUE(
+          (*db)->Execute("create table vals (k int primary key, v int)").ok());
+      ASSERT_TRUE((*db)->Execute("insert into vals values (1, 0)").ok());
+    }
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidA).ok());
+    ASSERT_TRUE(system_.ConfigureTranslator(kRidB).ok());
+    ASSERT_TRUE(system_.DeclareInitial(ItemId{"X", {}}).ok());
+    ASSERT_TRUE(system_.DeclareInitial(ItemId{"Y", {}}).ok());
+    auto constraint = spec::MakeCopyConstraint("X", "Y");
+    ASSERT_TRUE(constraint.ok());
+    auto strategy = spec::MakeUpdatePropagationStrategy(
+        "X", "Y", Duration::Seconds(5), Duration::Seconds(9));
+    ASSERT_TRUE(strategy.ok());
+    ASSERT_TRUE(
+        system_.InstallStrategy("c", *constraint, *strategy).ok());
+  }
+
+  Value YValue() {
+    auto v = system_.WorkloadRead(ItemId{"Y", {}});
+    return v.ok() ? *v : Value::Null();
+  }
+
+  System system_;
+};
+
+TEST_F(FailureHandlingTest, RisOutageDelaysButCompletesWork) {
+  system_.failures().AddOutage("B#ris", TimePoint::FromMillis(500),
+                               TimePoint::FromMillis(30000));
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"X", {}}, Value::Int(7)).ok());
+  // While the RIS is down the write has not landed...
+  system_.RunFor(Duration::Seconds(20));
+  EXPECT_EQ(YValue(), Value::Int(0));
+  // ...a metric failure was detected and metric guarantees invalidated...
+  ASSERT_FALSE(system_.guarantee_status().failures().empty());
+  EXPECT_EQ(system_.guarantee_status().failures()[0].failure_class,
+            FailureClass::kMetric);
+  EXPECT_EQ(system_.guarantee_status().failures()[0].site, "B");
+  EXPECT_EQ(*system_.GuaranteeStatus("c/metric-y-follows-x"),
+            GuaranteeValidity::kInvalid);
+  EXPECT_EQ(*system_.GuaranteeStatus("c/y-follows-x"),
+            GuaranteeValidity::kValid);
+  // ...and after recovery the delayed write lands (work is not lost).
+  system_.RunFor(Duration::Seconds(30));
+  EXPECT_EQ(YValue(), Value::Int(7));
+}
+
+TEST_F(FailureHandlingTest, LogicalCrashDropsWorkAndInvalidatesAll) {
+  auto tr = system_.TranslatorAt("B");
+  ASSERT_TRUE(tr.ok());
+  (*tr)->set_crash_is_logical(true);
+  system_.failures().AddOutage("B#ris", TimePoint::FromMillis(500),
+                               TimePoint::FromMillis(30000));
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"X", {}}, Value::Int(7)).ok());
+  system_.RunFor(Duration::Minutes(2));
+  // Work lost, everything at B invalid.
+  EXPECT_EQ(YValue(), Value::Int(0));
+  EXPECT_EQ(*system_.GuaranteeStatus("c/y-follows-x"),
+            GuaranteeValidity::kInvalid);
+  EXPECT_EQ(*system_.GuaranteeStatus("c/x-leads-y"),
+            GuaranteeValidity::kInvalid);
+  ASSERT_FALSE(system_.guarantee_status().failures().empty());
+  EXPECT_EQ(system_.guarantee_status().failures()[0].failure_class,
+            FailureClass::kLogical);
+}
+
+TEST_F(FailureHandlingTest, SlowdownReportsMetricFailureButDelivers) {
+  system_.failures().AddSlowdown("B", TimePoint::FromMillis(500),
+                                 TimePoint::FromMillis(60000),
+                                 Duration::Seconds(15));
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"X", {}}, Value::Int(9)).ok());
+  system_.RunFor(Duration::Minutes(2));
+  EXPECT_EQ(YValue(), Value::Int(9));
+  bool saw_metric = false;
+  for (const auto& f : system_.guarantee_status().failures()) {
+    if (f.failure_class == FailureClass::kMetric) saw_metric = true;
+    EXPECT_NE(f.failure_class, FailureClass::kLogical);
+  }
+  EXPECT_TRUE(saw_metric);
+  EXPECT_EQ(*system_.GuaranteeStatus("c/x-leads-y"),
+            GuaranteeValidity::kValid);
+}
+
+TEST_F(FailureHandlingTest, UnaffectedSiteKeepsItsGuarantees) {
+  // Register a second, unrelated guarantee scoped to site A only.
+  ASSERT_TRUE(system_.guarantee_status()
+                  .Register("other/metric",
+                            spec::MetricYFollowsX("P", "Q",
+                                                  Duration::Seconds(1)),
+                            {"A"})
+                  .ok());
+  system_.failures().AddOutage("B#ris", TimePoint::FromMillis(500),
+                               TimePoint::FromMillis(5000));
+  ASSERT_TRUE(system_.WorkloadWrite(ItemId{"X", {}}, Value::Int(3)).ok());
+  system_.RunFor(Duration::Seconds(30));
+  EXPECT_EQ(*system_.GuaranteeStatus("c/metric-y-follows-x"),
+            GuaranteeValidity::kInvalid);
+  EXPECT_EQ(*system_.GuaranteeStatus("other/metric"),
+            GuaranteeValidity::kValid);
+}
+
+}  // namespace
+}  // namespace hcm::toolkit

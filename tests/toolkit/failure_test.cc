@@ -1,0 +1,88 @@
+#include "src/toolkit/failure.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::toolkit {
+namespace {
+
+class GuaranteeStatusTest : public ::testing::Test {
+ protected:
+  GuaranteeStatusTest() {
+    EXPECT_TRUE(reg_
+                    .Register("c1/y-follows-x", spec::YFollowsX("X", "Y"),
+                              {"A", "B"})
+                    .ok());
+    EXPECT_TRUE(reg_
+                    .Register("c1/metric",
+                              spec::MetricYFollowsX("X", "Y",
+                                                    Duration::Seconds(5)),
+                              {"A", "B"})
+                    .ok());
+    EXPECT_TRUE(reg_
+                    .Register("c2/always-leq", spec::AlwaysLeq("P", "Q"),
+                              {"C", "D"})
+                    .ok());
+  }
+
+  FailureNotice Notice(const std::string& site, FailureClass fc) {
+    FailureNotice n;
+    n.site = site;
+    n.failure_class = fc;
+    n.detected_at = TimePoint::FromMillis(1000);
+    n.detail = "test";
+    return n;
+  }
+
+  GuaranteeStatusRegistry reg_;
+};
+
+TEST_F(GuaranteeStatusTest, AllValidInitially) {
+  EXPECT_EQ(*reg_.StatusOf("c1/y-follows-x"), GuaranteeValidity::kValid);
+  EXPECT_EQ(*reg_.StatusOf("c1/metric"), GuaranteeValidity::kValid);
+  EXPECT_TRUE(reg_.InvalidKeys().empty());
+}
+
+TEST_F(GuaranteeStatusTest, MetricFailureHitsOnlyMetricGuarantees) {
+  reg_.OnFailure(Notice("B", FailureClass::kMetric));
+  EXPECT_EQ(*reg_.StatusOf("c1/y-follows-x"), GuaranteeValidity::kValid);
+  EXPECT_EQ(*reg_.StatusOf("c1/metric"), GuaranteeValidity::kInvalid);
+  // Unrelated constraint untouched.
+  EXPECT_EQ(*reg_.StatusOf("c2/always-leq"), GuaranteeValidity::kValid);
+  EXPECT_EQ(reg_.InvalidKeys(), (std::vector<std::string>{"c1/metric"}));
+}
+
+TEST_F(GuaranteeStatusTest, LogicalFailureHitsEverythingAtSite) {
+  reg_.OnFailure(Notice("A", FailureClass::kLogical));
+  EXPECT_EQ(*reg_.StatusOf("c1/y-follows-x"), GuaranteeValidity::kInvalid);
+  EXPECT_EQ(*reg_.StatusOf("c1/metric"), GuaranteeValidity::kInvalid);
+  EXPECT_EQ(*reg_.StatusOf("c2/always-leq"), GuaranteeValidity::kValid);
+}
+
+TEST_F(GuaranteeStatusTest, ResetRestoresValidity) {
+  reg_.OnFailure(Notice("A", FailureClass::kLogical));
+  reg_.ResetSite("A", TimePoint::FromMillis(5000));
+  EXPECT_EQ(*reg_.StatusOf("c1/y-follows-x"), GuaranteeValidity::kValid);
+  EXPECT_EQ(*reg_.StatusOf("c1/metric"), GuaranteeValidity::kValid);
+}
+
+TEST_F(GuaranteeStatusTest, FailureLogAccumulates) {
+  reg_.OnFailure(Notice("A", FailureClass::kMetric));
+  reg_.OnFailure(Notice("B", FailureClass::kLogical));
+  ASSERT_EQ(reg_.failures().size(), 2u);
+  EXPECT_EQ(reg_.failures()[1].site, "B");
+  EXPECT_NE(reg_.failures()[1].ToString().find("logical"),
+            std::string::npos);
+}
+
+TEST_F(GuaranteeStatusTest, DuplicateKeyRejected) {
+  EXPECT_EQ(reg_.Register("c1/y-follows-x", spec::YFollowsX("X", "Y"), {"A"})
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(GuaranteeStatusTest, UnknownKeyIsNotFound) {
+  EXPECT_FALSE(reg_.StatusOf("nope").ok());
+}
+
+}  // namespace
+}  // namespace hcm::toolkit

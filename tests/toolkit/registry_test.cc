@@ -1,0 +1,54 @@
+#include "src/toolkit/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::toolkit {
+namespace {
+
+TEST(ItemRegistryTest, RegisterAndLocate) {
+  ItemRegistry reg;
+  ASSERT_TRUE(reg.RegisterDatabaseItem("salary1", "A").ok());
+  ASSERT_TRUE(reg.RegisterPrivateItem("MonFlag", "M").ok());
+  auto loc = reg.Locate("salary1");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->site, "A");
+  EXPECT_FALSE(loc->cm_private);
+  EXPECT_TRUE(reg.IsPrivate("MonFlag"));
+  EXPECT_FALSE(reg.IsPrivate("salary1"));
+  EXPECT_FALSE(reg.IsPrivate("unknown"));
+  EXPECT_FALSE(reg.Locate("unknown").ok());
+}
+
+TEST(ItemRegistryTest, ReRegistrationRules) {
+  ItemRegistry reg;
+  ASSERT_TRUE(reg.RegisterDatabaseItem("x", "A").ok());
+  // Idempotent same-site re-registration.
+  EXPECT_TRUE(reg.RegisterDatabaseItem("x", "A").ok());
+  // Conflicting site or privacy is an error.
+  EXPECT_EQ(reg.RegisterDatabaseItem("x", "B").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(reg.RegisterPrivateItem("x", "A").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ItemRegistryTest, SiteOfRef) {
+  ItemRegistry reg;
+  ASSERT_TRUE(reg.RegisterDatabaseItem("salary1", "A").ok());
+  rule::ItemRef ref{"salary1", {rule::Term::Var("n")}};
+  auto site = reg.SiteOf(ref);
+  ASSERT_TRUE(site.ok());
+  EXPECT_EQ(*site, "A");
+}
+
+TEST(ItemRegistryTest, ItemsAtSite) {
+  ItemRegistry reg;
+  ASSERT_TRUE(reg.RegisterDatabaseItem("a", "A").ok());
+  ASSERT_TRUE(reg.RegisterDatabaseItem("b", "A").ok());
+  ASSERT_TRUE(reg.RegisterDatabaseItem("c", "B").ok());
+  EXPECT_EQ(reg.ItemsAtSite("A").size(), 2u);
+  EXPECT_EQ(reg.ItemsAtSite("B").size(), 1u);
+  EXPECT_TRUE(reg.ItemsAtSite("Z").empty());
+}
+
+}  // namespace
+}  // namespace hcm::toolkit

@@ -1,0 +1,171 @@
+// Unit tests for the CM-Shell's engine mechanics, driven through a minimal
+// hand-assembled deployment (no translators).
+
+#include "src/toolkit/shell.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rule/parser.h"
+
+namespace hcm::toolkit {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  ShellTest()
+      : network_(&executor_, sim::NetworkConfig{}),
+        shell_("S", &executor_, &network_, &recorder_, &registry_,
+               &guarantees_) {
+    EXPECT_TRUE(shell_.Initialize().ok());
+    EXPECT_TRUE(registry_.RegisterPrivateItem("Cache", "S").ok());
+    EXPECT_TRUE(registry_.RegisterPrivateItem("Count", "S").ok());
+  }
+
+  // Delivers an N event to the shell as its translator would.
+  void DeliverNotify(const std::string& base, int64_t value) {
+    rule::Event n;
+    n.kind = rule::EventKind::kNotify;
+    n.item = rule::ItemId{base, {}};
+    n.values = {Value::Int(value)};
+    ASSERT_TRUE(network_
+                    .Send({TranslatorEndpoint("S"), "S", "event",
+                           EventMessage{std::move(n)}})
+                    .ok());
+  }
+
+  rule::Rule InstalledRule(const std::string& text, int64_t id) {
+    auto r = rule::ParseRule(text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    r->id = id;
+    EXPECT_TRUE(shell_.AddLhsRule(*r, "S").ok());
+    EXPECT_TRUE(shell_.AddRhsRule(*r).ok());
+    return *r;
+  }
+
+  sim::Executor executor_;
+  sim::Network network_;
+  trace::TraceRecorder recorder_;
+  ItemRegistry registry_;
+  GuaranteeStatusRegistry guarantees_;
+  Shell shell_;
+};
+
+TEST_F(ShellTest, PrivateDataDefaultsToNull) {
+  EXPECT_TRUE(shell_.ReadPrivate(rule::ItemId{"Cache", {}}).is_null());
+  auto aux = shell_.ReadAuxiliary(rule::ItemId{"Cache", {}});
+  ASSERT_TRUE(aux.ok());
+  EXPECT_TRUE(aux->is_null());
+}
+
+TEST_F(ShellTest, WritePrivateRecordsEvent) {
+  shell_.WritePrivate(rule::ItemId{"Cache", {}}, Value::Int(5), 7, 3, 0);
+  EXPECT_EQ(shell_.ReadPrivate(rule::ItemId{"Cache", {}}), Value::Int(5));
+  ASSERT_EQ(recorder_.num_events(), 1u);
+  const auto& e = recorder_.trace().events[0];
+  EXPECT_EQ(e.kind, rule::EventKind::kWrite);
+  EXPECT_EQ(e.rule_id, 7);
+  EXPECT_EQ(e.trigger_event_id, 3);
+}
+
+TEST_F(ShellTest, RuleFiresAndCountsFirings) {
+  InstalledRule("cache: N(X, b) -> 5s W(Cache, b)", 1);
+  DeliverNotify("X", 42);
+  executor_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(shell_.ReadPrivate(rule::ItemId{"Cache", {}}), Value::Int(42));
+  EXPECT_EQ(shell_.firings(), 1u);
+}
+
+TEST_F(ShellTest, ConditionGuardsStep) {
+  InstalledRule("guarded: N(X, b) -> 5s Cache != b ? W(Count, b), "
+                "W(Cache, b)",
+                1);
+  DeliverNotify("X", 42);
+  executor_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(shell_.ReadPrivate(rule::ItemId{"Count", {}}), Value::Int(42));
+  // Same value again: the guarded step is skipped, the cache write not.
+  DeliverNotify("X", 42);
+  executor_.RunFor(Duration::Seconds(10));
+  // Count unchanged (still one W event for it in the trace).
+  size_t count_writes = 0;
+  for (const auto& e : recorder_.trace().events) {
+    if (e.kind == rule::EventKind::kWrite && e.item.base == "Count") {
+      ++count_writes;
+    }
+  }
+  EXPECT_EQ(count_writes, 1u);
+  EXPECT_EQ(shell_.firings(), 2u);
+}
+
+TEST_F(ShellTest, NowVariableBindsFiringTime) {
+  InstalledRule("stamp: N(X, b) -> 5s W(Cache, now)", 1);
+  executor_.RunFor(Duration::Seconds(3));
+  DeliverNotify("X", 1);
+  executor_.RunFor(Duration::Seconds(10));
+  Value stamped = shell_.ReadPrivate(rule::ItemId{"Cache", {}});
+  ASSERT_TRUE(stamped.is_int());
+  EXPECT_GE(stamped.AsInt(), 3000);
+  EXPECT_LE(stamped.AsInt(), 13000);
+}
+
+TEST_F(ShellTest, WriteOnNonPrivateItemIsRejected) {
+  ASSERT_TRUE(registry_.RegisterDatabaseItem("DbItem", "S").ok());
+  InstalledRule("bad: N(X, b) -> 5s W(DbItem, b)", 1);
+  DeliverNotify("X", 9);
+  executor_.RunFor(Duration::Seconds(10));
+  // No W event was recorded for the database item (strategies must use WR).
+  for (const auto& e : recorder_.trace().events) {
+    EXPECT_FALSE(e.kind == rule::EventKind::kWrite &&
+                 e.item.base == "DbItem");
+  }
+}
+
+TEST_F(ShellTest, PeriodicRuleTicksAndRecordsPEvents) {
+  auto r = rule::ParseRule("tick: P(2) -> 1s W(Count, 1)");
+  ASSERT_TRUE(r.ok());
+  r->id = 1;
+  ASSERT_TRUE(shell_.AddLhsRule(*r, "S").ok());
+  ASSERT_TRUE(shell_.AddRhsRule(*r).ok());
+  ASSERT_TRUE(shell_.StartPeriodicRule(*r).ok());
+  executor_.RunFor(Duration::Seconds(7));
+  size_t p_events = 0;
+  for (const auto& e : recorder_.trace().events) {
+    if (e.kind == rule::EventKind::kPeriodic) ++p_events;
+  }
+  EXPECT_EQ(p_events, 3u);  // t=2,4,6
+  EXPECT_EQ(shell_.firings(), 3u);
+}
+
+TEST_F(ShellTest, StartPeriodicRejectsNonPeriodicOrBadPeriod) {
+  auto r = rule::ParseRule("x: N(X, b) -> 5s W(Cache, b)");
+  ASSERT_TRUE(r.ok());
+  r->id = 1;
+  EXPECT_FALSE(shell_.StartPeriodicRule(*r).ok());
+  auto p = rule::ParseRule("p: P(p) -> 1s W(Cache, 1)");
+  ASSERT_TRUE(p.ok());
+  p->id = 2;
+  EXPECT_FALSE(shell_.StartPeriodicRule(*p).ok());  // variable period
+}
+
+TEST_F(ShellTest, AddPeriodicTaskRepeats) {
+  int runs = 0;
+  shell_.AddPeriodicTask(Duration::Seconds(5), [&] { ++runs; });
+  executor_.RunFor(Duration::Seconds(21));
+  EXPECT_EQ(runs, 4);  // t=5,10,15,20
+}
+
+TEST_F(ShellTest, RulesWithoutIdsRejected) {
+  auto r = rule::ParseRule("x: N(X, b) -> 5s W(Cache, b)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(shell_.AddLhsRule(*r, "S").ok());
+  EXPECT_FALSE(shell_.AddRhsRule(*r).ok());
+}
+
+TEST_F(ShellTest, ProhibitionRulesNotExecutable) {
+  auto r = rule::ParseRule("nsw: Ws(X, b) -> 0s F");
+  ASSERT_TRUE(r.ok());
+  r->id = 1;
+  EXPECT_FALSE(shell_.AddLhsRule(*r, "S").ok());
+}
+
+}  // namespace
+}  // namespace hcm::toolkit

@@ -1,0 +1,167 @@
+// Error-path coverage for System: misconfigured strategies, duplicate
+// sites, unknown items — the failures an administrator actually hits.
+// Plus a cross-RIS polling deployment (whois source, relational copy) to
+// exercise heterogeneous whole-base reads end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "src/rule/parser.h"
+#include "src/toolkit/system.h"
+#include "src/trace/guarantee_checker.h"
+
+namespace hcm::toolkit {
+namespace {
+
+using rule::ItemId;
+
+TEST(SystemErrorsTest, DuplicateSitesRejected) {
+  System sys;
+  ASSERT_TRUE(sys.AddRelationalSite("A").ok());
+  EXPECT_EQ(sys.AddRelationalSite("A").status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(sys.AddWhoisSite("W").ok());
+  EXPECT_EQ(sys.AddWhoisSite("W").status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(sys.AddFileSite("F").ok());
+  EXPECT_EQ(sys.AddFileSite("F").status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(sys.AddBiblioSite("L").ok());
+  EXPECT_EQ(sys.AddBiblioSite("L").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SystemErrorsTest, WorkloadOnUnknownItemFails) {
+  System sys;
+  EXPECT_EQ(sys.WorkloadWrite(ItemId{"ghost", {}}, Value::Int(1)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sys.WorkloadRead(ItemId{"ghost", {}}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sys.WorkloadInsert(ItemId{"ghost", {}}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sys.DeclareInitial(ItemId{"ghost", {}}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SystemErrorsTest, InstallStrategyWithMixedRhsSitesRejected) {
+  System sys;
+  for (const char* site : {"A", "B"}) {
+    auto db = sys.AddRelationalSite(site);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(
+        (*db)->Execute("create table t (k int primary key, v int)").ok());
+  }
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris relational
+site A
+item X
+  read  select v from t where k = 1
+  write update t set v = $v where k = 1
+interface read X 1s
+)")
+                  .ok());
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris relational
+site B
+item Y
+  read  select v from t where k = 1
+  write update t set v = $v where k = 1
+interface write Y 1s
+)")
+                  .ok());
+  // A rule whose RHS spans two sites violates the Appendix A footnote.
+  spec::StrategySpec bad;
+  bad.name = "bad";
+  auto rule = rule::ParseRule("r: N(X, b) -> 5s WR(X, b), WR(Y, b)");
+  ASSERT_TRUE(rule.ok());
+  bad.rules = {*rule};
+  auto constraint = *spec::MakeCopyConstraint("X", "Y");
+  Status s = sys.InstallStrategy("bad", constraint, bad);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("share a site"), std::string::npos);
+}
+
+TEST(SystemErrorsTest, ReadAuxiliaryAtUnknownSiteFails) {
+  System sys;
+  EXPECT_EQ(sys.ReadAuxiliary("Z", ItemId{"Flag", {}}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sys.GuaranteeStatus("none").status().code(),
+            StatusCode::kNotFound);
+}
+
+// Heterogeneous polling: a read-only whois source polled into a relational
+// copy — whole-base listing over the line protocol, typed values crossing
+// data models.
+TEST(HeterogeneousPollingTest, WhoisToRelationalViaPolling) {
+  System sys;
+  auto whois = sys.AddWhoisSite("W");
+  ASSERT_TRUE(whois.ok());
+  (*whois)->Query("set chaw phone 111");
+  (*whois)->Query("set widom phone 222");
+  auto db = sys.AddRelationalSite("R");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->Execute("create table mirror (login str primary key, "
+                            "phone str)")
+                  .ok());
+  ASSERT_TRUE(
+      (*db)->Execute("insert into mirror values ('chaw', '111')").ok());
+  ASSERT_TRUE(
+      (*db)->Execute("insert into mirror values ('widom', '222')").ok());
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris whois
+site W
+item phone
+  read  get $1 phone
+  write set $1 phone $v
+  list  list
+interface read phone(n) 1s
+)")
+                  .ok());
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris relational
+site R
+item Mirror
+  read   select phone from mirror where login = $1
+  write  update mirror set phone = $v where login = $1
+  list   select login from mirror
+interface write Mirror(n) 2s
+)")
+                  .ok());
+  for (const char* login : {"chaw", "widom"}) {
+    ASSERT_TRUE(
+        sys.DeclareInitial(ItemId{"phone", {Value::Str(login)}}).ok());
+    ASSERT_TRUE(
+        sys.DeclareInitial(ItemId{"Mirror", {Value::Str(login)}}).ok());
+  }
+  auto constraint = *spec::MakeCopyConstraint("phone(n)", "Mirror(n)");
+  spec::SuggestOptions sopts;
+  sopts.polling_period = Duration::Seconds(30);
+  auto suggestions = sys.Suggest(constraint, sopts);
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_FALSE(suggestions->empty());
+  EXPECT_EQ((*suggestions)[0].strategy.name, "polling");
+  ASSERT_TRUE(sys.InstallStrategy("mirror", constraint,
+                                  (*suggestions)[0].strategy)
+                  .ok());
+  // A whois update propagates via the next poll.
+  ASSERT_TRUE(sys.WorkloadWrite(ItemId{"phone", {Value::Str("chaw")}},
+                                Value::Str("999"))
+                  .ok());
+  sys.RunFor(Duration::Minutes(2));
+  auto mirrored = sys.WorkloadRead(ItemId{"Mirror", {Value::Str("chaw")}});
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(*mirrored, Value::Str("999"));
+  // Untouched entry unchanged; the guarantee holds on the trace.
+  EXPECT_EQ(*sys.WorkloadRead(ItemId{"Mirror", {Value::Str("widom")}}),
+            Value::Str("222"));
+  trace::Trace t = sys.FinishTrace();
+  trace::GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Minutes(1);
+  auto r = trace::CheckGuarantee(
+      t, spec::YFollowsX("phone(n)", "Mirror(n)"), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->holds) << r->ToString();
+}
+
+}  // namespace
+}  // namespace hcm::toolkit

@@ -1,0 +1,210 @@
+#include "src/toolkit/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/toolkit/system.h"
+
+namespace hcm::toolkit {
+namespace {
+
+using rule::ItemId;
+
+// Exercises the four concrete translators through System's workload API
+// (each speaks a different native protocol under the same CMI).
+
+TEST(WhoisTranslatorTest, ReadWriteListThroughLineProtocol) {
+  System sys;
+  auto server = sys.AddWhoisSite("W");
+  ASSERT_TRUE(server.ok());
+  (*server)->Query("set chaw phone 723-1234");
+  (*server)->Query("set widom phone 723-9999");
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris whois
+site W
+item phone
+  read  get $1 phone
+  write set $1 phone $v
+  list  list
+  notify attr phone
+interface notify phone(n) 1s
+interface read phone(n) 1s
+)")
+                  .ok());
+  auto v = sys.WorkloadRead(ItemId{"phone", {Value::Str("chaw")}});
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, Value::Str("723-1234"));
+  ASSERT_TRUE(sys.WorkloadWrite(ItemId{"phone", {Value::Str("chaw")}},
+                                Value::Str("555-0000"))
+                  .ok());
+  EXPECT_EQ(*sys.WorkloadRead(ItemId{"phone", {Value::Str("chaw")}}),
+            Value::Str("555-0000"));
+  // Missing login surfaces as NotFound.
+  EXPECT_EQ(sys.WorkloadRead(ItemId{"phone", {Value::Str("nobody")}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FilestoreTranslatorTest, PathTemplatesAndErrnoMapping) {
+  System sys;
+  auto fs = sys.AddFileSite("F");
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris filestore
+site F
+item config
+  read  /etc/app/$1
+  write /etc/app/$1
+  list  /etc/app/
+interface read config(name) 1s
+)")
+                  .ok());
+  ASSERT_TRUE(sys.WorkloadWrite(ItemId{"config", {Value::Str("port")}},
+                                Value::Int(8080))
+                  .ok());
+  auto v = sys.WorkloadRead(ItemId{"config", {Value::Str("port")}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(8080));  // typed round-trip through file text
+  EXPECT_EQ(sys.WorkloadRead(ItemId{"config", {Value::Str("missing")}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Raw (non-CM) file contents come back as strings.
+  (*fs)->Write("/etc/app/motd", "hello world");
+  EXPECT_EQ(*sys.WorkloadRead(ItemId{"config", {Value::Str("motd")}}),
+            Value::Str("hello world"));
+}
+
+TEST(BiblioTranslatorTest, FieldReadsAndAppendOnlyWrites) {
+  System sys;
+  auto store = sys.AddBiblioSite("L");
+  ASSERT_TRUE(store.ok());
+  int64_t id = (*store)->AddRecord(
+      {{"author", "J. Widom"}, {"title", "Constraint Toolkit"}});
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris biblio
+site L
+item paper_title
+  read  title
+  list  author=
+interface read paper_title(i) 1s
+)")
+                  .ok());
+  auto v = sys.WorkloadRead(ItemId{"paper_title", {Value::Int(id)}});
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, Value::Str("Constraint Toolkit"));
+  // The store is append-only: writes are refused.
+  EXPECT_EQ(sys.WorkloadWrite(ItemId{"paper_title", {Value::Int(id)}},
+                              Value::Str("edited"))
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(RelationalTranslatorTest, CorruptionOnMultiValueRead) {
+  System sys;
+  auto db = sys.AddRelationalSite("R");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(
+      (*db)->Execute("create table t (k int primary key, a int, b int)")
+          .ok());
+  ASSERT_TRUE((*db)->Execute("insert into t values (1, 2, 3)").ok());
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris relational
+site R
+item bad
+  read select a, b from t where k = $1
+  write update t set a = $v where k = $1
+interface read bad(k) 1s
+)")
+                  .ok());
+  EXPECT_EQ(sys.WorkloadRead(ItemId{"bad", {Value::Int(1)}}).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(TranslatorConfigTest, MismatchedRisTypeRejected) {
+  System sys;
+  ASSERT_TRUE(sys.AddWhoisSite("W").ok());
+  // Relational RID against a whois-only site.
+  EXPECT_EQ(sys.ConfigureTranslator("ris relational\nsite W\n").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sys.ConfigureTranslator("ris martian\nsite W\n").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TranslatorConfigTest, NotifyInterfaceOnFilestoreRejected) {
+  System sys;
+  ASSERT_TRUE(sys.AddFileSite("F").ok());
+  // The file store has no change hooks; a notify interface in the RID is a
+  // configuration error (Section 4.2.3's polling situation).
+  Status s = sys.ConfigureTranslator(R"(
+ris filestore
+site F
+item f
+  read  /$1
+  write /$1
+  notify inotify
+interface notify f(n) 1s
+)");
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+}
+
+TEST(TranslatorConfigTest, DuplicateTranslatorRejected) {
+  System sys;
+  ASSERT_TRUE(sys.AddWhoisSite("W").ok());
+  const char* rid = R"(
+ris whois
+site W
+item phone
+  read get $1 phone
+  write set $1 phone $v
+interface read phone(n) 1s
+)";
+  ASSERT_TRUE(sys.ConfigureTranslator(rid).ok());
+  EXPECT_EQ(sys.ConfigureTranslator(rid).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SystemApiTest, ShellAndTranslatorLookups) {
+  System sys;
+  ASSERT_TRUE(sys.AddWhoisSite("W").ok());
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris whois
+site W
+item phone
+  read get $1 phone
+  write set $1 phone $v
+interface read phone(n) 1s
+)")
+                  .ok());
+  EXPECT_TRUE(sys.ShellAt("W").ok());
+  EXPECT_TRUE(sys.TranslatorAt("W").ok());
+  EXPECT_FALSE(sys.ShellAt("Z").ok());
+  EXPECT_FALSE(sys.TranslatorAt("Z").ok());
+  EXPECT_TRUE(sys.AddShellOnlySite("APP").ok());
+  EXPECT_TRUE(sys.ShellAt("APP").ok());
+}
+
+TEST(SystemApiTest, InterfacesForItemReflectsRid) {
+  System sys;
+  ASSERT_TRUE(sys.AddWhoisSite("W").ok());
+  ASSERT_TRUE(sys.ConfigureTranslator(R"(
+ris whois
+site W
+item phone
+  read get $1 phone
+  write set $1 phone $v
+  notify attr phone
+interface notify phone(n) 1s
+interface read phone(n) 1s
+)")
+                  .ok());
+  auto ifaces = sys.InterfacesForItem("phone");
+  ASSERT_TRUE(ifaces.ok());
+  EXPECT_EQ(ifaces->site, "W");
+  EXPECT_EQ(ifaces->interfaces.size(), 2u);
+  EXPECT_TRUE(ifaces->Offers("phone", spec::InterfaceKind::kNotify));
+  EXPECT_FALSE(sys.InterfacesForItem("bogus").ok());
+}
+
+}  // namespace
+}  // namespace hcm::toolkit

@@ -1,0 +1,342 @@
+#include "src/trace/guarantee_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace hcm::trace {
+namespace {
+
+using rule::Event;
+using rule::EventKind;
+using rule::ItemId;
+
+// Builds propagation-style traces for the X/Y copy-constraint guarantees.
+class CopyTraceBuilder {
+ public:
+  CopyTraceBuilder() {
+    rec_.SetInitialValue(x_, Value::Int(0));
+    rec_.SetInitialValue(y_, Value::Int(0));
+  }
+
+  void WriteX(int64_t ms, int64_t v) { Write(x_, "A", ms, v, true); }
+  void WriteY(int64_t ms, int64_t v) { Write(y_, "B", ms, v, false); }
+
+  Trace Finish(int64_t horizon_ms) {
+    return rec_.Finish(TimePoint::FromMillis(horizon_ms));
+  }
+
+  const ItemId x_{"X", {}};
+  const ItemId y_{"Y", {}};
+
+ private:
+  void Write(const ItemId& item, const std::string& site, int64_t ms,
+             int64_t v, bool spontaneous) {
+    Event e;
+    e.time = TimePoint::FromMillis(ms);
+    e.site = site;
+    e.kind = spontaneous ? EventKind::kWriteSpont : EventKind::kWrite;
+    e.item = item;
+    e.values = spontaneous
+                   ? std::vector<Value>{Value::Null(), Value::Int(v)}
+                   : std::vector<Value>{Value::Int(v)};
+    if (!spontaneous) {
+      e.rule_id = 0;  // arbitrary provenance; not used by the checker
+      e.trigger_event_id = 0;
+      e.rhs_step = 0;
+    }
+    rec_.Record(e);
+  }
+
+  TraceRecorder rec_;
+};
+
+Trace CleanPropagationTrace() {
+  CopyTraceBuilder b;
+  // X: 0 ->1@100 ->2@300 ->3@500; Y follows with 50ms lag.
+  b.WriteX(100, 1);
+  b.WriteY(150, 1);
+  b.WriteX(300, 2);
+  b.WriteY(350, 2);
+  b.WriteX(500, 3);
+  b.WriteY(550, 3);
+  return b.Finish(10000);
+}
+
+TEST(GuaranteeCheckerTest, YFollowsXHoldsOnCleanPropagation) {
+  Trace t = CleanPropagationTrace();
+  auto r = CheckGuarantee(t, spec::YFollowsX("X", "Y"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->holds) << r->ToString();
+  EXPECT_GT(r->lhs_witnesses, 0u);
+}
+
+TEST(GuaranteeCheckerTest, YFollowsXViolatedByForeignValue) {
+  CopyTraceBuilder b;
+  b.WriteX(100, 1);
+  b.WriteY(150, 1);
+  b.WriteY(200, 42);  // Y takes a value X never had
+  Trace t = b.Finish(10000);
+  auto r = CheckGuarantee(t, spec::YFollowsX("X", "Y"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->holds);
+  EXPECT_GT(r->violations, 0u);
+  ASSERT_FALSE(r->counterexamples.empty());
+  // The counterexample binds yv = 42.
+  EXPECT_EQ(r->counterexamples[0].values.at("yv"), Value::Int(42));
+}
+
+TEST(GuaranteeCheckerTest, XLeadsYHoldsOnCleanPropagation) {
+  Trace t = CleanPropagationTrace();
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(1);  // propagation lag allowance
+  auto r = CheckGuarantee(t, spec::XLeadsY("X", "Y"), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->holds) << r->ToString();
+}
+
+TEST(GuaranteeCheckerTest, XLeadsYViolatedByMissedUpdate) {
+  CopyTraceBuilder b;
+  b.WriteX(100, 1);
+  b.WriteY(150, 1);
+  b.WriteX(300, 2);  // missed: Y never sees 2
+  b.WriteX(400, 3);
+  b.WriteY(450, 3);
+  Trace t = b.Finish(10000);
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(1);
+  auto r = CheckGuarantee(t, spec::XLeadsY("X", "Y"), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->holds) << r->ToString();
+}
+
+TEST(GuaranteeCheckerTest, SettleMarginSuppressesEndOfTraceObligations) {
+  CopyTraceBuilder b;
+  b.WriteX(100, 1);
+  b.WriteY(150, 1);
+  b.WriteX(9900, 2);  // written just before the horizon; Y had no time
+  Trace t = b.Finish(10000);
+  auto strict = CheckGuarantee(t, spec::XLeadsY("X", "Y"));
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->holds);
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(1);
+  auto lenient = CheckGuarantee(t, spec::XLeadsY("X", "Y"), opts);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(lenient->holds) << lenient->ToString();
+}
+
+TEST(GuaranteeCheckerTest, StrictFollowsHoldsWithInOrderPropagation) {
+  Trace t = CleanPropagationTrace();
+  auto r = CheckGuarantee(t, spec::YStrictlyFollowsX("X", "Y"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->holds) << r->ToString();
+}
+
+TEST(GuaranteeCheckerTest, StrictFollowsViolatedByReordering) {
+  CopyTraceBuilder b;
+  b.WriteX(100, 1);
+  b.WriteX(300, 2);
+  // Y applies them out of order: 2 first, then 1.
+  b.WriteY(350, 2);
+  b.WriteY(400, 1);
+  Trace t = b.Finish(10000);
+  auto r = CheckGuarantee(t, spec::YStrictlyFollowsX("X", "Y"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->holds) << r->ToString();
+}
+
+TEST(GuaranteeCheckerTest, MetricYFollowsXRespectsKappa) {
+  Trace t = CleanPropagationTrace();  // 50ms lag
+  auto tight = CheckGuarantee(t, spec::MetricYFollowsX("X", "Y",
+                                                       Duration::Millis(200)));
+  ASSERT_TRUE(tight.ok());
+  EXPECT_TRUE(tight->holds) << tight->ToString();
+  // kappa smaller than the lag: Y=1 at t=150 requires X=1 within 20ms
+  // before, but X was 0 until t=100... X=1 from 100 to 300; at t1=150,
+  // window (130, 150] contains X=1? X=1 throughout. Use a trace with a
+  // *stale* long period instead: Y keeps the old value while X moved on.
+  CopyTraceBuilder b;
+  b.WriteX(100, 1);
+  b.WriteY(150, 1);
+  b.WriteX(200, 2);  // Y stays 1 (stale) until 5000
+  b.WriteY(5000, 2);
+  Trace stale = b.Finish(10000);
+  auto r = CheckGuarantee(stale, spec::MetricYFollowsX(
+                                     "X", "Y", Duration::Millis(500)));
+  ASSERT_TRUE(r.ok());
+  // At t1 = 3000, Y = 1 but X has not been 1 within (2500, 3000].
+  EXPECT_FALSE(r->holds) << r->ToString();
+}
+
+TEST(GuaranteeCheckerTest, ExistsWithinReferentialIntegrity) {
+  TraceRecorder rec;
+  ItemId proj{"project", {Value::Int(7)}};
+  ItemId sal{"salary", {Value::Int(7)}};
+  Event ins;
+  ins.time = TimePoint::FromMillis(1000);
+  ins.site = "P";
+  ins.kind = EventKind::kInsert;
+  ins.item = proj;
+  rec.Record(ins);
+  Event ins2 = ins;
+  ins2.time = TimePoint::FromMillis(2000);
+  ins2.site = "S";
+  ins2.item = sal;
+  rec.Record(ins2);
+  Trace t = rec.Finish(TimePoint::FromMillis(100000));
+  // Salary record appears 1s after the project record: within a 5s bound.
+  auto ok = CheckGuarantee(
+      t, spec::ExistsWithin("project(i)", "salary(i)", Duration::Seconds(5)));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok->holds) << ok->ToString();
+  // But not within a 500ms bound.
+  auto tight = CheckGuarantee(
+      t, spec::ExistsWithin("project(i)", "salary(i)", Duration::Millis(500)));
+  ASSERT_TRUE(tight.ok());
+  EXPECT_FALSE(tight->holds) << tight->ToString();
+}
+
+TEST(GuaranteeCheckerTest, ExistsWithinViolatedByMissingTarget) {
+  TraceRecorder rec;
+  Event ins;
+  ins.time = TimePoint::FromMillis(1000);
+  ins.site = "P";
+  ins.kind = EventKind::kInsert;
+  ins.item = ItemId{"project", {Value::Int(9)}};
+  rec.Record(ins);
+  Trace t = rec.Finish(TimePoint::FromMillis(200000));
+  auto r = CheckGuarantee(
+      t, spec::ExistsWithin("project(i)", "salary(i)", Duration::Seconds(5)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->holds);
+  EXPECT_EQ(r->counterexamples[0].values.at("i"), Value::Int(9));
+}
+
+TEST(GuaranteeCheckerTest, MonitorFlagGuarantee) {
+  // Hand-built monitor run: X=Y during [1000, 5000); Flag set at 1200 with
+  // Tb=1200 (CM detection lag 200ms); Flag cleared at 5300.
+  TraceRecorder rec;
+  ItemId x{"X", {}}, y{"Y", {}}, flag{"MonFlag", {}}, tb{"MonTb", {}};
+  rec.SetInitialValue(x, Value::Int(1));
+  rec.SetInitialValue(y, Value::Int(2));
+  rec.SetInitialValue(flag, Value::Bool(false));
+  rec.SetInitialValue(tb, Value::Int(0));
+  auto write = [&rec](const ItemId& item, int64_t ms, Value v) {
+    Event e;
+    e.time = TimePoint::FromMillis(ms);
+    e.site = "M";
+    e.kind = EventKind::kWrite;
+    e.item = item;
+    e.values = {std::move(v)};
+    e.rule_id = 0;
+    e.trigger_event_id = 0;
+    e.rhs_step = 0;
+    rec.Record(e);
+  };
+  write(y, 1000, Value::Int(1));           // now X = Y
+  write(tb, 1200, Value::Int(1200));       // CM notices
+  write(flag, 1200, Value::Bool(true));
+  write(x, 5000, Value::Int(7));           // now X != Y
+  write(flag, 5300, Value::Bool(false));   // CM notices
+  Trace t = rec.Finish(TimePoint::FromMillis(10000));
+  // kappa = 500ms covers the CM's detection lag.
+  auto r = CheckGuarantee(t, spec::MonitorFlagGuarantee(
+                                 "X", "Y", "MonFlag", "MonTb",
+                                 Duration::Millis(500)));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->holds) << r->ToString();
+  // kappa = 100ms is too small: at t just before 5300, the guarantee
+  // claims X = Y up to t - 100ms > 5000, where X != Y already.
+  auto tight = CheckGuarantee(t, spec::MonitorFlagGuarantee(
+                                     "X", "Y", "MonFlag", "MonTb",
+                                     Duration::Millis(100)));
+  ASSERT_TRUE(tight.ok());
+  EXPECT_FALSE(tight->holds) << tight->ToString();
+}
+
+TEST(GuaranteeCheckerTest, AlwaysLeqDemarcationStyle) {
+  CopyTraceBuilder b;  // reuse X/Y plumbing; constraint X <= Y
+  b.WriteX(100, 5);
+  b.WriteY(50, 8);
+  b.WriteX(200, 8);   // X == Y is still <=
+  b.WriteY(300, 12);
+  Trace good = b.Finish(10000);
+  auto r = CheckGuarantee(good, spec::AlwaysLeq("X", "Y"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->holds) << r->ToString();
+
+  CopyTraceBuilder b2;
+  b2.WriteX(100, 5);
+  b2.WriteY(200, 3);  // X > Y: violation
+  Trace bad = b2.Finish(10000);
+  auto r2 = CheckGuarantee(bad, spec::AlwaysLeq("X", "Y"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->holds);
+}
+
+TEST(GuaranteeCheckerTest, ParameterizedCopyGuarantee) {
+  TraceRecorder rec;
+  auto write = [&rec](const std::string& base, int64_t n, int64_t ms,
+                      int64_t v) {
+    Event e;
+    e.time = TimePoint::FromMillis(ms);
+    e.site = base == "salary1" ? "A" : "B";
+    e.kind = EventKind::kWriteSpont;
+    e.item = ItemId{base, {Value::Int(n)}};
+    e.values = {Value::Null(), Value::Int(v)};
+    rec.Record(e);
+  };
+  // Employee 1 propagates fine; employee 2's copy got a foreign value.
+  write("salary1", 1, 100, 1000);
+  write("salary2", 1, 200, 1000);
+  write("salary1", 2, 300, 2000);
+  write("salary2", 2, 400, 9999);  // wrong
+  Trace t = rec.Finish(TimePoint::FromMillis(10000));
+  auto r = CheckGuarantee(t, spec::YFollowsX("salary1(n)", "salary2(n)"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->holds);
+  // The counterexample names the failing employee.
+  bool found_emp2 = false;
+  for (const auto& ce : r->counterexamples) {
+    auto it = ce.values.find("n");
+    if (it != ce.values.end() && it->second == Value::Int(2)) {
+      found_emp2 = true;
+    }
+  }
+  EXPECT_TRUE(found_emp2);
+}
+
+TEST(GuaranteeCheckerTest, EmptyTraceHoldsVacuously) {
+  TraceRecorder rec;
+  Trace t = rec.Finish(TimePoint::FromMillis(1000));
+  auto r = CheckGuarantee(t, spec::YFollowsX("X", "Y"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->holds);
+  EXPECT_EQ(r->lhs_witnesses, 0u);
+}
+
+TEST(GuaranteeCheckerTest, RejectsUnparsedGuarantee) {
+  spec::Guarantee bad;
+  bad.name = "PARSE-ERROR(x)";
+  TraceRecorder rec;
+  Trace t = rec.Finish(TimePoint::FromMillis(1));
+  EXPECT_FALSE(CheckGuarantee(t, bad).ok());
+}
+
+TEST(GuaranteeCheckerTest, CheckGuaranteesBatches) {
+  Trace t = CleanPropagationTrace();
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(1);
+  auto results = CheckGuarantees(
+      t,
+      {spec::YFollowsX("X", "Y"), spec::XLeadsY("X", "Y"),
+       spec::YStrictlyFollowsX("X", "Y")},
+      opts);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);
+  for (const auto& [name, r] : *results) {
+    EXPECT_TRUE(r.holds) << name << ": " << r.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hcm::trace

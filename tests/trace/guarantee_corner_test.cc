@@ -1,0 +1,167 @@
+// Corner cases of the guarantee language and checker: interval edge
+// semantics, absolute time expressions, negated existence, truncation,
+// and counterexample capping.
+
+#include <gtest/gtest.h>
+
+#include "src/trace/guarantee_checker.h"
+
+namespace hcm::trace {
+namespace {
+
+using rule::Event;
+using rule::EventKind;
+using rule::ItemId;
+
+const ItemId kX{"X", {}};
+const ItemId kY{"Y", {}};
+
+Event Write(int64_t ms, const ItemId& item, int64_t v) {
+  Event e;
+  e.time = TimePoint::FromMillis(ms);
+  e.site = "S";
+  e.kind = EventKind::kWrite;
+  e.item = item;
+  e.values = {Value::Int(v)};
+  e.rule_id = 0;
+  e.trigger_event_id = 0;
+  e.rhs_step = 0;
+  return e;
+}
+
+Trace SimpleTrace() {
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(1));
+  rec.Record(Write(10000, kX, 2));
+  rec.Record(Write(20000, kX, 3));
+  return rec.Finish(TimePoint::FromMillis(60000));
+}
+
+GuaranteeCheckResult Check(const Trace& t, const std::string& text,
+                           GuaranteeCheckOptions opts = {}) {
+  auto g = spec::ParseGuarantee(text);
+  EXPECT_TRUE(g.ok()) << text << ": " << g.status().ToString();
+  auto r = CheckGuarantee(t, *g, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(GuaranteeCornerTest, EmptyThroughoutIntervalIsVacuous) {
+  Trace t = SimpleTrace();
+  // [30s, 20s] is empty: @@ is vacuously true even for a false predicate.
+  EXPECT_TRUE(Check(t, "(true)@0s => (X = 999)@@[30s, 20s]").holds);
+  // ...but @in over an empty interval is false.
+  EXPECT_FALSE(Check(t, "(true)@0s => (X = 2)@in[30s, 20s]").holds);
+}
+
+TEST(GuaranteeCornerTest, AbsoluteTimeExpressions) {
+  Trace t = SimpleTrace();
+  // X = 2 exactly during [10s, 20s).
+  EXPECT_TRUE(Check(t, "(true)@0s => (X = 2)@@[10s, 19s]").holds);
+  EXPECT_FALSE(Check(t, "(true)@0s => (X = 2)@@[10s, 21s]").holds);
+  EXPECT_TRUE(Check(t, "(true)@0s => (X = 3)@in[0s, 30s]").holds);
+  EXPECT_FALSE(Check(t, "(true)@0s => (X = 999)@in[0s, 30s]").holds);
+}
+
+TEST(GuaranteeCornerTest, PointIntervalChecksSingleInstant) {
+  Trace t = SimpleTrace();
+  EXPECT_TRUE(Check(t, "(true)@0s => (X = 2)@@[15s, 15s]").holds);
+  EXPECT_TRUE(Check(t, "(true)@0s => (X = 2)@in[15s, 15s]").holds);
+  EXPECT_FALSE(Check(t, "(true)@0s => (X = 1)@@[15s, 15s]").holds);
+}
+
+TEST(GuaranteeCornerTest, NegatedExistence) {
+  TraceRecorder rec;
+  Event ins;
+  ins.time = TimePoint::FromMillis(10000);
+  ins.site = "S";
+  ins.kind = EventKind::kInsert;
+  ins.item = ItemId{"rec", {Value::Int(1)}};
+  rec.Record(ins);
+  Event del = ins;
+  del.time = TimePoint::FromMillis(30000);
+  del.kind = EventKind::kDelete;
+  rec.Record(del);
+  Trace t = rec.Finish(TimePoint::FromMillis(60000));
+  EXPECT_TRUE(Check(t, "(true)@0s => not E(rec(1))@5s").holds);
+  EXPECT_FALSE(Check(t, "(true)@0s => not E(rec(1))@15s").holds);
+  EXPECT_TRUE(Check(t, "(true)@0s => not E(rec(1))@45s").holds);
+  // Never-seen items do not exist.
+  EXPECT_TRUE(Check(t, "(true)@0s => not E(ghost)@15s").holds);
+}
+
+TEST(GuaranteeCornerTest, CounterexampleCapRespected) {
+  // Y holds dozens of values X never had.
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(0));
+  rec.SetInitialValue(kY, Value::Int(0));
+  for (int i = 1; i <= 20; ++i) {
+    rec.Record(Write(i * 1000, kY, 1000 + i));
+  }
+  Trace t = rec.Finish(TimePoint::FromMillis(60000));
+  GuaranteeCheckOptions opts;
+  opts.max_counterexamples = 3;
+  auto r = CheckGuarantee(t, spec::YFollowsX("X", "Y"), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->holds);
+  EXPECT_GE(r->violations, 20u);
+  EXPECT_EQ(r->counterexamples.size(), 3u);
+}
+
+TEST(GuaranteeCornerTest, WitnessTruncationFlagged) {
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(0));
+  for (int i = 1; i <= 30; ++i) {
+    rec.Record(Write(i * 1000, kX, i));
+  }
+  Trace t = rec.Finish(TimePoint::FromMillis(60000));
+  GuaranteeCheckOptions opts;
+  opts.max_lhs_witnesses = 10;
+  auto r = CheckGuarantee(t, spec::ParseGuarantee(
+                                 "(X = v)@t1 => (X = v)@t1")
+                                 .value(),
+                          opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truncated);
+  EXPECT_LE(r->lhs_witnesses, 10u);
+  EXPECT_TRUE(r->holds);  // the surviving witnesses are all satisfied
+}
+
+TEST(GuaranteeCornerTest, RepeatedTimeVariableIsConsistent) {
+  Trace t = SimpleTrace();
+  // t1 appears in two RHS atoms: both must hold at the same instant.
+  EXPECT_TRUE(
+      Check(t, "(X = 2)@t1 => (X = 2)@t1 & (X != 3)@t1").holds);
+  EXPECT_FALSE(
+      Check(t, "(X = 2)@t1 => (X = 2)@t1 & (X = 3)@t1").holds);
+}
+
+TEST(GuaranteeCornerTest, ValueVariableSharedAcrossSides) {
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(5));
+  rec.SetInitialValue(kY, Value::Int(5));
+  rec.Record(Write(10000, kX, 7));
+  rec.Record(Write(10500, kY, 7));
+  Trace t = rec.Finish(TimePoint::FromMillis(30000));
+  // v is bound on the left and constrains the right.
+  EXPECT_TRUE(
+      Check(t, "(X = v)@t1 => (Y = v)@in[0s, 30s]").holds);
+  EXPECT_FALSE(
+      Check(t, "(X = v)@t1 => (Y = v + 1)@in[0s, 30s]").holds);
+}
+
+TEST(GuaranteeCornerTest, ToStringOfResultsMentionCounterexamples) {
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(0));
+  rec.SetInitialValue(kY, Value::Int(1));
+  Trace t = rec.Finish(TimePoint::FromMillis(10000));
+  auto r = CheckGuarantee(t, spec::AlwaysEq("X", "Y"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->holds);
+  std::string s = r->ToString();
+  EXPECT_NE(s.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(s.find("counterexample"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcm::trace

@@ -1,0 +1,223 @@
+// Property tests for the guarantee checker over randomized traces: a
+// faithful propagation simulator must satisfy the catalog guarantees, and
+// targeted mutations of the trace must break exactly the guarantee whose
+// claim they falsify. Parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/trace/guarantee_checker.h"
+
+namespace hcm::trace {
+namespace {
+
+using rule::Event;
+using rule::EventKind;
+using rule::ItemId;
+
+const ItemId kX{"X", {}};
+const ItemId kY{"Y", {}};
+
+Event SpontWrite(int64_t ms, Value old_v, Value new_v) {
+  Event e;
+  e.time = TimePoint::FromMillis(ms);
+  e.site = "A";
+  e.kind = EventKind::kWriteSpont;
+  e.item = kX;
+  e.values = {std::move(old_v), std::move(new_v)};
+  return e;
+}
+
+Event CopyWrite(int64_t ms, Value v) {
+  Event e;
+  e.time = TimePoint::FromMillis(ms);
+  e.site = "B";
+  e.kind = EventKind::kWrite;
+  e.item = kY;
+  e.values = {std::move(v)};
+  return e;
+}
+
+// Generates a clean propagation trace: X takes `updates` distinct values
+// at random times; Y applies each with a random lag below max_lag_ms,
+// in order (FIFO), values never reordered.
+Trace CleanTrace(uint64_t seed, int updates, int64_t max_lag_ms) {
+  Rng rng(seed);
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(0));
+  rec.SetInitialValue(kY, Value::Int(0));
+  int64_t t = 0;
+  int64_t prev = 0;
+  int64_t y_time = 0;
+  std::vector<Event> events;
+  for (int i = 1; i <= updates; ++i) {
+    t += rng.UniformInt(200, 4000);
+    events.push_back(SpontWrite(t, Value::Int(prev), Value::Int(i)));
+    int64_t lag = rng.UniformInt(50, max_lag_ms);
+    y_time = std::max(y_time + 1, t + lag);  // FIFO: never before previous
+    events.push_back(CopyWrite(y_time, Value::Int(i)));
+    prev = i;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+  for (auto& e : events) rec.Record(e);
+  return rec.Finish(TimePoint::FromMillis(t + max_lag_ms + 60000));
+}
+
+class CleanTraceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CleanTraceProperty, AllNonMetricGuaranteesHold) {
+  Trace t = CleanTrace(GetParam(), 25, 3000);
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(30);
+  for (const auto& g :
+       {spec::YFollowsX("X", "Y"), spec::XLeadsY("X", "Y"),
+        spec::YStrictlyFollowsX("X", "Y")}) {
+    auto r = CheckGuarantee(t, g, opts);
+    ASSERT_TRUE(r.ok()) << g.name;
+    EXPECT_TRUE(r->holds) << g.name << ": " << r->ToString();
+  }
+}
+
+TEST_P(CleanTraceProperty, MetricGuaranteeTracksActualLag) {
+  Trace t = CleanTrace(GetParam(), 25, 3000);
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(30);
+  // Generous kappa (above max lag): holds.
+  auto loose = CheckGuarantee(
+      t, spec::MetricYFollowsX("X", "Y", Duration::Millis(3500)), opts);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose->holds) << loose->ToString();
+}
+
+TEST_P(CleanTraceProperty, ForeignValueBreaksExactlyYFollowsX) {
+  Trace t = CleanTrace(GetParam(), 25, 3000);
+  // Mutate: Y takes a value X never had, mid-trace, then returns to the
+  // current X value so later pairs still line up.
+  Rng rng(GetParam() * 17);
+  const Event& mid = t.events[t.events.size() / 2];
+  Value current_x = Value::Int(0);
+  for (const auto& e : t.events) {
+    if (e.time > mid.time) break;
+    if (e.kind == EventKind::kWriteSpont) current_x = e.written_value();
+  }
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(0));
+  rec.SetInitialValue(kY, Value::Int(0));
+  for (const auto& e : t.events) rec.Record(e);
+  rec.Record(CopyWrite(mid.time.millis() + 1, Value::Int(99999)));
+  rec.Record(CopyWrite(mid.time.millis() + 2, current_x));
+  Trace mutated = rec.Finish(t.horizon);
+  std::sort(mutated.events.begin(), mutated.events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(30);
+  auto yfx = CheckGuarantee(mutated, spec::YFollowsX("X", "Y"), opts);
+  ASSERT_TRUE(yfx.ok());
+  EXPECT_FALSE(yfx->holds);
+  // x-leads-y is unaffected: every X value still reaches Y.
+  auto xly = CheckGuarantee(mutated, spec::XLeadsY("X", "Y"), opts);
+  ASSERT_TRUE(xly.ok());
+  EXPECT_TRUE(xly->holds) << xly->ToString();
+}
+
+TEST_P(CleanTraceProperty, DroppedUpdateBreaksExactlyXLeadsY) {
+  Trace t = CleanTrace(GetParam(), 25, 3000);
+  // Mutate: remove one mid-trace Y write (a dropped propagation).
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(0));
+  rec.SetInitialValue(kY, Value::Int(0));
+  size_t removed = 0;
+  size_t y_seen = 0;
+  for (const auto& e : t.events) {
+    if (e.kind == EventKind::kWrite && e.item == kY && ++y_seen == 12 &&
+        removed == 0) {
+      ++removed;
+      continue;
+    }
+    rec.Record(e);
+  }
+  ASSERT_EQ(removed, 1u);
+  Trace mutated = rec.Finish(t.horizon);
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(30);
+  auto xly = CheckGuarantee(mutated, spec::XLeadsY("X", "Y"), opts);
+  ASSERT_TRUE(xly.ok());
+  EXPECT_FALSE(xly->holds);
+  // y-follows-x survives: Y still only takes X's values.
+  auto yfx = CheckGuarantee(mutated, spec::YFollowsX("X", "Y"), opts);
+  ASSERT_TRUE(yfx.ok());
+  EXPECT_TRUE(yfx->holds) << yfx->ToString();
+}
+
+TEST_P(CleanTraceProperty, ReorderedApplicationBreaksStrictFollows) {
+  Trace base = CleanTrace(GetParam(), 25, 3000);
+  // Mutate: Y applies values 11 and 12 *after* X wrote both, but in the
+  // wrong order. Both values were already taken by X, so the value-only
+  // claims (y-follows-x, x-leads-y) survive; the order claim must break.
+  TimePoint x12_time;
+  for (const auto& e : base.events) {
+    if (e.kind == EventKind::kWriteSpont && e.written_value() == Value::Int(12)) {
+      x12_time = e.time;
+    }
+  }
+  ASSERT_GT(x12_time.millis(), 0);
+  TraceRecorder rec;
+  rec.SetInitialValue(kX, Value::Int(0));
+  rec.SetInitialValue(kY, Value::Int(0));
+  std::vector<Event> events;
+  for (const auto& e : base.events) {
+    if (e.kind == EventKind::kWrite && e.item == kY &&
+        (e.written_value() == Value::Int(11) ||
+         e.written_value() == Value::Int(12))) {
+      Event moved = e;
+      // 12 lands first, 11 second: inverted relative to X's order.
+      moved.time = x12_time + (e.written_value() == Value::Int(12)
+                                   ? Duration::Millis(3500)
+                                   : Duration::Millis(3600));
+      events.push_back(std::move(moved));
+    } else {
+      events.push_back(e);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+  for (auto& e : events) rec.Record(e);
+  Trace t = rec.Finish(base.horizon);
+  GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Seconds(30);
+  auto strict =
+      CheckGuarantee(t, spec::YStrictlyFollowsX("X", "Y"), opts);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->holds);
+  auto yfx = CheckGuarantee(t, spec::YFollowsX("X", "Y"), opts);
+  ASSERT_TRUE(yfx.ok());
+  EXPECT_TRUE(yfx->holds) << yfx->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanTraceProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// Determinism: the toolkit's virtual-time execution is a pure function of
+// the seed — two identical systems produce identical traces.
+class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismTest, SameSeedSameSamplePointsAndVerdicts) {
+  Trace a = CleanTrace(GetParam(), 20, 2000);
+  Trace b = CleanTrace(GetParam(), 20, 2000);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].ToString(), b.events[i].ToString());
+  }
+  auto ra = CheckGuarantee(a, spec::YFollowsX("X", "Y"));
+  auto rb = CheckGuarantee(b, spec::YFollowsX("X", "Y"));
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->holds, rb->holds);
+  EXPECT_EQ(ra->lhs_witnesses, rb->lhs_witnesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest, ::testing::Values(7, 70));
+
+}  // namespace
+}  // namespace hcm::trace
