@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demarcation.dir/bench_demarcation.cc.o"
+  "CMakeFiles/bench_demarcation.dir/bench_demarcation.cc.o.d"
+  "bench_demarcation"
+  "bench_demarcation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demarcation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refint.dir/bench_refint.cc.o"
+  "CMakeFiles/bench_refint.dir/bench_refint.cc.o.d"
+  "bench_refint"
+  "bench_refint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_periodic.dir/banking_periodic.cpp.o"
+  "CMakeFiles/banking_periodic.dir/banking_periodic.cpp.o.d"
+  "banking_periodic"
+  "banking_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demarcation.dir/demarcation.cpp.o"
+  "CMakeFiles/demarcation.dir/demarcation.cpp.o.d"
+  "demarcation"
+  "demarcation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demarcation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_change.dir/interface_change.cpp.o"
+  "CMakeFiles/interface_change.dir/interface_change.cpp.o.d"
+  "interface_change"
+  "interface_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

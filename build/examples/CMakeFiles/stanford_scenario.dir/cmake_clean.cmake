@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stanford_scenario.dir/stanford_scenario.cpp.o"
+  "CMakeFiles/stanford_scenario.dir/stanford_scenario.cpp.o.d"
+  "stanford_scenario"
+  "stanford_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stanford_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hcm.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hcm.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/hcm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/hcm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/sim_time.cc" "src/CMakeFiles/hcm.dir/common/sim_time.cc.o" "gcc" "src/CMakeFiles/hcm.dir/common/sim_time.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hcm.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hcm.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/hcm.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/hcm.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/hcm.dir/common/value.cc.o" "gcc" "src/CMakeFiles/hcm.dir/common/value.cc.o.d"
+  "/root/repo/src/protocols/decompose.cc" "src/CMakeFiles/hcm.dir/protocols/decompose.cc.o" "gcc" "src/CMakeFiles/hcm.dir/protocols/decompose.cc.o.d"
+  "/root/repo/src/protocols/demarcation.cc" "src/CMakeFiles/hcm.dir/protocols/demarcation.cc.o" "gcc" "src/CMakeFiles/hcm.dir/protocols/demarcation.cc.o.d"
+  "/root/repo/src/protocols/periodic.cc" "src/CMakeFiles/hcm.dir/protocols/periodic.cc.o" "gcc" "src/CMakeFiles/hcm.dir/protocols/periodic.cc.o.d"
+  "/root/repo/src/protocols/refint.cc" "src/CMakeFiles/hcm.dir/protocols/refint.cc.o" "gcc" "src/CMakeFiles/hcm.dir/protocols/refint.cc.o.d"
+  "/root/repo/src/ris/biblio/biblio.cc" "src/CMakeFiles/hcm.dir/ris/biblio/biblio.cc.o" "gcc" "src/CMakeFiles/hcm.dir/ris/biblio/biblio.cc.o.d"
+  "/root/repo/src/ris/filestore/filestore.cc" "src/CMakeFiles/hcm.dir/ris/filestore/filestore.cc.o" "gcc" "src/CMakeFiles/hcm.dir/ris/filestore/filestore.cc.o.d"
+  "/root/repo/src/ris/relational/database.cc" "src/CMakeFiles/hcm.dir/ris/relational/database.cc.o" "gcc" "src/CMakeFiles/hcm.dir/ris/relational/database.cc.o.d"
+  "/root/repo/src/ris/relational/predicate.cc" "src/CMakeFiles/hcm.dir/ris/relational/predicate.cc.o" "gcc" "src/CMakeFiles/hcm.dir/ris/relational/predicate.cc.o.d"
+  "/root/repo/src/ris/relational/schema.cc" "src/CMakeFiles/hcm.dir/ris/relational/schema.cc.o" "gcc" "src/CMakeFiles/hcm.dir/ris/relational/schema.cc.o.d"
+  "/root/repo/src/ris/relational/sql.cc" "src/CMakeFiles/hcm.dir/ris/relational/sql.cc.o" "gcc" "src/CMakeFiles/hcm.dir/ris/relational/sql.cc.o.d"
+  "/root/repo/src/ris/relational/table.cc" "src/CMakeFiles/hcm.dir/ris/relational/table.cc.o" "gcc" "src/CMakeFiles/hcm.dir/ris/relational/table.cc.o.d"
+  "/root/repo/src/ris/whois/whois.cc" "src/CMakeFiles/hcm.dir/ris/whois/whois.cc.o" "gcc" "src/CMakeFiles/hcm.dir/ris/whois/whois.cc.o.d"
+  "/root/repo/src/rule/event.cc" "src/CMakeFiles/hcm.dir/rule/event.cc.o" "gcc" "src/CMakeFiles/hcm.dir/rule/event.cc.o.d"
+  "/root/repo/src/rule/expr.cc" "src/CMakeFiles/hcm.dir/rule/expr.cc.o" "gcc" "src/CMakeFiles/hcm.dir/rule/expr.cc.o.d"
+  "/root/repo/src/rule/item.cc" "src/CMakeFiles/hcm.dir/rule/item.cc.o" "gcc" "src/CMakeFiles/hcm.dir/rule/item.cc.o.d"
+  "/root/repo/src/rule/lexer.cc" "src/CMakeFiles/hcm.dir/rule/lexer.cc.o" "gcc" "src/CMakeFiles/hcm.dir/rule/lexer.cc.o.d"
+  "/root/repo/src/rule/parser.cc" "src/CMakeFiles/hcm.dir/rule/parser.cc.o" "gcc" "src/CMakeFiles/hcm.dir/rule/parser.cc.o.d"
+  "/root/repo/src/rule/rule.cc" "src/CMakeFiles/hcm.dir/rule/rule.cc.o" "gcc" "src/CMakeFiles/hcm.dir/rule/rule.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/CMakeFiles/hcm.dir/sim/executor.cc.o" "gcc" "src/CMakeFiles/hcm.dir/sim/executor.cc.o.d"
+  "/root/repo/src/sim/failure_injector.cc" "src/CMakeFiles/hcm.dir/sim/failure_injector.cc.o" "gcc" "src/CMakeFiles/hcm.dir/sim/failure_injector.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/hcm.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/hcm.dir/sim/network.cc.o.d"
+  "/root/repo/src/spec/constraint.cc" "src/CMakeFiles/hcm.dir/spec/constraint.cc.o" "gcc" "src/CMakeFiles/hcm.dir/spec/constraint.cc.o.d"
+  "/root/repo/src/spec/guarantee.cc" "src/CMakeFiles/hcm.dir/spec/guarantee.cc.o" "gcc" "src/CMakeFiles/hcm.dir/spec/guarantee.cc.o.d"
+  "/root/repo/src/spec/interface_spec.cc" "src/CMakeFiles/hcm.dir/spec/interface_spec.cc.o" "gcc" "src/CMakeFiles/hcm.dir/spec/interface_spec.cc.o.d"
+  "/root/repo/src/spec/strategy_spec.cc" "src/CMakeFiles/hcm.dir/spec/strategy_spec.cc.o" "gcc" "src/CMakeFiles/hcm.dir/spec/strategy_spec.cc.o.d"
+  "/root/repo/src/spec/suggester.cc" "src/CMakeFiles/hcm.dir/spec/suggester.cc.o" "gcc" "src/CMakeFiles/hcm.dir/spec/suggester.cc.o.d"
+  "/root/repo/src/toolkit/failure.cc" "src/CMakeFiles/hcm.dir/toolkit/failure.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/failure.cc.o.d"
+  "/root/repo/src/toolkit/registry.cc" "src/CMakeFiles/hcm.dir/toolkit/registry.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/registry.cc.o.d"
+  "/root/repo/src/toolkit/rid.cc" "src/CMakeFiles/hcm.dir/toolkit/rid.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/rid.cc.o.d"
+  "/root/repo/src/toolkit/shell.cc" "src/CMakeFiles/hcm.dir/toolkit/shell.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/shell.cc.o.d"
+  "/root/repo/src/toolkit/system.cc" "src/CMakeFiles/hcm.dir/toolkit/system.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/system.cc.o.d"
+  "/root/repo/src/toolkit/translator.cc" "src/CMakeFiles/hcm.dir/toolkit/translator.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/translator.cc.o.d"
+  "/root/repo/src/toolkit/translators/biblio_translator.cc" "src/CMakeFiles/hcm.dir/toolkit/translators/biblio_translator.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/translators/biblio_translator.cc.o.d"
+  "/root/repo/src/toolkit/translators/filestore_translator.cc" "src/CMakeFiles/hcm.dir/toolkit/translators/filestore_translator.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/translators/filestore_translator.cc.o.d"
+  "/root/repo/src/toolkit/translators/relational_translator.cc" "src/CMakeFiles/hcm.dir/toolkit/translators/relational_translator.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/translators/relational_translator.cc.o.d"
+  "/root/repo/src/toolkit/translators/whois_translator.cc" "src/CMakeFiles/hcm.dir/toolkit/translators/whois_translator.cc.o" "gcc" "src/CMakeFiles/hcm.dir/toolkit/translators/whois_translator.cc.o.d"
+  "/root/repo/src/trace/guarantee_checker.cc" "src/CMakeFiles/hcm.dir/trace/guarantee_checker.cc.o" "gcc" "src/CMakeFiles/hcm.dir/trace/guarantee_checker.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/hcm.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/hcm.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/hcm.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/hcm.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/valid_execution.cc" "src/CMakeFiles/hcm.dir/trace/valid_execution.cc.o" "gcc" "src/CMakeFiles/hcm.dir/trace/valid_execution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

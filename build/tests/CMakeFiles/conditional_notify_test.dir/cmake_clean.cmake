@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_notify_test.dir/toolkit/conditional_notify_test.cc.o"
+  "CMakeFiles/conditional_notify_test.dir/toolkit/conditional_notify_test.cc.o.d"
+  "conditional_notify_test"
+  "conditional_notify_test.pdb"
+  "conditional_notify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_notify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

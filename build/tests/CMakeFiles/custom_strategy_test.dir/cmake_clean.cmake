@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_strategy_test.dir/toolkit/custom_strategy_test.cc.o"
+  "CMakeFiles/custom_strategy_test.dir/toolkit/custom_strategy_test.cc.o.d"
+  "custom_strategy_test"
+  "custom_strategy_test.pdb"
+  "custom_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demarcation_property_test.dir/protocols/demarcation_property_test.cc.o"
+  "CMakeFiles/demarcation_property_test.dir/protocols/demarcation_property_test.cc.o.d"
+  "demarcation_property_test"
+  "demarcation_property_test.pdb"
+  "demarcation_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demarcation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

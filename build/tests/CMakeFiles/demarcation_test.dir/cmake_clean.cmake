@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demarcation_test.dir/protocols/demarcation_test.cc.o"
+  "CMakeFiles/demarcation_test.dir/protocols/demarcation_test.cc.o.d"
+  "demarcation_test"
+  "demarcation_test.pdb"
+  "demarcation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demarcation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

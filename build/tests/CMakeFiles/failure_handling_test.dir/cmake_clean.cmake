@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_handling_test.dir/toolkit/failure_handling_test.cc.o"
+  "CMakeFiles/failure_handling_test.dir/toolkit/failure_handling_test.cc.o.d"
+  "failure_handling_test"
+  "failure_handling_test.pdb"
+  "failure_handling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_handling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

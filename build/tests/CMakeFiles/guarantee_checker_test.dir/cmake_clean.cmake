@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarantee_checker_test.dir/trace/guarantee_checker_test.cc.o"
+  "CMakeFiles/guarantee_checker_test.dir/trace/guarantee_checker_test.cc.o.d"
+  "guarantee_checker_test"
+  "guarantee_checker_test.pdb"
+  "guarantee_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarantee_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

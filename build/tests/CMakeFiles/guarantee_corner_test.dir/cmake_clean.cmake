@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarantee_corner_test.dir/trace/guarantee_corner_test.cc.o"
+  "CMakeFiles/guarantee_corner_test.dir/trace/guarantee_corner_test.cc.o.d"
+  "guarantee_corner_test"
+  "guarantee_corner_test.pdb"
+  "guarantee_corner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarantee_corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

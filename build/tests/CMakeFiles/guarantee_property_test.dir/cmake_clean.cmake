@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarantee_property_test.dir/trace/guarantee_property_test.cc.o"
+  "CMakeFiles/guarantee_property_test.dir/trace/guarantee_property_test.cc.o.d"
+  "guarantee_property_test"
+  "guarantee_property_test.pdb"
+  "guarantee_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarantee_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarantee_test.dir/spec/guarantee_test.cc.o"
+  "CMakeFiles/guarantee_test.dir/spec/guarantee_test.cc.o.d"
+  "guarantee_test"
+  "guarantee_test.pdb"
+  "guarantee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarantee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_spec_test.dir/spec/interface_spec_test.cc.o"
+  "CMakeFiles/interface_spec_test.dir/spec/interface_spec_test.cc.o.d"
+  "interface_spec_test"
+  "interface_spec_test.pdb"
+  "interface_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

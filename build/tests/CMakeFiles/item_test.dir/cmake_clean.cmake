@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/item_test.dir/rule/item_test.cc.o"
+  "CMakeFiles/item_test.dir/rule/item_test.cc.o.d"
+  "item_test"
+  "item_test.pdb"
+  "item_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/item_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_property_test.dir/rule/parser_property_test.cc.o"
+  "CMakeFiles/parser_property_test.dir/rule/parser_property_test.cc.o.d"
+  "parser_property_test"
+  "parser_property_test.pdb"
+  "parser_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

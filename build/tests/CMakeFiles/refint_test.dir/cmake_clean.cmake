@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refint_test.dir/protocols/refint_test.cc.o"
+  "CMakeFiles/refint_test.dir/protocols/refint_test.cc.o.d"
+  "refint_test"
+  "refint_test.pdb"
+  "refint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_test.dir/toolkit/rid_test.cc.o"
+  "CMakeFiles/rid_test.dir/toolkit/rid_test.cc.o.d"
+  "rid_test"
+  "rid_test.pdb"
+  "rid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

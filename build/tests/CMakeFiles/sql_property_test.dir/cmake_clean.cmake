@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_property_test.dir/ris/sql_property_test.cc.o"
+  "CMakeFiles/sql_property_test.dir/ris/sql_property_test.cc.o.d"
+  "sql_property_test"
+  "sql_property_test.pdb"
+  "sql_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_spec_test.dir/spec/strategy_spec_test.cc.o"
+  "CMakeFiles/strategy_spec_test.dir/spec/strategy_spec_test.cc.o.d"
+  "strategy_spec_test"
+  "strategy_spec_test.pdb"
+  "strategy_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggester_test.dir/spec/suggester_test.cc.o"
+  "CMakeFiles/suggester_test.dir/spec/suggester_test.cc.o.d"
+  "suggester_test"
+  "suggester_test.pdb"
+  "suggester_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_errors_test.dir/toolkit/system_errors_test.cc.o"
+  "CMakeFiles/system_errors_test.dir/toolkit/system_errors_test.cc.o.d"
+  "system_errors_test"
+  "system_errors_test.pdb"
+  "system_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

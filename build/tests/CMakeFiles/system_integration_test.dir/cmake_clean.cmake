@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_integration_test.dir/toolkit/system_integration_test.cc.o"
+  "CMakeFiles/system_integration_test.dir/toolkit/system_integration_test.cc.o.d"
+  "system_integration_test"
+  "system_integration_test.pdb"
+  "system_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

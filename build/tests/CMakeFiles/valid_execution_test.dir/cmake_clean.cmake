@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valid_execution_test.dir/trace/valid_execution_test.cc.o"
+  "CMakeFiles/valid_execution_test.dir/trace/valid_execution_test.cc.o.d"
+  "valid_execution_test"
+  "valid_execution_test.pdb"
+  "valid_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valid_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

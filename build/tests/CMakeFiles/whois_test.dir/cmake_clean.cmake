@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whois_test.dir/ris/whois_test.cc.o"
+  "CMakeFiles/whois_test.dir/ris/whois_test.cc.o.d"
+  "whois_test"
+  "whois_test.pdb"
+  "whois_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whois_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
