@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/rule/parser.h"
+#include "src/rule/rule_index.h"
 #include "src/toolkit/system.h"
 #include "src/trace/guarantee_checker.h"
 
@@ -70,6 +71,93 @@ void BM_MatchAgainstRuleSet(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * num_rules);
 }
 BENCHMARK(BM_MatchAgainstRuleSet)->Arg(4)->Arg(32)->Arg(256);
+
+// A template population shaped like a large installed strategy set: one
+// N-template per distinct item base, plus ~1% periodic (wildcard-bucket)
+// templates that every P event must consider.
+std::vector<rule::EventTemplate> MakeDispatchTemplates(int num_rules) {
+  std::vector<rule::EventTemplate> templates;
+  templates.reserve(num_rules);
+  for (int i = 0; i < num_rules; ++i) {
+    if (i % 100 == 99) {
+      templates.push_back(*rule::ParseTemplate(
+          "P(" + std::to_string(10 * (1 + i % 7)) + ")"));
+    } else {
+      templates.push_back(*rule::ParseTemplate(
+          "N(item" + std::to_string(i) + "(n), b)"));
+    }
+  }
+  return templates;
+}
+
+// The old Shell::MatchEvent inner loop: every installed rule is visited for
+// every event, O(rules) per event.
+void BM_LinearDispatch(benchmark::State& state) {
+  const int num_rules = static_cast<int>(state.range(0));
+  auto templates = MakeDispatchTemplates(num_rules);
+  rule::Event e = MakeNotifyEvent(3, 42);
+  e.item = rule::ItemId{"item" + std::to_string(num_rules / 2),
+                        {Value::Int(3)}};
+  for (auto _ : state) {
+    int matches = 0;
+    for (const auto& tpl : templates) {
+      rule::Binding binding;
+      if (tpl.Matches(e, &binding)) ++matches;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinearDispatch)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+// The new path: a (kind, item-base) RuleIndex lookup prunes the candidate
+// set to the one bucket the event can hit, O(candidates) per event.
+void BM_IndexedDispatch(benchmark::State& state) {
+  const int num_rules = static_cast<int>(state.range(0));
+  auto templates = MakeDispatchTemplates(num_rules);
+  rule::RuleIndex index;
+  for (size_t i = 0; i < templates.size(); ++i) index.Add(templates[i], i);
+  rule::Event e = MakeNotifyEvent(3, 42);
+  e.item = rule::ItemId{"item" + std::to_string(num_rules / 2),
+                        {Value::Int(3)}};
+  std::vector<size_t> candidates;
+  for (auto _ : state) {
+    int matches = 0;
+    index.Lookup(e, &candidates);
+    for (size_t pos : candidates) {
+      rule::Binding binding;
+      if (templates[pos].Matches(e, &binding)) ++matches;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["candidates/event"] = index.stats().CandidatesPerEvent();
+}
+BENCHMARK(BM_IndexedDispatch)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Worst case for the index: a periodic event must still visit the whole
+// wildcard bucket (all P templates).
+void BM_IndexedDispatchWildcardEvent(benchmark::State& state) {
+  const int num_rules = static_cast<int>(state.range(0));
+  auto templates = MakeDispatchTemplates(num_rules);
+  rule::RuleIndex index;
+  for (size_t i = 0; i < templates.size(); ++i) index.Add(templates[i], i);
+  rule::Event e;
+  e.kind = rule::EventKind::kPeriodic;
+  e.values = {Value::Int(10000)};
+  std::vector<size_t> candidates;
+  for (auto _ : state) {
+    int matches = 0;
+    index.Lookup(e, &candidates);
+    for (size_t pos : candidates) {
+      rule::Binding binding;
+      if (templates[pos].Matches(e, &binding)) ++matches;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedDispatchWildcardEvent)->Arg(1000);
 
 void BM_ConditionEval(benchmark::State& state) {
   auto cond = *rule::ParseExpr("abs(b - a) > a * 0.1 and b != 0");

@@ -99,6 +99,8 @@ int main() {
                 lo, hi);
   }
 
+  std::printf("\n%s", system.DescribeDispatchStats().c_str());
+
   trace::Trace t = system.FinishTrace();
   auto r = *trace::CheckGuarantee(t, strategy.guarantees[0]);
   std::printf("\nmonitor-flag guarantee over the full trace: %s\n",

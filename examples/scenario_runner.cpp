@@ -208,6 +208,7 @@ class ScenarioRunner {
         std::printf("  %-24s %s\n", name.c_str(), r.ToString().c_str());
         all_hold_ = all_hold_ && r.holds;
       }
+      std::printf("%s", system_.DescribeDispatchStats().c_str());
       return Status::OK();
     }
     if (cmd == "save-trace") {

@@ -1,0 +1,67 @@
+#include "src/rule/rule_index.h"
+
+#include <algorithm>
+
+namespace hcm::rule {
+
+void RuleIndex::Add(const EventTemplate& tpl, size_t handle) {
+  size_t kind_pos = static_cast<size_t>(tpl.kind);
+  if (EventKindHasItem(tpl.kind) && !tpl.item.base.empty()) {
+    exact_[BucketKey{tpl.kind, tpl.item.base}].push_back(handle);
+  } else {
+    wildcard_[kind_pos].push_back(handle);
+    ++wildcard_rules_;
+  }
+  ++total_rules_;
+}
+
+const std::vector<size_t>* RuleIndex::ExactBucket(
+    EventKind kind, const std::string& base) const {
+  auto it = exact_.find(BucketKey{kind, base});
+  return it == exact_.end() ? nullptr : &it->second;
+}
+
+size_t RuleIndex::Lookup(const Event& event,
+                         std::vector<size_t>* out) const {
+  out->clear();
+  const std::vector<size_t>* exact = nullptr;
+  if (EventKindHasItem(event.kind) && !event.item.base.empty()) {
+    exact = ExactBucket(event.kind, event.item.base);
+  }
+  const std::vector<size_t>& wild =
+      wildcard_[static_cast<size_t>(event.kind)];
+  if (exact == nullptr) {
+    out->insert(out->end(), wild.begin(), wild.end());
+  } else if (wild.empty()) {
+    out->insert(out->end(), exact->begin(), exact->end());
+  } else {
+    // Merge the two sorted handle runs so candidates come back in
+    // insertion order, matching the old linear scan exactly.
+    out->reserve(exact->size() + wild.size());
+    std::merge(exact->begin(), exact->end(), wild.begin(), wild.end(),
+               std::back_inserter(*out));
+  }
+  ++events_dispatched_;
+  candidates_returned_ += out->size();
+  scans_avoided_ += total_rules_ - out->size();
+  return out->size();
+}
+
+RuleIndexStats RuleIndex::stats() const {
+  RuleIndexStats s;
+  s.rules = total_rules_;
+  s.exact_buckets = exact_.size();
+  s.wildcard_rules = wildcard_rules_;
+  s.events_dispatched = events_dispatched_;
+  s.candidates_returned = candidates_returned_;
+  s.scans_avoided = scans_avoided_;
+  return s;
+}
+
+void RuleIndex::ResetTrafficStats() {
+  events_dispatched_ = 0;
+  candidates_returned_ = 0;
+  scans_avoided_ = 0;
+}
+
+}  // namespace hcm::rule

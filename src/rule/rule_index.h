@@ -1,0 +1,103 @@
+#ifndef HCM_RULE_RULE_INDEX_H_
+#define HCM_RULE_RULE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rule/event.h"
+
+namespace hcm::rule {
+
+// Dispatch statistics accumulated across Lookup calls (for benches and the
+// System's deployment stats).
+struct RuleIndexStats {
+  size_t rules = 0;             // templates registered
+  size_t exact_buckets = 0;     // distinct (kind, base) buckets
+  size_t wildcard_rules = 0;    // templates in per-kind wildcard buckets
+  uint64_t events_dispatched = 0;
+  uint64_t candidates_returned = 0;
+  // Rules a full linear scan would have visited but the index skipped.
+  uint64_t scans_avoided = 0;
+
+  // Mean candidate-set size per dispatched event.
+  double CandidatesPerEvent() const {
+    return events_dispatched == 0
+               ? 0.0
+               : static_cast<double>(candidates_returned) /
+                     static_cast<double>(events_dispatched);
+  }
+};
+
+// Discrimination index over LHS event templates.
+//
+// A template `N(salary1(n), b)` can only match events of kind N whose item
+// base is `salary1` — template/event unification requires kind equality and
+// item-base equality (see EventTemplate::Matches / ItemRef::Unify). The
+// index exploits this: templates are bucketed by (EventKind, item base),
+// and an event consults exactly one exact bucket plus the kind's wildcard
+// bucket instead of scanning every installed rule. Templates whose kind
+// carries no item (P, and defensively any template with an empty base) go
+// to the wildcard bucket of their kind and are candidates for every event
+// of that kind.
+//
+// The index stores caller-supplied handles (the shell uses positions in its
+// rule vector). Handles are returned in insertion order — merged across the
+// exact and wildcard buckets — so indexed dispatch visits surviving
+// candidates in exactly the order the old linear scan did.
+class RuleIndex {
+ public:
+  // Registers a template under `handle`. Handles must be strictly
+  // increasing across Add calls (insertion order doubles as priority).
+  void Add(const EventTemplate& tpl, size_t handle);
+
+  // Appends the handles of every template that could match `event` to
+  // `out` (cleared first), in insertion order. Returns the number of
+  // candidates. Allocation-free once `out` has warmed up its capacity.
+  size_t Lookup(const Event& event, std::vector<size_t>* out) const;
+
+  size_t size() const { return total_rules_; }
+  bool empty() const { return total_rules_ == 0; }
+
+  // Snapshot of structure + traffic counters.
+  RuleIndexStats stats() const;
+  void ResetTrafficStats();
+
+ private:
+  struct BucketKey {
+    EventKind kind;
+    std::string base;
+    bool operator==(const BucketKey& other) const {
+      return kind == other.kind && base == other.base;
+    }
+  };
+  struct BucketKeyHash {
+    size_t operator()(const BucketKey& key) const {
+      return std::hash<std::string>()(key.base) * 31 +
+             static_cast<size_t>(key.kind);
+    }
+  };
+
+  static constexpr size_t kNumKinds =
+      static_cast<size_t>(EventKind::kFalse) + 1;
+
+  const std::vector<size_t>* ExactBucket(EventKind kind,
+                                         const std::string& base) const;
+
+  std::unordered_map<BucketKey, std::vector<size_t>, BucketKeyHash> exact_;
+  // Per-kind buckets for templates that cannot be discriminated by base.
+  std::vector<size_t> wildcard_[kNumKinds];
+  size_t total_rules_ = 0;
+  size_t wildcard_rules_ = 0;
+  // Traffic counters; mutable so Lookup stays const for callers holding a
+  // const shell/index.
+  mutable uint64_t events_dispatched_ = 0;
+  mutable uint64_t candidates_returned_ = 0;
+  mutable uint64_t scans_avoided_ = 0;
+};
+
+}  // namespace hcm::rule
+
+#endif  // HCM_RULE_RULE_INDEX_H_

@@ -1,5 +1,6 @@
 #include "src/sim/executor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <thread>
@@ -7,11 +8,25 @@
 
 namespace hcm::sim {
 
-Timer Executor::ScheduleAt(TimePoint when, std::function<void()> fn) {
+void Executor::Push(TimePoint when, std::function<void()> fn,
+                    std::shared_ptr<bool> cancelled) {
   if (when < now_) when = now_;
+  queue_.push_back(
+      Entry{when, next_seq_++, std::move(fn), std::move(cancelled)});
+  std::push_heap(queue_.begin(), queue_.end(), EntryLater());
+}
+
+Executor::Entry Executor::PopTop() {
+  std::pop_heap(queue_.begin(), queue_.end(), EntryLater());
+  Entry entry = std::move(queue_.back());
+  queue_.pop_back();
+  return entry;
+}
+
+Timer Executor::ScheduleAt(TimePoint when, std::function<void()> fn) {
   auto flag = std::make_shared<bool>(false);
-  queue_.push(Entry{when, next_seq_++, std::move(fn), flag});
-  return Timer(flag);
+  Push(when, std::move(fn), flag);
+  return Timer(std::move(flag));
 }
 
 Timer Executor::ScheduleAfter(Duration delay, std::function<void()> fn) {
@@ -19,11 +34,19 @@ Timer Executor::ScheduleAfter(Duration delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
+void Executor::PostAt(TimePoint when, std::function<void()> fn) {
+  Push(when, std::move(fn), nullptr);
+}
+
+void Executor::PostAfter(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::Zero()) delay = Duration::Zero();
+  PostAt(now_ + delay, std::move(fn));
+}
+
 bool Executor::Step() {
   while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (*entry.cancelled) continue;
+    Entry entry = PopTop();
+    if (entry.IsCancelled()) continue;
     now_ = entry.when;
     entry.fn();
     return true;
@@ -47,22 +70,21 @@ size_t Executor::RunRealtimeFor(Duration d, double time_scale) {
   auto wall_start = std::chrono::steady_clock::now();
   size_t steps = 0;
   while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (*top.cancelled) {
-      queue_.pop();
+    if (queue_.front().IsCancelled()) {
+      PopTop();  // sweep without copying the payload
       continue;
     }
-    if (deadline < top.when) break;
+    if (deadline < queue_.front().when) break;
     // Sleep until the event's wall-clock due time.
-    double virtual_ms = static_cast<double>((top.when - virtual_start).millis());
+    double virtual_ms =
+        static_cast<double>((queue_.front().when - virtual_start).millis());
     auto wall_due =
         wall_start + std::chrono::duration_cast<
                          std::chrono::steady_clock::duration>(
                          std::chrono::duration<double, std::milli>(
                              virtual_ms / time_scale));
     std::this_thread::sleep_until(wall_due);
-    Entry entry = queue_.top();
-    queue_.pop();
+    Entry entry = PopTop();
     now_ = entry.when;
     entry.fn();
     ++steps;
@@ -74,14 +96,12 @@ size_t Executor::RunRealtimeFor(Duration d, double time_scale) {
 size_t Executor::RunUntil(TimePoint deadline) {
   size_t steps = 0;
   while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (*top.cancelled) {
-      queue_.pop();
+    if (queue_.front().IsCancelled()) {
+      PopTop();  // sweep without copying the payload
       continue;
     }
-    if (deadline < top.when) break;
-    Entry entry = queue_.top();
-    queue_.pop();
+    if (deadline < queue_.front().when) break;
+    Entry entry = PopTop();
     now_ = entry.when;
     entry.fn();
     ++steps;

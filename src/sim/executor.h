@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -31,6 +30,10 @@ class Timer {
 // schedule callbacks here. Events run in (time, sequence) order, giving a
 // deterministic total order over the whole system — Appendix A.2 property 1
 // holds by construction.
+//
+// The queue is a binary heap over a plain vector: the winning entry is
+// moved out (never copied), so std::function payloads with captured
+// events/messages cross the queue without allocation churn.
 class Executor {
  public:
   Executor() = default;
@@ -44,6 +47,12 @@ class Executor {
 
   // Schedules `fn` after `delay` (clamped to Zero).
   Timer ScheduleAfter(Duration delay, std::function<void()> fn);
+
+  // Fire-and-forget variants: no Timer handle, so no cancellation-flag
+  // allocation. The hot event path (network deliveries, RHS step chains)
+  // uses these.
+  void PostAt(TimePoint when, std::function<void()> fn);
+  void PostAfter(Duration delay, std::function<void()> fn);
 
   // Runs the earliest pending callback, advancing the clock. Returns false
   // when the queue is empty (cancelled entries are drained silently).
@@ -74,7 +83,10 @@ class Executor {
     TimePoint when;
     uint64_t seq;
     std::function<void()> fn;
+    // Null for Post* entries (never cancellable).
     std::shared_ptr<bool> cancelled;
+
+    bool IsCancelled() const { return cancelled != nullptr && *cancelled; }
   };
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -83,9 +95,14 @@ class Executor {
     }
   };
 
+  void Push(TimePoint when, std::function<void()> fn,
+            std::shared_ptr<bool> cancelled);
+  // Moves the earliest entry out of the heap (caller checked non-empty).
+  Entry PopTop();
+
   TimePoint now_;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::vector<Entry> queue_;  // heap ordered by EntryLater
 };
 
 }  // namespace hcm::sim

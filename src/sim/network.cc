@@ -72,7 +72,9 @@ Status Network::Send(Message message) {
   ++messages_sent_;
   ++channel_counts_[std::make_pair(message.src, message.dst)];
   Handler* handler = &it->second;
-  executor_->ScheduleAt(delivery, [handler, msg = std::move(message)]() {
+  // Fire-and-forget: deliveries are never cancelled, so skip the Timer
+  // handle (and its cancellation-flag allocation) on the per-message path.
+  executor_->PostAt(delivery, [handler, msg = std::move(message)]() {
     (*handler)(msg);
   });
   return Status::OK();

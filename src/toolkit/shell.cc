@@ -13,7 +13,10 @@ Shell::Shell(std::string site, sim::Executor* executor, sim::Network* network,
       network_(network),
       recorder_(recorder),
       registry_(registry),
-      guarantees_(guarantees) {}
+      guarantees_(guarantees),
+      private_reader_([this](const rule::ItemId& item) -> Result<Value> {
+        return ReadPrivate(item);
+      }) {}
 
 Status Shell::Initialize() {
   return network_->RegisterEndpoint(
@@ -26,6 +29,7 @@ Status Shell::AddLhsRule(const rule::Rule& r, const std::string& rhs_site) {
     return Status::InvalidArgument(
         "prohibition rules describe interfaces; they are not executable");
   }
+  lhs_index_.Add(r.lhs, lhs_rules_.size());
   lhs_rules_.push_back(LhsEntry{r, rhs_site});
   return Status::OK();
 }
@@ -90,7 +94,7 @@ void Shell::WritePrivate(const rule::ItemId& item, Value value,
   w.rule_id = rule_id;
   w.trigger_event_id = trigger_event_id;
   w.rhs_step = rhs_step;
-  recorder_->Record(w);
+  recorder_->Record(std::move(w));
   private_data_[item] = std::move(value);
 }
 
@@ -98,10 +102,17 @@ Result<Value> Shell::ReadAuxiliary(const rule::ItemId& item) const {
   return ReadPrivate(item);
 }
 
-rule::DataReader Shell::PrivateReader() const {
-  return [this](const rule::ItemId& item) -> Result<Value> {
-    return ReadPrivate(item);
-  };
+Shell::DispatchStats Shell::dispatch_stats() const {
+  DispatchStats s;
+  rule::RuleIndexStats idx = lhs_index_.stats();
+  s.events_matched = events_matched_;
+  s.candidates_considered = idx.candidates_returned;
+  s.lhs_matches = lhs_matches_;
+  s.firings = firings_;
+  s.scans_avoided = idx.scans_avoided;
+  s.installed_lhs_rules = lhs_rules_.size();
+  s.index_buckets = idx.exact_buckets;
+  return s;
 }
 
 void Shell::OnMessage(const sim::Message& message) {
@@ -135,7 +146,13 @@ void Shell::RecordAndProcess(rule::Event event) {
 }
 
 void Shell::MatchEvent(const rule::Event& event) {
-  for (const LhsEntry& entry : lhs_rules_) {
+  ++events_matched_;
+  // The index hands back only rules whose (kind, item base) can unify with
+  // this event, in installation order — a full scan of lhs_rules_ would
+  // visit a superset and reject the rest on the same checks.
+  lhs_index_.Lookup(event, &candidate_scratch_);
+  for (size_t pos : candidate_scratch_) {
+    const LhsEntry& entry = lhs_rules_[pos];
     rule::Binding binding;
     if (!entry.rule.lhs.Matches(event, &binding)) continue;
     if (entry.rule.lhs_condition != nullptr) {
@@ -149,12 +166,14 @@ void Shell::MatchEvent(const rule::Event& event) {
       }
       if (!*pass) continue;
     }
+    ++lhs_matches_;
     FireMessage fire;
     fire.rule_id = entry.rule.id;
     fire.trigger_event_id = event.id;
     fire.trigger_time = event.time;
-    fire.binding = binding;
-    Status s = network_->Send({site_, entry.rhs_site, "fire", fire});
+    fire.binding = std::move(binding);
+    Status s =
+        network_->Send({site_, entry.rhs_site, "fire", std::move(fire)});
     if (!s.ok()) {
       HCM_LOG(Warning) << "fire message undeliverable: " << s.ToString();
     }
@@ -182,53 +201,70 @@ void Shell::ExecuteFire(const FireMessage& fire) {
                               r.delta.ToString().c_str());
     ReportFailure(notice);
   }
-  ExecuteStep(r, fire, 0, fire.binding);
+  if (r.rhs.empty()) return;
+  ExecuteStep(r.id, fire.trigger_event_id, 0, fire.binding);
 }
 
-void Shell::ExecuteStep(const rule::Rule& r, const FireMessage& fire,
+void Shell::ExecuteStep(int64_t rule_id, int64_t trigger_event_id,
                         size_t step, rule::Binding binding) {
-  if (step >= r.rhs.size()) return;
-  executor_->ScheduleAfter(step_delay_, [this, &r, fire, step, binding]() {
-    rule::Binding b = binding;
-    b["now"] = Value::Int(executor_->now().millis());
-    const rule::RhsStep& rhs = r.rhs[step];
-    bool emit = true;
-    if (rhs.condition != nullptr) {
-      auto pass = rhs.condition->EvalBool(b, PrivateReader());
-      if (!pass.ok()) {
-        HCM_LOG(Warning) << "RHS condition error for rule " << r.ToString()
-                         << ": " << pass.status().ToString();
-        emit = false;
-      } else {
-        emit = *pass;
-      }
-    }
-    if (emit) {
-      auto event = rhs.event.Instantiate(b);
-      bool whole_base = false;
-      if (!event.ok()) {
-        // A read request over a parameterized item with unbound arguments
-        // sweeps the whole base (e.g. P(60) -> RR(salary1(n))).
-        if (rhs.event.kind == rule::EventKind::kReadRequest) {
-          rule::Event rr;
-          rr.kind = rule::EventKind::kReadRequest;
-          rr.item = rule::ItemId{rhs.event.item.base, {}};
-          event = rr;
-          whole_base = true;
-        } else {
-          HCM_LOG(Warning) << "cannot instantiate RHS of " << r.ToString()
-                           << ": " << event.status().ToString();
+  executor_->PostAfter(
+      step_delay_,
+      [this, rule_id, trigger_event_id, step,
+       binding = std::move(binding)]() mutable {
+        auto it = rhs_rules_.find(rule_id);
+        if (it == rhs_rules_.end()) {
+          HCM_LOG(Warning) << "shell at " << site_ << " lost body for rule "
+                           << rule_id << " before step " << step << " ran";
+          return;
         }
-      }
-      if (event.ok()) {
-        event->rule_id = r.id;
-        event->trigger_event_id = fire.trigger_event_id;
-        event->rhs_step = static_cast<int>(step);
-        RouteGeneratedEvent(std::move(*event), whole_base);
-      }
-    }
-    ExecuteStep(r, fire, step + 1, binding);
-  });
+        const rule::Rule& r = it->second;
+        if (step >= r.rhs.size()) return;
+        rule::Binding b = binding;
+        b["now"] = Value::Int(executor_->now().millis());
+        const rule::RhsStep& rhs = r.rhs[step];
+        bool emit = true;
+        if (rhs.condition != nullptr) {
+          auto pass = rhs.condition->EvalBool(b, PrivateReader());
+          if (!pass.ok()) {
+            HCM_LOG(Warning) << "RHS condition error for rule "
+                             << r.ToString() << ": "
+                             << pass.status().ToString();
+            emit = false;
+          } else {
+            emit = *pass;
+          }
+        }
+        if (emit) {
+          auto event = rhs.event.Instantiate(b);
+          bool whole_base = false;
+          if (!event.ok()) {
+            // A read request over a parameterized item with unbound
+            // arguments sweeps the whole base (e.g. P(60) ->
+            // RR(salary1(n))).
+            if (rhs.event.kind == rule::EventKind::kReadRequest) {
+              rule::Event rr;
+              rr.kind = rule::EventKind::kReadRequest;
+              rr.item = rule::ItemId{rhs.event.item.base, {}};
+              event = rr;
+              whole_base = true;
+            } else {
+              HCM_LOG(Warning) << "cannot instantiate RHS of "
+                               << r.ToString() << ": "
+                               << event.status().ToString();
+            }
+          }
+          if (event.ok()) {
+            event->rule_id = r.id;
+            event->trigger_event_id = trigger_event_id;
+            event->rhs_step = static_cast<int>(step);
+            RouteGeneratedEvent(std::move(*event), whole_base);
+          }
+        }
+        if (step + 1 < r.rhs.size()) {
+          ExecuteStep(rule_id, trigger_event_id, step + 1,
+                      std::move(binding));
+        }
+      });
 }
 
 void Shell::RouteGeneratedEvent(rule::Event event, bool whole_base) {

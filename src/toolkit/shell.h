@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/rule/rule.h"
+#include "src/rule/rule_index.h"
 #include "src/sim/executor.h"
 #include "src/sim/network.h"
 #include "src/toolkit/failure.h"
@@ -21,7 +22,9 @@ namespace hcm::toolkit {
 //
 // The shell
 //  - receives events from its local CM-Translator and from peer shells;
-//  - matches them against the rules whose LHS events occur at this site;
+//  - matches them against the rules whose LHS events occur at this site,
+//    consulting a (kind, item-base) discrimination index so dispatch cost
+//    scales with the rules that can match, not with every installed rule;
 //  - forwards each match (rule id + matching interpretation) to the shell
 //    responsible for the rule's RHS site, which evaluates the step
 //    conditions against ITS local data and emits the step events;
@@ -32,6 +35,17 @@ namespace hcm::toolkit {
 //    the guarantee status registry.
 class Shell {
  public:
+  // Event-dispatch efficiency counters (see System::DescribeDispatchStats).
+  struct DispatchStats {
+    uint64_t events_matched = 0;       // events run through MatchEvent
+    uint64_t candidates_considered = 0;  // rules the index handed back
+    uint64_t lhs_matches = 0;          // candidates that unified + passed C
+    uint64_t firings = 0;              // rule bodies executed at this shell
+    uint64_t scans_avoided = 0;        // rules skipped vs a linear scan
+    size_t installed_lhs_rules = 0;
+    size_t index_buckets = 0;
+  };
+
   Shell(std::string site, sim::Executor* executor, sim::Network* network,
         trace::TraceRecorder* recorder, const ItemRegistry* registry,
         GuaranteeStatusRegistry* guarantees);
@@ -88,6 +102,12 @@ class Shell {
   // Count of rule firings executed here (for benches).
   uint64_t firings() const { return firings_; }
 
+  // Dispatch-efficiency snapshot for benches and deployment stats.
+  DispatchStats dispatch_stats() const;
+
+  // The LHS discrimination index (read-only; benches inspect bucketing).
+  const rule::RuleIndex& lhs_index() const { return lhs_index_; }
+
  private:
   void OnMessage(const sim::Message& message);
   // Records the event (stamping time/site) and runs LHS matching.
@@ -96,12 +116,16 @@ class Shell {
   void MatchEvent(const rule::Event& event);
   // RHS execution of a fired rule.
   void ExecuteFire(const FireMessage& fire);
-  void ExecuteStep(const rule::Rule& r, const FireMessage& fire, size_t step,
+  // Schedules step `step` of rule `rule_id`. The rule is re-looked-up in
+  // rhs_rules_ when the step actually runs, so installed rules may be
+  // replaced between scheduling and firing without dangling references.
+  void ExecuteStep(int64_t rule_id, int64_t trigger_event_id, size_t step,
                    rule::Binding binding);
   void RouteGeneratedEvent(rule::Event event, bool whole_base);
   void ReportFailure(const FailureNotice& notice);
 
-  rule::DataReader PrivateReader() const;
+  // Cached reader over private_data_; built once, not per condition eval.
+  const rule::DataReader& PrivateReader() const { return private_reader_; }
 
   std::string site_;
   sim::Executor* executor_;
@@ -116,12 +140,20 @@ class Shell {
     std::string rhs_site;
   };
   std::vector<LhsEntry> lhs_rules_;
+  // Buckets lhs_rules_ positions by (kind, item base); MatchEvent consults
+  // only the buckets an event can hit.
+  rule::RuleIndex lhs_index_;
+  // Scratch candidate list reused across MatchEvent calls.
+  mutable std::vector<size_t> candidate_scratch_;
   std::map<int64_t, rule::Rule> rhs_rules_;
   std::map<rule::ItemId, Value> private_data_;
+  rule::DataReader private_reader_;
 
   // Per-step processing delay when executing a fired rule's RHS.
   Duration step_delay_ = Duration::Millis(5);
   uint64_t firings_ = 0;
+  uint64_t events_matched_ = 0;
+  uint64_t lhs_matches_ = 0;
 };
 
 }  // namespace hcm::toolkit

@@ -397,6 +397,46 @@ std::string System::DescribeDeployment() const {
   return out;
 }
 
+Shell::DispatchStats System::AggregateDispatchStats() const {
+  Shell::DispatchStats total;
+  for (const auto& [site, shell] : shells_) {
+    (void)site;
+    Shell::DispatchStats s = shell->dispatch_stats();
+    total.events_matched += s.events_matched;
+    total.candidates_considered += s.candidates_considered;
+    total.lhs_matches += s.lhs_matches;
+    total.firings += s.firings;
+    total.scans_avoided += s.scans_avoided;
+    total.installed_lhs_rules += s.installed_lhs_rules;
+    total.index_buckets += s.index_buckets;
+  }
+  return total;
+}
+
+std::string System::DescribeDispatchStats() const {
+  std::string out = "dispatch:\n";
+  auto line = [](const std::string& label, const Shell::DispatchStats& s) {
+    double cand_per_event =
+        s.events_matched == 0
+            ? 0.0
+            : static_cast<double>(s.candidates_considered) /
+                  static_cast<double>(s.events_matched);
+    return StrFormat(
+        "  %-8s rules=%zu buckets=%zu events=%llu candidates/event=%.2f "
+        "matches=%llu firings=%llu scans-avoided=%llu\n",
+        label.c_str(), s.installed_lhs_rules, s.index_buckets,
+        static_cast<unsigned long long>(s.events_matched), cand_per_event,
+        static_cast<unsigned long long>(s.lhs_matches),
+        static_cast<unsigned long long>(s.firings),
+        static_cast<unsigned long long>(s.scans_avoided));
+  };
+  for (const auto& [site, shell] : shells_) {
+    out += line(site, shell->dispatch_stats());
+  }
+  out += line("TOTAL", AggregateDispatchStats());
+  return out;
+}
+
 Result<Shell*> System::ShellAt(const std::string& site) {
   auto it = shells_.find(site);
   if (it == shells_.end()) return Status::NotFound("no shell at " + site);

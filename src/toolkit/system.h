@@ -138,6 +138,15 @@ class System {
   // interfaces, and CM-private items.
   std::string DescribeDeployment() const;
 
+  // Event-dispatch efficiency aggregated across every shell: how many
+  // events were matched, how many candidate rules the (kind, item-base)
+  // index handed to the matcher, and how many rule visits the index saved
+  // versus a linear scan of all installed rules.
+  Shell::DispatchStats AggregateDispatchStats() const;
+
+  // One-line-per-site rendering of the above, for examples and benches.
+  std::string DescribeDispatchStats() const;
+
  private:
   Status EnsureShell(const std::string& site);
   Result<std::string> RhsSiteOfRule(const rule::Rule& r,

@@ -27,6 +27,12 @@ void TraceRecorder::SetInitialValue(const rule::ItemId& item, Value value) {
 int64_t TraceRecorder::Record(rule::Event event) {
   event.id = next_id_++;
   int64_t id = event.id;
+  // Every event of a run funnels through here; pre-size the log so early
+  // growth doesn't repeatedly move the (string-heavy) recorded events.
+  if (trace_.events.capacity() == trace_.events.size()) {
+    trace_.events.reserve(
+        std::max<size_t>(1024, trace_.events.capacity() * 2));
+  }
   trace_.events.push_back(std::move(event));
   return id;
 }

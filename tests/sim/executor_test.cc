@@ -62,6 +62,29 @@ TEST(ExecutorTest, CancelledTimerDoesNotRun) {
   EXPECT_TRUE(t.cancelled());
 }
 
+TEST(ExecutorTest, PostedCallbacksInterleaveWithScheduledOnes) {
+  Executor ex;
+  std::vector<int> order;
+  ex.ScheduleAt(TimePoint::FromMillis(20), [&] { order.push_back(2); });
+  ex.PostAt(TimePoint::FromMillis(10), [&] { order.push_back(1); });
+  ex.PostAfter(Duration::Millis(30), [&] { order.push_back(3); });
+  EXPECT_EQ(ex.RunUntilIdle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ExecutorTest, CancelledEntriesAreSweptByRunUntil) {
+  Executor ex;
+  bool ran = false;
+  Timer t = ex.ScheduleAt(TimePoint::FromMillis(5), [&] { ran = true; });
+  ex.ScheduleAt(TimePoint::FromMillis(50), [] {});
+  t.Cancel();
+  // The cancelled entry sits at the head of the queue; RunUntil must drain
+  // it without running it even though the deadline precedes the live entry.
+  ex.RunUntil(TimePoint::FromMillis(10));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(ex.pending_count(), 1u);  // only the live entry remains
+}
+
 TEST(ExecutorTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
   Executor ex;
   int count = 0;

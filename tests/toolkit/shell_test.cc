@@ -153,6 +153,49 @@ TEST_F(ShellTest, AddPeriodicTaskRepeats) {
   EXPECT_EQ(runs, 4);  // t=5,10,15,20
 }
 
+TEST_F(ShellTest, DispatchStatsCountCandidatesAndMatches) {
+  InstalledRule("r1: N(X, b) -> 5s W(Cache, b)", 1);
+  InstalledRule("r2: N(Y, b) -> 5s W(Cache, b)", 2);
+  InstalledRule("r3: N(Z, b) -> 5s W(Cache, b)", 3);
+  DeliverNotify("X", 1);
+  DeliverNotify("Y", 2);
+  DeliverNotify("Unmatched", 3);
+  executor_.RunFor(Duration::Seconds(10));
+  Shell::DispatchStats stats = shell_.dispatch_stats();
+  EXPECT_EQ(stats.installed_lhs_rules, 3u);
+  EXPECT_EQ(stats.index_buckets, 3u);
+  // 3 N events + the W(Cache) events generated by the two firings also run
+  // through MatchEvent; only the N events produce candidates.
+  EXPECT_GE(stats.events_matched, 3u);
+  EXPECT_EQ(stats.candidates_considered, 2u);  // X and Y buckets, one each
+  EXPECT_EQ(stats.lhs_matches, 2u);
+  EXPECT_EQ(stats.firings, 2u);
+  EXPECT_GT(stats.scans_avoided, 0u);
+}
+
+TEST_F(ShellTest, RhsRuleReplacedBetweenFireAndStepUsesNewBody) {
+  InstalledRule("v1: N(X, b) -> 5s W(Cache, b)", 1);
+  // Deliver the fire directly (local latency 1ms); the first RHS step then
+  // runs step_delay (5ms) later. Replace the rule body in that window: the
+  // step must re-look-up the rule by id and execute the replacement, not a
+  // stale snapshot of the old body.
+  FireMessage fire;
+  fire.rule_id = 1;
+  fire.trigger_event_id = 0;
+  fire.trigger_time = executor_.now();
+  fire.binding = {{"b", Value::Int(42)}};
+  ASSERT_TRUE(network_.Send({"S", "S", "fire", fire}).ok());
+  executor_.ScheduleAt(TimePoint::FromMillis(3), [this] {
+    auto r2 = rule::ParseRule("v2: N(X, b) -> 5s W(Count, b)");
+    ASSERT_TRUE(r2.ok());
+    r2->id = 1;
+    ASSERT_TRUE(shell_.AddRhsRule(*r2).ok());
+  });
+  executor_.RunFor(Duration::Seconds(10));
+  EXPECT_TRUE(shell_.ReadPrivate(rule::ItemId{"Cache", {}}).is_null());
+  EXPECT_EQ(shell_.ReadPrivate(rule::ItemId{"Count", {}}), Value::Int(42));
+}
+
 TEST_F(ShellTest, RulesWithoutIdsRejected) {
   auto r = rule::ParseRule("x: N(X, b) -> 5s W(Cache, b)");
   ASSERT_TRUE(r.ok());
