@@ -1,0 +1,259 @@
+// Offline verification at scale: timeline reconstruction, valid-execution
+// checking (Appendix A.2) and guarantee checking over synthetic traces of
+// 10k / 100k / 1M events. The *Reference benchmarks run the pre-index
+// whole-trace-scan implementations (kept behind use_reference_impl for the
+// equivalence suite) and are registered only at sizes where they finish in
+// reasonable time; the speedup claimed in DESIGN.md §4b is Indexed vs
+// Reference at the same size.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <queue>
+
+#include "src/common/rng.h"
+#include "src/rule/parser.h"
+#include "src/spec/guarantee.h"
+#include "src/trace/guarantee_checker.h"
+#include "src/trace/valid_execution.h"
+
+namespace hcm {
+namespace {
+
+using rule::Event;
+using rule::EventKind;
+using rule::ItemId;
+using trace::Trace;
+using trace::TraceRecorder;
+
+constexpr int64_t kRuleDeltaMs = 5000;
+
+struct BenchTrace {
+  Trace trace;
+  std::vector<rule::Rule> rules;
+  spec::Guarantee guarantee;
+};
+
+struct PendingFire {
+  int64_t fire_ms = 0;
+  uint64_t seq = 0;
+  size_t pair = 0;
+  int64_t value = 0;
+  int64_t trigger_id = 0;
+  bool operator>(const PendingFire& o) const {
+    return fire_ms != o.fire_ms ? fire_ms > o.fire_ms : seq > o.seq;
+  }
+};
+
+// A clean (violation-free) trace shaped like real CM traffic: per-pair
+// notify -> write-request propagation under `N(src<p>, b) -> 5s WR(dst<p>,
+// b)` rules, spontaneous writes with consistent old values including
+// same-instant write chains, and a small GX -> GY copy stream referenced by
+// the guarantee. Pair count grows with size so big traces also mean more
+// items and more installed rules.
+BenchTrace GenerateTrace(size_t target_events) {
+  BenchTrace out;
+  Rng rng(20260807);
+  TraceRecorder rec;
+  const size_t pairs =
+      std::max<size_t>(8, std::min<size_t>(512, target_events / 2000));
+
+  for (size_t p = 0; p < pairs; ++p) {
+    auto r = rule::ParseRule("N(src" + std::to_string(p) + ", b) -> 5s WR(dst" +
+                             std::to_string(p) + ", b)");
+    r->id = static_cast<int64_t>(p);
+    out.rules.push_back(*r);
+    rec.SetInitialValue(ItemId{"src" + std::to_string(p), {}}, Value::Int(0));
+    rec.SetInitialValue(ItemId{"dst" + std::to_string(p), {}}, Value::Int(0));
+  }
+  rec.SetInitialValue(ItemId{"GX", {}}, Value::Int(0));
+  rec.SetInitialValue(ItemId{"GY", {}}, Value::Int(0));
+  out.guarantee =
+      *spec::ParseGuarantee("(GY = y)@t1 => (GX = y)@t2 & t2 <= t1");
+
+  std::vector<int64_t> current(pairs, 0);
+  std::vector<int64_t> last_fire(pairs, 0);
+  std::priority_queue<PendingFire, std::vector<PendingFire>,
+                      std::greater<PendingFire>>
+      pending;
+  uint64_t seq = 0;
+  int64_t now = 0;
+  int64_t gx = 0;
+  int copies_left = 60;  // guarantee-relevant writes stay bounded
+
+  auto write_spont = [&rec](const ItemId& item, int64_t ms, int64_t old_v,
+                            int64_t v) {
+    Event e;
+    e.time = TimePoint::FromMillis(ms);
+    e.site = "A";
+    e.kind = EventKind::kWriteSpont;
+    e.item = item;
+    e.values = {Value::Int(old_v), Value::Int(v)};
+    rec.Record(e);
+  };
+  auto flush_pending = [&](int64_t up_to_ms) {
+    while (!pending.empty() && pending.top().fire_ms <= up_to_ms) {
+      PendingFire f = pending.top();
+      pending.pop();
+      Event e;
+      e.time = TimePoint::FromMillis(f.fire_ms);
+      e.site = "D" + std::to_string(f.pair);
+      e.kind = EventKind::kWriteRequest;
+      e.item = ItemId{"dst" + std::to_string(f.pair), {}};
+      e.values = {Value::Int(f.value)};
+      e.rule_id = static_cast<int64_t>(f.pair);
+      e.trigger_event_id = f.trigger_id;
+      e.rhs_step = 0;
+      rec.Record(e);
+    }
+  };
+
+  while (rec.num_events() < target_events) {
+    now += rng.UniformInt(1, 10);
+    flush_pending(now);
+    double roll = rng.UniformDouble();
+    if (roll < 0.25) {
+      size_t p = rng.Index(pairs);
+      int64_t v = rng.UniformInt(0, 999);
+      Event e;
+      e.time = TimePoint::FromMillis(now);
+      e.site = "S" + std::to_string(p);
+      e.kind = EventKind::kNotify;
+      e.item = ItemId{"src" + std::to_string(p), {}};
+      e.values = {Value::Int(v)};
+      PendingFire f;
+      f.fire_ms = std::max(last_fire[p] + 1, now + rng.UniformInt(50, 4000));
+      last_fire[p] = f.fire_ms;
+      f.seq = ++seq;
+      f.pair = p;
+      f.value = v;
+      f.trigger_id = rec.Record(std::move(e));
+      pending.push(f);
+    } else if (roll < 0.27) {
+      // Same-instant write chain (exercises the chain-resolution path).
+      size_t p = rng.Index(pairs);
+      ItemId item{"src" + std::to_string(p), {}};
+      int64_t a = rng.UniformInt(0, 999);
+      int64_t b = rng.UniformInt(0, 999);
+      write_spont(item, now, current[p], a);
+      write_spont(item, now, a, b);
+      current[p] = b;
+    } else if (roll < 0.29 && copies_left > 0) {
+      --copies_left;
+      int64_t v = rng.UniformInt(0, 999);
+      write_spont(ItemId{"GX", {}}, now, gx, v);
+      // GY trails GX; flush pending fires first so recording stays in
+      // time order (property 1).
+      int64_t gy_ms = now + rng.UniformInt(5, 40);
+      flush_pending(gy_ms);
+      write_spont(ItemId{"GY", {}}, gy_ms, gx, v);
+      gx = v;
+      now = gy_ms;
+    } else {
+      size_t p = rng.Index(pairs);
+      int64_t v = rng.UniformInt(0, 999);
+      write_spont(ItemId{"src" + std::to_string(p), {}}, now, current[p], v);
+      current[p] = v;
+    }
+  }
+  flush_pending(now + kRuleDeltaMs + 1);
+  out.trace = rec.Finish(TimePoint::FromMillis(now + 2 * kRuleDeltaMs));
+  return out;
+}
+
+const BenchTrace& TraceOfSize(size_t n) {
+  static std::map<size_t, BenchTrace> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, GenerateTrace(n)).first;
+  return it->second;
+}
+
+void BM_TimelineBuild(benchmark::State& state) {
+  const BenchTrace& b = TraceOfSize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    trace::StateTimeline tl = trace::StateTimeline::Build(b.trace);
+    benchmark::DoNotOptimize(&tl);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(b.trace.events.size()));
+}
+BENCHMARK(BM_TimelineBuild)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void RunValidExecution(benchmark::State& state, bool reference) {
+  const BenchTrace& b = TraceOfSize(static_cast<size_t>(state.range(0)));
+  trace::ValidExecutionOptions opts;
+  opts.use_reference_impl = reference;
+  for (auto _ : state) {
+    auto report = trace::CheckValidExecution(b.trace, b.rules, opts);
+    if (!report.valid) {
+      state.SkipWithError("generated trace must be valid");
+      break;
+    }
+    benchmark::DoNotOptimize(&report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(b.trace.events.size()));
+}
+
+void BM_ValidExecutionIndexed(benchmark::State& state) {
+  RunValidExecution(state, /*reference=*/false);
+}
+BENCHMARK(BM_ValidExecutionIndexed)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// The whole-trace-scan implementation is quadratic in events for the
+// same-instant chains and O(events x rules) for obligations; 1M would take
+// minutes, so it is measured only up to 100k.
+void BM_ValidExecutionReference(benchmark::State& state) {
+  RunValidExecution(state, /*reference=*/true);
+}
+BENCHMARK(BM_ValidExecutionReference)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void RunGuarantee(benchmark::State& state, bool reference) {
+  const BenchTrace& b = TraceOfSize(static_cast<size_t>(state.range(0)));
+  trace::GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Millis(kRuleDeltaMs);
+  opts.use_reference_impl = reference;
+  for (auto _ : state) {
+    auto result = trace::CheckGuarantee(b.trace, b.guarantee, opts);
+    if (!result.ok() || !result->holds) {
+      state.SkipWithError("guarantee must hold on the generated trace");
+      break;
+    }
+    benchmark::DoNotOptimize(&result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(b.trace.events.size()));
+}
+
+void BM_GuaranteeIndexed(benchmark::State& state) {
+  RunGuarantee(state, /*reference=*/false);
+}
+BENCHMARK(BM_GuaranteeIndexed)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GuaranteeReference(benchmark::State& state) {
+  RunGuarantee(state, /*reference=*/true);
+}
+BENCHMARK(BM_GuaranteeReference)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hcm
+
+BENCHMARK_MAIN();

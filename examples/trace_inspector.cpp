@@ -16,6 +16,7 @@
 #include "src/rule/lexer.h"
 #include "src/trace/guarantee_checker.h"
 #include "src/trace/trace_io.h"
+#include "src/trace/valid_execution.h"
 
 using namespace hcm;
 
@@ -105,6 +106,16 @@ int main(int argc, char** argv) {
   }
   PrintSummary(t);
 
+  // Valid-execution check over the rule-independent properties (ordering,
+  // write consistency, provenance shape, in-order processing). Checking
+  // properties 5/6 needs the rule program, which trace files don't carry.
+  {
+    auto report = trace::CheckValidExecution(t, {});
+    std::printf("\nvalidity (rule-independent properties): %s",
+                report.ToString().c_str());
+    std::printf("%s", report.DescribeCheckStats().c_str());
+  }
+
   if (argc >= 4 && std::string(argv[2]) == "check") {
     auto g = spec::ParseGuarantee(argv[3]);
     if (!g.ok()) {
@@ -123,6 +134,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\nguarantee %s\n  %s\n", g->ToString().c_str(),
                 r->ToString().c_str());
+    std::printf("%s", r->DescribeCheckStats().c_str());
     return r->holds ? 0 : 1;
   }
   if (argc < 2) {

@@ -97,6 +97,14 @@ bool ItemId::operator==(const ItemId& other) const {
   return base == other.base && args == other.args;
 }
 
+size_t ItemId::Hash() const {
+  size_t h = std::hash<std::string>()(base);
+  for (const Value& v : args) {
+    h = h * 1000003 + v.Hash();
+  }
+  return h;
+}
+
 bool ItemId::operator<(const ItemId& other) const {
   if (base != other.base) return base < other.base;
   if (args.size() != other.args.size()) {

@@ -63,6 +63,14 @@ struct ItemId {
   bool operator==(const ItemId& other) const;
   bool operator!=(const ItemId& other) const { return !(*this == other); }
   bool operator<(const ItemId& other) const;
+
+  // Hash compatible with operator== (args hash through Value::Hash, so
+  // Int 3 and Real 3.0 collide exactly where they compare equal).
+  size_t Hash() const;
+};
+
+struct ItemIdHash {
+  size_t operator()(const ItemId& item) const { return item.Hash(); }
 };
 
 // A possibly-parameterized reference to a data item as written in rules:

@@ -13,6 +13,7 @@ void RuleIndex::Add(const EventTemplate& tpl, size_t handle) {
     ++wildcard_rules_;
   }
   ++total_rules_;
+  ++kind_rules_[kind_pos];
 }
 
 const std::vector<size_t>* RuleIndex::ExactBucket(

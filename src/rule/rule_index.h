@@ -61,6 +61,14 @@ class RuleIndex {
   size_t size() const { return total_rules_; }
   bool empty() const { return total_rules_ == 0; }
 
+  // True when at least one registered template has this kind. A false
+  // return lets callers skip Lookup (and its bucket-key hash) entirely for
+  // event kinds no rule listens to — the common case for write-heavy
+  // traces checked against notify-triggered rule programs.
+  bool MayMatchKind(EventKind kind) const {
+    return kind_rules_[static_cast<size_t>(kind)] > 0;
+  }
+
   // Snapshot of structure + traffic counters.
   RuleIndexStats stats() const;
   void ResetTrafficStats();
@@ -91,6 +99,7 @@ class RuleIndex {
   std::vector<size_t> wildcard_[kNumKinds];
   size_t total_rules_ = 0;
   size_t wildcard_rules_ = 0;
+  size_t kind_rules_[kNumKinds] = {};  // templates registered per kind
   // Traffic counters; mutable so Lookup stays const for callers holding a
   // const shell/index.
   mutable uint64_t events_dispatched_ = 0;

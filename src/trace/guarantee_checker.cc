@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "src/common/string_util.h"
 
@@ -26,6 +27,19 @@ std::string GuaranteeCheckResult::ToString() const {
     out += "\n  counterexample: " + ce.ToString();
   }
   return out;
+}
+
+std::string GuaranteeCheckResult::DescribeCheckStats() const {
+  return StrFormat(
+      "guarantee check stats:\n"
+      "  items %zu, atom evaluations %llu\n"
+      "  sample-point cache: %llu hits / %llu misses\n"
+      "  matching-items cache: %llu hits / %llu misses\n",
+      stats.items, static_cast<unsigned long long>(stats.atom_evals),
+      static_cast<unsigned long long>(stats.sample_cache_hits),
+      static_cast<unsigned long long>(stats.sample_cache_misses),
+      static_cast<unsigned long long>(stats.match_cache_hits),
+      static_cast<unsigned long long>(stats.match_cache_misses));
 }
 
 namespace {
@@ -143,6 +157,8 @@ class CheckerImpl {
       }
     }
     result.holds = result.violations == 0;
+    stats_.items = timeline_.items().size();
+    result.stats = stats_;
     return result;
   }
 
@@ -165,11 +181,17 @@ class CheckerImpl {
 
   void CollectGuaranteeItems() {
     auto add_atom = [&](const GuaranteeAtom& atom) {
+      // Each atom's item references are collected once here; the hot paths
+      // below look them up by atom instead of re-walking the predicate
+      // expression on every candidate assignment.
+      std::vector<ItemRef> refs;
       if (atom.exists_item.has_value()) {
-        all_refs_.push_back(*atom.exists_item);
+        refs.push_back(*atom.exists_item);
       } else if (atom.pred != nullptr) {
-        atom.pred->Collect(&all_refs_, nullptr);
+        atom.pred->Collect(&refs, nullptr);
       }
+      all_refs_.insert(all_refs_.end(), refs.begin(), refs.end());
+      atom_refs_.emplace(&atom, std::move(refs));
     };
     for (const auto& a : guarantee_.lhs_atoms) add_atom(a);
     for (const auto& a : guarantee_.rhs_atoms) add_atom(a);
@@ -206,8 +228,8 @@ class CheckerImpl {
     }
     std::set<TimePoint> points;
     for (const auto& ref : all_refs_) {
-      for (const auto& item : timeline_.ItemsWithBase(ref.base)) {
-        for (const auto& seg : timeline_.SegmentsOf(item)) {
+      for (uint32_t id : timeline_.ItemIdsWithBase(ref.base)) {
+        for (const auto& seg : timeline_.SegmentsOf(id)) {
           points.insert(seg.from);
           for (Duration o : offsets) {
             points.insert(seg.from + o);
@@ -225,34 +247,74 @@ class CheckerImpl {
 
   // Concrete item instances in the trace matching a (possibly open) ref
   // under the assignment. Each match may extend the value binding.
-  std::vector<std::pair<ItemId, Binding>> MatchingItems(
+  //
+  // Matches depend only on (ref, the binding's values for the ref's
+  // variable arguments) — the "binding shape" — so they are memoized per
+  // shape as (item, binding-delta) pairs and replayed onto each concrete
+  // binding. Reference mode re-unifies against every instance per call.
+  std::vector<std::pair<uint32_t, Binding>> MatchingItems(
       const ItemRef& ref, const Binding& binding) const {
-    std::vector<std::pair<ItemId, Binding>> out;
-    for (const auto& item : timeline_.ItemsWithBase(ref.base)) {
+    if (options_.use_reference_impl) {
+      ++stats_.match_cache_misses;
+      std::vector<std::pair<uint32_t, Binding>> out;
+      for (uint32_t id : timeline_.ItemIdsWithBase(ref.base)) {
+        Binding b = binding;
+        if (ref.Unify(timeline_.items().item(id), &b)) {
+          out.emplace_back(id, std::move(b));
+        }
+      }
+      return out;
+    }
+    MatchKey key;
+    key.ref = &ref;
+    for (const auto& t : ref.args) {
+      if (!t.is_variable()) continue;
+      auto bound = binding.find(t.var_name());
+      key.shape.push_back(bound == binding.end()
+                              ? std::optional<Value>()
+                              : std::optional<Value>(bound->second));
+    }
+    auto cached = match_cache_.find(key);
+    if (cached == match_cache_.end()) {
+      ++stats_.match_cache_misses;
+      std::vector<CachedMatch> entry;
+      for (uint32_t id : timeline_.ItemIdsWithBase(ref.base)) {
+        Binding b = binding;
+        if (!ref.Unify(timeline_.items().item(id), &b)) continue;
+        CachedMatch m;
+        m.item = id;
+        for (const auto& [var, v] : b) {
+          if (binding.count(var) == 0) m.delta.emplace_back(var, v);
+        }
+        entry.push_back(std::move(m));
+      }
+      cached = match_cache_.emplace(std::move(key), std::move(entry)).first;
+    } else {
+      ++stats_.match_cache_hits;
+    }
+    std::vector<std::pair<uint32_t, Binding>> out;
+    out.reserve(cached->second.size());
+    for (const CachedMatch& m : cached->second) {
       Binding b = binding;
-      if (ref.Unify(item, &b)) out.emplace_back(item, std::move(b));
+      for (const auto& [var, v] : m.delta) b.emplace(var, v);
+      out.emplace_back(m.item, std::move(b));
     }
     return out;
   }
 
   // Sample instants covering every truth segment of predicates over
-  // `items`: each segment's start plus two interior representatives, the
-  // origin, and the horizon. Universal (LHS) quantification ranges over
-  // [0, horizon]; existential (RHS) search may also look at the pre-origin
-  // instant where initial values hold.
-  const std::vector<TimePoint>& SamplePoints(const std::vector<ItemId>& items,
-                                             bool existential) const {
-    // Memoized: the same item sets recur for every candidate assignment.
-    std::string key = existential ? "E|" : "U|";
-    for (const auto& item : items) key += item.ToString() + "|";
-    auto cached = sample_cache_.find(key);
-    if (cached != sample_cache_.end()) return cached->second;
+  // `items` (interned ids): each segment's start plus two interior
+  // representatives, the origin, and the horizon. Universal (LHS)
+  // quantification ranges over [0, horizon]; existential (RHS) search may
+  // also look at the pre-origin instant where initial values hold.
+  std::vector<TimePoint> ComputeSamplePoints(
+      const std::vector<uint32_t>& items, bool existential) const {
     std::set<TimePoint> points;
     points.insert(TimePoint::Origin());
     points.insert(trace_.horizon);
     std::vector<TimePoint> changes;
-    for (const auto& item : items) {
-      for (const auto& seg : timeline_.SegmentsOf(item)) {
+    for (uint32_t id : items) {
+      for (const auto& seg : timeline_.SegmentsOf(id)) {
         changes.push_back(seg.from);
       }
     }
@@ -280,26 +342,54 @@ class CheckerImpl {
         points.erase(points.begin());
       }
     }
-    auto [it, inserted] = sample_cache_.emplace(
-        std::move(key), std::vector<TimePoint>(points.begin(), points.end()));
-    (void)inserted;
-    return it->second;
+    return std::vector<TimePoint>(points.begin(), points.end());
+  }
+
+  const std::vector<TimePoint>& SamplePoints(
+      const std::vector<uint32_t>& items, bool existential) const {
+    if (options_.use_reference_impl) {
+      ++stats_.sample_cache_misses;
+      scratch_points_ = ComputeSamplePoints(items, existential);
+      return scratch_points_;
+    }
+    // Memoized: the same item sets recur for every candidate assignment.
+    // The key is the interned id list (plus the quantifier flag) — no
+    // string building, and no allocation at all on a hit.
+    sample_key_scratch_.clear();
+    sample_key_scratch_.push_back(existential ? 1u : 0u);
+    sample_key_scratch_.insert(sample_key_scratch_.end(), items.begin(),
+                               items.end());
+    auto it = sample_cache_.find(sample_key_scratch_);
+    if (it != sample_cache_.end()) {
+      ++stats_.sample_cache_hits;
+      return it->second;
+    }
+    ++stats_.sample_cache_misses;
+    return sample_cache_
+        .emplace(sample_key_scratch_, ComputeSamplePoints(items, existential))
+        .first->second;
   }
 
   // Items an atom reads, grounded as far as the binding allows; instances
   // are enumerated from the trace. When the atom mentions no items at all
   // (e.g. "(true)@t"), every guarantee item is relevant.
-  std::vector<ItemId> AtomItems(const GuaranteeAtom& atom,
-                                const Binding& binding) const {
-    std::vector<ItemRef> refs;
-    if (atom.exists_item.has_value()) {
-      refs.push_back(*atom.exists_item);
-    } else if (atom.pred != nullptr) {
-      atom.pred->Collect(&refs, nullptr);
+  std::vector<uint32_t> AtomItems(const GuaranteeAtom& atom,
+                                  const Binding& binding) const {
+    const std::vector<ItemRef>* refs = nullptr;
+    std::vector<ItemRef> collected;
+    if (options_.use_reference_impl) {
+      if (atom.exists_item.has_value()) {
+        collected.push_back(*atom.exists_item);
+      } else if (atom.pred != nullptr) {
+        atom.pred->Collect(&collected, nullptr);
+      }
+      refs = &collected;
+    } else {
+      refs = &atom_refs_.at(&atom);
     }
-    if (refs.empty()) refs = all_refs_;
-    std::vector<ItemId> out;
-    for (const auto& ref : refs) {
+    if (refs->empty()) refs = &all_refs_;
+    std::vector<uint32_t> out;
+    for (const auto& ref : *refs) {
       for (const auto& [item, b] : MatchingItems(ref, binding)) {
         out.push_back(item);
         (void)b;
@@ -307,7 +397,7 @@ class CheckerImpl {
     }
     if (out.empty()) {
       // Still nothing (no guarantee items at all): fall back to the trace.
-      out = timeline_.AllItems();
+      out = timeline_.items().SortedIds();
     }
     return out;
   }
@@ -387,6 +477,7 @@ class CheckerImpl {
   // Eval errors (nonexistent item, unbound variable) count as false.
   bool PredTrueAt(const GuaranteeAtom& atom, TimePoint t,
                   Binding* binding) const {
+    ++stats_.atom_evals;
     if (atom.exists_item.has_value()) {
       auto grounded = atom.exists_item->Ground(*binding);
       if (!grounded.ok()) return false;
@@ -497,14 +588,20 @@ class CheckerImpl {
   // binding when the atom's refs are ground or have no instances.
   std::vector<Binding> ParamBindings(const GuaranteeAtom& atom,
                                      const Binding& binding) const {
-    std::vector<ItemRef> refs;
-    if (atom.exists_item.has_value()) {
-      refs.push_back(*atom.exists_item);
-    } else if (atom.pred != nullptr) {
-      atom.pred->Collect(&refs, nullptr);
+    const std::vector<ItemRef>* refs = nullptr;
+    std::vector<ItemRef> collected;
+    if (options_.use_reference_impl) {
+      if (atom.exists_item.has_value()) {
+        collected.push_back(*atom.exists_item);
+      } else if (atom.pred != nullptr) {
+        atom.pred->Collect(&collected, nullptr);
+      }
+      refs = &collected;
+    } else {
+      refs = &atom_refs_.at(&atom);
     }
     std::vector<Binding> current = {binding};
-    for (const auto& ref : refs) {
+    for (const auto& ref : *refs) {
       bool has_open_args = false;
       for (const auto& t : ref.args) {
         if (t.is_variable()) has_open_args = true;
@@ -549,13 +646,55 @@ class CheckerImpl {
                           });
   }
 
+  // Memoized MatchingItems entry: the matched item plus the variable
+  // bindings the unification added on top of the probe binding.
+  struct CachedMatch {
+    uint32_t item = 0;
+    std::vector<std::pair<std::string, Value>> delta;
+  };
+  // (ref identity, values bound to the ref's variable args) — everything
+  // unification can observe.
+  struct MatchKey {
+    const void* ref = nullptr;
+    std::vector<std::optional<Value>> shape;
+    bool operator==(const MatchKey& o) const {
+      return ref == o.ref && shape == o.shape;
+    }
+  };
+  struct MatchKeyHash {
+    size_t operator()(const MatchKey& k) const {
+      size_t h = std::hash<const void*>()(k.ref);
+      for (const auto& v : k.shape) {
+        h = h * 1000003 + (v.has_value() ? v->Hash() : 0x9e3779b9u);
+      }
+      return h;
+    }
+  };
+  struct SampleKeyHash {
+    size_t operator()(const std::vector<uint32_t>& key) const {
+      size_t h = 0xcbf29ce484222325ull;
+      for (uint32_t v : key) h = (h ^ v) * 0x100000001b3ull;
+      return h;
+    }
+  };
+
   const Trace& trace_;
   const spec::Guarantee& guarantee_;
   const GuaranteeCheckOptions& options_;
   StateTimeline timeline_;
   std::vector<ItemRef> all_refs_;
+  // Item references per atom, collected once (stable storage: node-based
+  // map, vectors never resized after construction).
+  std::unordered_map<const GuaranteeAtom*, std::vector<ItemRef>> atom_refs_;
   std::vector<TimePoint> universal_extra_points_;
-  mutable std::map<std::string, std::vector<TimePoint>> sample_cache_;
+  mutable std::unordered_map<std::vector<uint32_t>, std::vector<TimePoint>,
+                             SampleKeyHash>
+      sample_cache_;
+  mutable std::vector<uint32_t> sample_key_scratch_;
+  mutable std::vector<TimePoint> scratch_points_;  // reference mode only
+  mutable std::unordered_map<MatchKey, std::vector<CachedMatch>, MatchKeyHash>
+      match_cache_;
+  mutable GuaranteeCheckStats stats_;
 };
 
 }  // namespace

@@ -21,6 +21,22 @@ struct GuaranteeCheckOptions {
   size_t max_lhs_witnesses = 2000000;
   // Cap on materialized counterexamples.
   size_t max_counterexamples = 5;
+  // Test-only: recompute sample points and item matches on every call
+  // instead of memoizing (the pre-index reference semantics). The
+  // equivalence suite asserts both paths produce identical results.
+  bool use_reference_impl = false;
+};
+
+// Work counters for one CheckGuarantee run (dispatch-stats-style). Not part
+// of GuaranteeCheckResult::ToString so indexed and reference runs stay
+// byte-comparable; render with DescribeCheckStats.
+struct GuaranteeCheckStats {
+  size_t items = 0;                  // items the trace timeline knows
+  uint64_t sample_cache_hits = 0;    // memoized sample-point reuses
+  uint64_t sample_cache_misses = 0;  // sample-point sets computed
+  uint64_t match_cache_hits = 0;     // memoized MatchingItems reuses
+  uint64_t match_cache_misses = 0;   // MatchingItems walks performed
+  uint64_t atom_evals = 0;           // predicate-at-instant evaluations
 };
 
 // A universally-quantified assignment for which no existential RHS witness
@@ -37,8 +53,11 @@ struct GuaranteeCheckResult {
   size_t lhs_witnesses = 0;     // universal instances checked
   size_t violations = 0;        // instances with no RHS witness
   std::vector<Counterexample> counterexamples;
+  GuaranteeCheckStats stats;
 
   std::string ToString() const;
+  // Human-readable rendering of `stats` (one line per counter).
+  std::string DescribeCheckStats() const;
 };
 
 // Evaluates a guarantee over a finite recorded execution.

@@ -1,0 +1,69 @@
+#ifndef HCM_TRACE_ITEM_INTERNER_H_
+#define HCM_TRACE_ITEM_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rule/item.h"
+
+namespace hcm::trace {
+
+// Maps the (string-heavy) rule::ItemId of every item a trace touches to a
+// dense uint32_t, assigned once per trace. All per-item state downstream
+// (segment spans, event indexes, cache keys) is then indexed by the interned
+// id instead of re-hashing/comparing full ItemIds on every lookup.
+//
+// Besides the id map the interner maintains a base-name index (every item
+// instance sharing a base, e.g. all salary1(n)) and a view of all ids in
+// ItemId order, so callers that used to walk an ordered ItemId map observe
+// identical enumeration order. Both views are built lazily on first access
+// and invalidated by Intern, so the intern-everything-then-query pattern
+// pays one O(n log n) sort total.
+class ItemInterner {
+ public:
+  // Sentinel for "item never interned".
+  static constexpr uint32_t kNoId = UINT32_MAX;
+
+  ItemInterner() = default;
+  ItemInterner(const ItemInterner&) = delete;
+  ItemInterner& operator=(const ItemInterner&) = delete;
+  ItemInterner(ItemInterner&&) = default;
+  ItemInterner& operator=(ItemInterner&&) = default;
+
+  // Returns the item's dense id, assigning the next free one on first sight.
+  uint32_t Intern(const rule::ItemId& item);
+
+  // Returns the item's id, or kNoId when the item was never interned.
+  uint32_t Find(const rule::ItemId& item) const;
+
+  // The ItemId behind a dense id. Precondition: id < size().
+  const rule::ItemId& item(uint32_t id) const { return *items_[id]; }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // Ids of every interned item with the given base name, sorted by ItemId
+  // order (matching enumeration over an ordered ItemId map).
+  const std::vector<uint32_t>& IdsWithBase(const std::string& base) const;
+
+  // All ids, sorted by ItemId order.
+  const std::vector<uint32_t>& SortedIds() const;
+
+ private:
+  void RebuildSortedViews() const;
+
+  std::unordered_map<rule::ItemId, uint32_t, rule::ItemIdHash> ids_;
+  // Pointers into ids_ keys (stable: unordered_map never moves nodes).
+  std::vector<const rule::ItemId*> items_;
+  // Lazily (re)built sorted views; mutable so const queries can build them.
+  mutable std::unordered_map<std::string, std::vector<uint32_t>> by_base_;
+  mutable std::vector<uint32_t> sorted_ids_;
+  mutable bool views_stale_ = false;
+  static const std::vector<uint32_t> kEmptyIds;
+};
+
+}  // namespace hcm::trace
+
+#endif  // HCM_TRACE_ITEM_INTERNER_H_

@@ -9,6 +9,7 @@
 
 #include "src/common/sim_time.h"
 #include "src/rule/event.h"
+#include "src/trace/item_interner.h"
 
 namespace hcm::trace {
 
@@ -42,7 +43,10 @@ class TraceRecorder {
   // Records the event, assigning its id. Returns the assigned id.
   int64_t Record(rule::Event event);
 
-  // Finalizes and returns the trace. `horizon` is typically executor.now().
+  // Finalizes and returns the trace, *moving* the accumulated event log out
+  // (large traces must not be duplicated here). The recorder is spent
+  // afterwards: further Record/Finish calls operate on an empty trace with
+  // ids continuing from where they left off.
   Trace Finish(TimePoint horizon);
 
   const Trace& trace() const { return trace_; }
@@ -60,40 +64,128 @@ struct Segment {
   std::optional<Value> value;
 };
 
+// A borrowed, contiguous run of segments inside the timeline's flat store.
+// Valid as long as the owning StateTimeline is alive and unmodified.
+class SegmentSpan {
+ public:
+  SegmentSpan() = default;
+  SegmentSpan(const Segment* data, size_t size) : data_(data), size_(size) {}
+
+  const Segment* begin() const { return data_; }
+  const Segment* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Segment& operator[](size_t i) const { return data_[i]; }
+  const Segment& back() const { return data_[size_ - 1]; }
+
+ private:
+  const Segment* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 // Piecewise-constant state reconstruction for every item touched by a
 // trace. State changes at Ws/W events (value), INS events (existence, value
 // null until written) and DEL events (non-existence). N/R/WR/RR/P events do
 // not change state (Appendix A.2 property 2).
+//
+// Internally every touched item is interned to a dense uint32_t id and all
+// segments live in one flat contiguous store, partitioned into per-item
+// spans. The ItemId-keyed entry points below are thin wrappers over the
+// id-indexed ones; sequential checkers should intern once (IdOf) and use
+// the id overloads, or walk a SegmentCursor.
 class StateTimeline {
  public:
   // Builds from a trace. Events must be time-ordered.
   static StateTimeline Build(const Trace& trace);
 
+  StateTimeline() = default;
+  StateTimeline(StateTimeline&&) = default;
+  StateTimeline& operator=(StateTimeline&&) = default;
+
+  // Dense id of an item, or ItemInterner::kNoId when the trace never
+  // touched it.
+  uint32_t IdOf(const rule::ItemId& item) const {
+    return interner_.Find(item);
+  }
+
+  const ItemInterner& items() const { return interner_; }
+
   // Value of the item at instant t (state *after* events at exactly t, i.e.
   // the "new" interpretation — matching Appendix A.2 property 3 chaining).
   // nullopt when the item does not exist at t.
   std::optional<Value> ValueAt(const rule::ItemId& item, TimePoint t) const;
+  std::optional<Value> ValueAt(uint32_t id, TimePoint t) const;
 
+  // Existence test at instant t. Pure segment lookup: never materializes
+  // the stored value.
   bool ExistsAt(const rule::ItemId& item, TimePoint t) const;
+  bool ExistsAt(uint32_t id, TimePoint t) const;
 
   // Value of the item just *before* instant t (the "old" interpretation).
   std::optional<Value> ValueBefore(const rule::ItemId& item,
                                    TimePoint t) const;
+  std::optional<Value> ValueBefore(uint32_t id, TimePoint t) const;
 
-  // The item's full segment list (empty if never seen).
-  const std::vector<Segment>& SegmentsOf(const rule::ItemId& item) const;
+  // The item's full segment run (empty if never seen).
+  SegmentSpan SegmentsOf(const rule::ItemId& item) const;
+  SegmentSpan SegmentsOf(uint32_t id) const;
 
-  // All item instances with the given base name.
+  // All item instances with the given base name (in ItemId order). The
+  // id-returning overload is O(1); the materializing one copies.
+  const std::vector<uint32_t>& ItemIdsWithBase(const std::string& base) const {
+    return interner_.IdsWithBase(base);
+  }
   std::vector<rule::ItemId> ItemsWithBase(const std::string& base) const;
 
-  // All items known to the timeline.
+  // All items known to the timeline (in ItemId order).
   std::vector<rule::ItemId> AllItems() const;
 
- private:
-  const std::vector<Segment>* Find(const rule::ItemId& item) const;
+  // Interned id of the item whose state event `event_index` (an index into
+  // the source trace's event vector) changed, or ItemInterner::kNoId for
+  // events that change no state. Build already interned every state event's
+  // item, so checkers walking the event log can reuse the id instead of
+  // re-hashing the ItemId per event.
+  uint32_t StateIdOfEvent(size_t event_index) const {
+    return event_index < event_state_ids_.size()
+               ? event_state_ids_[event_index]
+               : ItemInterner::kNoId;
+  }
 
-  std::map<rule::ItemId, std::vector<Segment>> timelines_;
-  static const std::vector<Segment> kEmpty;
+ private:
+  const Segment* FindSegmentAt(uint32_t id, TimePoint t) const;
+  const Segment* FindSegmentBefore(uint32_t id, TimePoint t) const;
+
+  ItemInterner interner_;
+  // Flat segment store: item `id` owns segments_[spans_[id].first ..
+  // .first + .second).
+  std::vector<Segment> segments_;
+  std::vector<std::pair<uint32_t, uint32_t>> spans_;
+  // Event index -> interned id of the changed item (kNoId: no state change).
+  std::vector<uint32_t> event_state_ids_;
+};
+
+// Amortized-O(1) segment lookup for a checker advancing through a trace in
+// time order: instead of re-binary-searching the span on every query, the
+// cursor walks forward from its previous position. Queries at earlier
+// instants fall back to a binary search, so non-monotone use is still
+// correct, just not faster.
+class SegmentCursor {
+ public:
+  SegmentCursor() = default;
+  explicit SegmentCursor(SegmentSpan span) : span_(span) {}
+
+  // Last segment with from <= t, or nullptr when t precedes all knowledge.
+  const Segment* SeekAt(TimePoint t);
+
+  // Last segment with from < t (strict), or nullptr.
+  const Segment* SeekBefore(TimePoint t);
+
+ private:
+  // Position the cursor so pos_ = count of segments with from <= t.
+  void Advance(TimePoint t);
+
+  SegmentSpan span_;
+  size_t pos_ = 0;  // segments known to start at or before the last query
 };
 
 }  // namespace hcm::trace

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
+#include <unordered_map>
 
 #include "src/common/string_util.h"
+#include "src/rule/rule_index.h"
 
 namespace hcm::trace {
 
@@ -26,6 +29,30 @@ std::string ExecutionReport::ToString() const {
   return out;
 }
 
+std::string ExecutionReport::DescribeCheckStats() const {
+  double cand_per_event =
+      events_checked == 0
+          ? 0.0
+          : static_cast<double>(stats.obligation_candidates) /
+                static_cast<double>(events_checked);
+  double scanned_per_chain =
+      stats.chain_lookups == 0
+          ? 0.0
+          : static_cast<double>(stats.chain_events_scanned) /
+                static_cast<double>(stats.chain_lookups);
+  return StrFormat(
+      "valid-execution check stats:\n"
+      "  events %zu, items indexed %zu, write events indexed %zu\n"
+      "  same-instant chain lookups %llu (%.1f events scanned each)\n"
+      "  obligation candidates/event %.2f, rule scans avoided %llu\n"
+      "  condition instants sampled %llu\n",
+      events_checked, stats.items_indexed, stats.write_events_indexed,
+      static_cast<unsigned long long>(stats.chain_lookups), scanned_per_chain,
+      cand_per_event,
+      static_cast<unsigned long long>(stats.obligation_scans_avoided),
+      static_cast<unsigned long long>(stats.condition_instants));
+}
+
 namespace {
 
 class Checker {
@@ -36,8 +63,23 @@ class Checker {
         rules_(rules),
         options_(options),
         timeline_(StateTimeline::Build(trace)) {
+    rules_by_id_.reserve(rules_.size());
     for (const auto& r : rules_) rules_by_id_[r.id] = &r;
-    for (const auto& e : trace_.events) events_by_id_[e.id] = &e;
+    // Recorder-assigned ids are dense, so id lookup is normally a plain
+    // vector index; sparse ids (hand-built traces) fall back to a map.
+    int64_t max_id = -1;
+    for (const auto& e : trace_.events) max_id = std::max(max_id, e.id);
+    if (max_id >= 0 &&
+        static_cast<size_t>(max_id) < 2 * trace_.events.size() + 64) {
+      events_dense_.resize(static_cast<size_t>(max_id) + 1, nullptr);
+      for (const auto& e : trace_.events) {
+        events_dense_[static_cast<size_t>(e.id)] = &e;
+      }
+    } else {
+      events_by_id_.reserve(trace_.events.size());
+      for (const auto& e : trace_.events) events_by_id_[e.id] = &e;
+    }
+    if (!options_.use_reference_impl) BuildEventIndexes();
   }
 
   ExecutionReport Run() {
@@ -48,10 +90,42 @@ class Checker {
     CheckObligations();
     CheckInOrderProcessing();
     report_.valid = report_.violations.empty() && extra_violations_ == 0;
+    report_.stats.items_indexed = timeline_.items().size();
     return std::move(report_);
   }
 
  private:
+  // One forward pass that builds every per-item / per-rule index the
+  // property checks need, so none of them rescans the trace per event.
+  void BuildEventIndexes() {
+    writes_by_item_.resize(timeline_.items().size());
+    for (size_t i = 0; i < trace_.events.size(); ++i) {
+      const rule::Event& e = trace_.events[i];
+      if (e.kind != rule::EventKind::kWrite &&
+          e.kind != rule::EventKind::kWriteSpont) {
+        continue;
+      }
+      // Writes always change state, so their items are always interned.
+      uint32_t id = timeline_.StateIdOfEvent(i);
+      if (id == ItemInterner::kNoId) continue;  // defensive
+      writes_by_item_[id].push_back(static_cast<uint32_t>(i));
+      ++report_.stats.write_events_indexed;
+    }
+    // Traces are normally already (time, id)-ordered; sorting keeps the
+    // same-instant range lookup correct even on property-1-violating input.
+    for (auto& run : writes_by_item_) {
+      std::sort(run.begin(), run.end(), [this](uint32_t a, uint32_t b) {
+        const rule::Event& ea = trace_.events[a];
+        const rule::Event& eb = trace_.events[b];
+        if (ea.time != eb.time) return ea.time < eb.time;
+        return ea.id < eb.id;
+      });
+    }
+    for (size_t pos = 0; pos < rules_.size(); ++pos) {
+      rule_index_.Add(rules_[pos].lhs, pos);
+    }
+  }
+
   void AddViolation(int property, std::vector<int64_t> ids,
                     std::string message) {
     if (report_.violations.size() >= options_.max_violations) {
@@ -60,6 +134,32 @@ class Checker {
     }
     report_.violations.push_back(
         ExecutionViolation{property, std::move(ids), std::move(message)});
+  }
+
+  const rule::Event* EventById(int64_t id) const {
+    if (!events_dense_.empty()) {
+      return (id >= 0 && static_cast<size_t>(id) < events_dense_.size())
+                 ? events_dense_[static_cast<size_t>(id)]
+                 : nullptr;
+    }
+    auto it = events_by_id_.find(id);
+    return it == events_by_id_.end() ? nullptr : it->second;
+  }
+
+  // The rule's RHS templates with sites cleared, built once per rule.
+  const rule::EventTemplate& ClearedRhsTemplate(const rule::Rule& r,
+                                                size_t step) const {
+    auto it = cleared_rhs_.find(&r);
+    if (it == cleared_rhs_.end()) {
+      std::vector<rule::EventTemplate> cleared;
+      cleared.reserve(r.rhs.size());
+      for (const auto& s : r.rhs) {
+        cleared.push_back(s.event);
+        cleared.back().site.clear();
+      }
+      it = cleared_rhs_.emplace(&r, std::move(cleared)).first;
+    }
+    return it->second[step];
   }
 
   // Reader for condition evaluation at state "just after instant t".
@@ -89,34 +189,72 @@ class Checker {
     }
   }
 
+  // Same-instant write chains: did an earlier write at exactly `e.time` on
+  // the same item produce the old value `e` claims? Indexed path: a sorted
+  // range lookup in the item's write run. Reference: whole-trace scan.
+  bool SameInstantChainMatches(const rule::Event& e, uint32_t id) {
+    if (options_.use_reference_impl) {
+      for (const auto& other : trace_.events) {
+        if (other.time != e.time || other.id >= e.id) continue;
+        if (other.item == e.item &&
+            (other.kind == rule::EventKind::kWrite ||
+             other.kind == rule::EventKind::kWriteSpont) &&
+            other.written_value() == e.old_value()) {
+          return true;
+        }
+      }
+      return false;
+    }
+    ++report_.stats.chain_lookups;
+    if (id == ItemInterner::kNoId) return false;
+    const std::vector<uint32_t>& run = writes_by_item_[id];
+    auto lo = std::lower_bound(run.begin(), run.end(), e.time,
+                               [this](uint32_t idx, TimePoint t) {
+                                 return trace_.events[idx].time < t;
+                               });
+    for (auto it = lo; it != run.end(); ++it) {
+      const rule::Event& other = trace_.events[*it];
+      if (other.time != e.time) break;
+      ++report_.stats.chain_events_scanned;
+      if (other.id >= e.id) continue;
+      if (other.written_value() == e.old_value()) return true;
+    }
+    return false;
+  }
+
   // Properties 2+3: a Ws event's recorded old value must equal the state
   // just before it (writes change exactly their own item by construction of
   // the per-item representation).
   void CheckWriteConsistency() {
-    for (const auto& e : trace_.events) {
+    // Per-item cursors: events arrive in time order, so each lookup is an
+    // amortized-O(1) cursor advance instead of a fresh binary search.
+    std::vector<SegmentCursor> cursors;
+    if (!options_.use_reference_impl) {
+      cursors.reserve(timeline_.items().size());
+      for (uint32_t id = 0; id < timeline_.items().size(); ++id) {
+        cursors.emplace_back(timeline_.SegmentsOf(id));
+      }
+    }
+    for (size_t i = 0; i < trace_.events.size(); ++i) {
+      const rule::Event& e = trace_.events[i];
       if (e.kind != rule::EventKind::kWriteSpont) continue;
-      auto before = timeline_.ValueBefore(e.item, e.time);
+      std::optional<Value> before;
+      uint32_t id = ItemInterner::kNoId;
+      if (options_.use_reference_impl) {
+        before = timeline_.ValueBefore(e.item, e.time);
+      } else {
+        id = timeline_.StateIdOfEvent(i);
+        const Segment* seg =
+            id == ItemInterner::kNoId ? nullptr : cursors[id].SeekBefore(e.time);
+        if (seg != nullptr) before = seg->value;
+      }
       // Several writes can share a timestamp; ValueBefore then sees only the
       // pre-batch state. Accept either the strict-before value or an earlier
-      // same-instant write's value by also consulting ValueAt of t (which
-      // includes this event itself) — so only flag when the recorded old
+      // same-instant write's value — so only flag when the recorded old
       // value is *neither* Null-for-unknown nor the prior state.
-      Value expected =
-          before.has_value() ? *before : Value::Null();
+      Value expected = before.has_value() ? *before : Value::Null();
       if (!(e.old_value() == expected) && !e.old_value().is_null()) {
-        // Same-instant chains: scan same-time earlier events on this item.
-        bool matched = false;
-        for (const auto& other : trace_.events) {
-          if (other.time != e.time || other.id >= e.id) continue;
-          if (other.item == e.item &&
-              (other.kind == rule::EventKind::kWrite ||
-               other.kind == rule::EventKind::kWriteSpont) &&
-              other.written_value() == e.old_value()) {
-            matched = true;
-            break;
-          }
-        }
-        if (!matched) {
+        if (!SameInstantChainMatches(e, id)) {
           AddViolation(2, {e.id},
                        StrFormat("Ws old value %s != prior state %s",
                                  e.old_value().ToString().c_str(),
@@ -144,12 +282,12 @@ class Checker {
         continue;
       }
       const rule::Rule& r = *rule_it->second;
-      auto trig_it = events_by_id_.find(e.trigger_event_id);
-      if (trig_it == events_by_id_.end()) {
+      const rule::Event* trig = EventById(e.trigger_event_id);
+      if (trig == nullptr) {
         AddViolation(5, {e.id}, "generated event names unknown trigger");
         continue;
       }
-      const rule::Event& trigger = *trig_it->second;
+      const rule::Event& trigger = *trig;
       rule::Binding binding;
       if (!r.lhs.Matches(trigger, &binding)) {
         AddViolation(5, {e.id, trigger.id},
@@ -174,7 +312,9 @@ class Checker {
       rule::Binding extended = binding;
       // Unify the concrete event against the step template to pick up
       // RHS-only existential variables (e.g. `now`).
-      if (!TemplateMatchesIgnoringSite(step.event, e, &extended)) {
+      if (!TemplateMatchesIgnoringSite(
+              ClearedRhsTemplate(r, static_cast<size_t>(e.rhs_step)), e,
+              &extended)) {
         AddViolation(5, {e.id, trigger.id},
                      "generated event does not match its RHS template");
         continue;
@@ -196,6 +336,7 @@ class Checker {
     }
   }
 
+  // `tpl` must already have its site cleared (see ClearedRhsTemplate).
   static bool TemplateMatchesIgnoringSite(const rule::EventTemplate& tpl,
                                           const rule::Event& event,
                                           rule::Binding* binding) {
@@ -208,22 +349,49 @@ class Checker {
         tpl.item.base == event.item.base && event.item.args.empty()) {
       return true;
     }
-    rule::EventTemplate copy = tpl;
-    copy.site.clear();
-    return copy.Matches(event, binding);
+    return tpl.Matches(event, binding);
   }
 
-  // Property 6: firing obligations.
+  // Property 6: firing obligations. Rules a given event could trigger come
+  // from the (kind, item base) rule index — the same pruning the live
+  // dispatcher uses — instead of re-unifying every rule against every event.
   void CheckObligations() {
     // Index generated events by (trigger, rule, step).
-    std::map<std::tuple<int64_t, int64_t, int>, const rule::Event*> fired;
+    struct FiredKeyHash {
+      size_t operator()(const std::tuple<int64_t, int64_t, int>& k) const {
+        size_t h = std::hash<int64_t>()(std::get<0>(k));
+        h = h * 1000003 + std::hash<int64_t>()(std::get<1>(k));
+        return h * 1000003 + std::hash<int>()(std::get<2>(k));
+      }
+    };
+    std::unordered_map<std::tuple<int64_t, int64_t, int>, const rule::Event*,
+                       FiredKeyHash>
+        fired;
+    fired.reserve(trace_.events.size());
     for (const auto& e : trace_.events) {
       if (!e.spontaneous()) {
         fired[{e.trigger_event_id, e.rule_id, e.rhs_step}] = &e;
       }
     }
+    std::vector<size_t> candidates;
     for (const auto& e : trace_.events) {
-      for (const auto& r : rules_) {
+      size_t num_candidates;
+      if (options_.use_reference_impl) {
+        num_candidates = rules_.size();
+      } else if (!rule_index_.MayMatchKind(e.kind)) {
+        // No rule listens to this kind at all (e.g. plain writes under a
+        // notify-triggered program): skip the bucket lookup entirely.
+        report_.stats.obligation_scans_avoided += rules_.size();
+        continue;
+      } else {
+        num_candidates = rule_index_.Lookup(e, &candidates);
+        report_.stats.obligation_scans_avoided +=
+            rules_.size() - num_candidates;
+      }
+      report_.stats.obligation_candidates += num_candidates;
+      for (size_t c = 0; c < num_candidates; ++c) {
+        const rule::Rule& r =
+            options_.use_reference_impl ? rules_[c] : rules_[candidates[c]];
         rule::Binding binding;
         if (!r.lhs.Matches(e, &binding)) continue;
         if (r.lhs_condition != nullptr) {
@@ -294,6 +462,7 @@ class Checker {
         if (lo < seg.from && seg.from <= hi) candidates.push_back(seg.from);
       }
     }
+    report_.stats.condition_instants += candidates.size();
     for (TimePoint t : candidates) {
       rule::Binding b = binding;
       auto ok = condition.EvalBool(b, ReaderBefore(t));
@@ -315,16 +484,33 @@ class Checker {
       int64_t trigger_id;
       int64_t event_id;
     };
-    std::map<std::pair<std::string, std::string>, std::vector<Pair>> groups;
+    // Group with a hash map (one string-pair hash per event, not an
+    // ordered-map walk), then emit channels in sorted order so the report
+    // is deterministic and matches the pre-index enumeration.
+    struct ChannelHash {
+      size_t operator()(const std::pair<std::string, std::string>& c) const {
+        return std::hash<std::string>()(c.first) * 1000003 +
+               std::hash<std::string>()(c.second);
+      }
+    };
+    std::unordered_map<std::pair<std::string, std::string>, std::vector<Pair>,
+                       ChannelHash>
+        groups;
     for (const auto& e : trace_.events) {
       if (e.spontaneous()) continue;
-      auto trig_it = events_by_id_.find(e.trigger_event_id);
-      if (trig_it == events_by_id_.end()) continue;
-      const rule::Event& trigger = *trig_it->second;
+      const rule::Event* trig = EventById(e.trigger_event_id);
+      if (trig == nullptr) continue;
+      const rule::Event& trigger = *trig;
       groups[{trigger.site, e.site}].push_back(
           Pair{trigger.time, e.time, trigger.id, e.id});
     }
-    for (auto& [channel, pairs] : groups) {
+    std::vector<decltype(groups)::value_type*> ordered;
+    ordered.reserve(groups.size());
+    for (auto& entry : groups) ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (auto* entry : ordered) {
+      auto& [channel, pairs] = *entry;
       std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
         if (a.trigger_time != b.trigger_time) {
           return a.trigger_time < b.trigger_time;
@@ -349,8 +535,18 @@ class Checker {
   const std::vector<rule::Rule>& rules_;
   const ValidExecutionOptions& options_;
   StateTimeline timeline_;
-  std::map<int64_t, const rule::Rule*> rules_by_id_;
-  std::map<int64_t, const rule::Event*> events_by_id_;
+  std::unordered_map<int64_t, const rule::Rule*> rules_by_id_;
+  std::vector<const rule::Event*> events_dense_;  // id -> event (dense ids)
+  std::unordered_map<int64_t, const rule::Event*> events_by_id_;
+  // Per rule: RHS event templates with the site cleared, so provenance
+  // matching does not copy a string-heavy template per generated event.
+  mutable std::unordered_map<const rule::Rule*,
+                             std::vector<rule::EventTemplate>>
+      cleared_rhs_;
+  // Per interned item: indexes into trace_.events of its W/Ws events,
+  // sorted by (time, id). Empty when use_reference_impl.
+  std::vector<std::vector<uint32_t>> writes_by_item_;
+  rule::RuleIndex rule_index_;
   ExecutionReport report_;
   size_t extra_violations_ = 0;
 };

@@ -1,6 +1,7 @@
 #ifndef HCM_TRACE_VALID_EXECUTION_H_
 #define HCM_TRACE_VALID_EXECUTION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,13 +19,30 @@ struct ExecutionViolation {
   std::string ToString() const;
 };
 
+// Work counters for one CheckValidExecution run (dispatch-stats-style;
+// see System::DescribeDispatchStats for the rule-engine analogue). Not part
+// of ExecutionReport::ToString so indexed and reference runs stay
+// byte-comparable; render with ExecutionReport::DescribeCheckStats.
+struct ValidExecutionStats {
+  size_t items_indexed = 0;          // distinct items with timeline state
+  size_t write_events_indexed = 0;   // Ws/W events in the per-item index
+  uint64_t chain_lookups = 0;        // same-instant write-chain resolutions
+  uint64_t chain_events_scanned = 0; // events visited resolving them
+  uint64_t obligation_candidates = 0;  // rules visited by the LHS scan
+  uint64_t obligation_scans_avoided = 0;  // rules the index pruned
+  uint64_t condition_instants = 0;   // instants sampled for skipped steps
+};
+
 struct ExecutionReport {
   bool valid = true;
   std::vector<ExecutionViolation> violations;
   size_t events_checked = 0;
   size_t obligations_checked = 0;
+  ValidExecutionStats stats;
 
   std::string ToString() const;
+  // Human-readable rendering of `stats` (one line per counter).
+  std::string DescribeCheckStats() const;
 };
 
 struct ValidExecutionOptions {
@@ -33,6 +51,10 @@ struct ValidExecutionOptions {
   bool skip_obligations_past_horizon = true;
   // Cap on reported violations (the rest are counted but not materialized).
   size_t max_violations = 50;
+  // Test-only: disable the per-item event indexes and the rule-dispatch
+  // index, falling back to the whole-trace-scan reference implementation.
+  // The equivalence suite asserts both paths produce identical reports.
+  bool use_reference_impl = false;
 };
 
 // Checks a recorded trace against the seven valid-execution properties of
@@ -52,6 +74,11 @@ struct ValidExecutionOptions {
 // Conditions are re-evaluated against the reconstructed timeline; items the
 // timeline has never seen read as Null (matching CM-Shell semantics for
 // private data).
+//
+// Scales to million-event traces: one index-building forward pass feeds
+// per-item sorted write runs (same-instant chains), an id-keyed event map
+// (provenance) and a (kind, item base) rule index (obligations), so no
+// property check ever rescans the whole trace per event.
 ExecutionReport CheckValidExecution(const Trace& trace,
                                     const std::vector<rule::Rule>& rules,
                                     const ValidExecutionOptions& options = {});

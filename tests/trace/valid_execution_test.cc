@@ -186,9 +186,12 @@ TEST_F(ValidExecutionTest, Property6ConditionalStepMaySkip) {
   Trace t = rec_.Finish(TimePoint::FromMillis(60000));
   auto report = CheckValidExecution(t, {*r});
   EXPECT_TRUE(report.valid) << report.ToString();
-  // A notification with a different value must fire.
-  rec_.Record(Notify(10000, 8));
-  Trace t2 = rec_.Finish(TimePoint::FromMillis(60000));
+  // A notification with a different value must fire. Finish moved the
+  // trace out of rec_, so rebuild the scenario on a fresh recorder.
+  TraceRecorder rec2;
+  rec2.SetInitialValue(ItemId{"CachedX", {}}, Value::Int(7));
+  rec2.Record(Notify(10000, 8));
+  Trace t2 = rec2.Finish(TimePoint::FromMillis(60000));
   auto report2 = CheckValidExecution(t2, {*r});
   EXPECT_FALSE(report2.valid);
 }
