@@ -8,45 +8,67 @@
 
 namespace hcm::sim {
 
+TimerPool::Ticket TimerPool::Acquire() {
+  Ticket t;
+  if (!free_.empty()) {
+    t.slot = free_.back();
+    free_.pop_back();
+  } else {
+    t.slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[t.slot].cancelled = false;
+  t.gen = slots_[t.slot].gen;
+  return t;
+}
+
+void TimerPool::Cancel(const Ticket& t) {
+  if (Live(t)) slots_[t.slot].cancelled = true;
+}
+
+bool TimerPool::IsCancelled(const Ticket& t) const {
+  return Live(t) && slots_[t.slot].cancelled;
+}
+
+void TimerPool::Release(const Ticket& t) {
+  if (!Live(t)) return;
+  ++slots_[t.slot].gen;  // invalidates outstanding tickets for the slot
+  free_.push_back(t.slot);
+}
+
 void Executor::Push(TimePoint when, std::function<void()> fn,
-                    std::shared_ptr<bool> cancelled) {
+                    TimerPool::Ticket ticket) {
   if (when < now_) when = now_;
-  queue_.push_back(
-      Entry{when, next_seq_++, std::move(fn), std::move(cancelled)});
+  queue_.push_back(Entry{when, next_seq_++, std::move(fn), ticket});
   std::push_heap(queue_.begin(), queue_.end(), EntryLater());
 }
 
 Executor::Entry Executor::PopTop() {
+  // Caller checks cancellation against queue_.front() *before* popping:
+  // releasing the ticket here recycles the slot, after which the ticket
+  // reads as stale (never as cancelled).
   std::pop_heap(queue_.begin(), queue_.end(), EntryLater());
   Entry entry = std::move(queue_.back());
   queue_.pop_back();
+  timers_.Release(entry.ticket);
   return entry;
 }
 
 Timer Executor::ScheduleAt(TimePoint when, std::function<void()> fn) {
-  auto flag = std::make_shared<bool>(false);
-  Push(when, std::move(fn), flag);
-  return Timer(std::move(flag));
-}
-
-Timer Executor::ScheduleAfter(Duration delay, std::function<void()> fn) {
-  if (delay < Duration::Zero()) delay = Duration::Zero();
-  return ScheduleAt(now_ + delay, std::move(fn));
+  TimerPool::Ticket ticket = timers_.Acquire();
+  Push(when, std::move(fn), ticket);
+  return Timer(&timers_, ticket);
 }
 
 void Executor::PostAt(TimePoint when, std::function<void()> fn) {
-  Push(when, std::move(fn), nullptr);
-}
-
-void Executor::PostAfter(Duration delay, std::function<void()> fn) {
-  if (delay < Duration::Zero()) delay = Duration::Zero();
-  PostAt(now_ + delay, std::move(fn));
+  Push(when, std::move(fn), TimerPool::Ticket{});
 }
 
 bool Executor::Step() {
   while (!queue_.empty()) {
+    bool cancelled = timers_.IsCancelled(queue_.front().ticket);
     Entry entry = PopTop();
-    if (entry.IsCancelled()) continue;
+    if (cancelled) continue;
     now_ = entry.when;
     entry.fn();
     return true;
@@ -70,7 +92,7 @@ size_t Executor::RunRealtimeFor(Duration d, double time_scale) {
   auto wall_start = std::chrono::steady_clock::now();
   size_t steps = 0;
   while (!queue_.empty()) {
-    if (queue_.front().IsCancelled()) {
+    if (timers_.IsCancelled(queue_.front().ticket)) {
       PopTop();  // sweep without copying the payload
       continue;
     }
@@ -96,7 +118,7 @@ size_t Executor::RunRealtimeFor(Duration d, double time_scale) {
 size_t Executor::RunUntil(TimePoint deadline) {
   size_t steps = 0;
   while (!queue_.empty()) {
-    if (queue_.front().IsCancelled()) {
+    if (timers_.IsCancelled(queue_.front().ticket)) {
       PopTop();  // sweep without copying the payload
       continue;
     }

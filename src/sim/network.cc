@@ -15,6 +15,23 @@ bool SubjectToHealthHolds(const SiteId& endpoint) {
   return endpoint.find('#') == std::string::npos;
 }
 
+// FNV-1a over "src\0dst": a stable, order-sensitive channel fingerprint for
+// deriving per-channel jitter seeds.
+uint64_t ChannelHash(const SiteId& src, const SiteId& dst) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const SiteId& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0;  // separator byte
+    h *= 0x100000001b3ull;
+  };
+  mix(src);
+  mix(dst);
+  return h;
+}
+
 }  // namespace
 
 Status Network::RegisterEndpoint(const SiteId& site, Handler handler) {
@@ -26,14 +43,28 @@ Status Network::RegisterEndpoint(const SiteId& site, Handler handler) {
   return Status::OK();
 }
 
-TimePoint Network::ComputeDeliveryTime(const Message& message) {
+Network::Channel* Network::GetChannel(const SiteId& src, const SiteId& dst) {
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  auto key = std::make_pair(src, dst);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(std::move(key),
+                      Channel(config_.seed ^ ChannelHash(src, dst)))
+             .first;
+  }
+  return &it->second;
+}
+
+TimePoint Network::ComputeDeliveryTime(Channel* channel,
+                                       const Message& message) {
   TimePoint now = executor_->now();
   Duration latency = message.src == message.dst
                          ? config_.local_latency
                          : config_.base_latency;
   if (message.src != message.dst && config_.jitter > Duration::Zero()) {
     latency = latency + Duration::Millis(
-                            rng_.UniformInt(0, config_.jitter.millis()));
+                            channel->rng.UniformInt(0, config_.jitter.millis()));
   }
   if (injector_ != nullptr) {
     // Slowdowns at either end delay the message.
@@ -46,12 +77,11 @@ TimePoint Network::ComputeDeliveryTime(const Message& message) {
     delivery = injector_->NextUpTime(message.dst, delivery);
   }
   // FIFO per channel.
-  auto key = std::make_pair(message.src, message.dst);
-  auto it = last_delivery_.find(key);
-  if (it != last_delivery_.end() && delivery < it->second) {
-    delivery = it->second;
+  if (channel->has_delivery && delivery < channel->last_delivery) {
+    delivery = channel->last_delivery;
   }
-  last_delivery_[key] = delivery;
+  channel->last_delivery = delivery;
+  channel->has_delivery = true;
   return delivery;
 }
 
@@ -68,13 +98,18 @@ Status Network::Send(Message message) {
       return Status::OK();  // silently lost, like a crashed server
     }
   }
-  TimePoint delivery = ComputeDeliveryTime(message);
-  ++messages_sent_;
-  ++channel_counts_[std::make_pair(message.src, message.dst)];
+  // All sends with source S run on S's lane, so the channel has a single
+  // writing thread; only the map lookup inside GetChannel takes a lock.
+  Channel* channel = GetChannel(message.src, message.dst);
+  TimePoint delivery = ComputeDeliveryTime(channel, message);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  ++channel->count;
   Handler* handler = &it->second;
+  SiteId dst_site = message.dst;
   // Fire-and-forget: deliveries are never cancelled, so skip the Timer
-  // handle (and its cancellation-flag allocation) on the per-message path.
-  executor_->PostAt(delivery, [handler, msg = std::move(message)]() {
+  // handle (and its cancellation ticket) on the per-message path. The
+  // destination-site tag routes the handler onto the destination's lane.
+  executor_->PostAt(dst_site, delivery, [handler, msg = std::move(message)]() {
     (*handler)(msg);
   });
   return Status::OK();
@@ -82,8 +117,9 @@ Status Network::Send(Message message) {
 
 uint64_t Network::messages_on_channel(const SiteId& src,
                                       const SiteId& dst) const {
-  auto it = channel_counts_.find(std::make_pair(src, dst));
-  return it == channel_counts_.end() ? 0 : it->second;
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  auto it = channels_.find(std::make_pair(src, dst));
+  return it == channels_.end() ? 0 : it->second.count;
 }
 
 }  // namespace hcm::sim

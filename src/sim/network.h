@@ -2,9 +2,11 @@
 #define HCM_SIM_NETWORK_H_
 
 #include <any>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -25,13 +27,16 @@ struct Message {
 };
 
 struct NetworkConfig {
-  // Fixed one-way latency between distinct sites.
+  // Fixed one-way latency between distinct sites. This is the conservative
+  // lookahead bound L for ParallelExecutor: every cross-site delivery takes
+  // at least this long, so sites are independent within an L-wide window.
   Duration base_latency = Duration::Millis(20);
   // Uniform extra latency in [0, jitter].
   Duration jitter = Duration::Millis(10);
   // Latency for messages a site sends to itself (shell -> local translator).
   Duration local_latency = Duration::Millis(1);
-  // Seed for the jitter stream.
+  // Seed for the jitter streams. Each (src, dst) channel derives its own
+  // stream from seed ^ hash(src, dst).
   uint64_t seed = 7;
   // When true, messages addressed to a down site are dropped instead of held
   // until recovery (models catastrophic/logical failure of the link).
@@ -44,12 +49,20 @@ struct NetworkConfig {
 // paper's Appendix A.2 property 7 assumes in-order delivery and in-order
 // processing, so the network enforces per-channel ordering by clamping each
 // delivery to be no earlier than the previous one on the same channel.
+//
+// Each channel owns its jitter RNG, seeded from the config seed and the
+// channel's endpoint names: adding a site or reordering interleaved sends
+// never perturbs an unrelated channel's latencies, and — since every send
+// with source S runs on S's execution lane — each channel has exactly one
+// writing thread under ParallelExecutor. The channel map itself is guarded
+// by a mutex (lanes can create channels concurrently); channel *state* needs
+// no lock.
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
 
   Network(Executor* executor, NetworkConfig config)
-      : executor_(executor), config_(config), rng_(config.seed) {}
+      : executor_(executor), config_(config) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -58,29 +71,43 @@ class Network {
     injector_ = injector;
   }
 
-  // Registers the message handler for a site. One handler per site.
+  // Registers the message handler for a site. One handler per site. Not
+  // thread-safe: endpoints are wired up before the simulation runs.
   Status RegisterEndpoint(const SiteId& site, Handler handler);
 
-  // Sends a message; delivery is scheduled on the executor. Unknown
-  // destinations are an error (catches mis-wired configurations early).
+  // Sends a message; delivery is scheduled on the executor, tagged with the
+  // destination's site so ParallelExecutor runs the handler on the
+  // destination lane. Unknown destinations are an error (catches mis-wired
+  // configurations early). Safe to call from any execution lane.
   Status Send(Message message);
 
   // Statistics for the benches.
-  uint64_t total_messages_sent() const { return messages_sent_; }
+  uint64_t total_messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
   uint64_t messages_on_channel(const SiteId& src, const SiteId& dst) const;
 
  private:
-  TimePoint ComputeDeliveryTime(const Message& message);
+  // Per-(src, dst) channel state. Mutated only by the source's lane.
+  struct Channel {
+    explicit Channel(uint64_t seed) : rng(seed) {}
+    Rng rng;  // jitter stream, independent per channel
+    TimePoint last_delivery;  // for FIFO clamping
+    bool has_delivery = false;
+    uint64_t count = 0;
+  };
+
+  Channel* GetChannel(const SiteId& src, const SiteId& dst);
+  TimePoint ComputeDeliveryTime(Channel* channel, const Message& message);
 
   Executor* executor_;
   NetworkConfig config_;
-  Rng rng_;
   const FailureInjector* injector_ = nullptr;
   std::map<SiteId, Handler> endpoints_;
-  // Last scheduled delivery per channel, for FIFO clamping.
-  std::map<std::pair<SiteId, SiteId>, TimePoint> last_delivery_;
-  std::map<std::pair<SiteId, SiteId>, uint64_t> channel_counts_;
-  uint64_t messages_sent_ = 0;
+  // Guards the map structure only (find/insert), not Channel contents.
+  mutable std::mutex channels_mu_;
+  std::map<std::pair<SiteId, SiteId>, Channel> channels_;
+  std::atomic<uint64_t> messages_sent_{0};
 };
 
 }  // namespace hcm::sim

@@ -1,0 +1,289 @@
+#include "src/sim/parallel_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace hcm::sim {
+
+thread_local ParallelExecutor::Lane* ParallelExecutor::current_lane_ = nullptr;
+
+ParallelExecutor::ParallelExecutor(ParallelExecutorConfig config)
+    : config_(config) {
+  assert(config_.lookahead > Duration::Zero());
+  if (config_.num_threads < 1) config_.num_threads = 1;
+  for (size_t i = 1; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+TimePoint ParallelExecutor::now() const {
+  Lane* lane = current_lane_;
+  if (lane != nullptr && lane->owner == this) return lane->now;
+  return global_now_;
+}
+
+ParallelExecutor::Lane* ParallelExecutor::EnsureLane(const SiteId& base_site) {
+  auto it = lanes_.find(base_site);
+  if (it == lanes_.end()) {
+    auto lane = std::make_unique<Lane>(this, base_site);
+    lane->now = global_now_;
+    it = lanes_.emplace(base_site, std::move(lane)).first;
+  }
+  return it->second.get();
+}
+
+void ParallelExecutor::PushLane(Lane* lane, TimePoint when,
+                                std::function<void()> fn,
+                                TimerPool::Ticket ticket) {
+  if (when < lane->now) when = lane->now;
+  lane->queue.push_back(Entry{when, lane->next_seq++, std::move(fn), ticket});
+  std::push_heap(lane->queue.begin(), lane->queue.end(), EntryLater());
+}
+
+void ParallelExecutor::SweepLaneTop(Lane* lane) {
+  while (!lane->queue.empty() &&
+         lane->timers.IsCancelled(lane->queue.front().ticket)) {
+    std::pop_heap(lane->queue.begin(), lane->queue.end(), EntryLater());
+    lane->timers.Release(lane->queue.back().ticket);
+    lane->queue.pop_back();
+  }
+}
+
+Timer ParallelExecutor::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  Lane* lane = current_lane_;
+  if (lane == nullptr || lane->owner != this) lane = EnsureLane(SiteId());
+  TimerPool::Ticket ticket = lane->timers.Acquire();
+  PushLane(lane, when, std::move(fn), ticket);
+  return Timer(&lane->timers, ticket);
+}
+
+void ParallelExecutor::PostAt(TimePoint when, std::function<void()> fn) {
+  Lane* lane = current_lane_;
+  if (lane == nullptr || lane->owner != this) lane = EnsureLane(SiteId());
+  PushLane(lane, when, std::move(fn), TimerPool::Ticket{});
+}
+
+Timer ParallelExecutor::ScheduleAt(const SiteId& site, TimePoint when,
+                                   std::function<void()> fn) {
+  SiteId base = BaseSiteOf(site);
+  Lane* current = current_lane_;
+  if (current != nullptr && current->owner == this) {
+    if (current->site == base) {
+      TimerPool::Ticket ticket = current->timers.Acquire();
+      PushLane(current, when, std::move(fn), ticket);
+      return Timer(&current->timers, ticket);
+    }
+    // Cross-lane schedule from inside a window: buffered in this lane's
+    // outbox, applied at the barrier. No cancellation handle — the ticket
+    // would live in another lane's pool, which this thread must not touch.
+    current->outbox.push_back(CrossPost{std::move(base), when, std::move(fn)});
+    return Timer(nullptr, TimerPool::Ticket{});
+  }
+  Lane* lane = EnsureLane(base);
+  TimerPool::Ticket ticket = lane->timers.Acquire();
+  PushLane(lane, when, std::move(fn), ticket);
+  return Timer(&lane->timers, ticket);
+}
+
+void ParallelExecutor::PostAt(const SiteId& site, TimePoint when,
+                              std::function<void()> fn) {
+  SiteId base = BaseSiteOf(site);
+  Lane* current = current_lane_;
+  if (current != nullptr && current->owner == this) {
+    if (current->site == base) {
+      PushLane(current, when, std::move(fn), TimerPool::Ticket{});
+    } else {
+      current->outbox.push_back(
+          CrossPost{std::move(base), when, std::move(fn)});
+    }
+    return;
+  }
+  PushLane(EnsureLane(base), when, std::move(fn), TimerPool::Ticket{});
+}
+
+bool ParallelExecutor::EarliestPending(TimePoint* out) {
+  bool any = false;
+  TimePoint earliest;
+  for (auto& [name, lane] : lanes_) {
+    SweepLaneTop(lane.get());
+    if (lane->queue.empty()) continue;
+    if (!any || lane->queue.front().when < earliest) {
+      earliest = lane->queue.front().when;
+      any = true;
+    }
+  }
+  if (any) *out = earliest;
+  return any;
+}
+
+size_t ParallelExecutor::RunLaneWindow(Lane* lane, TimePoint window_end) {
+  current_lane_ = lane;
+  size_t steps = 0;
+  for (;;) {
+    SweepLaneTop(lane);
+    if (lane->queue.empty() || window_end <= lane->queue.front().when) break;
+    std::pop_heap(lane->queue.begin(), lane->queue.end(), EntryLater());
+    Entry entry = std::move(lane->queue.back());
+    lane->queue.pop_back();
+    lane->timers.Release(entry.ticket);
+    lane->now = entry.when;
+    entry.fn();
+    ++steps;
+  }
+  current_lane_ = nullptr;
+  lane->window_steps = steps;
+  return steps;
+}
+
+void ParallelExecutor::DrainWindowLanes() {
+  for (;;) {
+    size_t i = next_window_lane_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= window_lanes_.size()) return;
+    RunLaneWindow(window_lanes_[i], window_end_);
+  }
+}
+
+void ParallelExecutor::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || work_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = work_epoch_;
+    }
+    DrainWindowLanes();
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (--workers_busy_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+size_t ParallelExecutor::RunOneWindow(TimePoint window_end) {
+  window_lanes_.clear();
+  for (auto& [name, lane] : lanes_) {
+    SweepLaneTop(lane.get());
+    lane->window_steps = 0;
+    if (!lane->queue.empty() && lane->queue.front().when < window_end) {
+      window_lanes_.push_back(lane.get());
+    }
+  }
+  if (window_lanes_.empty()) return 0;
+
+  window_end_ = window_end;
+  next_window_lane_.store(0, std::memory_order_relaxed);
+  if (workers_.empty() || window_lanes_.size() == 1) {
+    for (Lane* lane : window_lanes_) RunLaneWindow(lane, window_end);
+  } else {
+    {
+      // The epoch bump publishes window_lanes_/window_end_ (written above)
+      // to the workers, whose condvar wait acquires pool_mu_.
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      ++work_epoch_;
+      workers_busy_ = workers_.size();
+    }
+    work_cv_.notify_all();
+    DrainWindowLanes();
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
+  }
+
+  size_t total = 0;
+  size_t max_lane = 0;
+  for (Lane* lane : window_lanes_) {
+    total += lane->window_steps;
+    max_lane = std::max(max_lane, lane->window_steps);
+  }
+  ++windows_;
+  total_steps_ += total;
+  critical_steps_ += max_lane;
+
+  MergeOutboxes(window_end);
+  return total;
+}
+
+void ParallelExecutor::MergeOutboxes(TimePoint window_end) {
+  // Source lanes are visited in site-name order and each outbox in emission
+  // order — both properties of the simulation, not of worker interleaving —
+  // so destination sequence numbers come out identical at any thread count.
+  for (auto& [name, lane] : lanes_) {
+    for (CrossPost& post : lane->outbox) {
+      ++cross_posts_;
+      TimePoint when = post.when;
+      if (when < window_end) {
+        // Arriving inside the window it was sent in would have raced that
+        // window: the lookahead under-estimates this channel's latency.
+        // Clamping is applied identically at any thread count, so runs stay
+        // deterministic; fix the lookahead to avoid the added latency.
+        when = window_end;
+        ++clamped_cross_posts_;
+      }
+      PushLane(EnsureLane(post.dst), when, std::move(post.fn),
+               TimerPool::Ticket{});
+    }
+    lane->outbox.clear();
+  }
+}
+
+size_t ParallelExecutor::RunUntil(TimePoint deadline) {
+  size_t steps = 0;
+  TimePoint earliest;
+  while (EarliestPending(&earliest) && earliest <= deadline) {
+    TimePoint window_end = earliest + config_.lookahead;
+    // The run boundary is inclusive of `deadline` itself; window ends are
+    // exclusive, so cap at one tick past it.
+    TimePoint cap = deadline + Duration::Millis(1);
+    if (cap < window_end) window_end = cap;
+    steps += RunOneWindow(window_end);
+  }
+  if (global_now_ < deadline) global_now_ = deadline;
+  for (auto& [name, lane] : lanes_) {
+    if (lane->now < global_now_) lane->now = global_now_;
+  }
+  return steps;
+}
+
+size_t ParallelExecutor::RunUntilIdle(size_t max_steps) {
+  size_t steps = 0;
+  TimePoint earliest;
+  while (EarliestPending(&earliest)) {
+    steps += RunOneWindow(earliest + config_.lookahead);
+    // Window-granular bound: we never cut a window short, so the count may
+    // overshoot max_steps by up to one window.
+    if (max_steps != 0 && steps >= max_steps) break;
+  }
+  for (auto& [name, lane] : lanes_) {
+    if (global_now_ < lane->now) global_now_ = lane->now;
+  }
+  for (auto& [name, lane] : lanes_) {
+    if (lane->now < global_now_) lane->now = global_now_;
+  }
+  return steps;
+}
+
+size_t ParallelExecutor::pending_count() const {
+  size_t n = 0;
+  for (const auto& [name, lane] : lanes_) n += lane->queue.size();
+  return n;
+}
+
+double ParallelExecutor::parallelism() const {
+  if (critical_steps_ == 0) return 1.0;
+  return static_cast<double>(total_steps_) /
+         static_cast<double>(critical_steps_);
+}
+
+}  // namespace hcm::sim

@@ -1,0 +1,173 @@
+#ifndef HCM_SIM_PARALLEL_EXECUTOR_H_
+#define HCM_SIM_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/executor.h"
+
+namespace hcm::sim {
+
+struct ParallelExecutorConfig {
+  // Worker count, including the calling thread: num_threads = 1 runs every
+  // window inline (no pool), num_threads = N spawns N-1 workers and the
+  // driving thread participates. Values are clamped to >= 1.
+  size_t num_threads = 1;
+
+  // Conservative lookahead L: the minimum latency of any cross-site
+  // message. Windows are [T, T + L); within a window each site's callbacks
+  // are causally independent of the other sites' (a cross-site effect sent
+  // at t arrives no earlier than t + L >= window end), so sites execute
+  // concurrently. For toolkit deployments L is the network's base cross-
+  // site latency. Must be positive.
+  Duration lookahead = Duration::Millis(20);
+};
+
+// Site-sharded discrete-event executor: the conservative-time-window PDES
+// engine behind SystemOptions::num_threads.
+//
+// Every callback is tagged (via the site-tagged ScheduleAt/PostAt variants)
+// with the site whose work it performs; each site gets a *lane* — its own
+// queue, clock, sequence counter, and timer pool. Execution alternates
+// between
+//
+//   window:  every lane with work in [T, T + L) runs its entries in
+//            (time, seq) order on some worker thread; lanes never touch
+//            each other's state, so workers proceed without locks;
+//   barrier: cross-lane callbacks emitted during the window (buffered in
+//            the emitting lane's outbox — e.g. Network deliveries to other
+//            sites) are merged into the destination lanes in site-name
+//            order, assigning destination sequence numbers independent of
+//            worker interleaving.
+//
+// The merge order (time, site, seq) is a function of the simulation alone,
+// so a run with N workers executes callbacks in exactly the per-lane orders
+// a 1-worker run does — traces and results are bit-identical for any
+// num_threads (the parallel-equivalence suite enforces this).
+//
+// Conservativeness is asserted at the barrier: a cross-lane callback due
+// before the window end would have raced the window it was emitted in; it
+// is clamped to the window end and counted (clamped_cross_posts()), which
+// keeps runs deterministic even for a mis-sized lookahead, at the cost of
+// delaying that delivery. Untagged scheduling from inside a lane callback
+// stays on that lane; untagged scheduling from outside any window (e.g.
+// main-thread setup) lands on a control lane named "".
+//
+// Limitations (documented, asserted where cheap): Step()/RunRealtimeFor
+// are unsupported; Timers for cross-lane schedules cannot be cancelled;
+// Timer::Cancel must be called from the owning lane or between runs.
+class ParallelExecutor : public Executor {
+ public:
+  explicit ParallelExecutor(ParallelExecutorConfig config);
+  ~ParallelExecutor() override;
+
+  TimePoint now() const override;
+
+  Timer ScheduleAt(TimePoint when, std::function<void()> fn) override;
+  void PostAt(TimePoint when, std::function<void()> fn) override;
+  Timer ScheduleAt(const SiteId& site, TimePoint when,
+                   std::function<void()> fn) override;
+  void PostAt(const SiteId& site, TimePoint when,
+              std::function<void()> fn) override;
+
+  size_t RunUntil(TimePoint deadline) override;
+  size_t RunUntilIdle(size_t max_steps = 0) override;
+  size_t pending_count() const override;
+
+  // --- Introspection (benches, tests; call between runs) ---
+  size_t num_lanes() const { return lanes_.size(); }
+  size_t num_threads() const { return config_.num_threads; }
+  uint64_t windows_executed() const { return windows_; }
+  uint64_t cross_posts() const { return cross_posts_; }
+  uint64_t clamped_cross_posts() const { return clamped_cross_posts_; }
+  // Critical-path parallelism of the run so far: total callbacks executed
+  // divided by the sum over windows of the busiest lane's callbacks — the
+  // speedup an unbounded worker pool could reach on this workload,
+  // independent of the host's core count.
+  double parallelism() const;
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t seq;
+    std::function<void()> fn;
+    TimerPool::Ticket ticket;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return b.when < a.when;
+      return b.seq < a.seq;
+    }
+  };
+  // A callback emitted during a window for another lane; applied at the
+  // barrier.
+  struct CrossPost {
+    SiteId dst;  // base site
+    TimePoint when;
+    std::function<void()> fn;
+  };
+  struct Lane {
+    Lane(ParallelExecutor* owner, SiteId site)
+        : owner(owner), site(std::move(site)) {}
+    ParallelExecutor* const owner;
+    const SiteId site;
+    TimePoint now;
+    uint64_t next_seq = 0;
+    std::vector<Entry> queue;  // heap ordered by EntryLater
+    TimerPool timers;
+    std::vector<CrossPost> outbox;
+    size_t window_steps = 0;  // written by the worker that ran the window
+  };
+
+  Lane* EnsureLane(const SiteId& base_site);  // outside windows only
+  void PushLane(Lane* lane, TimePoint when, std::function<void()> fn,
+                TimerPool::Ticket ticket);
+  // Drops cancelled entries off the lane's heap top.
+  static void SweepLaneTop(Lane* lane);
+  // Earliest pending callback across all lanes; false when idle.
+  bool EarliestPending(TimePoint* out);
+  size_t RunLaneWindow(Lane* lane, TimePoint window_end);
+  // Runs one window ending (exclusively) at `window_end` over every lane
+  // with due work, then merges outboxes. Returns callbacks executed.
+  size_t RunOneWindow(TimePoint window_end);
+  void MergeOutboxes(TimePoint window_end);
+  void WorkerLoop();
+  void DrainWindowLanes();
+
+  ParallelExecutorConfig config_;
+  TimePoint global_now_;
+  std::map<SiteId, std::unique_ptr<Lane>> lanes_;  // site-name order
+
+  // Worker pool (empty when num_threads == 1).
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t work_epoch_ = 0;     // guarded by pool_mu_
+  size_t workers_busy_ = 0;     // guarded by pool_mu_
+  bool shutdown_ = false;       // guarded by pool_mu_
+  // Window work list; written by the driving thread before the epoch bump
+  // publishes it to workers.
+  std::vector<Lane*> window_lanes_;
+  TimePoint window_end_;
+  std::atomic<size_t> next_window_lane_{0};
+  std::atomic<size_t> window_steps_total_{0};
+
+  uint64_t windows_ = 0;
+  uint64_t cross_posts_ = 0;
+  uint64_t clamped_cross_posts_ = 0;
+  uint64_t critical_steps_ = 0;
+  uint64_t total_steps_ = 0;
+
+  static thread_local Lane* current_lane_;
+};
+
+}  // namespace hcm::sim
+
+#endif  // HCM_SIM_PARALLEL_EXECUTOR_H_

@@ -20,6 +20,7 @@ std::string FailureNotice::ToString() const {
 Status GuaranteeStatusRegistry::Register(const std::string& key,
                                          const spec::Guarantee& guarantee,
                                          std::vector<std::string> sites) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (entries_.count(key) > 0) {
     return Status::AlreadyExists("guarantee key already registered: " + key);
   }
@@ -32,6 +33,7 @@ Status GuaranteeStatusRegistry::Register(const std::string& key,
 }
 
 void GuaranteeStatusRegistry::OnFailure(const FailureNotice& notice) {
+  std::lock_guard<std::mutex> lock(mu_);
   failures_.push_back(notice);
   for (auto& [key, entry] : entries_) {
     (void)key;
@@ -47,6 +49,7 @@ void GuaranteeStatusRegistry::OnFailure(const FailureNotice& notice) {
 void GuaranteeStatusRegistry::ResetSite(const std::string& site,
                                         TimePoint at) {
   (void)at;
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, entry] : entries_) {
     (void)key;
     bool involved = std::find(entry.sites.begin(), entry.sites.end(), site) !=
@@ -57,6 +60,7 @@ void GuaranteeStatusRegistry::ResetSite(const std::string& site,
 
 Result<GuaranteeValidity> GuaranteeStatusRegistry::StatusOf(
     const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::NotFound("no guarantee registered under key: " + key);
@@ -65,6 +69,7 @@ Result<GuaranteeValidity> GuaranteeStatusRegistry::StatusOf(
 }
 
 std::vector<std::string> GuaranteeStatusRegistry::InvalidKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [key, entry] : entries_) {
     if (entry.validity == GuaranteeValidity::kInvalid) out.push_back(key);

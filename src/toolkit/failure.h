@@ -2,6 +2,7 @@
 #define HCM_TOOLKIT_FAILURE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ enum class GuaranteeValidity { kValid, kInvalid };
 // the CM has detected and propagated (Section 5: "the affected guarantees
 // may be marked as invalid"). Guarantees are registered with the set of
 // sites whose interfaces they depend on.
+//
+// Thread-safe: shells on different execution lanes report failures
+// concurrently under ParallelExecutor, and invalidation is commutative, so
+// a mutex around each operation suffices. Exception: failures() returns a
+// reference and is main-thread / between-runs only.
 class GuaranteeStatusRegistry {
  public:
   // Registers a guarantee under a unique key (e.g. "payroll/y-follows-x").
@@ -51,7 +57,8 @@ class GuaranteeStatusRegistry {
 
   Result<GuaranteeValidity> StatusOf(const std::string& key) const;
 
-  // All notices seen, in detection order.
+  // All notices seen, in detection order. Main thread / between runs only
+  // (returns a reference into guarded state).
   const std::vector<FailureNotice>& failures() const { return failures_; }
 
   // Keys currently invalid.
@@ -64,6 +71,7 @@ class GuaranteeStatusRegistry {
     std::vector<std::string> sites;
     GuaranteeValidity validity = GuaranteeValidity::kValid;
   };
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   std::vector<FailureNotice> failures_;
 };

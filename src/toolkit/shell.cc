@@ -61,9 +61,9 @@ Status Shell::StartPeriodicRule(const rule::Rule& r) {
     p.kind = rule::EventKind::kPeriodic;
     p.values = {Value::Int(period_ms)};
     RecordAndProcess(std::move(p));
-    executor_->ScheduleAfter(period, *fire);
+    executor_->ScheduleAfter(site_, period, *fire);
   };
-  executor_->ScheduleAfter(period, *fire);
+  executor_->ScheduleAfter(site_, period, *fire);
   return Status::OK();
 }
 
@@ -72,9 +72,9 @@ void Shell::AddPeriodicTask(Duration period, std::function<void()> task) {
   auto shared_task = std::make_shared<std::function<void()>>(std::move(task));
   *fire = [this, period, shared_task, fire]() {
     (*shared_task)();
-    executor_->ScheduleAfter(period, *fire);
+    executor_->ScheduleAfter(site_, period, *fire);
   };
-  executor_->ScheduleAfter(period, *fire);
+  executor_->ScheduleAfter(site_, period, *fire);
 }
 
 Value Shell::ReadPrivate(const rule::ItemId& item) const {
@@ -208,7 +208,7 @@ void Shell::ExecuteFire(const FireMessage& fire) {
 void Shell::ExecuteStep(int64_t rule_id, int64_t trigger_event_id,
                         size_t step, rule::Binding binding) {
   executor_->PostAfter(
-      step_delay_,
+      site_, step_delay_,
       [this, rule_id, trigger_event_id, step,
        binding = std::move(binding)]() mutable {
         auto it = rhs_rules_.find(rule_id);

@@ -1,6 +1,8 @@
 #include "src/toolkit/system.h"
 
 #include "src/common/logging.h"
+#include "src/sim/parallel_executor.h"
+#include "src/trace/sharded_recorder.h"
 #include "src/common/string_util.h"
 #include "src/toolkit/translators/biblio_translator.h"
 #include "src/toolkit/translators/filestore_translator.h"
@@ -9,9 +11,23 @@
 
 namespace hcm::toolkit {
 
-System::System(SystemOptions options)
-    : options_(options), network_(&executor_, options.network) {
-  network_.set_failure_injector(&failures_);
+System::System(SystemOptions options) : options_(options) {
+  if (options_.num_threads > 0) {
+    sim::ParallelExecutorConfig config;
+    config.num_threads = options_.num_threads;
+    // Conservative lookahead: the network's minimum cross-site latency
+    // (clamped to one tick so degenerate configs still make progress).
+    config.lookahead = options_.network.base_latency > Duration::Millis(1)
+                           ? options_.network.base_latency
+                           : Duration::Millis(1);
+    executor_ = std::make_unique<sim::ParallelExecutor>(config);
+    recorder_ = std::make_unique<trace::ShardedTraceRecorder>();
+  } else {
+    executor_ = std::make_unique<sim::Executor>();
+    recorder_ = std::make_unique<trace::TraceRecorder>();
+  }
+  network_ = std::make_unique<sim::Network>(executor_.get(), options_.network);
+  network_->set_failure_injector(&failures_);
 }
 
 System::~System() = default;
@@ -62,8 +78,11 @@ Result<ris::biblio::BiblioStore*> System::AddBiblioSite(
 
 Status System::EnsureShell(const std::string& site) {
   if (shells_.count(site) > 0) return Status::OK();
-  auto shell = std::make_unique<Shell>(site, &executor_, &network_,
-                                       &recorder_, &registry_,
+  // Pre-declare the recording shard so parallel lanes never create one
+  // concurrently mid-run.
+  recorder_->DeclareSite(site);
+  auto shell = std::make_unique<Shell>(site, executor_.get(), network_.get(),
+                                       recorder_.get(), &registry_,
                                        &guarantee_status_);
   HCM_RETURN_IF_ERROR(shell->Initialize());
   shells_.emplace(site, std::move(shell));
@@ -103,32 +122,32 @@ Status System::ConfigureTranslator(const std::string& rid_text) {
       return Status::NotFound("no relational source at site " + site);
     }
     translator = std::make_unique<RelationalTranslator>(
-        std::move(config), it->second.get(), &executor_, &network_,
-        &recorder_, &failures_);
+        std::move(config), it->second.get(), executor_.get(), network_.get(),
+        recorder_.get(), &failures_);
   } else if (config.ris_type == "filestore") {
     auto it = files_.find(site);
     if (it == files_.end()) {
       return Status::NotFound("no file source at site " + site);
     }
     translator = std::make_unique<FilestoreTranslator>(
-        std::move(config), it->second.get(), &executor_, &network_,
-        &recorder_, &failures_);
+        std::move(config), it->second.get(), executor_.get(), network_.get(),
+        recorder_.get(), &failures_);
   } else if (config.ris_type == "whois") {
     auto it = whois_.find(site);
     if (it == whois_.end()) {
       return Status::NotFound("no whois source at site " + site);
     }
     translator = std::make_unique<WhoisTranslator>(
-        std::move(config), it->second.get(), &executor_, &network_,
-        &recorder_, &failures_);
+        std::move(config), it->second.get(), executor_.get(), network_.get(),
+        recorder_.get(), &failures_);
   } else if (config.ris_type == "biblio") {
     auto it = biblio_.find(site);
     if (it == biblio_.end()) {
       return Status::NotFound("no biblio source at site " + site);
     }
     translator = std::make_unique<BiblioTranslator>(
-        std::move(config), it->second.get(), &executor_, &network_,
-        &recorder_, &failures_);
+        std::move(config), it->second.get(), executor_.get(), network_.get(),
+        recorder_.get(), &failures_);
   } else {
     return Status::InvalidArgument("unknown ris type: " + config.ris_type);
   }
@@ -274,12 +293,12 @@ Status System::WorkloadWrite(const rule::ItemId& item, const Value& value) {
   if (before.ok()) old_value = *before;
   HCM_RETURN_IF_ERROR(tr->ApplicationWrite(item, value));
   rule::Event ws;
-  ws.time = executor_.now();
+  ws.time = executor_->now();
   ws.site = tr->site();
   ws.kind = rule::EventKind::kWriteSpont;
   ws.item = item;
   ws.values = {old_value, value};
-  recorder_.Record(ws);
+  recorder_->Record(ws);
   return Status::OK();
 }
 
@@ -288,11 +307,11 @@ Status System::WorkloadInsert(const rule::ItemId& item) {
   HCM_ASSIGN_OR_RETURN(Translator * tr, TranslatorAt(loc.site));
   HCM_RETURN_IF_ERROR(tr->ApplicationInsert(item));
   rule::Event ins;
-  ins.time = executor_.now();
+  ins.time = executor_->now();
   ins.site = tr->site();
   ins.kind = rule::EventKind::kInsert;
   ins.item = item;
-  recorder_.Record(ins);
+  recorder_->Record(ins);
   return Status::OK();
 }
 
@@ -301,11 +320,11 @@ Status System::WorkloadDelete(const rule::ItemId& item) {
   HCM_ASSIGN_OR_RETURN(Translator * tr, TranslatorAt(loc.site));
   HCM_RETURN_IF_ERROR(tr->ApplicationDelete(item));
   rule::Event del;
-  del.time = executor_.now();
+  del.time = executor_->now();
   del.site = tr->site();
   del.kind = rule::EventKind::kDelete;
   del.item = item;
-  recorder_.Record(del);
+  recorder_->Record(del);
   return Status::OK();
 }
 
@@ -318,33 +337,33 @@ Result<Value> System::WorkloadRead(const rule::ItemId& item) {
 void System::NoteSpontaneousInsert(const rule::ItemId& item,
                                    const std::string& site) {
   rule::Event ins;
-  ins.time = executor_.now();
+  ins.time = executor_->now();
   ins.site = site;
   ins.kind = rule::EventKind::kInsert;
   ins.item = item;
-  recorder_.Record(ins);
+  recorder_->Record(ins);
 }
 
 void System::NoteSpontaneousDelete(const rule::ItemId& item,
                                    const std::string& site) {
   rule::Event del;
-  del.time = executor_.now();
+  del.time = executor_->now();
   del.site = site;
   del.kind = rule::EventKind::kDelete;
   del.item = item;
-  recorder_.Record(del);
+  recorder_->Record(del);
 }
 
 Status System::DeclareInitial(const rule::ItemId& item) {
   HCM_ASSIGN_OR_RETURN(Value v, WorkloadRead(item));
-  recorder_.SetInitialValue(item, std::move(v));
+  recorder_->SetInitialValue(item, std::move(v));
   return Status::OK();
 }
 
 Status System::DeclareInitialPrivate(const rule::ItemId& item, Value value) {
   HCM_ASSIGN_OR_RETURN(ItemLocation loc, registry_.Locate(item.base));
   HCM_ASSIGN_OR_RETURN(Shell * shell, ShellAt(loc.site));
-  recorder_.SetInitialValue(item, value);
+  recorder_->SetInitialValue(item, value);
   shell->SeedPrivate(item, std::move(value));
   return Status::OK();
 }

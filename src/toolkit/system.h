@@ -25,6 +25,12 @@ namespace hcm::toolkit {
 struct SystemOptions {
   sim::NetworkConfig network;
   uint64_t seed = 42;
+  // 0 = classic single-queue executor (one global event order). >= 1 =
+  // site-sharded ParallelExecutor with this many worker threads (1 runs the
+  // same windowed engine inline — useful as the determinism baseline: a
+  // 1-thread and an N-thread run of the same deployment produce
+  // byte-identical traces and guarantee reports).
+  size_t num_threads = 0;
 };
 
 // The assembled toolkit: one simulated "deployment" with its raw
@@ -51,10 +57,10 @@ class System {
   System& operator=(const System&) = delete;
 
   // --- Substrate access ---
-  sim::Executor& executor() { return executor_; }
-  sim::Network& network() { return network_; }
+  sim::Executor& executor() { return *executor_; }
+  sim::Network& network() { return *network_; }
   sim::FailureInjector& failures() { return failures_; }
-  trace::TraceRecorder& recorder() { return recorder_; }
+  trace::TraceRecorder& recorder() { return *recorder_; }
   const ItemRegistry& registry() const { return registry_; }
   GuaranteeStatusRegistry& guarantee_status() { return guarantee_status_; }
 
@@ -126,8 +132,8 @@ class System {
   Result<GuaranteeValidity> GuaranteeStatus(const std::string& key) const;
 
   // --- Execution ---
-  void RunFor(Duration d) { executor_.RunFor(d); }
-  trace::Trace FinishTrace() { return recorder_.Finish(executor_.now()); }
+  void RunFor(Duration d) { executor_->RunFor(d); }
+  trace::Trace FinishTrace() { return recorder_->Finish(executor_->now()); }
 
   // Access for protocols/ and tests.
   Result<Shell*> ShellAt(const std::string& site);
@@ -153,10 +159,12 @@ class System {
                                     bool lenient = false) const;
 
   SystemOptions options_;
-  sim::Executor executor_;
+  // Engine selection (by num_threads) happens at construction; everything
+  // downstream talks to the virtual Executor / TraceRecorder interfaces.
+  std::unique_ptr<sim::Executor> executor_;
   sim::FailureInjector failures_;
-  sim::Network network_;
-  trace::TraceRecorder recorder_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<trace::TraceRecorder> recorder_;
   ItemRegistry registry_;
   GuaranteeStatusRegistry guarantee_status_;
 

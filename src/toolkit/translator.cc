@@ -176,7 +176,7 @@ void Translator::HandleWriteRequest(rule::Event wr_event) {
   auto extra = PreflightOp(&retry_at);
   if (!extra.ok()) {
     if (!crash_is_logical_) {
-      executor_->ScheduleAt(retry_at, [this, wr_event]() {
+      executor_->ScheduleAt(config_.site, retry_at, [this, wr_event]() {
         HandleWriteRequest(wr_event);
       });
     }
@@ -189,7 +189,7 @@ void Translator::HandleWriteRequest(rule::Event wr_event) {
   TimePoint at = executor_->now() + write_delay_ + *extra;
   if (at <= last_write_at_) at = last_write_at_ + Duration::Millis(1);
   last_write_at_ = at;
-  executor_->ScheduleAt(at, [this, wr_event]() {
+  executor_->ScheduleAt(config_.site, at, [this, wr_event]() {
     const RidItemMapping* mapping = MappingOrNull(wr_event.item.base);
     if (mapping == nullptr || mapping->write_command.empty()) {
       SendFailure(FailureClass::kLogical,
@@ -220,14 +220,15 @@ void Translator::HandleReadRequest(rule::Event rr_event, bool whole_base) {
   auto extra = PreflightOp(&retry_at);
   if (!extra.ok()) {
     if (!crash_is_logical_) {
-      executor_->ScheduleAt(retry_at, [this, rr_event, whole_base]() {
-        HandleReadRequest(rr_event, whole_base);
-      });
+      executor_->ScheduleAt(config_.site, retry_at,
+                            [this, rr_event, whole_base]() {
+                              HandleReadRequest(rr_event, whole_base);
+                            });
     }
     return;
   }
   Duration delay = read_delay_ + *extra;
-  executor_->ScheduleAfter(delay, [this, rr_event, whole_base]() {
+  executor_->ScheduleAfter(config_.site, delay, [this, rr_event, whole_base]() {
     const RidItemMapping* mapping = MappingOrNull(rr_event.item.base);
     if (mapping == nullptr || mapping->read_command.empty()) {
       SendFailure(FailureClass::kLogical,
@@ -274,14 +275,14 @@ void Translator::HandleDeleteRequest(rule::Event del_event) {
   auto extra = PreflightOp(&retry_at);
   if (!extra.ok()) {
     if (!crash_is_logical_) {
-      executor_->ScheduleAt(retry_at, [this, del_event]() {
+      executor_->ScheduleAt(config_.site, retry_at, [this, del_event]() {
         HandleDeleteRequest(del_event);
       });
     }
     return;
   }
   Duration delay = write_delay_ + *extra;
-  executor_->ScheduleAfter(delay, [this, del_event]() {
+  executor_->ScheduleAfter(config_.site, delay, [this, del_event]() {
     const RidItemMapping* mapping = MappingOrNull(del_event.item.base);
     if (mapping == nullptr || mapping->delete_command.empty()) {
       SendFailure(FailureClass::kLogical,
@@ -335,6 +336,7 @@ Status Translator::SetupNotifyInterfaces() {
                 if (!pass.ok() || !*pass) return;
               }
               executor_->ScheduleAfter(
+                  config_.site,
                   delay, [this, base, args, new_value]() {
                     rule::Event n;
                     n.kind = rule::EventKind::kNotify;
@@ -371,7 +373,7 @@ Status Translator::SetupNotifyInterfaces() {
 
 void Translator::SchedulePeriodicReport(const RidItemMapping& mapping,
                                         Duration period) {
-  executor_->ScheduleAfter(period, [this, &mapping, period]() {
+  executor_->ScheduleAfter(config_.site, period, [this, &mapping, period]() {
     auto tuples = NativeList(mapping);
     std::vector<std::vector<Value>> arg_tuples;
     if (tuples.ok()) {

@@ -1,0 +1,113 @@
+#include "src/trace/sharded_recorder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace hcm::trace {
+
+namespace {
+
+// Base site of an endpoint / event site ("B#tr" -> "B"). Mirrors
+// sim::BaseSiteOf; duplicated so the trace layer stays independent of sim.
+std::string BaseSite(const std::string& site) {
+  auto pos = site.find('#');
+  return pos == std::string::npos ? site : site.substr(0, pos);
+}
+
+// Provisional ids pack (shard index + 1, local index); the +1 keeps every
+// provisional id disjoint from the dense final ids a prior Finish may have
+// put into still-live messages, and well away from -1 (= no trigger).
+constexpr int kShardShift = 40;
+
+int64_t ProvisionalId(uint32_t shard_index, size_t local_index) {
+  return (static_cast<int64_t>(shard_index) + 1) << kShardShift |
+         static_cast<int64_t>(local_index);
+}
+
+}  // namespace
+
+void ShardedTraceRecorder::SetInitialValue(const rule::ItemId& item,
+                                           Value value) {
+  initial_values_[item] = std::move(value);
+}
+
+void ShardedTraceRecorder::DeclareSite(const std::string& site) {
+  ShardFor(BaseSite(site));
+}
+
+ShardedTraceRecorder::Shard* ShardedTraceRecorder::ShardFor(
+    const std::string& base_site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(base_site);
+  if (it == shards_.end()) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = static_cast<uint32_t>(shards_.size());
+    it = shards_.emplace(base_site, std::move(shard)).first;
+  }
+  return it->second.get();
+}
+
+int64_t ShardedTraceRecorder::Record(rule::Event event) {
+  Shard* shard = ShardFor(BaseSite(event.site));
+  // Single writer per shard: only the site's lane (or the main thread
+  // between windows) records events stamped with this site, so the append
+  // itself needs no lock.
+  event.id = ProvisionalId(shard->index, shard->events.size());
+  int64_t id = event.id;
+  if (shard->events.capacity() == shard->events.size()) {
+    shard->events.reserve(std::max<size_t>(1024, shard->events.capacity() * 2));
+  }
+  shard->events.push_back(std::move(event));
+  return id;
+}
+
+Trace ShardedTraceRecorder::Finish(TimePoint horizon) {
+  Trace out;
+  out.horizon = horizon;
+  out.initial_values = std::move(initial_values_);
+  initial_values_.clear();
+
+  size_t total = 0;
+  for (const auto& [site, shard] : shards_) total += shard->events.size();
+  out.events.reserve(total);
+  // Concatenate shards in site-name order, then stable-sort by (time, site):
+  // per-shard append order (which is deterministic lane order) breaks the
+  // remaining ties. None of these keys depend on worker interleaving.
+  for (auto& [site, shard] : shards_) {
+    for (auto& event : shard->events) out.events.push_back(std::move(event));
+    shard->events.clear();
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const rule::Event& a, const rule::Event& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.site < b.site;
+                   });
+
+  // Rewrite provisional ids (and the trigger references that carried them)
+  // into dense final ids in canonical order.
+  std::unordered_map<int64_t, int64_t> remap;
+  remap.reserve(out.events.size());
+  for (size_t i = 0; i < out.events.size(); ++i) {
+    remap.emplace(out.events[i].id, static_cast<int64_t>(i));
+  }
+  for (auto& event : out.events) {
+    event.id = remap.at(event.id);
+    if (event.trigger_event_id >= 0) {
+      auto it = remap.find(event.trigger_event_id);
+      // A trigger recorded before a previous Finish is no longer in the log;
+      // leave the stale reference alone rather than inventing one.
+      if (it != remap.end()) event.trigger_event_id = it->second;
+    }
+  }
+  return out;
+}
+
+size_t ShardedTraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [site, shard] : shards_) total += shard->events.size();
+  return total;
+}
+
+}  // namespace hcm::trace

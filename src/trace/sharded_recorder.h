@@ -1,0 +1,69 @@
+#ifndef HCM_TRACE_SHARDED_RECORDER_H_
+#define HCM_TRACE_SHARDED_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace hcm::trace {
+
+// Trace recorder for parallel runs: one event shard per base site, so each
+// of ParallelExecutor's execution lanes appends to its own shard without
+// synchronization (single writer per shard — only the site's lane records
+// events stamped with that site).
+//
+// Record() assigns *provisional* ids — (shard index, local index) packed
+// into an int64 — unique across the run so rule firing can thread trigger
+// provenance through messages as usual. Finish() merges the shards into one
+// canonical log ordered by (time, site, shard order), assigns dense final
+// ids in that order, and rewrites both `id` and `trigger_event_id` through
+// the provisional→final map. Because per-shard append order and the merge
+// key are functions of the simulation (not of worker interleaving), the
+// finished trace is byte-identical at any thread count — and, between
+// events of equal (time, site), canonical even against a 1-thread run.
+class ShardedTraceRecorder : public TraceRecorder {
+ public:
+  ShardedTraceRecorder() = default;
+
+  // Main thread only (setup / between runs).
+  void SetInitialValue(const rule::ItemId& item, Value value) override;
+
+  // Pre-creates the shard for `site`'s base site. Main thread only; called
+  // during deployment wiring so concurrent Record() never has to create a
+  // shard.
+  void DeclareSite(const std::string& site) override;
+
+  // Safe to call from any execution lane. Events recorded by a lane must be
+  // stamped with a site on that lane (the toolkit's shells/translators do
+  // this by construction).
+  int64_t Record(rule::Event event) override;
+
+  // Main thread only, after the run.
+  Trace Finish(TimePoint horizon) override;
+
+  // Main thread only (between runs): total events across shards.
+  size_t num_events() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    uint32_t index;  // fixed at creation; part of provisional ids
+    std::vector<rule::Event> events;
+  };
+
+  Shard* ShardFor(const std::string& site);
+
+  // Guards the shard map structure; shard contents are single-writer.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Shard>> shards_;  // by base site
+  std::map<rule::ItemId, Value> initial_values_;
+};
+
+}  // namespace hcm::trace
+
+#endif  // HCM_TRACE_SHARDED_RECORDER_H_

@@ -31,26 +31,40 @@ struct Trace {
 // Assigns event ids and accumulates the trace. The CM-Shells and workload
 // generators all record through one recorder so ids are globally unique and
 // the order is the executor's total order.
+//
+// This base implementation is the single-threaded path: one event log in
+// record order. ShardedTraceRecorder (sharded_recorder.h) overrides the
+// virtual surface with per-site shards for parallel runs.
 class TraceRecorder {
  public:
   TraceRecorder() = default;
+  virtual ~TraceRecorder() = default;
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  // Declares an item's value at time 0.
-  void SetInitialValue(const rule::ItemId& item, Value value);
+  // Declares an item's value at time 0. Call before the run starts.
+  virtual void SetInitialValue(const rule::ItemId& item, Value value);
 
-  // Records the event, assigning its id. Returns the assigned id.
-  int64_t Record(rule::Event event);
+  // Declares a recording site up front (optional hint; lets sharded
+  // recorders build their shards before concurrent recording begins). The
+  // single-threaded recorder ignores it.
+  virtual void DeclareSite(const std::string& site) { (void)site; }
+
+  // Records the event, assigning its id. Returns the assigned id. Sharded
+  // recorders return a *provisional* id, only unique within the run and
+  // replaced by the final dense id at Finish; treat it as opaque.
+  virtual int64_t Record(rule::Event event);
 
   // Finalizes and returns the trace, *moving* the accumulated event log out
   // (large traces must not be duplicated here). The recorder is spent
   // afterwards: further Record/Finish calls operate on an empty trace with
   // ids continuing from where they left off.
-  Trace Finish(TimePoint horizon);
+  virtual Trace Finish(TimePoint horizon);
 
+  virtual size_t num_events() const { return trace_.events.size(); }
+
+  // Single-threaded recorder only: the accumulated trace so far.
   const Trace& trace() const { return trace_; }
-  size_t num_events() const { return trace_.events.size(); }
 
  private:
   Trace trace_;

@@ -1,0 +1,213 @@
+// The acid test for sim::ParallelExecutor (ISSUE 3): a deployment run with
+// SystemOptions::num_threads = 1 and with N > 1 worker threads must produce
+// byte-identical traces and byte-identical guarantee reports. Exercised
+// over the E1 payroll deployment (two relational sites) and the E9 Stanford
+// deployment (whois + filestore + relational), each with a seed-randomized
+// workload.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/trace/trace_io.h"
+
+namespace hcm {
+namespace {
+
+// Everything two runs must agree on, rendered to bytes.
+struct RunReport {
+  std::string trace_bytes;        // SerializeTrace of the finished trace
+  std::string guarantee_report;   // concatenated GuaranteeCheckResult text
+  std::vector<std::string> invalid_keys;
+  uint64_t messages = 0;
+};
+
+void ExpectIdentical(const RunReport& reference, const RunReport& run,
+                     size_t threads, uint64_t seed) {
+  // Compare sizes first so a mismatch fails with a readable message
+  // instead of dumping two multi-megabyte strings.
+  ASSERT_EQ(reference.trace_bytes.size(), run.trace_bytes.size())
+      << "trace size diverged at threads=" << threads << " seed=" << seed;
+  EXPECT_TRUE(reference.trace_bytes == run.trace_bytes)
+      << "trace bytes diverged at threads=" << threads << " seed=" << seed;
+  EXPECT_EQ(reference.guarantee_report, run.guarantee_report)
+      << "guarantee report diverged at threads=" << threads
+      << " seed=" << seed;
+  EXPECT_EQ(reference.invalid_keys, run.invalid_keys);
+  EXPECT_EQ(reference.messages, run.messages);
+}
+
+// --- E1: payroll copy constraint across two relational sites ---
+
+RunReport RunPayroll(size_t threads, uint64_t seed) {
+  auto d = bench::PayrollDeployment::Create(
+      "interface notify salary1(n) 1s\n", /*num_employees=*/6,
+      sim::NetworkConfig{}, threads);
+  auto& system = *d.system;
+  auto suggestions = *system.Suggest(d.constraint);
+  EXPECT_EQ(system.InstallStrategy("payroll", d.constraint,
+                                   suggestions.at(0).strategy),
+            Status::OK());
+
+  Rng rng(seed);
+  for (int u = 0; u < 25; ++u) {
+    int n = static_cast<int>(rng.UniformInt(1, 6));
+    int salary = static_cast<int>(rng.UniformInt(50000, 90000));
+    EXPECT_EQ(system.WorkloadWrite(rule::ItemId{"salary1", {Value::Int(n)}},
+                                   Value::Int(salary)),
+              Status::OK());
+    system.RunFor(Duration::Millis(rng.UniformInt(50, 2000)));
+  }
+  system.RunFor(Duration::Minutes(2));
+
+  RunReport report;
+  report.messages = system.network().total_messages_sent();
+  trace::Trace t = system.FinishTrace();
+  report.trace_bytes = trace::SerializeTrace(t);
+  trace::GuaranteeCheckOptions opts;
+  opts.settle_margin = Duration::Minutes(1);
+  for (auto make : {spec::YFollowsX, spec::XLeadsY}) {
+    auto result = trace::CheckGuarantee(t, make("salary1(n)", "salary2(n)"),
+                                        opts);
+    EXPECT_TRUE(result.ok());
+    report.guarantee_report += result->ToString();
+  }
+  report.invalid_keys = system.guarantee_status().InvalidKeys();
+  return report;
+}
+
+TEST(ParallelEquivalence, PayrollTraceAndGuaranteesMatchAnyThreadCount) {
+  for (uint64_t seed : {7u, 21u}) {
+    RunReport reference = RunPayroll(1, seed);
+    EXPECT_GT(reference.trace_bytes.size(), 0u);
+    for (size_t threads : {2u, 4u, 8u}) {
+      RunReport run = RunPayroll(threads, seed);
+      ExpectIdentical(reference, run, threads, seed);
+    }
+  }
+}
+
+// --- E9: Stanford deployment (whois + filestore + relational) ---
+
+constexpr const char* kRidWhois = R"(
+ris whois
+site WHOIS
+param notify_delay 200ms
+item phone
+  read   get $1 phone
+  write  set $1 phone $v
+  list   list
+  notify attr phone
+interface notify phone(n) 1s
+)";
+
+constexpr const char* kRidLookup = R"(
+ris filestore
+site LOOKUP
+item CsdPhone
+  read  /staff/phone/$1
+  write /staff/phone/$1
+  list  /staff/phone/
+interface write CsdPhone(n) 2s
+)";
+
+constexpr const char* kRidGroup = R"(
+ris relational
+site GROUP
+item GroupPhone
+  read   select phone from members where login = $1
+  write  update members set phone = $v where login = $1
+  list   select login from members
+interface write GroupPhone(n) 2s
+)";
+
+RunReport RunStanford(size_t threads, uint64_t seed) {
+  constexpr int kStaff = 8;
+  toolkit::SystemOptions opts;
+  opts.num_threads = threads;
+  toolkit::System system(opts);
+  auto* whois = *system.AddWhoisSite("WHOIS");
+  auto* lookup = *system.AddFileSite("LOOKUP");
+  auto* group = *system.AddRelationalSite("GROUP");
+  group->Execute("create table members (login str primary key, phone str)");
+  for (int i = 0; i < kStaff; ++i) {
+    std::string login = "user" + std::to_string(i);
+    whois->Query("set " + login + " phone 000-0000");
+    lookup->Write("/staff/phone/" + login, "\"000-0000\"");
+    group->Execute("insert into members values ('" + login + "', '000-0000')");
+  }
+  EXPECT_EQ(system.ConfigureTranslator(kRidWhois), Status::OK());
+  EXPECT_EQ(system.ConfigureTranslator(kRidLookup), Status::OK());
+  EXPECT_EQ(system.ConfigureTranslator(kRidGroup), Status::OK());
+  for (int i = 0; i < kStaff; ++i) {
+    Value login = Value::Str("user" + std::to_string(i));
+    system.DeclareInitial(rule::ItemId{"phone", {login}});
+    system.DeclareInitial(rule::ItemId{"CsdPhone", {login}});
+    system.DeclareInitial(rule::ItemId{"GroupPhone", {login}});
+  }
+  for (const char* copy : {"CsdPhone(n)", "GroupPhone(n)"}) {
+    auto constraint = *spec::MakeCopyConstraint("phone(n)", copy);
+    auto suggestions = *system.Suggest(constraint);
+    EXPECT_EQ(system.InstallStrategy(std::string("c/") + copy, constraint,
+                                     suggestions.at(0).strategy),
+              Status::OK());
+  }
+
+  Rng rng(seed);
+  for (int u = 0; u < 20; ++u) {
+    int i = static_cast<int>(rng.Index(kStaff));
+    std::string number = std::to_string(rng.UniformInt(200, 999)) + "-" +
+                         std::to_string(rng.UniformInt(1000, 9999));
+    EXPECT_EQ(
+        system.WorkloadWrite(
+            rule::ItemId{"phone", {Value::Str("user" + std::to_string(i))}},
+            Value::Str(number)),
+        Status::OK());
+    system.RunFor(Duration::Millis(rng.UniformInt(200, 5000)));
+  }
+  system.RunFor(Duration::Minutes(2));
+
+  RunReport report;
+  report.messages = system.network().total_messages_sent();
+  trace::Trace t = system.FinishTrace();
+  report.trace_bytes = trace::SerializeTrace(t);
+  trace::GuaranteeCheckOptions check;
+  check.settle_margin = Duration::Minutes(1);
+  for (const char* copy : {"CsdPhone(n)", "GroupPhone(n)"}) {
+    for (auto make : {spec::YFollowsX, spec::XLeadsY}) {
+      auto result = trace::CheckGuarantee(t, make("phone(n)", copy), check);
+      EXPECT_TRUE(result.ok());
+      report.guarantee_report += result->ToString();
+    }
+  }
+  report.invalid_keys = system.guarantee_status().InvalidKeys();
+  return report;
+}
+
+TEST(ParallelEquivalence, StanfordTraceAndGuaranteesMatchAnyThreadCount) {
+  for (uint64_t seed : {5u, 99u}) {
+    RunReport reference = RunStanford(1, seed);
+    EXPECT_GT(reference.trace_bytes.size(), 0u);
+    for (size_t threads : {2u, 4u, 8u}) {
+      RunReport run = RunStanford(threads, seed);
+      ExpectIdentical(reference, run, threads, seed);
+    }
+  }
+}
+
+// Sanity: the guarantees must actually HOLD under the parallel engine, not
+// merely agree between runs — window clamping or lost cross-site messages
+// would show up here first.
+TEST(ParallelEquivalence, GuaranteesHoldUnderParallelEngine) {
+  RunReport run = RunStanford(4, 5u);
+  EXPECT_NE(run.guarantee_report.find("HOLDS"), std::string::npos);
+  EXPECT_EQ(run.guarantee_report.find("VIOLATED"), std::string::npos)
+      << run.guarantee_report;
+  EXPECT_TRUE(run.invalid_keys.empty());
+}
+
+}  // namespace
+}  // namespace hcm
