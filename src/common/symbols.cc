@@ -1,0 +1,47 @@
+#include "src/common/symbols.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace hcm {
+
+uint32_t SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  // Double-check: another thread may have interned it between the locks.
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  auto [inserted, ok] = ids_.emplace(std::string(name), id);
+  (void)ok;
+  names_.push_back(&inserted->first);
+  return id;
+}
+
+uint32_t SymbolTable::Find(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kNoSymbol : it->second;
+}
+
+const std::string& SymbolTable::name(uint32_t sym) const {
+  std::shared_lock lock(mu_);
+  assert(sym < names_.size());
+  return *names_[sym];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock lock(mu_);
+  return names_.size();
+}
+
+SymbolTable& Symbols() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+}  // namespace hcm

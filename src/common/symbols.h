@@ -1,0 +1,72 @@
+#ifndef HCM_COMMON_SYMBOLS_H_
+#define HCM_COMMON_SYMBOLS_H_
+
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hcm {
+
+// Sentinel for "not interned" in every layer that carries symbol ids.
+inline constexpr uint32_t kNoSymbol = UINT32_MAX;
+
+// A process-wide dictionary mapping names (item bases, site and endpoint
+// names, rule variable names) to dense uint32 ids. Ids are assigned in
+// first-intern order and never reused, so an id taken once is valid for the
+// lifetime of the process and can be carried inside events, messages, and
+// rules without a back-pointer to the table.
+//
+// Important: intern order depends on execution history, so symbol ids are
+// NOT stable across runs or thread counts. Anything that must be
+// deterministic across configurations (trace serialization, lane iteration
+// order in the parallel executor, channel jitter seeds) keys on the NAME,
+// never on the id; ids are an in-memory acceleration only.
+//
+// Thread safety: Intern takes a shared lock on the hit path and upgrades to
+// an exclusive lock only for first-time names; Find and name() take shared
+// locks. Steady-state simulation traffic (all names interned at wiring
+// time) contends only on the shared lock.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id for `name`, interning it on first sight.
+  uint32_t Intern(std::string_view name);
+
+  // Returns the id for `name`, or kNoSymbol if it was never interned.
+  uint32_t Find(std::string_view name) const;
+
+  // The name behind an id. The reference is stable for the process
+  // lifetime (names live in map nodes). Precondition: sym was returned by
+  // Intern on this table.
+  const std::string& name(uint32_t sym) const;
+
+  size_t size() const;
+
+ private:
+  // Transparent hashing: lookups by string_view need no temporary string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>> ids_;
+  std::vector<const std::string*> names_;  // id -> map key (node-stable)
+};
+
+// The process-wide table shared by the rule engine, toolkit, simulator, and
+// trace recorders.
+SymbolTable& Symbols();
+
+}  // namespace hcm
+
+#endif  // HCM_COMMON_SYMBOLS_H_

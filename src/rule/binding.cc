@@ -1,0 +1,13 @@
+#include "src/rule/binding.h"
+
+namespace hcm::rule {
+
+std::map<std::string, Value> BindingFrame::ToMap(const SlotMap& slots) const {
+  std::map<std::string, Value> out;
+  for (uint16_t slot : journal_) {
+    out.emplace(slots.name(slot), values_[slot]);
+  }
+  return out;
+}
+
+}  // namespace hcm::rule

@@ -1,0 +1,106 @@
+#ifndef HCM_RULE_BINDING_H_
+#define HCM_RULE_BINDING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace hcm::rule {
+
+// Maps variable names to dense slot indices for one compiled rule. Built by
+// Rule::Compile via a deterministic structural walk of the rule, so the LHS
+// shell and the RHS shell — which each compile their own copy of the same
+// rule — assign identical slots and can exchange raw frames in messages.
+class SlotMap {
+ public:
+  // Returns the slot for `name`, assigning the next index on first sight.
+  uint16_t SlotFor(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    uint16_t slot = static_cast<uint16_t>(names_.size());
+    slots_.emplace(name, slot);
+    names_.push_back(name);
+    return slot;
+  }
+
+  // Returns the slot for `name` or -1 when the rule never mentions it.
+  int Find(const std::string& name) const {
+    auto it = slots_.find(name);
+    return it == slots_.end() ? -1 : static_cast<int>(it->second);
+  }
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(uint16_t slot) const { return names_[slot]; }
+
+ private:
+  std::map<std::string, uint16_t> slots_;
+  std::vector<std::string> names_;
+};
+
+// A flat variable-binding environment indexed by compiled slot: the hot-path
+// replacement for Binding (= std::map<string, Value>). A frame sized once
+// per rule is reused across every candidate event with no allocation —
+// Clear and Rollback touch only the slots actually bound, via the journal.
+class BindingFrame {
+ public:
+  BindingFrame() = default;
+  explicit BindingFrame(size_t num_slots) { Resize(num_slots); }
+
+  void Resize(size_t num_slots) {
+    values_.resize(num_slots);
+    bound_.assign(num_slots, 0);
+    journal_.clear();
+    journal_.reserve(num_slots);
+  }
+
+  size_t size() const { return values_.size(); }
+
+  bool IsBound(uint16_t slot) const { return bound_[slot] != 0; }
+
+  const Value& Get(uint16_t slot) const { return values_[slot]; }
+
+  // Binds `slot`; re-binding an already-bound slot overwrites in place
+  // without double-journaling (so Rollback still unbinds it exactly once).
+  void Set(uint16_t slot, const Value& v) {
+    if (!bound_[slot]) {
+      bound_[slot] = 1;
+      journal_.push_back(slot);
+    }
+    values_[slot] = v;
+  }
+
+  // Unification backtracking: mark() before a tentative match, Rollback to
+  // that mark if it fails. Slots bound since the mark become unbound.
+  size_t mark() const { return journal_.size(); }
+  void Rollback(size_t mark) {
+    while (journal_.size() > mark) {
+      bound_[journal_.back()] = 0;
+      journal_.pop_back();
+    }
+  }
+
+  // Unbinds everything, O(#bound).
+  void Clear() { Rollback(0); }
+
+  size_t num_bound() const { return journal_.size(); }
+
+  // Slots bound so far, in binding order (used to copy a match result into
+  // an outgoing message frame).
+  const std::vector<uint16_t>& bound_slots() const { return journal_; }
+
+  // Renders through `slots` as a name->value map, for diagnostics and for
+  // bridging into code that still speaks Binding.
+  std::map<std::string, Value> ToMap(const SlotMap& slots) const;
+
+ private:
+  std::vector<Value> values_;
+  std::vector<uint8_t> bound_;
+  std::vector<uint16_t> journal_;  // bound slots, in binding order
+};
+
+}  // namespace hcm::rule
+
+#endif  // HCM_RULE_BINDING_H_

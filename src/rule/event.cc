@@ -112,6 +112,48 @@ bool EventTemplate::Matches(const Event& event, Binding* binding) const {
   return true;
 }
 
+void EventTemplate::Compile(SlotMap* slots) {
+  if (EventKindHasItem(kind)) item.Compile(slots);
+  for (Term& t : values) t.Compile(slots);
+}
+
+bool EventTemplate::MatchesCompiled(const Event& event,
+                                    BindingFrame* frame) const {
+  if (kind != event.kind) return false;
+  if (kind == EventKind::kFalse) return false;  // F matches nothing
+  if (!site.empty() && site != event.site) return false;
+  if (values.size() != event.values.size()) return false;
+  size_t mark = frame->mark();
+  if (EventKindHasItem(kind) &&
+      !item.UnifyCompiled(event.item, event.base_sym, frame)) {
+    return false;  // UnifyCompiled rolled back its own bindings
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!values[i].UnifyCompiled(event.values[i], frame)) {
+      frame->Rollback(mark);
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Event> EventTemplate::InstantiateCompiled(
+    const BindingFrame& frame) const {
+  Event event;
+  event.kind = kind;
+  event.site = site;
+  if (EventKindHasItem(kind)) {
+    HCM_ASSIGN_OR_RETURN(event.item, item.GroundCompiled(frame));
+    event.base_sym = item.base_sym;
+  }
+  event.values.reserve(values.size());
+  for (const Term& t : values) {
+    HCM_ASSIGN_OR_RETURN(Value v, t.GroundCompiled(frame));
+    event.values.push_back(std::move(v));
+  }
+  return event;
+}
+
 Result<Event> EventTemplate::Instantiate(const Binding& binding) const {
   Event event;
   event.kind = kind;

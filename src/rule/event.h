@@ -70,6 +70,15 @@ struct Event {
   // used by the valid-execution checker; -1 for spontaneous events).
   int rhs_step = -1;
 
+  // In-memory acceleration only — never serialized, never part of event
+  // identity (see src/common/symbols.h for why ids are not run-stable).
+  // site_sym/base_sym are interned via the process SymbolTable when the
+  // event enters the runtime; item_iid is the dense per-trace item id
+  // stamped by the recorder's Finish pass for state-changing events.
+  uint32_t site_sym = kNoSymbol;
+  uint32_t base_sym = kNoSymbol;
+  uint32_t item_iid = kNoSymbol;
+
   bool spontaneous() const { return rule_id < 0; }
 
   // For write-shaped events: the value written.
@@ -96,6 +105,18 @@ struct EventTemplate {
   // Builds a concrete event from this template under a binding (site/time
   // are filled by the caller). Errors when a variable is unbound.
   Result<Event> Instantiate(const Binding& binding) const;
+
+  // Resolves variable terms to slots and interns the item base. Called by
+  // Rule::Compile; precondition for the *Compiled methods below.
+  void Compile(SlotMap* slots);
+
+  // Slot-indexed Matches against a reusable frame: no allocation on the
+  // match path. Accept/reject decisions are identical to Matches; on
+  // failure, bindings made during the attempt are rolled back.
+  bool MatchesCompiled(const Event& event, BindingFrame* frame) const;
+
+  // Slot-indexed Instantiate; also stamps the event's interned base id.
+  Result<Event> InstantiateCompiled(const BindingFrame& frame) const;
 
   // "N(salary1(n), b)" (+"@site" when pinned).
   std::string ToString() const;

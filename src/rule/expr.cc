@@ -58,53 +58,47 @@ Result<bool> RequireBool(const Value& v, const char* context) {
   return v.AsBool();
 }
 
-}  // namespace
-
-Result<Value> Expr::Eval(const Binding& binding,
-                         const DataReader& reader) const {
+// The evaluation body, parameterized over the variable/item environment so
+// the map-backed and frame-backed paths share one switch. `Env` provides
+// Var(name) and Item(ref).
+template <typename Env>
+Result<Value> EvalWith(const Expr& e, const Env& env) {
   using ris::relational::CompareOp;
   using ris::relational::CompareValues;
-  switch (op_) {
+  switch (e.op()) {
     case ExprOp::kLiteral:
-      return literal_;
-    case ExprOp::kVariable: {
-      auto it = binding.find(var_name_);
-      if (it == binding.end()) {
-        return Status::FailedPrecondition("unbound variable: " + var_name_);
-      }
-      return it->second;
-    }
-    case ExprOp::kItem: {
-      HCM_ASSIGN_OR_RETURN(ItemId id, item_.Ground(binding));
-      return reader(id);
-    }
+      return e.literal_value();
+    case ExprOp::kVariable:
+      return env.Var(e.variable_name());
+    case ExprOp::kItem:
+      return env.Item(e.item_ref());
     case ExprOp::kAnd: {
-      HCM_ASSIGN_OR_RETURN(Value l, lhs_->Eval(binding, reader));
+      HCM_ASSIGN_OR_RETURN(Value l, EvalWith(*e.lhs(), env));
       HCM_ASSIGN_OR_RETURN(bool lb, RequireBool(l, "and"));
       if (!lb) return Value::Bool(false);  // short-circuit
-      HCM_ASSIGN_OR_RETURN(Value r, rhs_->Eval(binding, reader));
+      HCM_ASSIGN_OR_RETURN(Value r, EvalWith(*e.rhs(), env));
       HCM_ASSIGN_OR_RETURN(bool rb, RequireBool(r, "and"));
       return Value::Bool(rb);
     }
     case ExprOp::kOr: {
-      HCM_ASSIGN_OR_RETURN(Value l, lhs_->Eval(binding, reader));
+      HCM_ASSIGN_OR_RETURN(Value l, EvalWith(*e.lhs(), env));
       HCM_ASSIGN_OR_RETURN(bool lb, RequireBool(l, "or"));
       if (lb) return Value::Bool(true);
-      HCM_ASSIGN_OR_RETURN(Value r, rhs_->Eval(binding, reader));
+      HCM_ASSIGN_OR_RETURN(Value r, EvalWith(*e.rhs(), env));
       HCM_ASSIGN_OR_RETURN(bool rb, RequireBool(r, "or"));
       return Value::Bool(rb);
     }
     case ExprOp::kNot: {
-      HCM_ASSIGN_OR_RETURN(Value v, lhs_->Eval(binding, reader));
+      HCM_ASSIGN_OR_RETURN(Value v, EvalWith(*e.lhs(), env));
       HCM_ASSIGN_OR_RETURN(bool b, RequireBool(v, "not"));
       return Value::Bool(!b);
     }
     case ExprOp::kNeg: {
-      HCM_ASSIGN_OR_RETURN(Value v, lhs_->Eval(binding, reader));
+      HCM_ASSIGN_OR_RETURN(Value v, EvalWith(*e.lhs(), env));
       return Value::Int(0).Sub(v);
     }
     case ExprOp::kAbs: {
-      HCM_ASSIGN_OR_RETURN(Value v, lhs_->Eval(binding, reader));
+      HCM_ASSIGN_OR_RETURN(Value v, EvalWith(*e.lhs(), env));
       if (!v.is_numeric()) {
         return Status::InvalidArgument("abs requires a numeric operand");
       }
@@ -117,9 +111,9 @@ Result<Value> Expr::Eval(const Binding& binding,
       break;
   }
   // Remaining ops are binary over evaluated operands.
-  HCM_ASSIGN_OR_RETURN(Value l, lhs_->Eval(binding, reader));
-  HCM_ASSIGN_OR_RETURN(Value r, rhs_->Eval(binding, reader));
-  switch (op_) {
+  HCM_ASSIGN_OR_RETURN(Value l, EvalWith(*e.lhs(), env));
+  HCM_ASSIGN_OR_RETURN(Value r, EvalWith(*e.rhs(), env));
+  switch (e.op()) {
     case ExprOp::kEq:
       return Value::Bool(CompareValues(l, CompareOp::kEq, r));
     case ExprOp::kNe:
@@ -145,9 +139,79 @@ Result<Value> Expr::Eval(const Binding& binding,
   }
 }
 
+struct MapEnv {
+  const Binding& binding;
+  const DataReader& reader;
+
+  Result<Value> Var(const std::string& name) const {
+    auto it = binding.find(name);
+    if (it == binding.end()) {
+      return Status::FailedPrecondition("unbound variable: " + name);
+    }
+    return it->second;
+  }
+  Result<Value> Item(const ItemRef& ref) const {
+    HCM_ASSIGN_OR_RETURN(ItemId id, ref.Ground(binding));
+    return reader(id);
+  }
+};
+
+struct FrameEnv {
+  const BindingFrame& frame;
+  const SlotMap& slots;
+  const DataReader& reader;
+
+  Result<Value> Var(const std::string& name) const {
+    int s = slots.Find(name);
+    if (s < 0 || !frame.IsBound(static_cast<uint16_t>(s))) {
+      return Status::FailedPrecondition("unbound variable: " + name);
+    }
+    return frame.Get(static_cast<uint16_t>(s));
+  }
+  Result<Value> Item(const ItemRef& ref) const {
+    // Ground the ref without touching its (possibly shared) terms'
+    // compiled state: resolve variables by name through the slot map.
+    ItemId id;
+    id.base = ref.base;
+    id.args.reserve(ref.args.size());
+    for (const Term& t : ref.args) {
+      if (t.is_literal()) {
+        id.args.push_back(t.literal());
+        continue;
+      }
+      if (t.is_wildcard()) {
+        return Status::FailedPrecondition(
+            "wildcard cannot appear in an instantiated position");
+      }
+      HCM_ASSIGN_OR_RETURN(Value v, Var(t.var_name()));
+      id.args.push_back(std::move(v));
+    }
+    return reader(id);
+  }
+};
+
+}  // namespace
+
+Result<Value> Expr::Eval(const Binding& binding,
+                         const DataReader& reader) const {
+  return EvalWith(*this, MapEnv{binding, reader});
+}
+
 Result<bool> Expr::EvalBool(const Binding& binding,
                             const DataReader& reader) const {
   HCM_ASSIGN_OR_RETURN(Value v, Eval(binding, reader));
+  return RequireBool(v, "condition");
+}
+
+Result<Value> Expr::EvalFrame(const BindingFrame& frame, const SlotMap& slots,
+                              const DataReader& reader) const {
+  return EvalWith(*this, FrameEnv{frame, slots, reader});
+}
+
+Result<bool> Expr::EvalBoolFrame(const BindingFrame& frame,
+                                 const SlotMap& slots,
+                                 const DataReader& reader) const {
+  HCM_ASSIGN_OR_RETURN(Value v, EvalFrame(frame, slots, reader));
   return RequireBool(v, "condition");
 }
 

@@ -70,6 +70,16 @@ class Expr {
   Result<bool> EvalBool(const Binding& binding,
                         const DataReader& reader) const;
 
+  // Frame-based evaluation for compiled rules: identical semantics to
+  // Eval/EvalBool, resolving variables through `slots` into `frame`. Expr
+  // trees stay unmodified (they may be shared across rule copies), so
+  // resolution is by name; the win is avoiding the per-eval Binding map,
+  // not the lookup itself.
+  Result<Value> EvalFrame(const BindingFrame& frame, const SlotMap& slots,
+                          const DataReader& reader) const;
+  Result<bool> EvalBoolFrame(const BindingFrame& frame, const SlotMap& slots,
+                             const DataReader& reader) const;
+
   // Fully parenthesized rendering, parsable by the rule parser.
   std::string ToString() const;
 

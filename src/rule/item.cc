@@ -60,6 +60,48 @@ Result<Value> Term::Ground(const Binding& binding) const {
   return Status::Internal("bad term kind");
 }
 
+void Term::Compile(SlotMap* slots) {
+  if (kind_ == Kind::kVariable) {
+    slot_ = static_cast<int32_t>(slots->SlotFor(var_name_));
+  }
+}
+
+bool Term::UnifyCompiled(const Value& value, BindingFrame* frame) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_ == value;
+    case Kind::kWildcard:
+      return true;
+    case Kind::kVariable: {
+      uint16_t slot = static_cast<uint16_t>(slot_);
+      if (!frame->IsBound(slot)) {
+        frame->Set(slot, value);
+        return true;
+      }
+      return frame->Get(slot) == value;
+    }
+  }
+  return false;
+}
+
+Result<Value> Term::GroundCompiled(const BindingFrame& frame) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kWildcard:
+      return Status::FailedPrecondition(
+          "wildcard cannot appear in an instantiated position");
+    case Kind::kVariable: {
+      uint16_t slot = static_cast<uint16_t>(slot_);
+      if (slot_ < 0 || !frame.IsBound(slot)) {
+        return Status::FailedPrecondition("unbound variable: " + var_name_);
+      }
+      return frame.Get(slot);
+    }
+  }
+  return Status::Internal("bad term kind");
+}
+
 std::string Term::ToString() const {
   switch (kind_) {
     case Kind::kLiteral:
@@ -126,6 +168,40 @@ bool ItemRef::Unify(const ItemId& item, Binding* binding) const {
   }
   *binding = std::move(scratch);
   return true;
+}
+
+void ItemRef::Compile(SlotMap* slots) {
+  base_sym = Symbols().Intern(base);
+  for (Term& t : args) t.Compile(slots);
+}
+
+bool ItemRef::UnifyCompiled(const ItemId& item, uint32_t item_base_sym,
+                            BindingFrame* frame) const {
+  if (args.size() != item.args.size()) return false;
+  if (base_sym != kNoSymbol && item_base_sym != kNoSymbol) {
+    if (base_sym != item_base_sym) return false;
+  } else if (base != item.base) {
+    return false;
+  }
+  size_t mark = frame->mark();
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!args[i].UnifyCompiled(item.args[i], frame)) {
+      frame->Rollback(mark);
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<ItemId> ItemRef::GroundCompiled(const BindingFrame& frame) const {
+  ItemId out;
+  out.base = base;
+  out.args.reserve(args.size());
+  for (const Term& t : args) {
+    HCM_ASSIGN_OR_RETURN(Value v, t.GroundCompiled(frame));
+    out.args.push_back(std::move(v));
+  }
+  return out;
 }
 
 Result<ItemId> ItemRef::Ground(const Binding& binding) const {

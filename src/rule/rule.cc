@@ -4,6 +4,26 @@
 
 namespace hcm::rule {
 
+void Rule::Compile() {
+  if (compiled) return;
+  lhs.Compile(&slots);
+  std::vector<std::string> vars;
+  if (lhs_condition != nullptr) {
+    lhs_condition->Collect(nullptr, &vars);
+    for (const std::string& v : vars) slots.SlotFor(v);
+  }
+  for (RhsStep& step : rhs) {
+    if (step.condition != nullptr) {
+      vars.clear();
+      step.condition->Collect(nullptr, &vars);
+      for (const std::string& v : vars) slots.SlotFor(v);
+    }
+    step.event.Compile(&slots);
+  }
+  now_slot = static_cast<int>(slots.SlotFor("now"));
+  compiled = true;
+}
+
 std::string RhsStep::ToString() const {
   std::string out;
   if (condition != nullptr) out += condition->ToString() + " ? ";

@@ -39,6 +39,23 @@ struct Rule {
   Duration delta = Duration::Zero();
   std::vector<RhsStep> rhs;
 
+  // Compiled form, produced by Compile(): the variable-name -> slot map for
+  // this rule plus slot indices stored in the rule's own terms. Compile
+  // walks the rule deterministically (LHS item args, LHS payload, LHS
+  // condition, then each RHS step's condition and template), so two shells
+  // that each compile their own copy of the same rule assign identical
+  // slots — the contract that lets a FireMessage carry a raw BindingFrame
+  // from the LHS site to the RHS site. The reserved "now" variable (bound
+  // by the shell before RHS condition evaluation) is interned last.
+  //
+  // Note: terms are compiled in place per rule copy, but condition Expr
+  // trees are shared between copies and stay untouched — compiled
+  // evaluation resolves condition variables through `slots` by name.
+  SlotMap slots;
+  int now_slot = -1;
+  bool compiled = false;
+  void Compile();
+
   // True when the single RHS step is the F event (a prohibition, as in the
   // No Spontaneous Write interface).
   bool forbids() const {

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "src/common/symbols.h"
+
 namespace hcm::rule {
 
 void RuleIndex::Add(const EventTemplate& tpl, size_t handle) {
   size_t kind_pos = static_cast<size_t>(tpl.kind);
   if (EventKindHasItem(tpl.kind) && !tpl.item.base.empty()) {
-    exact_[BucketKey{tpl.kind, tpl.item.base}].push_back(handle);
+    // Intern at registration time (cold path); Lookup then works on ids.
+    uint32_t base_sym = Symbols().Intern(tpl.item.base);
+    exact_[BucketKey(tpl.kind, base_sym)].push_back(handle);
   } else {
     wildcard_[kind_pos].push_back(handle);
     ++wildcard_rules_;
@@ -16,19 +20,25 @@ void RuleIndex::Add(const EventTemplate& tpl, size_t handle) {
   ++kind_rules_[kind_pos];
 }
 
-const std::vector<size_t>* RuleIndex::ExactBucket(
-    EventKind kind, const std::string& base) const {
-  auto it = exact_.find(BucketKey{kind, base});
+const std::vector<size_t>* RuleIndex::ExactBucket(const Event& event) const {
+  if (!EventKindHasItem(event.kind) || event.item.base.empty()) {
+    return nullptr;
+  }
+  uint32_t base_sym = event.base_sym;
+  if (base_sym == kNoSymbol) {
+    // Unstamped event (hand-built or deserialized): probe the symbol
+    // table. A never-interned base cannot appear in any exact bucket.
+    base_sym = Symbols().Find(event.item.base);
+    if (base_sym == kNoSymbol) return nullptr;
+  }
+  auto it = exact_.find(BucketKey(event.kind, base_sym));
   return it == exact_.end() ? nullptr : &it->second;
 }
 
-size_t RuleIndex::Lookup(const Event& event,
-                         std::vector<size_t>* out) const {
+size_t RuleIndex::LookupQuiet(const Event& event,
+                              std::vector<size_t>* out) const {
   out->clear();
-  const std::vector<size_t>* exact = nullptr;
-  if (EventKindHasItem(event.kind) && !event.item.base.empty()) {
-    exact = ExactBucket(event.kind, event.item.base);
-  }
+  const std::vector<size_t>* exact = ExactBucket(event);
   const std::vector<size_t>& wild =
       wildcard_[static_cast<size_t>(event.kind)];
   if (exact == nullptr) {
@@ -42,6 +52,12 @@ size_t RuleIndex::Lookup(const Event& event,
     std::merge(exact->begin(), exact->end(), wild.begin(), wild.end(),
                std::back_inserter(*out));
   }
+  return out->size();
+}
+
+size_t RuleIndex::Lookup(const Event& event,
+                         std::vector<size_t>* out) const {
+  LookupQuiet(event, out);
   ++events_dispatched_;
   candidates_returned_ += out->size();
   scans_avoided_ += total_rules_ - out->size();

@@ -36,12 +36,17 @@ struct RuleIndexStats {
 // A template `N(salary1(n), b)` can only match events of kind N whose item
 // base is `salary1` — template/event unification requires kind equality and
 // item-base equality (see EventTemplate::Matches / ItemRef::Unify). The
-// index exploits this: templates are bucketed by (EventKind, item base),
-// and an event consults exactly one exact bucket plus the kind's wildcard
-// bucket instead of scanning every installed rule. Templates whose kind
-// carries no item (P, and defensively any template with an empty base) go
-// to the wildcard bucket of their kind and are candidates for every event
-// of that kind.
+// index exploits this: templates are bucketed by (EventKind, interned item
+// base), and an event consults exactly one exact bucket plus the kind's
+// wildcard bucket instead of scanning every installed rule. Templates whose
+// kind carries no item (P, and defensively any template with an empty base)
+// go to the wildcard bucket of their kind and are candidates for every
+// event of that kind.
+//
+// Bucket keys are interned symbol ids packed into a uint64, so a Lookup
+// for a pre-interned event (base_sym stamped) never hashes the base
+// string. Events without a stamped base_sym fall back to a symbol-table
+// probe; a base that was never interned cannot be in any exact bucket.
 //
 // The index stores caller-supplied handles (the shell uses positions in its
 // rule vector). Handles are returned in insertion order — merged across the
@@ -57,6 +62,10 @@ class RuleIndex {
   // `out` (cleared first), in insertion order. Returns the number of
   // candidates. Allocation-free once `out` has warmed up its capacity.
   size_t Lookup(const Event& event, std::vector<size_t>* out) const;
+
+  // Lookup without updating the traffic counters: safe for concurrent use
+  // from checker worker threads on a shared index.
+  size_t LookupQuiet(const Event& event, std::vector<size_t>* out) const;
 
   size_t size() const { return total_rules_; }
   bool empty() const { return total_rules_ == 0; }
@@ -74,27 +83,17 @@ class RuleIndex {
   void ResetTrafficStats();
 
  private:
-  struct BucketKey {
-    EventKind kind;
-    std::string base;
-    bool operator==(const BucketKey& other) const {
-      return kind == other.kind && base == other.base;
-    }
-  };
-  struct BucketKeyHash {
-    size_t operator()(const BucketKey& key) const {
-      return std::hash<std::string>()(key.base) * 31 +
-             static_cast<size_t>(key.kind);
-    }
-  };
-
   static constexpr size_t kNumKinds =
       static_cast<size_t>(EventKind::kFalse) + 1;
 
-  const std::vector<size_t>* ExactBucket(EventKind kind,
-                                         const std::string& base) const;
+  static uint64_t BucketKey(EventKind kind, uint32_t base_sym) {
+    return (static_cast<uint64_t>(base_sym) << 8) |
+           static_cast<uint64_t>(kind);
+  }
 
-  std::unordered_map<BucketKey, std::vector<size_t>, BucketKeyHash> exact_;
+  const std::vector<size_t>* ExactBucket(const Event& event) const;
+
+  std::unordered_map<uint64_t, std::vector<size_t>> exact_;
   // Per-kind buckets for templates that cannot be discriminated by base.
   std::vector<size_t> wildcard_[kNumKinds];
   size_t total_rules_ = 0;

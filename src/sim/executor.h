@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/common/symbols.h"
 
 namespace hcm::sim {
 
@@ -154,6 +155,30 @@ class Executor {
   void PostAfter(const SiteId& site, Duration delay,
                  std::function<void()> fn) {
     PostAt(site, now() + ClampDelay(delay), std::move(fn));
+  }
+
+  // --- Symbol-tagged variants: `site_sym` is the interned id of the *base*
+  // site name (callers strip any '#' endpoint suffix before interning; see
+  // BaseSiteOf). Hot senders that already carry an interned destination
+  // (Network deliveries, shell step chains) use these to skip the per-call
+  // string hash/substr. The base executor ignores the tag. ---
+  virtual Timer ScheduleAt(uint32_t site_sym, TimePoint when,
+                           std::function<void()> fn) {
+    (void)site_sym;
+    return ScheduleAt(when, std::move(fn));
+  }
+  Timer ScheduleAfter(uint32_t site_sym, Duration delay,
+                      std::function<void()> fn) {
+    return ScheduleAt(site_sym, now() + ClampDelay(delay), std::move(fn));
+  }
+  virtual void PostAt(uint32_t site_sym, TimePoint when,
+                      std::function<void()> fn) {
+    (void)site_sym;
+    PostAt(when, std::move(fn));
+  }
+  void PostAfter(uint32_t site_sym, Duration delay,
+                 std::function<void()> fn) {
+    PostAt(site_sym, now() + ClampDelay(delay), std::move(fn));
   }
 
   // Runs the earliest pending callback, advancing the clock. Returns false

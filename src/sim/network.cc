@@ -16,7 +16,10 @@ bool SubjectToHealthHolds(const SiteId& endpoint) {
 }
 
 // FNV-1a over "src\0dst": a stable, order-sensitive channel fingerprint for
-// deriving per-channel jitter seeds.
+// deriving per-channel jitter seeds. Deliberately computed over the
+// endpoint *names*, never their interned ids: symbol ids depend on intern
+// order (thread count, wiring order), names do not, and jitter streams must
+// be identical across engines for the parallel-equivalence suite.
 uint64_t ChannelHash(const SiteId& src, const SiteId& dst) {
   uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](const SiteId& s) {
@@ -35,34 +38,40 @@ uint64_t ChannelHash(const SiteId& src, const SiteId& dst) {
 }  // namespace
 
 Status Network::RegisterEndpoint(const SiteId& site, Handler handler) {
-  auto [it, inserted] = endpoints_.emplace(site, std::move(handler));
-  (void)it;
+  Endpoint endpoint;
+  endpoint.handler = std::move(handler);
+  endpoint.sym = Symbols().Intern(site);
+  endpoint.base_sym = Symbols().Intern(BaseSiteOf(site));
+  endpoint.health_holds = SubjectToHealthHolds(site);
+  auto [it, inserted] = endpoints_.emplace(site, std::move(endpoint));
   if (!inserted) {
     return Status::AlreadyExists("endpoint already registered: " + site);
   }
+  endpoints_by_sym_.emplace(it->second.sym, &it->second);
   return Status::OK();
 }
 
-Network::Channel* Network::GetChannel(const SiteId& src, const SiteId& dst) {
+Network::Channel* Network::GetChannel(uint32_t src_sym, uint32_t dst_sym) {
   std::lock_guard<std::mutex> lock(channels_mu_);
-  auto key = std::make_pair(src, dst);
+  uint64_t key = (static_cast<uint64_t>(src_sym) << 32) | dst_sym;
   auto it = channels_.find(key);
   if (it == channels_.end()) {
-    it = channels_
-             .emplace(std::move(key),
-                      Channel(config_.seed ^ ChannelHash(src, dst)))
-             .first;
+    // Cold path: seed the jitter stream from the endpoint names (stable
+    // across intern orders), then key the channel by the packed syms.
+    uint64_t seed = config_.seed ^ ChannelHash(Symbols().name(src_sym),
+                                               Symbols().name(dst_sym));
+    it = channels_.emplace(key, Channel(seed)).first;
   }
   return &it->second;
 }
 
 TimePoint Network::ComputeDeliveryTime(Channel* channel,
-                                       const Message& message) {
+                                       const Message& message,
+                                       const Endpoint* endpoint) {
   TimePoint now = executor_->now();
-  Duration latency = message.src == message.dst
-                         ? config_.local_latency
-                         : config_.base_latency;
-  if (message.src != message.dst && config_.jitter > Duration::Zero()) {
+  bool local = message.src_sym == message.dst_sym;
+  Duration latency = local ? config_.local_latency : config_.base_latency;
+  if (!local && config_.jitter > Duration::Zero()) {
     latency = latency + Duration::Millis(
                             channel->rng.UniformInt(0, config_.jitter.millis()));
   }
@@ -72,7 +81,7 @@ TimePoint Network::ComputeDeliveryTime(Channel* channel,
               injector_->ExtraDelayAt(message.dst, now);
   }
   TimePoint delivery = now + latency;
-  if (injector_ != nullptr && SubjectToHealthHolds(message.dst)) {
+  if (injector_ != nullptr && endpoint->health_holds) {
     // Hold delivery until the destination is back up.
     delivery = injector_->NextUpTime(message.dst, delivery);
   }
@@ -86,12 +95,28 @@ TimePoint Network::ComputeDeliveryTime(Channel* channel,
 }
 
 Status Network::Send(Message message) {
-  auto it = endpoints_.find(message.dst);
-  if (it == endpoints_.end()) {
+  // Resolve the destination endpoint, preferring the stamped symbol (no
+  // string hash); unstamped messages fall back to the name map and get
+  // their symbols filled in so downstream consumers see them.
+  Endpoint* endpoint = nullptr;
+  if (message.dst_sym != kNoSymbol) {
+    auto it = endpoints_by_sym_.find(message.dst_sym);
+    if (it != endpoints_by_sym_.end()) endpoint = it->second;
+  } else {
+    auto it = endpoints_.find(message.dst);
+    if (it != endpoints_.end()) {
+      endpoint = &it->second;
+      message.dst_sym = endpoint->sym;
+    }
+  }
+  if (endpoint == nullptr) {
     return Status::NotFound("no endpoint for site: " + message.dst);
   }
+  if (message.src_sym == kNoSymbol) {
+    message.src_sym = Symbols().Intern(message.src);
+  }
   if (injector_ != nullptr && config_.drop_when_down &&
-      SubjectToHealthHolds(message.dst)) {
+      endpoint->health_holds) {
     TimePoint now = executor_->now();
     if (injector_->HealthAt(message.dst, now) == SiteHealth::kDown) {
       HCM_LOG(Debug) << "dropping message to down site " << message.dst;
@@ -100,25 +125,27 @@ Status Network::Send(Message message) {
   }
   // All sends with source S run on S's lane, so the channel has a single
   // writing thread; only the map lookup inside GetChannel takes a lock.
-  Channel* channel = GetChannel(message.src, message.dst);
-  TimePoint delivery = ComputeDeliveryTime(channel, message);
+  Channel* channel = GetChannel(message.src_sym, message.dst_sym);
+  TimePoint delivery = ComputeDeliveryTime(channel, message, endpoint);
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   ++channel->count;
-  Handler* handler = &it->second;
-  SiteId dst_site = message.dst;
+  Handler* handler = &endpoint->handler;
+  uint32_t dst_base_sym = endpoint->base_sym;
   // Fire-and-forget: deliveries are never cancelled, so skip the Timer
   // handle (and its cancellation ticket) on the per-message path. The
   // destination-site tag routes the handler onto the destination's lane.
-  executor_->PostAt(dst_site, delivery, [handler, msg = std::move(message)]() {
-    (*handler)(msg);
-  });
+  executor_->PostAt(dst_base_sym, delivery,
+                    [handler, msg = std::move(message)]() { (*handler)(msg); });
   return Status::OK();
 }
 
 uint64_t Network::messages_on_channel(const SiteId& src,
                                       const SiteId& dst) const {
+  uint32_t src_sym = Symbols().Find(src);
+  uint32_t dst_sym = Symbols().Find(dst);
+  if (src_sym == kNoSymbol || dst_sym == kNoSymbol) return 0;
   std::lock_guard<std::mutex> lock(channels_mu_);
-  auto it = channels_.find(std::make_pair(src, dst));
+  auto it = channels_.find((static_cast<uint64_t>(src_sym) << 32) | dst_sym);
   return it == channels_.end() ? 0 : it->second.count;
 }
 

@@ -8,10 +8,12 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/symbols.h"
 #include "src/sim/executor.h"
 #include "src/sim/failure_injector.h"
 
@@ -19,11 +21,19 @@ namespace hcm::sim {
 
 // A message in flight between two sites. `payload` is owned by the message;
 // the toolkit layers exchange rule::Event values through it.
+//
+// src_sym/dst_sym are the interned ids of the endpoint names. Senders that
+// cache their endpoint symbols (shells, translators) stamp them so the
+// network resolves the destination and channel without hashing strings;
+// unstamped messages are interned on first send. The names remain the
+// authoritative identity — the symbols are an in-memory acceleration only.
 struct Message {
   SiteId src;
   SiteId dst;
   std::string kind;  // free-form tag, e.g. "event", "failure-notice"
   std::any payload;
+  uint32_t src_sym = kNoSymbol;
+  uint32_t dst_sym = kNoSymbol;
 };
 
 struct NetworkConfig {
@@ -88,6 +98,17 @@ class Network {
   uint64_t messages_on_channel(const SiteId& src, const SiteId& dst) const;
 
  private:
+  // A registered endpoint with everything Send needs precomputed at wiring
+  // time: the handler, the endpoint's interned id, the interned id of its
+  // base site (the ParallelExecutor lane tag), and whether health holds
+  // apply (plain site endpoints only — no '#' suffix).
+  struct Endpoint {
+    Handler handler;
+    uint32_t sym = kNoSymbol;
+    uint32_t base_sym = kNoSymbol;
+    bool health_holds = true;
+  };
+
   // Per-(src, dst) channel state. Mutated only by the source's lane.
   struct Channel {
     explicit Channel(uint64_t seed) : rng(seed) {}
@@ -97,16 +118,24 @@ class Network {
     uint64_t count = 0;
   };
 
-  Channel* GetChannel(const SiteId& src, const SiteId& dst);
-  TimePoint ComputeDeliveryTime(Channel* channel, const Message& message);
+  Channel* GetChannel(uint32_t src_sym, uint32_t dst_sym);
+  TimePoint ComputeDeliveryTime(Channel* channel, const Message& message,
+                                const Endpoint* endpoint);
 
   Executor* executor_;
   NetworkConfig config_;
   const FailureInjector* injector_ = nullptr;
-  std::map<SiteId, Handler> endpoints_;
+  std::map<SiteId, Endpoint> endpoints_;
+  // Endpoint sym -> entry in endpoints_ (map nodes are stable). The hot
+  // lookup for messages stamped with dst_sym.
+  std::unordered_map<uint32_t, Endpoint*> endpoints_by_sym_;
   // Guards the map structure only (find/insert), not Channel contents.
   mutable std::mutex channels_mu_;
-  std::map<std::pair<SiteId, SiteId>, Channel> channels_;
+  // Channels keyed by the packed (src_sym, dst_sym) pair. The jitter seed
+  // is still derived from the endpoint *names* at channel creation (see
+  // ChannelHash): symbol ids are intern-order-dependent, names are not, so
+  // seeding by name keeps latency streams stable across thread counts.
+  std::unordered_map<uint64_t, Channel> channels_;
   std::atomic<uint64_t> messages_sent_{0};
 };
 

@@ -40,8 +40,15 @@ ParallelExecutor::Lane* ParallelExecutor::EnsureLane(const SiteId& base_site) {
     auto lane = std::make_unique<Lane>(this, base_site);
     lane->now = global_now_;
     it = lanes_.emplace(base_site, std::move(lane)).first;
+    lane_by_sym_.emplace(it->second->sym, it->second.get());
   }
   return it->second.get();
+}
+
+ParallelExecutor::Lane* ParallelExecutor::EnsureLaneSym(uint32_t base_sym) {
+  auto it = lane_by_sym_.find(base_sym);
+  if (it != lane_by_sym_.end()) return it->second;
+  return EnsureLane(Symbols().name(base_sym));
 }
 
 void ParallelExecutor::PushLane(Lane* lane, TimePoint when,
@@ -77,10 +84,19 @@ void ParallelExecutor::PostAt(TimePoint when, std::function<void()> fn) {
 
 Timer ParallelExecutor::ScheduleAt(const SiteId& site, TimePoint when,
                                    std::function<void()> fn) {
-  SiteId base = BaseSiteOf(site);
+  return ScheduleAt(Symbols().Intern(BaseSiteOf(site)), when, std::move(fn));
+}
+
+void ParallelExecutor::PostAt(const SiteId& site, TimePoint when,
+                              std::function<void()> fn) {
+  PostAt(Symbols().Intern(BaseSiteOf(site)), when, std::move(fn));
+}
+
+Timer ParallelExecutor::ScheduleAt(uint32_t site_sym, TimePoint when,
+                                   std::function<void()> fn) {
   Lane* current = current_lane_;
   if (current != nullptr && current->owner == this) {
-    if (current->site == base) {
+    if (current->sym == site_sym) {
       TimerPool::Ticket ticket = current->timers.Acquire();
       PushLane(current, when, std::move(fn), ticket);
       return Timer(&current->timers, ticket);
@@ -88,29 +104,27 @@ Timer ParallelExecutor::ScheduleAt(const SiteId& site, TimePoint when,
     // Cross-lane schedule from inside a window: buffered in this lane's
     // outbox, applied at the barrier. No cancellation handle — the ticket
     // would live in another lane's pool, which this thread must not touch.
-    current->outbox.push_back(CrossPost{std::move(base), when, std::move(fn)});
+    current->outbox.push_back(CrossPost{site_sym, when, std::move(fn)});
     return Timer(nullptr, TimerPool::Ticket{});
   }
-  Lane* lane = EnsureLane(base);
+  Lane* lane = EnsureLaneSym(site_sym);
   TimerPool::Ticket ticket = lane->timers.Acquire();
   PushLane(lane, when, std::move(fn), ticket);
   return Timer(&lane->timers, ticket);
 }
 
-void ParallelExecutor::PostAt(const SiteId& site, TimePoint when,
+void ParallelExecutor::PostAt(uint32_t site_sym, TimePoint when,
                               std::function<void()> fn) {
-  SiteId base = BaseSiteOf(site);
   Lane* current = current_lane_;
   if (current != nullptr && current->owner == this) {
-    if (current->site == base) {
+    if (current->sym == site_sym) {
       PushLane(current, when, std::move(fn), TimerPool::Ticket{});
     } else {
-      current->outbox.push_back(
-          CrossPost{std::move(base), when, std::move(fn)});
+      current->outbox.push_back(CrossPost{site_sym, when, std::move(fn)});
     }
     return;
   }
-  PushLane(EnsureLane(base), when, std::move(fn), TimerPool::Ticket{});
+  PushLane(EnsureLaneSym(site_sym), when, std::move(fn), TimerPool::Ticket{});
 }
 
 bool ParallelExecutor::EarliestPending(TimePoint* out) {
@@ -231,7 +245,7 @@ void ParallelExecutor::MergeOutboxes(TimePoint window_end) {
         when = window_end;
         ++clamped_cross_posts_;
       }
-      PushLane(EnsureLane(post.dst), when, std::move(post.fn),
+      PushLane(EnsureLaneSym(post.dst_sym), when, std::move(post.fn),
                TimerPool::Ticket{});
     }
     lane->outbox.clear();

@@ -8,8 +8,10 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/symbols.h"
 #include "src/sim/executor.h"
 
 namespace hcm::sim {
@@ -75,6 +77,13 @@ class ParallelExecutor : public Executor {
                    std::function<void()> fn) override;
   void PostAt(const SiteId& site, TimePoint when,
               std::function<void()> fn) override;
+  // Symbol-tagged fast path: lane routing by interned base-site id — an
+  // integer compare on the same-lane check, a hash-map probe otherwise.
+  // The string-tagged variants above intern and delegate here.
+  Timer ScheduleAt(uint32_t site_sym, TimePoint when,
+                   std::function<void()> fn) override;
+  void PostAt(uint32_t site_sym, TimePoint when,
+              std::function<void()> fn) override;
 
   size_t RunUntil(TimePoint deadline) override;
   size_t RunUntilIdle(size_t max_steps = 0) override;
@@ -108,15 +117,18 @@ class ParallelExecutor : public Executor {
   // A callback emitted during a window for another lane; applied at the
   // barrier.
   struct CrossPost {
-    SiteId dst;  // base site
+    uint32_t dst_sym;  // interned base-site id
     TimePoint when;
     std::function<void()> fn;
   };
   struct Lane {
     Lane(ParallelExecutor* owner, SiteId site)
-        : owner(owner), site(std::move(site)) {}
+        : owner(owner),
+          site(std::move(site)),
+          sym(Symbols().Intern(this->site)) {}
     ParallelExecutor* const owner;
     const SiteId site;
+    const uint32_t sym;  // interned id of `site`
     TimePoint now;
     uint64_t next_seq = 0;
     std::vector<Entry> queue;  // heap ordered by EntryLater
@@ -126,6 +138,7 @@ class ParallelExecutor : public Executor {
   };
 
   Lane* EnsureLane(const SiteId& base_site);  // outside windows only
+  Lane* EnsureLaneSym(uint32_t base_sym);     // outside windows only
   void PushLane(Lane* lane, TimePoint when, std::function<void()> fn,
                 TimerPool::Ticket ticket);
   // Drops cancelled entries off the lane's heap top.
@@ -142,7 +155,12 @@ class ParallelExecutor : public Executor {
 
   ParallelExecutorConfig config_;
   TimePoint global_now_;
-  std::map<SiteId, std::unique_ptr<Lane>> lanes_;  // site-name order
+  // Lanes in site-NAME order: window selection, outbox merging, and clock
+  // propagation all iterate this map, and name order is the determinism
+  // anchor (symbol ids vary with intern order; names do not).
+  std::map<SiteId, std::unique_ptr<Lane>> lanes_;
+  // Interned base-site id -> lane; the hot routing index.
+  std::unordered_map<uint32_t, Lane*> lane_by_sym_;
 
   // Worker pool (empty when num_threads == 1).
   std::vector<std::thread> workers_;

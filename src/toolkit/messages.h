@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/symbols.h"
+#include "src/rule/binding.h"
 #include "src/rule/event.h"
 #include "src/rule/item.h"
 #include "src/toolkit/failure.h"
@@ -24,11 +26,17 @@ struct EventMessage {
   rule::Event event;
 };
 
+// A fired rule, LHS shell -> RHS shell. On the compiled path the matching
+// interpretation travels as a raw slot-indexed frame (the two shells
+// compiled identical rule content, so their slot maps agree — see
+// Rule::Compile); the reference path carries the name-keyed map.
 struct FireMessage {
   int64_t rule_id = -1;
   int64_t trigger_event_id = -1;
   TimePoint trigger_time;
-  rule::Binding binding;
+  rule::Binding binding;      // reference (string) path
+  rule::BindingFrame frame;   // compiled path
+  bool compiled = false;
 };
 
 // CM-Interface request (kinds "wr", "rr", "del"): a pre-built event whose
@@ -45,7 +53,9 @@ struct FailureMessage {
 };
 
 // The network endpoint name a site's translator listens on (the shell
-// itself listens on the bare site name).
+// itself listens on the bare site name). Senders on the hot path should
+// build this once at wiring time and reuse the cached string/symbol rather
+// than concatenating per send.
 inline std::string TranslatorEndpoint(const std::string& site) {
   return site + "#tr";
 }

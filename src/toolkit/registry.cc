@@ -2,30 +2,30 @@
 
 namespace hcm::toolkit {
 
-Status ItemRegistry::RegisterDatabaseItem(const std::string& base,
-                                          const std::string& site) {
+Status ItemRegistry::Register(const std::string& base,
+                              const std::string& site, bool cm_private) {
   auto it = items_.find(base);
   if (it != items_.end()) {
-    if (it->second.site == site && !it->second.cm_private) {
+    if (it->second.site == site && it->second.cm_private == cm_private) {
       return Status::OK();  // idempotent re-registration
     }
     return Status::AlreadyExists("item base already registered: " + base);
   }
-  items_.emplace(base, ItemLocation{site, false});
+  ItemLocation loc{site, cm_private, Symbols().Intern(base),
+                   Symbols().Intern(site)};
+  it = items_.emplace(base, std::move(loc)).first;
+  by_sym_.emplace(it->second.base_sym, &it->second);
   return Status::OK();
+}
+
+Status ItemRegistry::RegisterDatabaseItem(const std::string& base,
+                                          const std::string& site) {
+  return Register(base, site, /*cm_private=*/false);
 }
 
 Status ItemRegistry::RegisterPrivateItem(const std::string& base,
                                          const std::string& site) {
-  auto it = items_.find(base);
-  if (it != items_.end()) {
-    if (it->second.site == site && it->second.cm_private) {
-      return Status::OK();
-    }
-    return Status::AlreadyExists("item base already registered: " + base);
-  }
-  items_.emplace(base, ItemLocation{site, true});
-  return Status::OK();
+  return Register(base, site, /*cm_private=*/true);
 }
 
 Result<ItemLocation> ItemRegistry::Locate(const std::string& base) const {
@@ -34,6 +34,11 @@ Result<ItemLocation> ItemRegistry::Locate(const std::string& base) const {
     return Status::NotFound("unregistered item base: " + base);
   }
   return it->second;
+}
+
+const ItemLocation* ItemRegistry::LocateSym(uint32_t base_sym) const {
+  auto it = by_sym_.find(base_sym);
+  return it == by_sym_.end() ? nullptr : it->second;
 }
 
 Result<std::string> ItemRegistry::SiteOf(const rule::ItemRef& ref) const {

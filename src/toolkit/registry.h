@@ -1,11 +1,14 @@
 #ifndef HCM_TOOLKIT_REGISTRY_H_
 #define HCM_TOOLKIT_REGISTRY_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/symbols.h"
 #include "src/rule/item.h"
 
 namespace hcm::toolkit {
@@ -16,6 +19,9 @@ namespace hcm::toolkit {
 struct ItemLocation {
   std::string site;
   bool cm_private = false;
+  // Interned ids for the base and site, stamped at registration.
+  uint32_t base_sym = kNoSymbol;
+  uint32_t site_sym = kNoSymbol;
 };
 
 // The toolkit's name service: item base name -> location. Populated from
@@ -36,8 +42,21 @@ class ItemRegistry {
   bool IsPrivate(const std::string& base) const;
   std::vector<std::string> ItemsAtSite(const std::string& site) const;
 
+  // Sym-keyed fast paths: no string hashing when the caller carries an
+  // interned base id (events on the generated-event hot path do).
+  const ItemLocation* LocateSym(uint32_t base_sym) const;
+  bool IsPrivate(uint32_t base_sym) const {
+    const ItemLocation* loc = LocateSym(base_sym);
+    return loc != nullptr && loc->cm_private;
+  }
+
  private:
+  Status Register(const std::string& base, const std::string& site,
+                  bool cm_private);
+
   std::map<std::string, ItemLocation> items_;
+  // base sym -> location; pointers into items_ nodes (stable).
+  std::unordered_map<uint32_t, const ItemLocation*> by_sym_;
 };
 
 }  // namespace hcm::toolkit

@@ -9,6 +9,9 @@ Shell::Shell(std::string site, sim::Executor* executor, sim::Network* network,
              trace::TraceRecorder* recorder, const ItemRegistry* registry,
              GuaranteeStatusRegistry* guarantees)
     : site_(std::move(site)),
+      site_sym_(Symbols().Intern(site_)),
+      tr_endpoint_(TranslatorEndpoint(site_)),
+      tr_endpoint_sym_(Symbols().Intern(tr_endpoint_)),
       executor_(executor),
       network_(network),
       recorder_(recorder),
@@ -30,13 +33,16 @@ Status Shell::AddLhsRule(const rule::Rule& r, const std::string& rhs_site) {
         "prohibition rules describe interfaces; they are not executable");
   }
   lhs_index_.Add(r.lhs, lhs_rules_.size());
-  lhs_rules_.push_back(LhsEntry{r, rhs_site});
+  lhs_rules_.push_back(LhsEntry{r, rhs_site, Symbols().Intern(rhs_site)});
+  lhs_rules_.back().rule.Compile();
   return Status::OK();
 }
 
 Status Shell::AddRhsRule(const rule::Rule& r) {
   if (r.id < 0) return Status::InvalidArgument("rule has no id assigned");
-  rhs_rules_[r.id] = r;
+  rule::Rule& stored = rhs_rules_[r.id];
+  stored = r;
+  stored.Compile();
   return Status::OK();
 }
 
@@ -141,6 +147,13 @@ void Shell::OnMessage(const sim::Message& message) {
 void Shell::RecordAndProcess(rule::Event event) {
   event.time = executor_->now();
   event.site = site_;
+  event.site_sym = site_sym_;
+  if (event.base_sym == kNoSymbol && rule::EventKindHasItem(event.kind) &&
+      !event.item.base.empty()) {
+    // Events from wired senders (translator, rule execution) arrive
+    // pre-stamped; this interns stragglers from workload generators.
+    event.base_sym = Symbols().Intern(event.item.base);
+  }
   event.id = recorder_->Record(event);
   MatchEvent(event);
 }
@@ -153,11 +166,40 @@ void Shell::MatchEvent(const rule::Event& event) {
   lhs_index_.Lookup(event, &candidate_scratch_);
   for (size_t pos : candidate_scratch_) {
     const LhsEntry& entry = lhs_rules_[pos];
-    rule::Binding binding;
-    if (!entry.rule.lhs.Matches(event, &binding)) continue;
+    if (use_reference_impl_) {
+      rule::Binding binding;
+      if (!entry.rule.lhs.Matches(event, &binding)) continue;
+      if (entry.rule.lhs_condition != nullptr) {
+        auto pass = entry.rule.lhs_condition->EvalBool(binding,
+                                                       PrivateReader());
+        if (!pass.ok()) {
+          HCM_LOG(Warning) << "LHS condition error for rule "
+                           << entry.rule.ToString() << ": "
+                           << pass.status().ToString();
+          continue;
+        }
+        if (!*pass) continue;
+      }
+      ++lhs_matches_;
+      FireMessage fire;
+      fire.rule_id = entry.rule.id;
+      fire.trigger_event_id = event.id;
+      fire.trigger_time = event.time;
+      fire.binding = std::move(binding);
+      Status s =
+          network_->Send({site_, entry.rhs_site, "fire", std::move(fire)});
+      if (!s.ok()) {
+        HCM_LOG(Warning) << "fire message undeliverable: " << s.ToString();
+      }
+      continue;
+    }
+    // Compiled path: match into the reusable frame — no allocation per
+    // candidate — and ship the frame itself on a hit.
+    frame_scratch_.Resize(entry.rule.slots.size());
+    if (!entry.rule.lhs.MatchesCompiled(event, &frame_scratch_)) continue;
     if (entry.rule.lhs_condition != nullptr) {
-      auto pass = entry.rule.lhs_condition->EvalBool(binding,
-                                                     PrivateReader());
+      auto pass = entry.rule.lhs_condition->EvalBoolFrame(
+          frame_scratch_, entry.rule.slots, PrivateReader());
       if (!pass.ok()) {
         HCM_LOG(Warning) << "LHS condition error for rule "
                          << entry.rule.ToString() << ": "
@@ -171,9 +213,11 @@ void Shell::MatchEvent(const rule::Event& event) {
     fire.rule_id = entry.rule.id;
     fire.trigger_event_id = event.id;
     fire.trigger_time = event.time;
-    fire.binding = std::move(binding);
-    Status s =
-        network_->Send({site_, entry.rhs_site, "fire", std::move(fire)});
+    fire.frame = frame_scratch_;
+    fire.compiled = true;
+    Status s = network_->Send({site_, entry.rhs_site, "fire",
+                               std::move(fire), site_sym_,
+                               entry.rhs_site_sym});
     if (!s.ok()) {
       HCM_LOG(Warning) << "fire message undeliverable: " << s.ToString();
     }
@@ -202,6 +246,18 @@ void Shell::ExecuteFire(const FireMessage& fire) {
     ReportFailure(notice);
   }
   if (r.rhs.empty()) return;
+  if (fire.compiled) {
+    if (fire.frame.size() != r.slots.size()) {
+      // Both shells compile identical rule content, so the slot layouts
+      // agree by construction; a mismatch means the installation diverged.
+      HCM_LOG(Warning) << "shell at " << site_ << " got a frame of "
+                       << fire.frame.size() << " slots for rule " << r.id
+                       << " which compiled to " << r.slots.size();
+      return;
+    }
+    ExecuteStepCompiled(r.id, fire.trigger_event_id, 0, fire.frame);
+    return;
+  }
   ExecuteStep(r.id, fire.trigger_event_id, 0, fire.binding);
 }
 
@@ -267,12 +323,83 @@ void Shell::ExecuteStep(int64_t rule_id, int64_t trigger_event_id,
       });
 }
 
+void Shell::ExecuteStepCompiled(int64_t rule_id, int64_t trigger_event_id,
+                                size_t step, rule::BindingFrame frame) {
+  executor_->PostAfter(
+      site_, step_delay_,
+      [this, rule_id, trigger_event_id, step,
+       frame = std::move(frame)]() mutable {
+        auto it = rhs_rules_.find(rule_id);
+        if (it == rhs_rules_.end()) {
+          HCM_LOG(Warning) << "shell at " << site_ << " lost body for rule "
+                           << rule_id << " before step " << step << " ran";
+          return;
+        }
+        const rule::Rule& r = it->second;
+        if (step >= r.rhs.size()) return;
+        // Work on a copy with "now" bound; the chained next step gets the
+        // original frame, exactly like the map path.
+        rule::BindingFrame b = frame;
+        b.Set(static_cast<uint16_t>(r.now_slot),
+              Value::Int(executor_->now().millis()));
+        const rule::RhsStep& rhs = r.rhs[step];
+        bool emit = true;
+        if (rhs.condition != nullptr) {
+          auto pass = rhs.condition->EvalBoolFrame(b, r.slots,
+                                                   PrivateReader());
+          if (!pass.ok()) {
+            HCM_LOG(Warning) << "RHS condition error for rule "
+                             << r.ToString() << ": "
+                             << pass.status().ToString();
+            emit = false;
+          } else {
+            emit = *pass;
+          }
+        }
+        if (emit) {
+          auto event = rhs.event.InstantiateCompiled(b);
+          bool whole_base = false;
+          if (!event.ok()) {
+            // A read request over a parameterized item with unbound
+            // arguments sweeps the whole base (e.g. P(60) ->
+            // RR(salary1(n))).
+            if (rhs.event.kind == rule::EventKind::kReadRequest) {
+              rule::Event rr;
+              rr.kind = rule::EventKind::kReadRequest;
+              rr.item = rule::ItemId{rhs.event.item.base, {}};
+              rr.base_sym = rhs.event.item.base_sym;
+              event = rr;
+              whole_base = true;
+            } else {
+              HCM_LOG(Warning) << "cannot instantiate RHS of "
+                               << r.ToString() << ": "
+                               << event.status().ToString();
+            }
+          }
+          if (event.ok()) {
+            event->rule_id = r.id;
+            event->trigger_event_id = trigger_event_id;
+            event->rhs_step = static_cast<int>(step);
+            RouteGeneratedEvent(std::move(*event), whole_base);
+          }
+        }
+        if (step + 1 < r.rhs.size()) {
+          ExecuteStepCompiled(rule_id, trigger_event_id, step + 1,
+                              std::move(frame));
+        }
+      });
+}
+
 void Shell::RouteGeneratedEvent(rule::Event event, bool whole_base) {
   switch (event.kind) {
     case rule::EventKind::kWrite: {
       // Private-data writes execute in the shell itself; writes to
       // database items must be phrased as WR in the strategy.
-      if (registry_ != nullptr && !registry_->IsPrivate(event.item.base)) {
+      bool is_private =
+          event.base_sym != kNoSymbol
+              ? registry_ == nullptr || registry_->IsPrivate(event.base_sym)
+              : registry_ == nullptr || registry_->IsPrivate(event.item.base);
+      if (!is_private) {
         HCM_LOG(Warning)
             << "strategy W event on non-private item " << event.item.ToString()
             << " ignored (use WR for database items)";
@@ -283,21 +410,23 @@ void Shell::RouteGeneratedEvent(rule::Event event, bool whole_base) {
       return;
     }
     case rule::EventKind::kWriteRequest: {
-      Status s = network_->Send({site_, TranslatorEndpoint(site_), "wr",
-                                 RequestMessage{std::move(event), false}});
+      Status s = network_->Send({site_, tr_endpoint_, "wr",
+                                 RequestMessage{std::move(event), false},
+                                 site_sym_, tr_endpoint_sym_});
       if (!s.ok()) HCM_LOG(Warning) << "WR undeliverable: " << s.ToString();
       return;
     }
     case rule::EventKind::kReadRequest: {
-      Status s = network_->Send({site_, TranslatorEndpoint(site_), "rr",
-                                 RequestMessage{std::move(event),
-                                                whole_base}});
+      Status s = network_->Send({site_, tr_endpoint_, "rr",
+                                 RequestMessage{std::move(event), whole_base},
+                                 site_sym_, tr_endpoint_sym_});
       if (!s.ok()) HCM_LOG(Warning) << "RR undeliverable: " << s.ToString();
       return;
     }
     case rule::EventKind::kDelete: {
-      Status s = network_->Send({site_, TranslatorEndpoint(site_), "del",
-                                 RequestMessage{std::move(event), false}});
+      Status s = network_->Send({site_, tr_endpoint_, "del",
+                                 RequestMessage{std::move(event), false},
+                                 site_sym_, tr_endpoint_sym_});
       if (!s.ok()) HCM_LOG(Warning) << "DEL undeliverable: " << s.ToString();
       return;
     }

@@ -60,6 +60,12 @@ class Shell {
   // Lets this shell relay failure notices to its peers (every other shell).
   void SetPeers(std::vector<Shell*> peers) { peers_ = std::move(peers); }
 
+  // Routes matching and rule execution through the original string-keyed
+  // Binding path instead of the compiled slot/symbol path. Semantically
+  // identical (the interned-equivalence suite asserts byte-identical
+  // traces); kept for equivalence testing and as executable documentation.
+  void set_use_reference_impl(bool v) { use_reference_impl_ = v; }
+
   // --- Rule installation (performed by the System during initialization,
   // implementing the paper's rule-distribution step) ---
 
@@ -121,6 +127,9 @@ class Shell {
   // replaced between scheduling and firing without dangling references.
   void ExecuteStep(int64_t rule_id, int64_t trigger_event_id, size_t step,
                    rule::Binding binding);
+  // Slot-compiled twin of ExecuteStep, mirroring its semantics exactly.
+  void ExecuteStepCompiled(int64_t rule_id, int64_t trigger_event_id,
+                           size_t step, rule::BindingFrame frame);
   void RouteGeneratedEvent(rule::Event event, bool whole_base);
   void ReportFailure(const FailureNotice& notice);
 
@@ -128,16 +137,23 @@ class Shell {
   const rule::DataReader& PrivateReader() const { return private_reader_; }
 
   std::string site_;
+  uint32_t site_sym_ = kNoSymbol;
+  // Cached translator endpoint (satellite of the symbol refactor: the old
+  // code rebuilt "site#tr" on every WR/RR/DEL send).
+  std::string tr_endpoint_;
+  uint32_t tr_endpoint_sym_ = kNoSymbol;
   sim::Executor* executor_;
   sim::Network* network_;
   trace::TraceRecorder* recorder_;
   const ItemRegistry* registry_;
   GuaranteeStatusRegistry* guarantees_;
   std::vector<Shell*> peers_;
+  bool use_reference_impl_ = false;
 
   struct LhsEntry {
     rule::Rule rule;
     std::string rhs_site;
+    uint32_t rhs_site_sym = kNoSymbol;
   };
   std::vector<LhsEntry> lhs_rules_;
   // Buckets lhs_rules_ positions by (kind, item base); MatchEvent consults
@@ -145,6 +161,9 @@ class Shell {
   rule::RuleIndex lhs_index_;
   // Scratch candidate list reused across MatchEvent calls.
   mutable std::vector<size_t> candidate_scratch_;
+  // Scratch frame reused across compiled match attempts: zero allocations
+  // per candidate in steady state.
+  rule::BindingFrame frame_scratch_;
   std::map<int64_t, rule::Rule> rhs_rules_;
   std::map<rule::ItemId, Value> private_data_;
   rule::DataReader private_reader_;

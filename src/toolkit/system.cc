@@ -84,6 +84,7 @@ Status System::EnsureShell(const std::string& site) {
   auto shell = std::make_unique<Shell>(site, executor_.get(), network_.get(),
                                        recorder_.get(), &registry_,
                                        &guarantee_status_);
+  shell->set_use_reference_impl(options_.use_reference_impl);
   HCM_RETURN_IF_ERROR(shell->Initialize());
   shells_.emplace(site, std::move(shell));
   // Refresh every shell's peer list.

@@ -31,6 +31,11 @@ struct SystemOptions {
   // 1-thread and an N-thread run of the same deployment produce
   // byte-identical traces and guarantee reports).
   size_t num_threads = 0;
+  // Routes every shell through the string-keyed reference matching path
+  // instead of the compiled slot/symbol path (see Shell::
+  // set_use_reference_impl). The interned-equivalence suite runs both and
+  // asserts byte-identical traces, guarantee reports, and dispatch stats.
+  bool use_reference_impl = false;
 };
 
 // The assembled toolkit: one simulated "deployment" with its raw

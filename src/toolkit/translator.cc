@@ -9,6 +9,9 @@ Translator::Translator(RidConfig config, sim::Executor* executor,
                        sim::Network* network, trace::TraceRecorder* recorder,
                        const sim::FailureInjector* failures)
     : config_(std::move(config)),
+      endpoint_(TranslatorEndpoint(config_.site)),
+      endpoint_sym_(Symbols().Intern(endpoint_)),
+      site_sym_(Symbols().Intern(config_.site)),
       executor_(executor),
       network_(network),
       recorder_(recorder),
@@ -21,8 +24,7 @@ Translator::Translator(RidConfig config, sim::Executor* executor,
 
 Status Translator::Initialize() {
   HCM_RETURN_IF_ERROR(network_->RegisterEndpoint(
-      TranslatorEndpoint(config_.site),
-      [this](const sim::Message& m) { OnMessage(m); }));
+      endpoint_, [this](const sim::Message& m) { OnMessage(m); }));
   return SetupNotifyInterfaces();
 }
 
@@ -156,16 +158,17 @@ void Translator::SendFailure(FailureClass fc, const std::string& detail) {
   msg.notice.failure_class = fc;
   msg.notice.detected_at = executor_->now();
   msg.notice.detail = detail;
-  Status s = network_->Send({TranslatorEndpoint(config_.site), config_.site,
-                             "failure", msg});
+  Status s = network_->Send(
+      {endpoint_, config_.site, "failure", msg, endpoint_sym_, site_sym_});
   if (!s.ok()) {
     HCM_LOG(Warning) << "failure notice undeliverable: " << s.ToString();
   }
 }
 
 void Translator::SendEventToShell(rule::Event event) {
-  Status s = network_->Send({TranslatorEndpoint(config_.site), config_.site,
-                             "event", EventMessage{std::move(event)}});
+  Status s = network_->Send({endpoint_, config_.site, "event",
+                             EventMessage{std::move(event)}, endpoint_sym_,
+                             site_sym_});
   if (!s.ok()) {
     HCM_LOG(Warning) << "event undeliverable to shell: " << s.ToString();
   }

@@ -116,6 +116,12 @@ class Translator {
   }
 
   RidConfig config_;
+  // The translator's endpoint name and the interned ids of both ends of the
+  // translator -> shell hop, built once in the constructor. The old code
+  // concatenated TranslatorEndpoint(site) on every send.
+  std::string endpoint_;
+  uint32_t endpoint_sym_ = kNoSymbol;
+  uint32_t site_sym_ = kNoSymbol;
   sim::Executor* executor_;
   sim::Network* network_;
   trace::TraceRecorder* recorder_;

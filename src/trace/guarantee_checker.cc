@@ -65,7 +65,7 @@ class CheckerImpl {
       : trace_(trace),
         guarantee_(guarantee),
         options_(options),
-        timeline_(StateTimeline::Build(trace)) {
+        timeline_(StateTimeline::Build(trace, !options.use_reference_impl)) {
     CollectGuaranteeItems();
     BuildUniversalExtraPoints();
   }

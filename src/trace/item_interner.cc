@@ -6,6 +6,17 @@ namespace hcm::trace {
 
 const std::vector<uint32_t> ItemInterner::kEmptyIds;
 
+ItemInterner& ItemInterner::operator=(const ItemInterner& other) {
+  if (this == &other) return *this;
+  ids_ = other.ids_;
+  items_.assign(other.items_.size(), nullptr);
+  for (const auto& [item, id] : ids_) items_[id] = &item;
+  by_base_.clear();
+  sorted_ids_.clear();
+  views_stale_ = !items_.empty();
+  return *this;
+}
+
 uint32_t ItemInterner::Intern(const rule::ItemId& item) {
   auto [it, inserted] =
       ids_.emplace(item, static_cast<uint32_t>(items_.size()));

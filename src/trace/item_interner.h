@@ -27,8 +27,10 @@ class ItemInterner {
   static constexpr uint32_t kNoId = UINT32_MAX;
 
   ItemInterner() = default;
-  ItemInterner(const ItemInterner&) = delete;
-  ItemInterner& operator=(const ItemInterner&) = delete;
+  // Copying rebuilds the key pointers against the copied map's nodes, so a
+  // recorder-built interner can be cloned into each timeline that uses it.
+  ItemInterner(const ItemInterner& other) { *this = other; }
+  ItemInterner& operator=(const ItemInterner& other);
   ItemInterner(ItemInterner&&) = default;
   ItemInterner& operator=(ItemInterner&&) = default;
 

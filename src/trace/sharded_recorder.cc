@@ -100,6 +100,10 @@ Trace ShardedTraceRecorder::Finish(TimePoint horizon) {
       if (it != remap.end()) event.trigger_event_id = it->second;
     }
   }
+  // Stamp dense item ids against the final merged order — the same pass
+  // the single-threaded recorder runs, so id assignment is identical for
+  // identical event logs regardless of sharding.
+  InternTraceItems(&out);
   return out;
 }
 

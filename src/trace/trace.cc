@@ -41,6 +41,7 @@ Trace TraceRecorder::Finish(TimePoint horizon) {
   trace_.horizon = horizon;
   Trace out = std::move(trace_);
   trace_ = Trace{};
+  InternTraceItems(&out);
   return out;
 }
 
@@ -57,12 +58,36 @@ static bool ChangesState(rule::EventKind kind) {
   }
 }
 
-StateTimeline StateTimeline::Build(const Trace& trace) {
+void InternTraceItems(Trace* trace) {
+  trace->interner = ItemInterner();
+  // Exactly StateTimeline::Build's pass-1 intern order, so a timeline that
+  // clones this interner assigns the same ids the string path would.
+  for (const auto& [item, value] : trace->initial_values) {
+    trace->interner.Intern(item);
+    (void)value;
+  }
+  for (rule::Event& e : trace->events) {
+    e.item_iid = ChangesState(e.kind) ? trace->interner.Intern(e.item)
+                                      : ItemInterner::kNoId;
+  }
+  trace->items_interned = true;
+}
+
+StateTimeline StateTimeline::Build(const Trace& trace,
+                                   bool use_interned_ids) {
   StateTimeline tl;
+  const bool pre_interned = use_interned_ids && trace.items_interned;
+  if (pre_interned) {
+    tl.interner_ = trace.interner;
+    tl.spans_.assign(tl.interner_.size(), {0, 0});
+  }
   // Pass 1: intern every state-bearing item and count its segments, so the
-  // flat store can be laid out contiguously per item up front.
+  // flat store can be laid out contiguously per item up front. With a
+  // recorder-stamped trace the interner arrives pre-built and per-event
+  // interning collapses to reading item_iid.
   for (const auto& [item, value] : trace.initial_values) {
-    uint32_t id = tl.interner_.Intern(item);
+    uint32_t id =
+        pre_interned ? tl.interner_.Find(item) : tl.interner_.Intern(item);
     if (id >= tl.spans_.size()) tl.spans_.resize(id + 1, {0, 0});
     ++tl.spans_[id].second;
     (void)value;
@@ -71,7 +96,7 @@ StateTimeline StateTimeline::Build(const Trace& trace) {
   for (size_t i = 0; i < trace.events.size(); ++i) {
     const rule::Event& e = trace.events[i];
     if (!ChangesState(e.kind)) continue;
-    uint32_t id = tl.interner_.Intern(e.item);
+    uint32_t id = pre_interned ? e.item_iid : tl.interner_.Intern(e.item);
     if (id >= tl.spans_.size()) tl.spans_.resize(id + 1, {0, 0});
     ++tl.spans_[id].second;
     tl.event_state_ids_[i] = id;

@@ -25,8 +25,25 @@ struct Trace {
   // End of observation; predicates are evaluated over [0, horizon].
   TimePoint horizon;
 
+  // Dense per-trace item ids, stamped by the recorders at Finish (see
+  // InternTraceItems): `interner` replicates exactly the intern order
+  // StateTimeline::Build performs — initial values in map order, then
+  // state-changing events in trace order — and each state-changing event
+  // carries its id in item_iid. Checkers then skip the whole re-interning
+  // pass. Traces built by hand or parsed from text leave items_interned
+  // false and take the original string-keyed path.
+  ItemInterner interner;
+  bool items_interned = false;
+
   std::string ToString(size_t max_events = 50) const;
 };
+
+// Stamps `interner`/item_iid/items_interned on a finalized trace. The id
+// assignment is the recorders' id-stability contract: it depends only on
+// the final (merged, time-ordered) event sequence and the initial-value
+// map, never on how recording was sharded, so single-threaded and sharded
+// runs that produce identical event logs produce identical ids.
+void InternTraceItems(Trace* trace);
 
 // Assigns event ids and accumulates the trace. The CM-Shells and workload
 // generators all record through one recorder so ids are globally unique and
@@ -109,8 +126,12 @@ class SegmentSpan {
 // the id overloads, or walk a SegmentCursor.
 class StateTimeline {
  public:
-  // Builds from a trace. Events must be time-ordered.
-  static StateTimeline Build(const Trace& trace);
+  // Builds from a trace. Events must be time-ordered. When the trace
+  // carries recorder-stamped ids (items_interned) the interner is cloned
+  // and per-event interning is skipped; pass use_interned_ids = false to
+  // force the string-keyed reference path (the use_reference_impl flag of
+  // the checkers routes here, keeping both paths equivalence-testable).
+  static StateTimeline Build(const Trace& trace, bool use_interned_ids = true);
 
   StateTimeline() = default;
   StateTimeline(StateTimeline&&) = default;

@@ -1,7 +1,9 @@
 #include "src/trace/valid_execution.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <thread>
 #include <tuple>
 #include <unordered_map>
 
@@ -55,6 +57,70 @@ std::string ExecutionReport::DescribeCheckStats() const {
 
 namespace {
 
+// A violation found by one worker, tagged with the ordinal of the event (or
+// channel) that produced it so the merged report lists violations in exactly
+// the order a single-threaded scan would. `seq` disambiguates multiple
+// violations from the same ordinal (emission order within one worker).
+struct Tagged {
+  uint64_t ord = 0;
+  uint32_t seq = 0;
+  ExecutionViolation v;
+};
+
+// "a sorts after b" in merged-report order.
+struct TaggedEarlier {
+  bool operator()(const Tagged& a, const Tagged& b) const {
+    if (a.ord != b.ord) return a.ord < b.ord;
+    return a.seq < b.seq;
+  }
+};
+
+// Per-worker result collector. Violations are bounded: the sink keeps the
+// `cap` earliest (by merge order) it has seen — a max-heap evicts the
+// latest — and counts everything found, so a pathological trace cannot
+// materialize unbounded violation text per worker while the global first
+// `cap` (which is always a subset of each sink's kept set) stays exact.
+class Sink {
+ public:
+  explicit Sink(size_t cap) : cap_(cap) {}
+
+  void Add(uint64_t ord, int property, std::vector<int64_t> ids,
+           std::string message) {
+    ++found_;
+    if (cap_ == 0) return;
+    Tagged t{ord, next_seq_++,
+             ExecutionViolation{property, std::move(ids), std::move(message)}};
+    if (kept_.size() < cap_) {
+      kept_.push_back(std::move(t));
+      std::push_heap(kept_.begin(), kept_.end(), TaggedEarlier());
+      return;
+    }
+    if (TaggedEarlier()(t, kept_.front())) {
+      std::pop_heap(kept_.begin(), kept_.end(), TaggedEarlier());
+      kept_.back() = std::move(t);
+      std::push_heap(kept_.begin(), kept_.end(), TaggedEarlier());
+    }
+  }
+
+  size_t found() const { return found_; }
+  std::vector<Tagged>& kept() { return kept_; }
+
+  // Phase-local counters, summed into the report at the merge (sums are
+  // order-independent, so stats match at any thread count).
+  size_t obligations_checked = 0;
+  uint64_t chain_lookups = 0;
+  uint64_t chain_events_scanned = 0;
+  uint64_t obligation_candidates = 0;
+  uint64_t obligation_scans_avoided = 0;
+  uint64_t condition_instants = 0;
+
+ private:
+  size_t cap_;
+  size_t found_ = 0;
+  uint32_t next_seq_ = 0;
+  std::vector<Tagged> kept_;  // heap, top = latest in merge order
+};
+
 class Checker {
  public:
   Checker(const Trace& trace, const std::vector<rule::Rule>& rules,
@@ -62,7 +128,7 @@ class Checker {
       : trace_(trace),
         rules_(rules),
         options_(options),
-        timeline_(StateTimeline::Build(trace)) {
+        timeline_(StateTimeline::Build(trace, !options.use_reference_impl)) {
     rules_by_id_.reserve(rules_.size());
     for (const auto& r : rules_) rules_by_id_[r.id] = &r;
     // Recorder-assigned ids are dense, so id lookup is normally a plain
@@ -84,11 +150,19 @@ class Checker {
 
   ExecutionReport Run() {
     report_.events_checked = trace_.events.size();
-    CheckOrdering();
-    CheckWriteConsistency();
-    CheckProvenance();
-    CheckObligations();
-    CheckInOrderProcessing();
+    // Pre-build the cleared-RHS template cache for every rule: the lazy
+    // cache is then read-only while provenance workers share it.
+    for (const auto& r : rules_) {
+      if (!r.rhs.empty()) ClearedRhsTemplate(r, 0);
+    }
+    size_t threads = options_.use_reference_impl
+                         ? 1
+                         : std::max<size_t>(1, options_.num_threads);
+    RunSequential([this](Sink* sink) { CheckOrdering(sink); });
+    MergePhase(RunWriteConsistency(threads));
+    MergePhase(RunProvenance(threads));
+    MergePhase(RunObligations(threads));
+    RunSequential([this](Sink* sink) { CheckInOrderProcessing(sink); });
     report_.valid = report_.violations.empty() && extra_violations_ == 0;
     report_.stats.items_indexed = timeline_.items().size();
     return std::move(report_);
@@ -126,14 +200,73 @@ class Checker {
     }
   }
 
-  void AddViolation(int property, std::vector<int64_t> ids,
-                    std::string message) {
-    if (report_.violations.size() >= options_.max_violations) {
-      ++extra_violations_;
-      return;
+  // Runs a sequential phase through the same sink/merge machinery the
+  // parallel phases use, so capping and ordering semantics are uniform.
+  template <typename Phase>
+  void RunSequential(const Phase& phase) {
+    std::vector<Sink> sinks;
+    sinks.emplace_back(options_.max_violations);
+    phase(&sinks[0]);
+    MergePhase(std::move(sinks));
+  }
+
+  // Dynamic fan-out of `num_units` work units over `threads` workers, one
+  // sink per worker. body(unit, sink) must touch only its own unit's state.
+  template <typename Body>
+  std::vector<Sink> RunUnits(size_t threads, size_t num_units,
+                             const Body& body) {
+    threads = std::min(threads, std::max<size_t>(1, num_units));
+    std::vector<Sink> sinks;
+    sinks.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      sinks.emplace_back(options_.max_violations);
     }
-    report_.violations.push_back(
-        ExecutionViolation{property, std::move(ids), std::move(message)});
+    if (threads <= 1) {
+      for (size_t u = 0; u < num_units; ++u) body(u, &sinks[0]);
+      return sinks;
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&](Sink* sink) {
+      for (;;) {
+        size_t u = next.fetch_add(1, std::memory_order_relaxed);
+        if (u >= num_units) return;
+        body(u, sink);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (size_t i = 1; i < threads; ++i) pool.emplace_back(worker, &sinks[i]);
+    worker(&sinks[0]);
+    for (auto& t : pool) t.join();
+    return sinks;
+  }
+
+  // Folds one phase's sinks into the report: counters are summed, kept
+  // violations sorted back into single-threaded emission order (ordinal,
+  // then per-ordinal emission sequence — no two sinks share an ordinal),
+  // and the global cap applied across phases exactly as a sequential
+  // checker's running AddViolation cap would.
+  void MergePhase(std::vector<Sink> sinks) {
+    std::vector<Tagged> all;
+    size_t found = 0;
+    for (Sink& s : sinks) {
+      found += s.found();
+      for (Tagged& t : s.kept()) all.push_back(std::move(t));
+      report_.obligations_checked += s.obligations_checked;
+      report_.stats.chain_lookups += s.chain_lookups;
+      report_.stats.chain_events_scanned += s.chain_events_scanned;
+      report_.stats.obligation_candidates += s.obligation_candidates;
+      report_.stats.obligation_scans_avoided += s.obligation_scans_avoided;
+      report_.stats.condition_instants += s.condition_instants;
+    }
+    std::sort(all.begin(), all.end(), TaggedEarlier());
+    size_t materialized = 0;
+    for (Tagged& t : all) {
+      if (report_.violations.size() >= options_.max_violations) break;
+      report_.violations.push_back(std::move(t.v));
+      ++materialized;
+    }
+    extra_violations_ += found - materialized;
   }
 
   const rule::Event* EventById(int64_t id) const {
@@ -178,13 +311,12 @@ class Checker {
     };
   }
 
-  // Property 1.
-  void CheckOrdering() {
+  // Property 1. Sequential: one compare per adjacent pair.
+  void CheckOrdering(Sink* sink) {
     for (size_t i = 1; i < trace_.events.size(); ++i) {
       if (trace_.events[i].time < trace_.events[i - 1].time) {
-        AddViolation(1,
-                     {trace_.events[i - 1].id, trace_.events[i].id},
-                     "events out of time order");
+        sink->Add(i, 1, {trace_.events[i - 1].id, trace_.events[i].id},
+                  "events out of time order");
       }
     }
   }
@@ -192,7 +324,8 @@ class Checker {
   // Same-instant write chains: did an earlier write at exactly `e.time` on
   // the same item produce the old value `e` claims? Indexed path: a sorted
   // range lookup in the item's write run. Reference: whole-trace scan.
-  bool SameInstantChainMatches(const rule::Event& e, uint32_t id) {
+  bool SameInstantChainMatches(const rule::Event& e, uint32_t id,
+                               Sink* sink) const {
     if (options_.use_reference_impl) {
       for (const auto& other : trace_.events) {
         if (other.time != e.time || other.id >= e.id) continue;
@@ -205,7 +338,7 @@ class Checker {
       }
       return false;
     }
-    ++report_.stats.chain_lookups;
+    ++sink->chain_lookups;
     if (id == ItemInterner::kNoId) return false;
     const std::vector<uint32_t>& run = writes_by_item_[id];
     auto lo = std::lower_bound(run.begin(), run.end(), e.time,
@@ -215,7 +348,7 @@ class Checker {
     for (auto it = lo; it != run.end(); ++it) {
       const rule::Event& other = trace_.events[*it];
       if (other.time != e.time) break;
-      ++report_.stats.chain_events_scanned;
+      ++sink->chain_events_scanned;
       if (other.id >= e.id) continue;
       if (other.written_value() == e.old_value()) return true;
     }
@@ -224,116 +357,151 @@ class Checker {
 
   // Properties 2+3: a Ws event's recorded old value must equal the state
   // just before it (writes change exactly their own item by construction of
-  // the per-item representation).
-  void CheckWriteConsistency() {
-    // Per-item cursors: events arrive in time order, so each lookup is an
-    // amortized-O(1) cursor advance instead of a fresh binary search.
-    std::vector<SegmentCursor> cursors;
-    if (!options_.use_reference_impl) {
-      cursors.reserve(timeline_.items().size());
-      for (uint32_t id = 0; id < timeline_.items().size(); ++id) {
-        cursors.emplace_back(timeline_.SegmentsOf(id));
-      }
+  // the per-item representation). Indexed path: one work unit per interned
+  // item id — an item's writes are independent of every other item's, and
+  // its sorted write run plus a private SegmentCursor give amortized-O(1)
+  // prior-state lookups. Reference path: the whole-trace scan as one unit.
+  std::vector<Sink> RunWriteConsistency(size_t threads) {
+    if (options_.use_reference_impl) {
+      return RunUnits(1, 1, [this](size_t, Sink* sink) {
+        WriteConsistencyReference(sink);
+      });
     }
+    return RunUnits(threads, timeline_.items().size(),
+                    [this](size_t id, Sink* sink) {
+                      WriteConsistencyForItem(static_cast<uint32_t>(id), sink);
+                    });
+  }
+
+  void WriteConsistencyForItem(uint32_t id, Sink* sink) const {
+    SegmentCursor cursor(timeline_.SegmentsOf(id));
+    for (uint32_t idx : writes_by_item_[id]) {
+      const rule::Event& e = trace_.events[idx];
+      if (e.kind != rule::EventKind::kWriteSpont) continue;
+      const Segment* seg = cursor.SeekBefore(e.time);
+      std::optional<Value> before;
+      if (seg != nullptr) before = seg->value;
+      CheckWsOldValue(e, idx, id, before, sink);
+    }
+  }
+
+  void WriteConsistencyReference(Sink* sink) const {
     for (size_t i = 0; i < trace_.events.size(); ++i) {
       const rule::Event& e = trace_.events[i];
       if (e.kind != rule::EventKind::kWriteSpont) continue;
-      std::optional<Value> before;
-      uint32_t id = ItemInterner::kNoId;
-      if (options_.use_reference_impl) {
-        before = timeline_.ValueBefore(e.item, e.time);
-      } else {
-        id = timeline_.StateIdOfEvent(i);
-        const Segment* seg =
-            id == ItemInterner::kNoId ? nullptr : cursors[id].SeekBefore(e.time);
-        if (seg != nullptr) before = seg->value;
-      }
-      // Several writes can share a timestamp; ValueBefore then sees only the
-      // pre-batch state. Accept either the strict-before value or an earlier
-      // same-instant write's value — so only flag when the recorded old
-      // value is *neither* Null-for-unknown nor the prior state.
-      Value expected = before.has_value() ? *before : Value::Null();
-      if (!(e.old_value() == expected) && !e.old_value().is_null()) {
-        if (!SameInstantChainMatches(e, id)) {
-          AddViolation(2, {e.id},
-                       StrFormat("Ws old value %s != prior state %s",
-                                 e.old_value().ToString().c_str(),
-                                 expected.ToString().c_str()));
-        }
+      CheckWsOldValue(e, i, ItemInterner::kNoId,
+                      timeline_.ValueBefore(e.item, e.time), sink);
+    }
+  }
+
+  void CheckWsOldValue(const rule::Event& e, size_t event_index, uint32_t id,
+                       const std::optional<Value>& before, Sink* sink) const {
+    // Several writes can share a timestamp; ValueBefore then sees only the
+    // pre-batch state. Accept either the strict-before value or an earlier
+    // same-instant write's value — so only flag when the recorded old
+    // value is *neither* Null-for-unknown nor the prior state.
+    Value expected = before.has_value() ? *before : Value::Null();
+    if (!(e.old_value() == expected) && !e.old_value().is_null()) {
+      if (!SameInstantChainMatches(e, id, sink)) {
+        sink->Add(event_index, 2, {e.id},
+                  StrFormat("Ws old value %s != prior state %s",
+                            e.old_value().ToString().c_str(),
+                            expected.ToString().c_str()));
       }
     }
   }
 
-  // Properties 4+5.
-  void CheckProvenance() {
-    for (const auto& e : trace_.events) {
-      if (e.spontaneous()) {
-        if (e.trigger_event_id >= 0) {
-          AddViolation(4, {e.id},
-                       "spontaneous event carries a trigger reference");
-        }
-        continue;
+  // Properties 4+5. Each event's provenance is checked against read-only
+  // shared state (event table, rules, pre-built cleared templates, the
+  // timeline), so the trace fans out over contiguous event ranges.
+  std::vector<Sink> RunProvenance(size_t threads) {
+    size_t n = trace_.events.size();
+    size_t num_chunks = ChunkCount(threads, n);
+    return RunUnits(threads, num_chunks,
+                    [this, n, num_chunks](size_t chunk, Sink* sink) {
+                      size_t lo = chunk * n / num_chunks;
+                      size_t hi = (chunk + 1) * n / num_chunks;
+                      for (size_t i = lo; i < hi; ++i) {
+                        ProvenanceForEvent(i, sink);
+                      }
+                    });
+  }
+
+  void ProvenanceForEvent(size_t i, Sink* sink) const {
+    const rule::Event& e = trace_.events[i];
+    if (e.spontaneous()) {
+      if (e.trigger_event_id >= 0) {
+        sink->Add(i, 4, {e.id},
+                  "spontaneous event carries a trigger reference");
       }
-      auto rule_it = rules_by_id_.find(e.rule_id);
-      if (rule_it == rules_by_id_.end()) {
-        AddViolation(5, {e.id},
-                     StrFormat("generated event names unknown rule %lld",
-                               static_cast<long long>(e.rule_id)));
-        continue;
-      }
-      const rule::Rule& r = *rule_it->second;
-      const rule::Event* trig = EventById(e.trigger_event_id);
-      if (trig == nullptr) {
-        AddViolation(5, {e.id}, "generated event names unknown trigger");
-        continue;
-      }
-      const rule::Event& trigger = *trig;
-      rule::Binding binding;
-      if (!r.lhs.Matches(trigger, &binding)) {
-        AddViolation(5, {e.id, trigger.id},
-                     "trigger does not match the rule's LHS template");
-        continue;
-      }
-      binding["now"] = Value::Int(e.time.millis());
-      // (5c) LHS condition satisfied at trigger time (new interpretation).
-      if (r.lhs_condition != nullptr) {
-        auto ok = r.lhs_condition->EvalBool(binding, ReaderAt(trigger.time));
-        if (!ok.ok() || !*ok) {
-          AddViolation(5, {e.id, trigger.id},
-                       "rule LHS condition not satisfied at trigger time");
-        }
-      }
-      // (5b) the event matches an RHS template under the extended binding.
-      if (e.rhs_step < 0 || e.rhs_step >= static_cast<int>(r.rhs.size())) {
-        AddViolation(5, {e.id}, "generated event has no valid RHS step");
-        continue;
-      }
-      const rule::RhsStep& step = r.rhs[static_cast<size_t>(e.rhs_step)];
-      rule::Binding extended = binding;
-      // Unify the concrete event against the step template to pick up
-      // RHS-only existential variables (e.g. `now`).
-      if (!TemplateMatchesIgnoringSite(
-              ClearedRhsTemplate(r, static_cast<size_t>(e.rhs_step)), e,
-              &extended)) {
-        AddViolation(5, {e.id, trigger.id},
-                     "generated event does not match its RHS template");
-        continue;
-      }
-      // (5d) RHS condition satisfied at the event's old interpretation.
-      if (step.condition != nullptr) {
-        auto ok = step.condition->EvalBool(extended, ReaderBefore(e.time));
-        if (!ok.ok() || !*ok) {
-          AddViolation(5, {e.id},
-                       "rule RHS condition not satisfied before the event");
-        }
-      }
-      // Timing: within [trigger.time, trigger.time + delta].
-      if (e.time < trigger.time || trigger.time + r.delta < e.time) {
-        AddViolation(5, {e.id, trigger.id},
-                     StrFormat("event outside rule window (delta %s)",
-                               r.delta.ToString().c_str()));
+      return;
+    }
+    auto rule_it = rules_by_id_.find(e.rule_id);
+    if (rule_it == rules_by_id_.end()) {
+      sink->Add(i, 5, {e.id},
+                StrFormat("generated event names unknown rule %lld",
+                          static_cast<long long>(e.rule_id)));
+      return;
+    }
+    const rule::Rule& r = *rule_it->second;
+    const rule::Event* trig = EventById(e.trigger_event_id);
+    if (trig == nullptr) {
+      sink->Add(i, 5, {e.id}, "generated event names unknown trigger");
+      return;
+    }
+    const rule::Event& trigger = *trig;
+    rule::Binding binding;
+    if (!r.lhs.Matches(trigger, &binding)) {
+      sink->Add(i, 5, {e.id, trigger.id},
+                "trigger does not match the rule's LHS template");
+      return;
+    }
+    binding["now"] = Value::Int(e.time.millis());
+    // (5c) LHS condition satisfied at trigger time (new interpretation).
+    if (r.lhs_condition != nullptr) {
+      auto ok = r.lhs_condition->EvalBool(binding, ReaderAt(trigger.time));
+      if (!ok.ok() || !*ok) {
+        sink->Add(i, 5, {e.id, trigger.id},
+                  "rule LHS condition not satisfied at trigger time");
       }
     }
+    // (5b) the event matches an RHS template under the extended binding.
+    if (e.rhs_step < 0 || e.rhs_step >= static_cast<int>(r.rhs.size())) {
+      sink->Add(i, 5, {e.id}, "generated event has no valid RHS step");
+      return;
+    }
+    const rule::RhsStep& step = r.rhs[static_cast<size_t>(e.rhs_step)];
+    rule::Binding extended = binding;
+    // Unify the concrete event against the step template to pick up
+    // RHS-only existential variables (e.g. `now`).
+    if (!TemplateMatchesIgnoringSite(
+            ClearedRhsTemplate(r, static_cast<size_t>(e.rhs_step)), e,
+            &extended)) {
+      sink->Add(i, 5, {e.id, trigger.id},
+                "generated event does not match its RHS template");
+      return;
+    }
+    // (5d) RHS condition satisfied at the event's old interpretation.
+    if (step.condition != nullptr) {
+      auto ok = step.condition->EvalBool(extended, ReaderBefore(e.time));
+      if (!ok.ok() || !*ok) {
+        sink->Add(i, 5, {e.id},
+                  "rule RHS condition not satisfied before the event");
+      }
+    }
+    // Timing: within [trigger.time, trigger.time + delta].
+    if (e.time < trigger.time || trigger.time + r.delta < e.time) {
+      sink->Add(i, 5, {e.id, trigger.id},
+                StrFormat("event outside rule window (delta %s)",
+                          r.delta.ToString().c_str()));
+    }
+  }
+
+  // More chunks than workers so dynamic scheduling balances skew; one chunk
+  // when running inline.
+  static size_t ChunkCount(size_t threads, size_t num_units) {
+    if (threads <= 1 || num_units == 0) return num_units == 0 ? 0 : 1;
+    return std::min(num_units, threads * 4);
   }
 
   // `tpl` must already have its site cleared (see ClearedRhsTemplate).
@@ -355,94 +523,95 @@ class Checker {
   // Property 6: firing obligations. Rules a given event could trigger come
   // from the (kind, item base) rule index — the same pruning the live
   // dispatcher uses — instead of re-unifying every rule against every event.
-  void CheckObligations() {
-    // Index generated events by (trigger, rule, step).
-    struct FiredKeyHash {
-      size_t operator()(const std::tuple<int64_t, int64_t, int>& k) const {
-        size_t h = std::hash<int64_t>()(std::get<0>(k));
-        h = h * 1000003 + std::hash<int64_t>()(std::get<1>(k));
-        return h * 1000003 + std::hash<int>()(std::get<2>(k));
-      }
-    };
-    std::unordered_map<std::tuple<int64_t, int64_t, int>, const rule::Event*,
-                       FiredKeyHash>
-        fired;
-    fired.reserve(trace_.events.size());
+  // The fired-event index is built once up front; the per-event obligation
+  // checks then share only read-only state (workers use the index's quiet
+  // lookup so no dispatch counters race) and fan out over event ranges.
+  std::vector<Sink> RunObligations(size_t threads) {
+    fired_.reserve(trace_.events.size());
     for (const auto& e : trace_.events) {
       if (!e.spontaneous()) {
-        fired[{e.trigger_event_id, e.rule_id, e.rhs_step}] = &e;
+        fired_[{e.trigger_event_id, e.rule_id, e.rhs_step}] = &e;
       }
     }
-    std::vector<size_t> candidates;
-    for (const auto& e : trace_.events) {
-      size_t num_candidates;
-      if (options_.use_reference_impl) {
-        num_candidates = rules_.size();
-      } else if (!rule_index_.MayMatchKind(e.kind)) {
-        // No rule listens to this kind at all (e.g. plain writes under a
-        // notify-triggered program): skip the bucket lookup entirely.
-        report_.stats.obligation_scans_avoided += rules_.size();
-        continue;
-      } else {
-        num_candidates = rule_index_.Lookup(e, &candidates);
-        report_.stats.obligation_scans_avoided +=
-            rules_.size() - num_candidates;
+    size_t n = trace_.events.size();
+    size_t num_chunks = ChunkCount(threads, n);
+    return RunUnits(threads, num_chunks,
+                    [this, n, num_chunks](size_t chunk, Sink* sink) {
+                      std::vector<size_t> candidates;
+                      size_t lo = chunk * n / num_chunks;
+                      size_t hi = (chunk + 1) * n / num_chunks;
+                      for (size_t i = lo; i < hi; ++i) {
+                        ObligationsForEvent(i, sink, &candidates);
+                      }
+                    });
+  }
+
+  void ObligationsForEvent(size_t i, Sink* sink,
+                           std::vector<size_t>* candidates) const {
+    const rule::Event& e = trace_.events[i];
+    size_t num_candidates;
+    if (options_.use_reference_impl) {
+      num_candidates = rules_.size();
+    } else if (!rule_index_.MayMatchKind(e.kind)) {
+      // No rule listens to this kind at all (e.g. plain writes under a
+      // notify-triggered program): skip the bucket lookup entirely.
+      sink->obligation_scans_avoided += rules_.size();
+      return;
+    } else {
+      num_candidates = rule_index_.LookupQuiet(e, candidates);
+      sink->obligation_scans_avoided += rules_.size() - num_candidates;
+    }
+    sink->obligation_candidates += num_candidates;
+    for (size_t c = 0; c < num_candidates; ++c) {
+      const rule::Rule& r =
+          options_.use_reference_impl ? rules_[c] : rules_[(*candidates)[c]];
+      rule::Binding binding;
+      if (!r.lhs.Matches(e, &binding)) continue;
+      if (r.lhs_condition != nullptr) {
+        auto ok = r.lhs_condition->EvalBool(binding, ReaderAt(e.time));
+        if (!ok.ok() || !*ok) continue;
       }
-      report_.stats.obligation_candidates += num_candidates;
-      for (size_t c = 0; c < num_candidates; ++c) {
-        const rule::Rule& r =
-            options_.use_reference_impl ? rules_[c] : rules_[candidates[c]];
-        rule::Binding binding;
-        if (!r.lhs.Matches(e, &binding)) continue;
-        if (r.lhs_condition != nullptr) {
-          auto ok = r.lhs_condition->EvalBool(binding, ReaderAt(e.time));
-          if (!ok.ok() || !*ok) continue;
-        }
-        if (r.forbids()) {
-          AddViolation(6, {e.id},
-                       "event matches a prohibition rule (RHS is F): " +
-                           r.ToString());
+      if (r.forbids()) {
+        sink->Add(i, 6, {e.id},
+                  "event matches a prohibition rule (RHS is F): " +
+                      r.ToString());
+        continue;
+      }
+      TimePoint deadline = e.time + r.delta;
+      if (options_.skip_obligations_past_horizon &&
+          trace_.horizon < deadline) {
+        continue;  // not yet due when the run ended
+      }
+      ++sink->obligations_checked;
+      TimePoint prev_step_time = e.time;
+      for (int step = 0; step < static_cast<int>(r.rhs.size()); ++step) {
+        auto it = fired_.find({e.id, r.id, step});
+        if (it != fired_.end()) {
+          const rule::Event& g = *it->second;
+          if (g.time < prev_step_time) {
+            sink->Add(i, 6, {e.id, g.id}, "RHS steps fired out of sequence");
+          }
+          prev_step_time = g.time;
           continue;
         }
-        TimePoint deadline = e.time + r.delta;
-        if (options_.skip_obligations_past_horizon &&
-            trace_.horizon < deadline) {
-          continue;  // not yet due when the run ended
+        // Step did not fire: acceptable only if its condition could have
+        // been false at some instant of the window. Sample the window at
+        // state-change points of the condition's items.
+        const rule::RhsStep& rhs = r.rhs[static_cast<size_t>(step)];
+        if (rhs.condition == nullptr) {
+          sink->Add(i, 6, {e.id},
+                    StrFormat("unconditional RHS step %d of rule '%s' never "
+                              "fired within %s",
+                              step, r.ToString().c_str(),
+                              r.delta.ToString().c_str()));
+          continue;
         }
-        ++report_.obligations_checked;
-        TimePoint prev_step_time = e.time;
-        for (int step = 0; step < static_cast<int>(r.rhs.size()); ++step) {
-          auto it = fired.find({e.id, r.id, step});
-          if (it != fired.end()) {
-            const rule::Event& g = *it->second;
-            if (g.time < prev_step_time) {
-              AddViolation(6, {e.id, g.id},
-                           "RHS steps fired out of sequence");
-            }
-            prev_step_time = g.time;
-            continue;
-          }
-          // Step did not fire: acceptable only if its condition could have
-          // been false at some instant of the window. Sample the window at
-          // state-change points of the condition's items.
-          const rule::RhsStep& rhs = r.rhs[static_cast<size_t>(step)];
-          if (rhs.condition == nullptr) {
-            AddViolation(
-                6, {e.id},
-                StrFormat("unconditional RHS step %d of rule '%s' never "
-                          "fired within %s",
-                          step, r.ToString().c_str(),
-                          r.delta.ToString().c_str()));
-            continue;
-          }
-          if (!ConditionFalseSomewhere(*rhs.condition, binding,
-                                       prev_step_time, deadline)) {
-            AddViolation(
-                6, {e.id},
-                StrFormat("RHS step %d of rule '%s' did not fire although "
-                          "its condition held throughout the window",
-                          step, r.ToString().c_str()));
-          }
+        if (!ConditionFalseSomewhere(*rhs.condition, binding, prev_step_time,
+                                     deadline, sink)) {
+          sink->Add(i, 6, {e.id},
+                    StrFormat("RHS step %d of rule '%s' did not fire although "
+                              "its condition held throughout the window",
+                              step, r.ToString().c_str()));
         }
       }
     }
@@ -450,7 +619,7 @@ class Checker {
 
   bool ConditionFalseSomewhere(const rule::Expr& condition,
                                const rule::Binding& binding, TimePoint lo,
-                               TimePoint hi) {
+                               TimePoint hi, Sink* sink) const {
     // Candidate instants: window bounds plus every state change in (lo, hi).
     std::vector<rule::ItemRef> items;
     condition.Collect(&items, nullptr);
@@ -462,7 +631,7 @@ class Checker {
         if (lo < seg.from && seg.from <= hi) candidates.push_back(seg.from);
       }
     }
-    report_.stats.condition_instants += candidates.size();
+    sink->condition_instants += candidates.size();
     for (TimePoint t : candidates) {
       rule::Binding b = binding;
       auto ok = condition.EvalBool(b, ReaderBefore(t));
@@ -476,7 +645,8 @@ class Checker {
   }
 
   // Property 7: related rules preserve trigger order in firing order.
-  void CheckInOrderProcessing() {
+  void CheckInOrderProcessing(Sink* sink) {
+    uint64_t ord = 0;
     // Group generated events by (trigger site, event site).
     struct Pair {
       TimePoint trigger_time;
@@ -521,8 +691,8 @@ class Checker {
         // Strictly earlier trigger must not fire strictly later.
         if (pairs[i - 1].trigger_time < pairs[i].trigger_time &&
             pairs[i].event_time < pairs[i - 1].event_time) {
-          AddViolation(
-              7, {pairs[i - 1].event_id, pairs[i].event_id},
+          sink->Add(
+              ord++, 7, {pairs[i - 1].event_id, pairs[i].event_id},
               StrFormat("out-of-order processing on channel %s -> %s",
                         channel.first.c_str(), channel.second.c_str()));
         }
@@ -546,6 +716,18 @@ class Checker {
   // Per interned item: indexes into trace_.events of its W/Ws events,
   // sorted by (time, id). Empty when use_reference_impl.
   std::vector<std::vector<uint32_t>> writes_by_item_;
+  // Generated events by (trigger, rule, step); built sequentially in
+  // RunObligations before the fan-out, read-only inside the workers.
+  struct FiredKeyHash {
+    size_t operator()(const std::tuple<int64_t, int64_t, int>& k) const {
+      size_t h = std::hash<int64_t>()(std::get<0>(k));
+      h = h * 1000003 + std::hash<int64_t>()(std::get<1>(k));
+      return h * 1000003 + std::hash<int>()(std::get<2>(k));
+    }
+  };
+  std::unordered_map<std::tuple<int64_t, int64_t, int>, const rule::Event*,
+                     FiredKeyHash>
+      fired_;
   rule::RuleIndex rule_index_;
   ExecutionReport report_;
   size_t extra_violations_ = 0;

@@ -51,9 +51,16 @@ struct ValidExecutionOptions {
   bool skip_obligations_past_horizon = true;
   // Cap on reported violations (the rest are counted but not materialized).
   size_t max_violations = 50;
+  // Worker threads for the property checks. The write-consistency pass fans
+  // out per interned item id and the provenance/obligation passes over
+  // event ranges; per-worker results carry their source event ordinal, so
+  // the merged report (violations, counters, caps) is byte-identical to a
+  // single-threaded run at any thread count. 0 and 1 both run inline.
+  size_t num_threads = 1;
   // Test-only: disable the per-item event indexes and the rule-dispatch
-  // index, falling back to the whole-trace-scan reference implementation.
-  // The equivalence suite asserts both paths produce identical reports.
+  // index, falling back to the whole-trace-scan reference implementation
+  // (also forces single-threaded checking). The equivalence suite asserts
+  // both paths produce identical reports.
   bool use_reference_impl = false;
 };
 

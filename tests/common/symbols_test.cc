@@ -1,0 +1,96 @@
+#include "src/common/symbols.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(SymbolTableTest, InternAssignsDenseIdsInFirstSightOrder) {
+  SymbolTable table;
+  EXPECT_EQ(table.size(), 0u);
+  uint32_t a = table.Intern("salary1");
+  uint32_t b = table.Intern("salary2");
+  uint32_t c = table.Intern("A");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(table.size(), 3u);
+  // Re-interning returns the existing id and does not grow the table.
+  EXPECT_EQ(table.Intern("salary2"), b);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SymbolTableTest, FindReturnsNoSymbolForUnknownNames) {
+  SymbolTable table;
+  EXPECT_EQ(table.Find("never-seen"), kNoSymbol);
+  uint32_t id = table.Intern("phone");
+  EXPECT_EQ(table.Find("phone"), id);
+  EXPECT_EQ(table.Find("phon"), kNoSymbol);
+  EXPECT_EQ(table.Find(""), kNoSymbol);
+}
+
+TEST(SymbolTableTest, NameRoundTripsAndReferenceIsStable) {
+  SymbolTable table;
+  uint32_t id = table.Intern("GROUP");
+  const std::string* before = &table.name(id);
+  // Force rehashing of the underlying map; node-based maps keep the key
+  // addresses stable, which the id -> name vector relies on.
+  for (int i = 0; i < 1000; ++i) table.Intern("s" + std::to_string(i));
+  EXPECT_EQ(table.name(id), "GROUP");
+  EXPECT_EQ(&table.name(id), before);
+  for (int i = 0; i < 1000; ++i) {
+    std::string s = "s" + std::to_string(i);
+    EXPECT_EQ(table.name(table.Find(s)), s);
+  }
+}
+
+TEST(SymbolTableTest, EmptyStringIsAnOrdinarySymbol) {
+  SymbolTable table;
+  uint32_t id = table.Intern("");
+  EXPECT_EQ(table.Find(""), id);
+  EXPECT_EQ(table.name(id), "");
+}
+
+TEST(SymbolTableTest, ConcurrentInterningIsConsistent) {
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 200;
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kNames));
+  std::vector<std::thread> pool;
+  // Every worker interns the same name set (racing on first sight) plus
+  // reads back names it already interned.
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&table, &ids, w] {
+      for (int i = 0; i < kNames; ++i) {
+        ids[static_cast<size_t>(w)][static_cast<size_t>(i)] =
+            table.Intern("item" + std::to_string(i));
+      }
+      for (int i = 0; i < kNames; ++i) {
+        EXPECT_EQ(table.name(ids[static_cast<size_t>(w)][static_cast<size_t>(
+                      i)]),
+                  "item" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  // All workers agreed on every id, and no duplicate entries were created.
+  for (int w = 1; w < kThreads; ++w) {
+    EXPECT_EQ(ids[static_cast<size_t>(w)], ids[0]);
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kNames));
+}
+
+TEST(SymbolTableTest, ProcessWideTableIsASingleton) {
+  SymbolTable& a = Symbols();
+  SymbolTable& b = Symbols();
+  EXPECT_EQ(&a, &b);
+  uint32_t id = a.Intern("symbols-test-probe");
+  EXPECT_EQ(b.Find("symbols-test-probe"), id);
+}
+
+}  // namespace
+}  // namespace hcm
