@@ -40,11 +40,18 @@ struct PayrollDeployment {
                                   sim::NetworkConfig net = {},
                                   size_t num_threads = 0,
                                   bool use_reference_impl = false) {
-    PayrollDeployment d;
     toolkit::SystemOptions opts;
     opts.network = net;
     opts.num_threads = num_threads;
     opts.use_reference_impl = use_reference_impl;
+    return Create(rid_a_interfaces, num_employees, opts);
+  }
+
+  // Full-options variant (storage/durability knobs, etc.).
+  static PayrollDeployment Create(const std::string& rid_a_interfaces,
+                                  int num_employees,
+                                  const toolkit::SystemOptions& opts) {
+    PayrollDeployment d;
     d.system = std::make_unique<toolkit::System>(opts);
     auto* db_a = *d.system->AddRelationalSite("A");
     auto* db_b = *d.system->AddRelationalSite("B");

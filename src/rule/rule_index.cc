@@ -61,6 +61,9 @@ size_t RuleIndex::Lookup(const Event& event,
   ++events_dispatched_;
   candidates_returned_ += out->size();
   scans_avoided_ += total_rules_ - out->size();
+  if (!wildcard_[static_cast<size_t>(event.kind)].empty()) {
+    ++wildcard_hits_;
+  }
   return out->size();
 }
 
@@ -72,6 +75,17 @@ RuleIndexStats RuleIndex::stats() const {
   s.events_dispatched = events_dispatched_;
   s.candidates_returned = candidates_returned_;
   s.scans_avoided = scans_avoided_;
+  s.wildcard_hits = wildcard_hits_;
+  size_t exact_rules = 0;
+  for (const auto& [key, bucket] : exact_) {
+    (void)key;
+    s.max_bucket_size = std::max(s.max_bucket_size, bucket.size());
+    exact_rules += bucket.size();
+  }
+  if (!exact_.empty()) {
+    s.mean_bucket_size =
+        static_cast<double>(exact_rules) / static_cast<double>(exact_.size());
+  }
   return s;
 }
 
@@ -79,6 +93,7 @@ void RuleIndex::ResetTrafficStats() {
   events_dispatched_ = 0;
   candidates_returned_ = 0;
   scans_avoided_ = 0;
+  wildcard_hits_ = 0;
 }
 
 }  // namespace hcm::rule

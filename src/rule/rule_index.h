@@ -21,12 +21,28 @@ struct RuleIndexStats {
   uint64_t candidates_returned = 0;
   // Rules a full linear scan would have visited but the index skipped.
   uint64_t scans_avoided = 0;
+  // Bucket-occupancy shape: how evenly the (kind, base) discrimination
+  // spreads the rules. A max far above the mean flags a hot bucket that
+  // degrades dispatch toward a linear scan for its events.
+  size_t max_bucket_size = 0;   // largest exact bucket
+  double mean_bucket_size = 0;  // exact rules / exact buckets
+  // Lookups whose event kind had a non-empty wildcard bucket (those rules
+  // are candidates for every event of the kind, bypassing discrimination).
+  uint64_t wildcard_hits = 0;
 
   // Mean candidate-set size per dispatched event.
   double CandidatesPerEvent() const {
     return events_dispatched == 0
                ? 0.0
                : static_cast<double>(candidates_returned) /
+                     static_cast<double>(events_dispatched);
+  }
+
+  // Share of dispatched events that consulted a wildcard bucket.
+  double WildcardHitRate() const {
+    return events_dispatched == 0
+               ? 0.0
+               : static_cast<double>(wildcard_hits) /
                      static_cast<double>(events_dispatched);
   }
 };
@@ -104,6 +120,7 @@ class RuleIndex {
   mutable uint64_t events_dispatched_ = 0;
   mutable uint64_t candidates_returned_ = 0;
   mutable uint64_t scans_avoided_ = 0;
+  mutable uint64_t wildcard_hits_ = 0;
 };
 
 }  // namespace hcm::rule

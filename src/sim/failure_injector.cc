@@ -51,6 +51,33 @@ Duration FailureInjector::ExtraDelayAt(const SiteId& site, TimePoint t) const {
   return extra;
 }
 
+void FailureInjector::CrashSite(const SiteId& site, TimePoint at, bool clean) {
+  crashes_.push_back(CrashPlan{site, at, at, clean, /*open=*/true});
+}
+
+void FailureInjector::RestartSite(const SiteId& site, TimePoint at) {
+  for (auto it = crashes_.rbegin(); it != crashes_.rend(); ++it) {
+    if (it->site == site && it->open) {
+      it->restart_at = at;
+      it->open = false;
+      AddOutage(site, it->crash_at, at);
+      return;
+    }
+  }
+}
+
+std::vector<FailureInjector::Outage> FailureInjector::DownWindows() const {
+  std::vector<Outage> out;
+  for (const auto& [site, windows] : windows_) {
+    for (const Window& w : windows) {
+      if (w.health == SiteHealth::kDown) {
+        out.push_back(Outage{site, w.from, w.to});
+      }
+    }
+  }
+  return out;
+}
+
 TimePoint FailureInjector::NextUpTime(const SiteId& site, TimePoint t) const {
   TimePoint candidate = t;
   // Iterate until no down-window covers the candidate (windows may chain).

@@ -46,6 +46,38 @@ class FailureInjector {
   // at t, returns t. Used by the network to hold messages across outages.
   TimePoint NextUpTime(const SiteId& site, TimePoint t) const;
 
+  // A crash: the site's process dies at `at` (volatile CM state lost) and
+  // the network treats it as kDown until the matching RestartSite. `clean`
+  // records whether the journal's group-commit buffer reached disk first.
+  // The injector stays declarative — System::ScheduleCrash pairs these with
+  // the Shell::Crash / Shell::Recover executor events.
+  void CrashSite(const SiteId& site, TimePoint at, bool clean = true);
+
+  // Closes the most recent open crash of `site`, registering the outage
+  // window [crash_at, at). A RestartSite without a prior CrashSite is
+  // ignored.
+  void RestartSite(const SiteId& site, TimePoint at);
+
+  struct CrashPlan {
+    SiteId site;
+    TimePoint crash_at;
+    TimePoint restart_at;  // == crash_at while still open
+    bool clean = true;
+    bool open = true;
+  };
+  const std::vector<CrashPlan>& crashes() const { return crashes_; }
+
+  // Every kDown window registered so far (AddOutage calls plus closed
+  // crash/restart pairs), in per-site order. Feed these to the offline
+  // checkers so firing obligations that straddled an outage are judged
+  // against the restart-extended deadline.
+  struct Outage {
+    SiteId site;
+    TimePoint from;
+    TimePoint to;  // exclusive
+  };
+  std::vector<Outage> DownWindows() const;
+
  private:
   struct Window {
     TimePoint from;
@@ -54,6 +86,7 @@ class FailureInjector {
     Duration extra;
   };
   std::map<SiteId, std::vector<Window>> windows_;
+  std::vector<CrashPlan> crashes_;
 };
 
 }  // namespace hcm::sim

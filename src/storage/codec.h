@@ -1,0 +1,152 @@
+#ifndef HCM_STORAGE_CODEC_H_
+#define HCM_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/common/value.h"
+
+namespace hcm::storage {
+
+// Little-endian binary encoding for journal record payloads and snapshot
+// bodies (see docs/STORAGE_FORMAT.md). Fixed-width integers keep the
+// encoder allocation-light and the decoder branch-light; strings are
+// length-prefixed. Values serialize as a kind tag plus the kind's natural
+// representation, round-tripping exactly (reals are bit-copied, never
+// formatted).
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) { AppendRaw(&v, sizeof v); }
+
+  void U64(uint64_t v) { AppendRaw(&v, sizeof v); }
+
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  void Val(const Value& v) {
+    U8(static_cast<uint8_t>(v.kind()));
+    switch (v.kind()) {
+      case ValueKind::kNull:
+        break;
+      case ValueKind::kBool:
+        U8(v.AsBool() ? 1 : 0);
+        break;
+      case ValueKind::kInt:
+        I64(v.AsInt());
+        break;
+      case ValueKind::kReal: {
+        double d = v.AsReal();
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof bits);
+        U64(bits);
+        break;
+      }
+      case ValueKind::kStr:
+        Str(v.AsStr());
+        break;
+    }
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void AppendRaw(const void* p, size_t n) {
+    // Host order; the format is declared little-endian and every supported
+    // target is.
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+// Matching decoder. Any out-of-bounds read or malformed tag latches
+// ok() == false and subsequent reads return zero values, so callers can
+// decode a whole record and check ok() once.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return p_ == end_; }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(*p_++);
+  }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    ReadRaw(&v, sizeof v);
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    ReadRaw(&v, sizeof v);
+    return v;
+  }
+
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  std::string Str() {
+    uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(p_, p_ + n);
+    p_ += n;
+    return s;
+  }
+
+  Value Val() {
+    switch (U8()) {
+      case static_cast<uint8_t>(ValueKind::kNull):
+        return Value::Null();
+      case static_cast<uint8_t>(ValueKind::kBool):
+        return Value::Bool(U8() != 0);
+      case static_cast<uint8_t>(ValueKind::kInt):
+        return Value::Int(I64());
+      case static_cast<uint8_t>(ValueKind::kReal): {
+        uint64_t bits = U64();
+        double d;
+        std::memcpy(&d, &bits, sizeof d);
+        return Value::Real(d);
+      }
+      case static_cast<uint8_t>(ValueKind::kStr):
+        return Value::Str(Str());
+      default:
+        ok_ = false;
+        return Value::Null();
+    }
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || static_cast<size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  void ReadRaw(void* out, size_t n) {
+    if (!Need(n)) return;
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace hcm::storage
+
+#endif  // HCM_STORAGE_CODEC_H_

@@ -1,0 +1,439 @@
+#include "src/storage/site_store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/storage/codec.h"
+
+namespace hcm::storage {
+
+namespace {
+
+// Journal-record payload decode helpers share the journal-local name
+// dictionary accumulated from kSymbolDef records.
+std::string DictName(const std::vector<std::string>& dict, uint32_t id) {
+  return id < dict.size() ? dict[id] : std::string();
+}
+
+rule::ItemId ReadItem(ByteReader* r, const std::vector<std::string>& dict) {
+  rule::ItemId item;
+  item.base = DictName(dict, r->U32());
+  uint32_t n = r->U32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) item.args.push_back(r->Val());
+  return item;
+}
+
+}  // namespace
+
+std::string RecoveredState::ToString() const {
+  std::string out = StrFormat(
+      "recovered %s: snapshot %s (%llu records), %llu replayed",
+      state.site.c_str(), snapshot_found ? "loaded" : "none",
+      static_cast<unsigned long long>(snapshot_records),
+      static_cast<unsigned long long>(replayed_records));
+  if (crc_failures > 0) {
+    out += StrFormat(", CRC failure (%llu bytes discarded)",
+                     static_cast<unsigned long long>(truncated_bytes));
+  } else if (torn_tail) {
+    out += StrFormat(", torn tail (%llu bytes discarded)",
+                     static_cast<unsigned long long>(truncated_bytes));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<SiteStore>> SiteStore::Open(
+    const StorageOptions& options, const std::string& site) {
+  if (!options.enabled()) {
+    return Status::InvalidArgument("storage directory not configured");
+  }
+  std::string dir = options.dir + "/" + site;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create storage dir " + dir + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<SiteStore> store(new SiteStore(site, dir));
+  store->journal_.set_commit_interval(options.commit_interval);
+  HCM_RETURN_IF_ERROR(store->journal_.Open(store->JournalPath()));
+  return store;
+}
+
+std::string SiteStore::SnapshotPath(uint64_t seq) const {
+  return dir_ + "/" + StrFormat("snapshot-%020llu.snap",
+                                static_cast<unsigned long long>(seq));
+}
+
+uint32_t SiteStore::DictId(const std::string& name) {
+  auto it = dict_.find(name);
+  if (it != dict_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(dict_.size());
+  dict_.emplace(name, id);
+  ByteWriter w;
+  w.U32(id);
+  w.Str(name);
+  journal_.Append(RecordType::kSymbolDef, w.Take());
+  return id;
+}
+
+void SiteStore::PutItem(ByteWriter* w, const rule::ItemId& item) {
+  w->U32(DictId(item.base));
+  w->U32(static_cast<uint32_t>(item.args.size()));
+  for (const auto& a : item.args) w->Val(a);
+}
+
+void SiteStore::Emit(RecordType type, std::string payload, TimePoint now) {
+  journal_.Append(type, std::move(payload));
+  Status s = journal_.MaybeCommit(now);
+  if (!s.ok()) {
+    HCM_LOG(Error) << "journal commit failed at " << site_ << ": "
+                   << s.ToString();
+  }
+}
+
+void SiteStore::LogLhsRule(int64_t rule_id, const std::string& rhs_site,
+                           const std::string& text, TimePoint now) {
+  ByteWriter w;
+  w.I64(rule_id);
+  w.U32(DictId(rhs_site));
+  w.Str(text);
+  Emit(RecordType::kLhsRule, w.Take(), now);
+}
+
+void SiteStore::LogRhsRule(int64_t rule_id, const std::string& text,
+                           TimePoint now) {
+  ByteWriter w;
+  w.I64(rule_id);
+  w.Str(text);
+  Emit(RecordType::kRhsRule, w.Take(), now);
+}
+
+void SiteStore::LogPeriodicStart(int64_t rule_id, Duration period,
+                                 TimePoint next_fire, TimePoint now) {
+  ByteWriter w;
+  w.I64(rule_id);
+  w.I64(period.millis());
+  w.I64(next_fire.millis());
+  Emit(RecordType::kPeriodicStart, w.Take(), now);
+}
+
+void SiteStore::LogPeriodicFire(int64_t rule_id, TimePoint next_fire,
+                                TimePoint now) {
+  ByteWriter w;
+  w.I64(rule_id);
+  w.I64(next_fire.millis());
+  Emit(RecordType::kPeriodicFire, w.Take(), now);
+}
+
+void SiteStore::LogPrivateWrite(const rule::ItemId& item, const Value& value,
+                                TimePoint now) {
+  ByteWriter w;
+  PutItem(&w, item);
+  w.Val(value);
+  Emit(RecordType::kPrivateWrite, w.Take(), now);
+}
+
+uint64_t SiteStore::LogFireBegin(
+    int64_t rule_id, int64_t trigger_event_id, TimePoint trigger_time,
+    const std::vector<std::pair<std::string, Value>>& binding, TimePoint now) {
+  uint64_t seq = next_fire_seq_++;
+  ByteWriter w;
+  w.U64(seq);
+  w.I64(rule_id);
+  w.I64(trigger_event_id);
+  w.I64(trigger_time.millis());
+  w.U32(static_cast<uint32_t>(binding.size()));
+  for (const auto& [name, value] : binding) {
+    w.U32(DictId(name));
+    w.Val(value);
+  }
+  Emit(RecordType::kFireBegin, w.Take(), now);
+  return seq;
+}
+
+void SiteStore::LogFireStep(uint64_t seq, uint32_t step, TimePoint now) {
+  ByteWriter w;
+  w.U64(seq);
+  w.U32(step);
+  Emit(RecordType::kFireStep, w.Take(), now);
+}
+
+void SiteStore::LogFireEnd(uint64_t seq, TimePoint now) {
+  ByteWriter w;
+  w.U64(seq);
+  Emit(RecordType::kFireEnd, w.Take(), now);
+}
+
+Status SiteStore::WriteSnapshot(SnapshotState state) {
+  HCM_RETURN_IF_ERROR(journal_.Flush());
+  uint64_t seq = base_records_ + journal_.records_committed();
+  state.site = site_;
+  state.journal_records = seq;
+  HCM_RETURN_IF_ERROR(WriteSnapshotFile(SnapshotPath(seq), state));
+  ++snapshots_written_;
+  ByteWriter w;
+  w.U64(seq);
+  journal_.Append(RecordType::kSnapshotMark, w.Take());
+  return journal_.Flush();
+}
+
+Result<RecoveredState> SiteStore::Recover() {
+  // The in-process writer may still be open (simulated crash); release the
+  // handle before scanning so the scan sees exactly the committed bytes.
+  HCM_RETURN_IF_ERROR(journal_.Close());
+
+  RecoveredState out;
+  JournalScan scan;
+  auto scanned = ReadJournal(JournalPath());
+  if (scanned.ok()) {
+    scan = std::move(*scanned);
+  } else if (scanned.status().code() != StatusCode::kNotFound) {
+    return scanned.status();
+  }
+  out.torn_tail = scan.torn;
+  out.crc_failures = scan.crc_failures;
+  out.truncated_bytes = scan.file_bytes - scan.valid_bytes;
+
+  // Latest valid snapshot whose journal prefix survived. Corrupt or
+  // too-new snapshots are skipped in favor of older ones.
+  SnapshotState base;
+  base.site = site_;
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "snapshot-%llu.snap", &seq) == 1) {
+      candidates.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (const auto& [seq, path] : candidates) {
+    if (seq > scan.records.size()) continue;  // journal lost its prefix
+    auto loaded = ReadSnapshotFile(path);
+    if (!loaded.ok()) {
+      HCM_LOG(Warning) << "skipping snapshot " << path << ": "
+                       << loaded.status().ToString();
+      continue;
+    }
+    base = std::move(*loaded);
+    out.snapshot_found = true;
+    out.snapshot_records = base.journal_records;
+    break;
+  }
+
+  // Replay the journal tail over the snapshot. Records are id-keyed, so
+  // replay is idempotent over the snapshot-covered prefix; kSymbolDef
+  // records from the whole file rebuild the name dictionary.
+  std::vector<std::string> dict;
+  std::map<int64_t, LhsRuleInstall> lhs;
+  std::map<int64_t, RhsRuleInstall> rhs;
+  std::map<int64_t, PeriodicTimer> periodic;
+  std::map<rule::ItemId, Value> private_data;
+  std::map<uint64_t, OutstandingFire> fires;
+  for (const auto& r : base.lhs_rules) lhs[r.rule_id] = r;
+  for (const auto& r : base.rhs_rules) rhs[r.rule_id] = r;
+  for (const auto& p : base.periodic) periodic[p.rule_id] = p;
+  for (const auto& [item, value] : base.private_data) {
+    private_data[item] = value;
+  }
+  uint64_t max_fire_seq = 0;
+  for (const auto& f : base.fires) {
+    fires[f.seq] = f;
+    max_fire_seq = std::max(max_fire_seq, f.seq);
+  }
+
+  uint64_t start = out.snapshot_records;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    const JournalRecord& rec = scan.records[i];
+    ByteReader r(rec.payload);
+    if (rec.type == RecordType::kSymbolDef) {
+      uint32_t id = r.U32();
+      std::string name = r.Str();
+      if (id >= dict.size()) dict.resize(id + 1);
+      dict[id] = name;
+      dict_[name] = id;
+      continue;
+    }
+    bool replay = i >= start;
+    switch (rec.type) {
+      case RecordType::kLhsRule: {
+        LhsRuleInstall install;
+        install.rule_id = r.I64();
+        install.rhs_site = DictName(dict, r.U32());
+        install.text = r.Str();
+        if (replay) lhs[install.rule_id] = std::move(install);
+        break;
+      }
+      case RecordType::kRhsRule: {
+        RhsRuleInstall install;
+        install.rule_id = r.I64();
+        install.text = r.Str();
+        if (replay) rhs[install.rule_id] = std::move(install);
+        break;
+      }
+      case RecordType::kPeriodicStart: {
+        PeriodicTimer p;
+        p.rule_id = r.I64();
+        p.period_ms = r.I64();
+        p.next_fire_ms = r.I64();
+        if (replay) periodic[p.rule_id] = p;
+        break;
+      }
+      case RecordType::kPeriodicFire: {
+        int64_t rule_id = r.I64();
+        int64_t next = r.I64();
+        if (replay) {
+          auto it = periodic.find(rule_id);
+          if (it != periodic.end()) it->second.next_fire_ms = next;
+        }
+        break;
+      }
+      case RecordType::kPrivateWrite: {
+        rule::ItemId item = ReadItem(&r, dict);
+        Value value = r.Val();
+        if (replay) private_data[item] = std::move(value);
+        break;
+      }
+      case RecordType::kFireBegin: {
+        OutstandingFire f;
+        f.seq = r.U64();
+        f.rule_id = r.I64();
+        f.trigger_event_id = r.I64();
+        f.trigger_time_ms = r.I64();
+        f.next_step = 0;
+        uint32_t n = r.U32();
+        for (uint32_t s = 0; s < n && r.ok(); ++s) {
+          std::string var = DictName(dict, r.U32());
+          Value value = r.Val();
+          f.binding.emplace_back(std::move(var), std::move(value));
+        }
+        max_fire_seq = std::max(max_fire_seq, f.seq);
+        if (replay) fires[f.seq] = std::move(f);
+        break;
+      }
+      case RecordType::kFireStep: {
+        uint64_t seq = r.U64();
+        uint32_t step = r.U32();
+        auto it = fires.find(seq);
+        if (it != fires.end()) it->second.next_step = step + 1;
+        break;
+      }
+      case RecordType::kFireEnd: {
+        fires.erase(r.U64());
+        break;
+      }
+      case RecordType::kSymbolDef:
+      case RecordType::kSnapshotMark:
+        break;
+    }
+    if (!r.ok()) {
+      HCM_LOG(Warning) << "journal record " << i << " at " << site_
+                       << " decoded short (" << RecordTypeName(rec.type)
+                       << ")";
+    }
+    if (replay) ++out.replayed_records;
+  }
+
+  out.state.site = site_;
+  out.state.taken_at_ms = base.taken_at_ms;
+  out.state.journal_records = scan.records.size();
+  out.state.translator_write_cursor_ms = base.translator_write_cursor_ms;
+  out.state.guarantees = base.guarantees;
+  for (auto& [id, install] : lhs) out.state.lhs_rules.push_back(install);
+  for (auto& [id, install] : rhs) out.state.rhs_rules.push_back(install);
+  for (auto& [id, p] : periodic) out.state.periodic.push_back(p);
+  for (auto& [item, value] : private_data) {
+    out.state.private_data.emplace_back(item, value);
+  }
+  for (auto& [seq, f] : fires) out.state.fires.push_back(f);
+
+  // Re-arm the writer after the valid prefix; lost tails are gone for good
+  // (that is what the failure classification charges as a logical failure).
+  next_fire_seq_ = max_fire_seq + 1;
+  base_records_ = scan.records.size();
+  if (scan.valid_bytes > 0) {
+    HCM_RETURN_IF_ERROR(journal_.Open(JournalPath(), scan.valid_bytes));
+  } else {
+    HCM_RETURN_IF_ERROR(journal_.Open(JournalPath()));
+  }
+  return out;
+}
+
+std::string JournalInspection::ToString() const {
+  std::string out = StrFormat(
+      "journal %s: %llu records, %llu/%llu bytes valid%s%s\n", dir.c_str(),
+      static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(valid_bytes),
+      static_cast<unsigned long long>(file_bytes),
+      torn ? ", TORN TAIL" : "",
+      crc_failures > 0 ? ", CRC FAILURE" : "");
+  out += "  by type:";
+  for (const auto& [type, n] : by_type) {
+    out += StrFormat(" %s=%llu", type.c_str(),
+                     static_cast<unsigned long long>(n));
+  }
+  out += StrFormat("\n  private writes: %zu\n", private_writes.size());
+  for (const auto& [covered, loadable] : snapshots) {
+    out += StrFormat("  snapshot @%llu records: %s\n",
+                     static_cast<unsigned long long>(covered),
+                     loadable ? "ok" : "UNREADABLE");
+  }
+  return out;
+}
+
+Result<JournalInspection> InspectJournalDir(const std::string& site_dir) {
+  JournalInspection out;
+  out.dir = site_dir;
+  auto scanned = ReadJournal(site_dir + "/journal.wal");
+  if (!scanned.ok() && scanned.status().code() != StatusCode::kNotFound) {
+    return scanned.status();
+  }
+  if (scanned.ok()) {
+    const JournalScan& scan = *scanned;
+    out.records = scan.records.size();
+    out.valid_bytes = scan.valid_bytes;
+    out.file_bytes = scan.file_bytes;
+    out.torn = scan.torn;
+    out.crc_failures = scan.crc_failures;
+    std::map<uint8_t, uint64_t> counts;
+    std::vector<std::string> dict;
+    for (const JournalRecord& rec : scan.records) {
+      ++counts[static_cast<uint8_t>(rec.type)];
+      ByteReader r(rec.payload);
+      if (rec.type == RecordType::kSymbolDef) {
+        uint32_t id = r.U32();
+        std::string name = r.Str();
+        if (id >= dict.size()) dict.resize(id + 1);
+        dict[id] = name;
+      } else if (rec.type == RecordType::kPrivateWrite) {
+        rule::ItemId item = ReadItem(&r, dict);
+        Value value = r.Val();
+        if (r.ok()) out.private_writes.emplace_back(std::move(item),
+                                                    std::move(value));
+      }
+    }
+    for (const auto& [type, n] : counts) {
+      out.by_type.emplace_back(RecordTypeName(static_cast<RecordType>(type)),
+                               n);
+    }
+  }
+  std::vector<std::pair<uint64_t, std::string>> snaps;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(site_dir, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "snapshot-%llu.snap", &seq) == 1) {
+      snaps.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(snaps.begin(), snaps.end());
+  for (const auto& [seq, path] : snaps) {
+    out.snapshots.emplace_back(seq, ReadSnapshotFile(path).ok());
+  }
+  return out;
+}
+
+}  // namespace hcm::storage

@@ -1,0 +1,144 @@
+#ifndef HCM_STORAGE_SITE_STORE_H_
+#define HCM_STORAGE_SITE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/rule/item.h"
+#include "src/storage/journal.h"
+#include "src/storage/snapshot.h"
+
+namespace hcm::storage {
+
+// Storage configuration for a deployment (SystemOptions::storage).
+struct StorageOptions {
+  // Root directory; empty = durability disabled (the default — simulation
+  // runs owe nothing to the filesystem unless asked).
+  std::string dir;
+  // Group-commit window on the simulation clock.
+  Duration commit_interval = Duration::Millis(50);
+  // Automatic snapshot period (simulation clock); Zero = snapshots only on
+  // request (System::CheckpointStorage).
+  Duration snapshot_period = Duration::Zero();
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+// What Recover() hands back: the merged snapshot+journal state plus how it
+// got there, for failure classification and operator reporting.
+struct RecoveredState {
+  SnapshotState state;
+  bool snapshot_found = false;
+  uint64_t snapshot_records = 0;  // journal prefix the snapshot covered
+  uint64_t replayed_records = 0;  // journal tail applied on top
+  // Journal damage observed by the scan (drives the metric-vs-logical
+  // classification together with the outage duration).
+  bool torn_tail = false;
+  uint64_t truncated_bytes = 0;  // bytes discarded past the valid prefix
+  size_t crc_failures = 0;
+
+  bool lost_records() const { return torn_tail || crc_failures > 0; }
+  std::string ToString() const;
+};
+
+// Durable state for one site: an append-only write-ahead journal plus
+// numbered snapshot files under `<dir>/<site>/`. The typed append helpers
+// encode records (routing repeated strings through a journal-local
+// name dictionary emitted as kSymbolDef records) and group-commit on the
+// simulation clock. Single-writer: under ParallelExecutor only the site's
+// execution lane touches its store, mirroring the recorder sharding rule.
+class SiteStore {
+ public:
+  static Result<std::unique_ptr<SiteStore>> Open(const StorageOptions& options,
+                                                 const std::string& site);
+
+  const std::string& site() const { return site_; }
+  const std::string& dir() const { return dir_; }
+  JournalWriter& journal() { return journal_; }
+
+  // --- Typed journal appends (each group-commits via MaybeCommit(now)) ---
+  void LogLhsRule(int64_t rule_id, const std::string& rhs_site,
+                  const std::string& text, TimePoint now);
+  void LogRhsRule(int64_t rule_id, const std::string& text, TimePoint now);
+  void LogPeriodicStart(int64_t rule_id, Duration period, TimePoint next_fire,
+                        TimePoint now);
+  void LogPeriodicFire(int64_t rule_id, TimePoint next_fire, TimePoint now);
+  void LogPrivateWrite(const rule::ItemId& item, const Value& value,
+                       TimePoint now);
+  // Returns the firing's journal sequence number, threaded through the
+  // step/end records so recovery can resume half-done chains.
+  uint64_t LogFireBegin(int64_t rule_id, int64_t trigger_event_id,
+                        TimePoint trigger_time,
+                        const std::vector<std::pair<std::string, Value>>&
+                            binding,
+                        TimePoint now);
+  void LogFireStep(uint64_t seq, uint32_t step, TimePoint now);
+  void LogFireEnd(uint64_t seq, TimePoint now);
+
+  // Flushes the journal and writes `state` as the next numbered snapshot
+  // (state.journal_records is stamped with the committed record count).
+  Status WriteSnapshot(SnapshotState state);
+
+  // Loads the latest valid snapshot, replays the journal tail over it,
+  // truncates any torn tail, and re-opens the journal for appending after
+  // the valid prefix. Safe to call on an empty/missing store (fresh state).
+  Result<RecoveredState> Recover();
+
+  uint64_t snapshots_written() const { return snapshots_written_; }
+
+ private:
+  SiteStore(std::string site, std::string dir)
+      : site_(std::move(site)), dir_(std::move(dir)) {}
+
+  std::string JournalPath() const { return dir_ + "/journal.wal"; }
+  std::string SnapshotPath(uint64_t seq) const;
+
+  // Journal-local name dictionary (see RecordType::kSymbolDef).
+  uint32_t DictId(const std::string& name);
+  void PutItem(class ByteWriter* w, const rule::ItemId& item);
+  void Emit(RecordType type, std::string payload, TimePoint now);
+
+  std::string site_;
+  std::string dir_;
+  JournalWriter journal_;
+  std::map<std::string, uint32_t> dict_;
+  uint64_t next_fire_seq_ = 1;
+  uint64_t snapshots_written_ = 0;
+  // Records that predate the current writer incarnation (set by Recover);
+  // total on-disk record count = base_records_ + journal_.records_committed().
+  uint64_t base_records_ = 0;
+};
+
+// Offline inspection of one site's journal directory (`<root>/<site>`),
+// without opening a SiteStore: scans and decodes the journal, inventories
+// the snapshot files, and reports any damage. Used by trace_inspector
+// --journal and by tests that assert on-disk layout.
+struct JournalInspection {
+  std::string dir;
+  uint64_t records = 0;
+  uint64_t valid_bytes = 0;
+  uint64_t file_bytes = 0;
+  bool torn = false;
+  size_t crc_failures = 0;
+  // Record counts by type name, in RecordType order.
+  std::vector<std::pair<std::string, uint64_t>> by_type;
+  // Decoded kPrivateWrite records in journal order — the site's durable
+  // write stream, diffable against the W events of a recorded trace.
+  std::vector<std::pair<rule::ItemId, Value>> private_writes;
+  // Snapshot files found: (journal records covered, loadable?).
+  std::vector<std::pair<uint64_t, bool>> snapshots;
+
+  std::string ToString() const;
+};
+
+Result<JournalInspection> InspectJournalDir(const std::string& site_dir);
+
+}  // namespace hcm::storage
+
+#endif  // HCM_STORAGE_SITE_STORE_H_

@@ -1,0 +1,233 @@
+#include "src/storage/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "src/storage/codec.h"
+#include "src/storage/journal.h"
+
+namespace hcm::storage {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'H', 'C', 'M', 'S', 'N', 'P', '1', '\n'};
+constexpr size_t kMagicSize = sizeof(kSnapshotMagic);
+constexpr uint32_t kFormatVersion = 1;
+
+// Name dictionary local to one snapshot: strings used repeatedly (rule
+// texts excepted — those are one-shot) are written once in the dictionary
+// table and referenced by dense id everywhere else.
+class DictWriter {
+ public:
+  uint32_t IdOf(const std::string& s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    ids_.emplace(s, id);
+    names_.push_back(s);
+    return id;
+  }
+
+  void EmitTable(ByteWriter* w) const {
+    w->U32(static_cast<uint32_t>(names_.size()));
+    for (const auto& n : names_) w->Str(n);
+  }
+
+ private:
+  std::map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+void PutItem(ByteWriter* w, DictWriter* dict, const rule::ItemId& item) {
+  w->U32(dict->IdOf(item.base));
+  w->U32(static_cast<uint32_t>(item.args.size()));
+  for (const auto& a : item.args) w->Val(a);
+}
+
+rule::ItemId GetItem(ByteReader* r, const std::vector<std::string>& dict) {
+  rule::ItemId item;
+  uint32_t base = r->U32();
+  if (base < dict.size()) item.base = dict[base];
+  uint32_t n = r->U32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) item.args.push_back(r->Val());
+  return item;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotState& state) {
+  DictWriter dict;
+  ByteWriter body;
+  body.U32(dict.IdOf(state.site));
+  body.I64(state.taken_at_ms);
+  body.U64(state.journal_records);
+  body.I64(state.translator_write_cursor_ms);
+
+  body.U32(static_cast<uint32_t>(state.lhs_rules.size()));
+  for (const auto& r : state.lhs_rules) {
+    body.I64(r.rule_id);
+    body.U32(dict.IdOf(r.rhs_site));
+    body.Str(r.text);
+  }
+  body.U32(static_cast<uint32_t>(state.rhs_rules.size()));
+  for (const auto& r : state.rhs_rules) {
+    body.I64(r.rule_id);
+    body.Str(r.text);
+  }
+  body.U32(static_cast<uint32_t>(state.periodic.size()));
+  for (const auto& p : state.periodic) {
+    body.I64(p.rule_id);
+    body.I64(p.period_ms);
+    body.I64(p.next_fire_ms);
+  }
+  body.U32(static_cast<uint32_t>(state.private_data.size()));
+  for (const auto& [item, value] : state.private_data) {
+    PutItem(&body, &dict, item);
+    body.Val(value);
+  }
+  body.U32(static_cast<uint32_t>(state.fires.size()));
+  for (const auto& f : state.fires) {
+    body.U64(f.seq);
+    body.I64(f.rule_id);
+    body.I64(f.trigger_event_id);
+    body.I64(f.trigger_time_ms);
+    body.U32(f.next_step);
+    body.U32(static_cast<uint32_t>(f.binding.size()));
+    for (const auto& [name, value] : f.binding) {
+      body.U32(dict.IdOf(name));
+      body.Val(value);
+    }
+  }
+  body.U32(static_cast<uint32_t>(state.guarantees.size()));
+  for (const auto& g : state.guarantees) {
+    body.Str(g.key);
+    body.U8(g.valid ? 1 : 0);
+  }
+
+  // Final layout: version, dictionary table, then the sections that
+  // reference it.
+  ByteWriter out;
+  out.U32(kFormatVersion);
+  dict.EmitTable(&out);
+  return out.Take() + body.Take();
+}
+
+Result<SnapshotState> DecodeSnapshot(const std::string& bytes) {
+  ByteReader r(bytes);
+  if (r.U32() != kFormatVersion) {
+    return Status::Corruption("unsupported snapshot version");
+  }
+  std::vector<std::string> dict;
+  uint32_t dict_size = r.U32();
+  for (uint32_t i = 0; i < dict_size && r.ok(); ++i) dict.push_back(r.Str());
+  auto name = [&dict](uint32_t id) -> std::string {
+    return id < dict.size() ? dict[id] : std::string();
+  };
+
+  SnapshotState state;
+  state.site = name(r.U32());
+  state.taken_at_ms = r.I64();
+  state.journal_records = r.U64();
+  state.translator_write_cursor_ms = r.I64();
+
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    LhsRuleInstall rule;
+    rule.rule_id = r.I64();
+    rule.rhs_site = name(r.U32());
+    rule.text = r.Str();
+    state.lhs_rules.push_back(std::move(rule));
+  }
+  n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    RhsRuleInstall rule;
+    rule.rule_id = r.I64();
+    rule.text = r.Str();
+    state.rhs_rules.push_back(std::move(rule));
+  }
+  n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    PeriodicTimer p;
+    p.rule_id = r.I64();
+    p.period_ms = r.I64();
+    p.next_fire_ms = r.I64();
+    state.periodic.push_back(p);
+  }
+  n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    rule::ItemId item = GetItem(&r, dict);
+    Value value = r.Val();
+    state.private_data.emplace_back(std::move(item), std::move(value));
+  }
+  n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    OutstandingFire f;
+    f.seq = r.U64();
+    f.rule_id = r.I64();
+    f.trigger_event_id = r.I64();
+    f.trigger_time_ms = r.I64();
+    f.next_step = r.U32();
+    uint32_t slots = r.U32();
+    for (uint32_t s = 0; s < slots && r.ok(); ++s) {
+      std::string var = name(r.U32());
+      Value value = r.Val();
+      f.binding.emplace_back(std::move(var), std::move(value));
+    }
+    state.fires.push_back(std::move(f));
+  }
+  n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    GuaranteeStatus g;
+    g.key = r.Str();
+    g.valid = r.U8() != 0;
+    state.guarantees.push_back(std::move(g));
+  }
+  if (!r.ok()) return Status::Corruption("snapshot body truncated");
+  return state;
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const SnapshotState& state) {
+  std::string body = EncodeSnapshot(state);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot create " + path);
+  uint32_t len = static_cast<uint32_t>(body.size());
+  uint32_t crc = Crc32(body.data(), body.size());
+  bool ok = std::fwrite(kSnapshotMagic, 1, kMagicSize, f) == kMagicSize &&
+            std::fwrite(&len, 1, sizeof len, f) == sizeof len &&
+            std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+            std::fwrite(&crc, 1, sizeof crc, f) == sizeof crc;
+  std::fflush(f);
+  std::fclose(f);
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<SnapshotState> ReadSnapshotFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no snapshot at " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, got);
+  std::fclose(f);
+  if (data.size() < kMagicSize + 8 ||
+      std::memcmp(data.data(), kSnapshotMagic, kMagicSize) != 0) {
+    return Status::Corruption("not a snapshot file: " + path);
+  }
+  uint32_t len;
+  std::memcpy(&len, data.data() + kMagicSize, sizeof len);
+  if (data.size() < kMagicSize + 4 + len + 4) {
+    return Status::Corruption("snapshot truncated: " + path);
+  }
+  const char* body = data.data() + kMagicSize + 4;
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, body + len, sizeof stored_crc);
+  if (Crc32(body, len) != stored_crc) {
+    return Status::Corruption("snapshot CRC mismatch: " + path);
+  }
+  return DecodeSnapshot(std::string(body, len));
+}
+
+}  // namespace hcm::storage

@@ -1,0 +1,84 @@
+#ifndef HCM_STORAGE_SNAPSHOT_H_
+#define HCM_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/rule/item.h"
+
+namespace hcm::storage {
+
+// One shell's full recoverable state at an instant, as captured by
+// Shell::BuildSnapshot and replayed by Shell::Recover. Everything is keyed
+// by NAME (rule text, item base strings, slot-variable names): process
+// SymbolTable ids are dense per-run and not stable across restarts, so the
+// on-disk form re-interns by name at load and ids come out right by
+// construction (the "name-keyed dictionary" contract of DESIGN.md §4e).
+struct LhsRuleInstall {
+  int64_t rule_id = -1;
+  std::string rhs_site;
+  std::string text;  // Rule::ToString — round-trips through the parser
+};
+
+struct RhsRuleInstall {
+  int64_t rule_id = -1;
+  std::string text;
+};
+
+struct PeriodicTimer {
+  int64_t rule_id = -1;
+  int64_t period_ms = 0;
+  int64_t next_fire_ms = 0;  // absolute simulation time of the next P event
+};
+
+// A rule firing whose RHS chain had begun but not completed: recovery
+// resumes it at `next_step` with the journaled binding.
+struct OutstandingFire {
+  uint64_t seq = 0;  // journal-assigned firing sequence number
+  int64_t rule_id = -1;
+  int64_t trigger_event_id = -1;
+  int64_t trigger_time_ms = 0;
+  uint32_t next_step = 0;
+  // Slot-variable name -> bound value ("now" excluded; rebound on resume).
+  std::vector<std::pair<std::string, Value>> binding;
+};
+
+// Guarantee validity involving this site, as known at snapshot time.
+struct GuaranteeStatus {
+  std::string key;
+  bool valid = true;
+};
+
+struct SnapshotState {
+  std::string site;
+  int64_t taken_at_ms = 0;
+  // Journal records already folded into this snapshot; recovery replays
+  // only records at index >= journal_records.
+  uint64_t journal_records = 0;
+  std::vector<LhsRuleInstall> lhs_rules;
+  std::vector<RhsRuleInstall> rhs_rules;
+  std::vector<PeriodicTimer> periodic;
+  std::vector<std::pair<rule::ItemId, Value>> private_data;  // ItemId order
+  std::vector<OutstandingFire> fires;                        // seq order
+  // Translator cursor: the write-serialization point (millis, -1 = none).
+  int64_t translator_write_cursor_ms = -1;
+  std::vector<GuaranteeStatus> guarantees;
+};
+
+// Serializes/parses the snapshot body (dictionary + sections; see
+// docs/STORAGE_FORMAT.md). The file wrapper adds magic and a whole-body
+// CRC so a torn snapshot is detected and skipped in favor of an older one.
+std::string EncodeSnapshot(const SnapshotState& state);
+Result<SnapshotState> DecodeSnapshot(const std::string& body);
+
+// File layout: 8-byte magic, u32 body length, body, u32 CRC-32(body).
+Status WriteSnapshotFile(const std::string& path, const SnapshotState& state);
+Result<SnapshotState> ReadSnapshotFile(const std::string& path);
+
+}  // namespace hcm::storage
+
+#endif  // HCM_STORAGE_SNAPSHOT_H_

@@ -10,6 +10,19 @@ const char* FailureClassName(FailureClass fc) {
   return fc == FailureClass::kMetric ? "metric" : "logical";
 }
 
+std::string GuaranteeStatusDetail::ToString() const {
+  std::string out =
+      validity == GuaranteeValidity::kValid ? "valid" : "invalid";
+  for (const auto& [from, to] : void_windows) {
+    out += StrFormat(" void[%s,%s)", from.ToString().c_str(),
+                     to.ToString().c_str());
+  }
+  if (void_since.has_value()) {
+    out += StrFormat(" void-since %s", void_since->ToString().c_str());
+  }
+  return out;
+}
+
 std::string FailureNotice::ToString() const {
   return StrFormat("%s failure at site %s (%s): %s", FailureClassName(
                        failure_class),
@@ -41,20 +54,57 @@ void GuaranteeStatusRegistry::OnFailure(const FailureNotice& notice) {
                               notice.site) != entry.sites.end();
     if (!involved) continue;
     if (notice.failure_class == FailureClass::kLogical || entry.metric) {
+      if (entry.validity == GuaranteeValidity::kValid) {
+        entry.void_since = notice.detected_at;
+      } else if (entry.void_since.has_value() &&
+                 notice.detected_at < *entry.void_since) {
+        // Backdated notice (recovery reports the crash instant at restart
+        // time): widen the open window to cover the earlier onset.
+        entry.void_since = notice.detected_at;
+      }
       entry.validity = GuaranteeValidity::kInvalid;
+      if (notice.failure_class == FailureClass::kLogical) {
+        entry.logical_void = true;
+      }
     }
   }
 }
 
+void GuaranteeStatusRegistry::Revalidate(Entry* entry, TimePoint at) {
+  if (entry->void_since.has_value()) {
+    entry->void_windows.emplace_back(*entry->void_since, at);
+    entry->void_since.reset();
+  }
+  entry->validity = GuaranteeValidity::kValid;
+  entry->logical_void = false;
+}
+
 void GuaranteeStatusRegistry::ResetSite(const std::string& site,
                                         TimePoint at) {
-  (void)at;
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, entry] : entries_) {
     (void)key;
     bool involved = std::find(entry.sites.begin(), entry.sites.end(), site) !=
                     entry.sites.end();
-    if (involved) entry.validity = GuaranteeValidity::kValid;
+    if (involved && entry.validity == GuaranteeValidity::kInvalid) {
+      Revalidate(&entry, at);
+    }
+  }
+}
+
+void GuaranteeStatusRegistry::ReestablishSite(const std::string& site,
+                                              TimePoint at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    (void)key;
+    bool involved = std::find(entry.sites.begin(), entry.sites.end(), site) !=
+                    entry.sites.end();
+    // Only metric voids heal on replay; a logical void means the interface
+    // statements themselves broke and needs an operator ResetSite.
+    if (involved && entry.validity == GuaranteeValidity::kInvalid &&
+        !entry.logical_void) {
+      Revalidate(&entry, at);
+    }
   }
 }
 
@@ -66,6 +116,31 @@ Result<GuaranteeValidity> GuaranteeStatusRegistry::StatusOf(
     return Status::NotFound("no guarantee registered under key: " + key);
   }
   return it->second.validity;
+}
+
+Result<GuaranteeStatusDetail> GuaranteeStatusRegistry::DetailOf(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("no guarantee registered under key: " + key);
+  }
+  GuaranteeStatusDetail detail;
+  detail.validity = it->second.validity;
+  detail.void_windows = it->second.void_windows;
+  detail.void_since = it->second.void_since;
+  return detail;
+}
+
+std::vector<std::pair<std::string, bool>>
+GuaranteeStatusRegistry::StatusSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, bool>> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.emplace_back(key, entry.validity == GuaranteeValidity::kValid);
+  }
+  return out;
 }
 
 std::vector<std::string> GuaranteeStatusRegistry::InvalidKeys() const {

@@ -3,7 +3,9 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -33,6 +35,18 @@ struct FailureNotice {
 // Validity of one guarantee as tracked at run time.
 enum class GuaranteeValidity { kValid, kInvalid };
 
+// Full validity history of one guarantee: current status plus the closed
+// void windows [from, to) during which it was invalid, and the start of the
+// still-open window if currently invalid. The crash-recovery acid test
+// asserts metric guarantees void exactly across the outage.
+struct GuaranteeStatusDetail {
+  GuaranteeValidity validity = GuaranteeValidity::kValid;
+  std::vector<std::pair<TimePoint, TimePoint>> void_windows;
+  std::optional<TimePoint> void_since;
+
+  std::string ToString() const;
+};
+
 // Tracks which installed guarantees are currently valid, given the failures
 // the CM has detected and propagated (Section 5: "the affected guarantees
 // may be marked as invalid"). Guarantees are registered with the set of
@@ -48,14 +62,29 @@ class GuaranteeStatusRegistry {
   Status Register(const std::string& key, const spec::Guarantee& guarantee,
                   std::vector<std::string> sites);
 
-  // Failure propagation: marks affected guarantees invalid.
+  // Failure propagation: marks affected guarantees invalid. Opens a void
+  // window at notice.detected_at for entries newly invalidated (recovery
+  // backdates detected_at to the crash instant, so the window covers the
+  // whole outage even though the notice is raised at restart).
   void OnFailure(const FailureNotice& notice);
 
   // Operator reset after a logical failure is repaired: guarantees
-  // involving the site become valid again.
+  // involving the site become valid again at `at` (void windows close).
   void ResetSite(const std::string& site, TimePoint at);
 
+  // Recovery from a metric failure: the site replayed its journal and
+  // resumed its obligations, so only METRIC guarantees involving it
+  // re-validate; logically-voided entries stay invalid until ResetSite.
+  void ReestablishSite(const std::string& site, TimePoint at);
+
   Result<GuaranteeValidity> StatusOf(const std::string& key) const;
+
+  // Validity history for one key (windows in open order).
+  Result<GuaranteeStatusDetail> DetailOf(const std::string& key) const;
+
+  // Snapshot of (key, currently-valid) for every registered guarantee, in
+  // key order — captured into site snapshots by System::CheckpointStorage.
+  std::vector<std::pair<std::string, bool>> StatusSnapshot() const;
 
   // All notices seen, in detection order. Main thread / between runs only
   // (returns a reference into guarded state).
@@ -70,7 +99,15 @@ class GuaranteeStatusRegistry {
     bool metric;
     std::vector<std::string> sites;
     GuaranteeValidity validity = GuaranteeValidity::kValid;
+    // Why the entry is currently invalid: true if any failure since the
+    // last revalidation was logical (blocks ReestablishSite).
+    bool logical_void = false;
+    std::optional<TimePoint> void_since;
+    std::vector<std::pair<TimePoint, TimePoint>> void_windows;
   };
+
+  // Closes the open void window (if any) and revalidates. Caller holds mu_.
+  static void Revalidate(Entry* entry, TimePoint at);
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   std::vector<FailureNotice> failures_;

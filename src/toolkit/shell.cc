@@ -1,7 +1,10 @@
 #include "src/toolkit/shell.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/rule/parser.h"
 
 namespace hcm::toolkit {
 
@@ -35,6 +38,10 @@ Status Shell::AddLhsRule(const rule::Rule& r, const std::string& rhs_site) {
   lhs_index_.Add(r.lhs, lhs_rules_.size());
   lhs_rules_.push_back(LhsEntry{r, rhs_site, Symbols().Intern(rhs_site)});
   lhs_rules_.back().rule.Compile();
+  if (store_ != nullptr && !recovering_) {
+    store_->LogLhsRule(r.id, rhs_site, lhs_rules_.back().rule.ToString(),
+                       executor_->now());
+  }
   return Status::OK();
 }
 
@@ -43,6 +50,9 @@ Status Shell::AddRhsRule(const rule::Rule& r) {
   rule::Rule& stored = rhs_rules_[r.id];
   stored = r;
   stored.Compile();
+  if (store_ != nullptr && !recovering_) {
+    store_->LogRhsRule(r.id, stored.ToString(), executor_->now());
+  }
   return Status::OK();
 }
 
@@ -59,24 +69,47 @@ Status Shell::StartPeriodicRule(const rule::Rule& r) {
   if (period <= Duration::Zero()) {
     return Status::InvalidArgument("periodic rule period must be positive");
   }
+  TimePoint first_fire = executor_->now() + period;
+  periodic_state_[r.id] =
+      storage::PeriodicTimer{r.id, period.millis(), first_fire.millis()};
+  if (store_ != nullptr && !recovering_) {
+    store_->LogPeriodicStart(r.id, period, first_fire, executor_->now());
+  }
+  ArmPeriodicRule(r.id, period, first_fire);
+  return Status::OK();
+}
+
+void Shell::ArmPeriodicRule(int64_t rule_id, Duration period,
+                            TimePoint first_fire) {
   int64_t period_ms = period.millis();
   // Self-rescheduling timer; P events are recorded then matched normally.
+  // The epoch capture kills the chain when the shell crashes: the recovered
+  // incarnation re-arms its own timers from the journal.
   auto fire = std::make_shared<std::function<void()>>();
-  *fire = [this, period, period_ms, fire]() {
+  uint64_t epoch = epoch_;
+  *fire = [this, epoch, rule_id, period, period_ms, fire]() {
+    if (epoch != epoch_) return;
     rule::Event p;
     p.kind = rule::EventKind::kPeriodic;
     p.values = {Value::Int(period_ms)};
     RecordAndProcess(std::move(p));
+    TimePoint next = executor_->now() + period;
+    auto it = periodic_state_.find(rule_id);
+    if (it != periodic_state_.end()) it->second.next_fire_ms = next.millis();
+    if (store_ != nullptr) {
+      store_->LogPeriodicFire(rule_id, next, executor_->now());
+    }
     executor_->ScheduleAfter(site_, period, *fire);
   };
-  executor_->ScheduleAfter(site_, period, *fire);
-  return Status::OK();
+  executor_->ScheduleAt(site_, first_fire, *fire);
 }
 
 void Shell::AddPeriodicTask(Duration period, std::function<void()> task) {
   auto fire = std::make_shared<std::function<void()>>();
   auto shared_task = std::make_shared<std::function<void()>>(std::move(task));
-  *fire = [this, period, shared_task, fire]() {
+  uint64_t epoch = epoch_;
+  *fire = [this, epoch, period, shared_task, fire]() {
+    if (epoch != epoch_) return;
     (*shared_task)();
     executor_->ScheduleAfter(site_, period, *fire);
   };
@@ -101,6 +134,9 @@ void Shell::WritePrivate(const rule::ItemId& item, Value value,
   w.trigger_event_id = trigger_event_id;
   w.rhs_step = rhs_step;
   recorder_->Record(std::move(w));
+  if (store_ != nullptr && !recovering_) {
+    store_->LogPrivateWrite(item, value, executor_->now());
+  }
   private_data_[item] = std::move(value);
 }
 
@@ -122,6 +158,14 @@ Shell::DispatchStats Shell::dispatch_stats() const {
 }
 
 void Shell::OnMessage(const sim::Message& message) {
+  if (crashed_) {
+    // Belt and braces: the network holds messages across registered
+    // outages, but a crash scheduled without an injector window must not
+    // leak work into the dead incarnation.
+    HCM_LOG(Debug) << "shell at " << site_ << " is down; dropping "
+                   << message.kind;
+    return;
+  }
   if (message.kind == "event") {
     const auto& em = std::any_cast<const EventMessage&>(message.payload);
     RecordAndProcess(em.event);
@@ -246,35 +290,95 @@ void Shell::ExecuteFire(const FireMessage& fire) {
     ReportFailure(notice);
   }
   if (r.rhs.empty()) return;
-  if (fire.compiled) {
-    if (fire.frame.size() != r.slots.size()) {
-      // Both shells compile identical rule content, so the slot layouts
-      // agree by construction; a mismatch means the installation diverged.
-      HCM_LOG(Warning) << "shell at " << site_ << " got a frame of "
-                       << fire.frame.size() << " slots for rule " << r.id
-                       << " which compiled to " << r.slots.size();
-      return;
-    }
-    ExecuteStepCompiled(r.id, fire.trigger_event_id, 0, fire.frame);
+  if (fire.compiled && fire.frame.size() != r.slots.size()) {
+    // Both shells compile identical rule content, so the slot layouts
+    // agree by construction; a mismatch means the installation diverged.
+    HCM_LOG(Warning) << "shell at " << site_ << " got a frame of "
+                     << fire.frame.size() << " slots for rule " << r.id
+                     << " which compiled to " << r.slots.size();
     return;
   }
-  ExecuteStep(r.id, fire.trigger_event_id, 0, fire.binding);
+  // Journal the firing before the chain starts: if the site dies mid-chain
+  // recovery resumes at the last journaled step instead of dropping the
+  // obligation.
+  uint64_t fire_seq = 0;
+  if (store_ != nullptr) {
+    std::vector<std::pair<std::string, Value>> binding;
+    if (fire.compiled) {
+      for (uint16_t slot = 0; slot < r.slots.size(); ++slot) {
+        if (static_cast<int>(slot) == r.now_slot) continue;
+        if (fire.frame.IsBound(slot)) {
+          binding.emplace_back(r.slots.name(slot), fire.frame.Get(slot));
+        }
+      }
+    } else {
+      for (const auto& [name, value] : fire.binding) {
+        if (name != "now") binding.emplace_back(name, value);
+      }
+    }
+    fire_seq = NoteFireBegin(r, fire.trigger_event_id, fire.trigger_time,
+                             std::move(binding));
+  }
+  if (fire.compiled) {
+    ExecuteStepCompiled(r.id, fire.trigger_event_id, 0, fire.frame, fire_seq);
+    return;
+  }
+  ExecuteStep(r.id, fire.trigger_event_id, 0, fire.binding, fire_seq);
+}
+
+uint64_t Shell::NoteFireBegin(
+    const rule::Rule& r, int64_t trigger_event_id, TimePoint trigger_time,
+    std::vector<std::pair<std::string, Value>> binding) {
+  uint64_t seq = store_->LogFireBegin(r.id, trigger_event_id, trigger_time,
+                                      binding, executor_->now());
+  storage::OutstandingFire f;
+  f.seq = seq;
+  f.rule_id = r.id;
+  f.trigger_event_id = trigger_event_id;
+  f.trigger_time_ms = trigger_time.millis();
+  f.next_step = 0;
+  f.binding = std::move(binding);
+  outstanding_fires_.emplace(seq, std::move(f));
+  return seq;
+}
+
+void Shell::NoteFireStep(uint64_t fire_seq, size_t step) {
+  if (fire_seq == 0 || store_ == nullptr) return;
+  store_->LogFireStep(fire_seq, static_cast<uint32_t>(step),
+                      executor_->now());
+  auto it = outstanding_fires_.find(fire_seq);
+  if (it != outstanding_fires_.end()) {
+    it->second.next_step = static_cast<uint32_t>(step) + 1;
+  }
+}
+
+void Shell::NoteFireEnd(uint64_t fire_seq) {
+  if (fire_seq == 0 || store_ == nullptr) return;
+  store_->LogFireEnd(fire_seq, executor_->now());
+  outstanding_fires_.erase(fire_seq);
 }
 
 void Shell::ExecuteStep(int64_t rule_id, int64_t trigger_event_id,
-                        size_t step, rule::Binding binding) {
+                        size_t step, rule::Binding binding,
+                        uint64_t fire_seq) {
+  uint64_t epoch = epoch_;
   executor_->PostAfter(
       site_, step_delay_,
-      [this, rule_id, trigger_event_id, step,
+      [this, epoch, rule_id, trigger_event_id, step, fire_seq,
        binding = std::move(binding)]() mutable {
+        if (epoch != epoch_) return;  // scheduled before a crash
         auto it = rhs_rules_.find(rule_id);
         if (it == rhs_rules_.end()) {
           HCM_LOG(Warning) << "shell at " << site_ << " lost body for rule "
                            << rule_id << " before step " << step << " ran";
+          NoteFireEnd(fire_seq);
           return;
         }
         const rule::Rule& r = it->second;
-        if (step >= r.rhs.size()) return;
+        if (step >= r.rhs.size()) {
+          NoteFireEnd(fire_seq);
+          return;
+        }
         rule::Binding b = binding;
         b["now"] = Value::Int(executor_->now().millis());
         const rule::RhsStep& rhs = r.rhs[step];
@@ -317,26 +421,36 @@ void Shell::ExecuteStep(int64_t rule_id, int64_t trigger_event_id,
           }
         }
         if (step + 1 < r.rhs.size()) {
+          NoteFireStep(fire_seq, step);
           ExecuteStep(rule_id, trigger_event_id, step + 1,
-                      std::move(binding));
+                      std::move(binding), fire_seq);
+        } else {
+          NoteFireEnd(fire_seq);
         }
       });
 }
 
 void Shell::ExecuteStepCompiled(int64_t rule_id, int64_t trigger_event_id,
-                                size_t step, rule::BindingFrame frame) {
+                                size_t step, rule::BindingFrame frame,
+                                uint64_t fire_seq) {
+  uint64_t epoch = epoch_;
   executor_->PostAfter(
       site_, step_delay_,
-      [this, rule_id, trigger_event_id, step,
+      [this, epoch, rule_id, trigger_event_id, step, fire_seq,
        frame = std::move(frame)]() mutable {
+        if (epoch != epoch_) return;  // scheduled before a crash
         auto it = rhs_rules_.find(rule_id);
         if (it == rhs_rules_.end()) {
           HCM_LOG(Warning) << "shell at " << site_ << " lost body for rule "
                            << rule_id << " before step " << step << " ran";
+          NoteFireEnd(fire_seq);
           return;
         }
         const rule::Rule& r = it->second;
-        if (step >= r.rhs.size()) return;
+        if (step >= r.rhs.size()) {
+          NoteFireEnd(fire_seq);
+          return;
+        }
         // Work on a copy with "now" bound; the chained next step gets the
         // original frame, exactly like the map path.
         rule::BindingFrame b = frame;
@@ -384,8 +498,11 @@ void Shell::ExecuteStepCompiled(int64_t rule_id, int64_t trigger_event_id,
           }
         }
         if (step + 1 < r.rhs.size()) {
+          NoteFireStep(fire_seq, step);
           ExecuteStepCompiled(rule_id, trigger_event_id, step + 1,
-                              std::move(frame));
+                              std::move(frame), fire_seq);
+        } else {
+          NoteFireEnd(fire_seq);
         }
       });
 }
@@ -434,6 +551,258 @@ void Shell::RouteGeneratedEvent(rule::Event event, bool whole_base) {
       HCM_LOG(Warning) << "strategy produced unsupported event kind "
                        << rule::EventKindName(event.kind);
   }
+}
+
+void Shell::SetSnapshotTask(Duration period, std::function<void()> task) {
+  snapshot_period_ = period;
+  snapshot_task_ = std::move(task);
+  if (snapshot_period_ > Duration::Zero() && snapshot_task_) {
+    AddPeriodicTask(snapshot_period_, snapshot_task_);
+  }
+}
+
+void Shell::Crash(bool clean) {
+  if (crashed_) return;
+  crashed_ = true;
+  crashed_at_ = executor_->now();
+  // Invalidate every scheduled continuation of this incarnation.
+  ++epoch_;
+  lost_buffered_ = 0;
+  if (store_ != nullptr) {
+    if (clean) {
+      Status s = store_->journal().Flush();
+      if (!s.ok()) {
+        HCM_LOG(Error) << "journal flush on clean crash at " << site_
+                       << " failed: " << s.ToString();
+      }
+    } else {
+      lost_buffered_ = store_->journal().DropBuffered();
+    }
+  }
+  lhs_rules_.clear();
+  lhs_index_ = rule::RuleIndex();
+  candidate_scratch_.clear();
+  rhs_rules_.clear();
+  private_data_.clear();
+  periodic_state_.clear();
+  outstanding_fires_.clear();
+  HCM_LOG(Info) << "shell at " << site_ << " crashed ("
+                << (clean ? "clean" : "dirty") << ", " << lost_buffered_
+                << " buffered records lost)";
+}
+
+Duration Shell::MaxRuleDelta() const {
+  Duration max = Duration::Zero();
+  for (const auto& [id, r] : rhs_rules_) {
+    (void)id;
+    if (r.delta > max) max = r.delta;
+  }
+  for (const auto& entry : lhs_rules_) {
+    if (entry.rule.delta > max) max = entry.rule.delta;
+  }
+  return max;
+}
+
+std::string Shell::RecoverySummary::ToString() const {
+  std::string out = StrFormat(
+      "%s recovery: snapshot %s, %llu journal records replayed, "
+      "%zu+%zu rules, %zu timers, %zu fires resumed, %zu private items, "
+      "outage %s",
+      FailureClassName(classification), snapshot_found ? "loaded" : "none",
+      static_cast<unsigned long long>(replayed_records),
+      lhs_rules_reinstalled, rhs_rules_reinstalled, timers_restarted,
+      fires_resumed, private_items_restored, outage.ToString().c_str());
+  if (torn_tail) {
+    out += StrFormat(", torn tail (%llu bytes)",
+                     static_cast<unsigned long long>(truncated_bytes));
+  }
+  if (lost_buffered > 0) {
+    out += StrFormat(", %zu buffered records lost", lost_buffered);
+  }
+  return out;
+}
+
+Result<Shell::RecoverySummary> Shell::Recover() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition("no storage attached at " + site_);
+  }
+  auto recovered = store_->Recover();
+  if (!recovered.ok()) return recovered.status();
+  const storage::RecoveredState& rec = *recovered;
+
+  RecoverySummary sum;
+  sum.snapshot_found = rec.snapshot_found;
+  sum.replayed_records = rec.replayed_records;
+  sum.torn_tail = rec.torn_tail;
+  sum.truncated_bytes = rec.truncated_bytes;
+  sum.lost_buffered = lost_buffered_;
+
+  // Reinstall rules from their journaled text. Re-parsing + Compile gives
+  // slot layouts identical to the pre-crash install (the compile walk is
+  // deterministic over rule structure), so held fire messages carrying
+  // frames from before the crash still line up.
+  recovering_ = true;
+  for (const auto& install : rec.state.lhs_rules) {
+    auto parsed = rule::ParseRule(install.text);
+    if (!parsed.ok()) {
+      recovering_ = false;
+      return Status::Corruption("journaled LHS rule unparseable: " +
+                                parsed.status().message());
+    }
+    parsed->id = install.rule_id;
+    Status s = AddLhsRule(*parsed, install.rhs_site);
+    if (!s.ok()) {
+      recovering_ = false;
+      return s;
+    }
+    ++sum.lhs_rules_reinstalled;
+  }
+  for (const auto& install : rec.state.rhs_rules) {
+    auto parsed = rule::ParseRule(install.text);
+    if (!parsed.ok()) {
+      recovering_ = false;
+      return Status::Corruption("journaled RHS rule unparseable: " +
+                                parsed.status().message());
+    }
+    parsed->id = install.rule_id;
+    Status s = AddRhsRule(*parsed);
+    if (!s.ok()) {
+      recovering_ = false;
+      return s;
+    }
+    ++sum.rhs_rules_reinstalled;
+  }
+
+  // Private data comes back by direct assignment: the W events that
+  // produced these values are already in the trace, and replay must not
+  // re-record them.
+  for (const auto& [item, value] : rec.state.private_data) {
+    private_data_[item] = value;
+  }
+  sum.private_items_restored = rec.state.private_data.size();
+
+  crashed_ = false;
+  TimePoint now = executor_->now();
+
+  // Periodic timers resume phase-aligned: next fire is the first multiple
+  // of the period after now, counted from the journaled schedule, so the
+  // P-event cadence lines up with the pre-crash phase.
+  for (const auto& p : rec.state.periodic) {
+    if (p.period_ms <= 0) continue;
+    Duration period = Duration::Millis(p.period_ms);
+    TimePoint next = TimePoint::FromMillis(p.next_fire_ms);
+    if (next <= now) {
+      int64_t missed = (now.millis() - p.next_fire_ms) / p.period_ms + 1;
+      next = next + period * missed;
+      if (next <= now) next = next + period;
+    }
+    storage::PeriodicTimer timer = p;
+    timer.next_fire_ms = next.millis();
+    periodic_state_[p.rule_id] = timer;
+    ArmPeriodicRule(p.rule_id, period, next);
+    ++sum.timers_restarted;
+  }
+
+  // Resume half-done RHS chains at their journaled step, under the
+  // original firing sequence so the eventual fire-end matches the
+  // journaled fire-begin.
+  for (const auto& f : rec.state.fires) {
+    auto it = rhs_rules_.find(f.rule_id);
+    if (it == rhs_rules_.end()) {
+      HCM_LOG(Warning) << "outstanding fire " << f.seq << " at " << site_
+                       << " references unknown rule " << f.rule_id;
+      continue;
+    }
+    const rule::Rule& r = it->second;
+    outstanding_fires_[f.seq] = f;
+    if (use_reference_impl_) {
+      rule::Binding binding;
+      for (const auto& [name, value] : f.binding) binding[name] = value;
+      ExecuteStep(f.rule_id, f.trigger_event_id, f.next_step,
+                  std::move(binding), f.seq);
+    } else {
+      rule::BindingFrame frame(r.slots.size());
+      for (const auto& [name, value] : f.binding) {
+        int slot = r.slots.Find(name);
+        if (slot >= 0) frame.Set(static_cast<uint16_t>(slot), value);
+      }
+      ExecuteStepCompiled(f.rule_id, f.trigger_event_id, f.next_step,
+                          std::move(frame), f.seq);
+    }
+    ++sum.fires_resumed;
+  }
+  recovering_ = false;
+
+  if (snapshot_period_ > Duration::Zero() && snapshot_task_) {
+    AddPeriodicTask(snapshot_period_, snapshot_task_);
+  }
+
+  // Failure classification (Section 5): if the journal gave everything
+  // back and the gap still fits inside the largest rule deadline, the
+  // outage only delayed work — a metric failure. Lost records or a gap no
+  // deadline can absorb break the interface statements — logical.
+  sum.outage = now - crashed_at_;
+  Duration max_delta = MaxRuleDelta();
+  bool lost = rec.lost_records() || lost_buffered_ > 0;
+  bool metric =
+      !lost && max_delta > Duration::Zero() && sum.outage <= max_delta;
+  sum.classification =
+      metric ? FailureClass::kMetric : FailureClass::kLogical;
+
+  FailureNotice notice;
+  notice.site = site_;
+  notice.failure_class = sum.classification;
+  // Backdated: the guarantees were un-establishable from the moment the
+  // site died, not from when recovery noticed.
+  notice.detected_at = crashed_at_;
+  notice.detail = StrFormat(
+      "site down %s%s", sum.outage.ToString().c_str(),
+      lost ? " with journal records lost" : "");
+  ReportFailure(notice);
+
+  if (metric) {
+    // Re-establish metric guarantees once the replayed + held work has had
+    // a full deadline to settle; late-fire notices raised at restart fold
+    // into the still-open void window instead of opening a second one.
+    uint64_t epoch = epoch_;
+    executor_->ScheduleAfter(site_, max_delta, [this, epoch]() {
+      if (epoch != epoch_) return;
+      if (guarantees_ != nullptr) {
+        guarantees_->ReestablishSite(site_, executor_->now());
+      }
+    });
+  }
+  lost_buffered_ = 0;
+  HCM_LOG(Info) << "shell at " << site_ << ": " << sum.ToString();
+  return sum;
+}
+
+storage::SnapshotState Shell::BuildSnapshot() const {
+  storage::SnapshotState s;
+  s.site = site_;
+  s.taken_at_ms = executor_->now().millis();
+  s.lhs_rules.reserve(lhs_rules_.size());
+  for (const LhsEntry& entry : lhs_rules_) {
+    s.lhs_rules.push_back(storage::LhsRuleInstall{
+        entry.rule.id, entry.rhs_site, entry.rule.ToString()});
+  }
+  s.rhs_rules.reserve(rhs_rules_.size());
+  for (const auto& [id, r] : rhs_rules_) {
+    s.rhs_rules.push_back(storage::RhsRuleInstall{id, r.ToString()});
+  }
+  for (const auto& [id, timer] : periodic_state_) {
+    (void)id;
+    s.periodic.push_back(timer);
+  }
+  s.private_data.reserve(private_data_.size());
+  for (const auto& [item, value] : private_data_) {
+    s.private_data.emplace_back(item, value);
+  }
+  for (const auto& [seq, f] : outstanding_fires_) {
+    (void)seq;
+    s.fires.push_back(f);
+  }
+  return s;
 }
 
 void Shell::ReportFailure(const FailureNotice& notice) {

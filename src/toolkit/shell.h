@@ -10,6 +10,7 @@
 #include "src/rule/rule_index.h"
 #include "src/sim/executor.h"
 #include "src/sim/network.h"
+#include "src/storage/site_store.h"
 #include "src/toolkit/failure.h"
 #include "src/toolkit/messages.h"
 #include "src/toolkit/registry.h"
@@ -105,6 +106,59 @@ class Shell {
   // allow applications to read auxiliary CM data").
   Result<Value> ReadAuxiliary(const rule::ItemId& item) const;
 
+  // --- Durability and crash recovery (DESIGN.md §4e) ---
+
+  // Wires a durable store. The shell then journals every state mutation
+  // (rule installs, timer arms/fires, private writes, RHS step progress)
+  // through it. Non-owning; the System keeps the store alive.
+  void AttachStorage(storage::SiteStore* store) { store_ = store; }
+  storage::SiteStore* store() const { return store_; }
+
+  // Registers the snapshot trigger (System::CheckpointSite bound to this
+  // site) and arms it as a periodic task; Recover re-arms it.
+  void SetSnapshotTask(Duration period, std::function<void()> task);
+
+  // Simulated process death: all volatile CM state at this site is wiped
+  // and every scheduled continuation (periodic timers, RHS step chains)
+  // is invalidated via the epoch counter. With `clean` the journal's
+  // group-commit buffer reaches disk first; a dirty crash drops it, losing
+  // the records committed after the last group-commit boundary.
+  void Crash(bool clean = true);
+  bool crashed() const { return crashed_; }
+
+  struct RecoverySummary {
+    bool snapshot_found = false;
+    uint64_t replayed_records = 0;
+    bool torn_tail = false;
+    uint64_t truncated_bytes = 0;
+    size_t lost_buffered = 0;  // records dropped by a dirty crash
+    FailureClass classification = FailureClass::kMetric;
+    Duration outage = Duration::Zero();
+    size_t lhs_rules_reinstalled = 0;
+    size_t rhs_rules_reinstalled = 0;
+    size_t timers_restarted = 0;
+    size_t fires_resumed = 0;
+    size_t private_items_restored = 0;
+
+    std::string ToString() const;
+  };
+
+  // The recovery protocol: load the latest snapshot + journal tail from the
+  // attached store, reinstall rules (re-parsed from text, so slot layouts
+  // and symbol ids come out right under the fresh interner state), restore
+  // private data without re-recording W events, re-arm periodic timers
+  // phase-aligned past now, resume half-done RHS chains at their journaled
+  // step, then classify the outage: metric if no records were lost and the
+  // gap fits inside the largest installed rule deadline, logical otherwise.
+  // The resulting FailureNotice is backdated to the crash instant so the
+  // guarantee void window covers the whole outage.
+  Result<RecoverySummary> Recover();
+
+  // Captures this shell's recoverable state (rules, timers, private data,
+  // outstanding fires). The System layers on the registry statuses and the
+  // translator cursor before handing it to SiteStore::WriteSnapshot.
+  storage::SnapshotState BuildSnapshot() const;
+
   // Count of rule firings executed here (for benches).
   uint64_t firings() const { return firings_; }
 
@@ -125,13 +179,29 @@ class Shell {
   // Schedules step `step` of rule `rule_id`. The rule is re-looked-up in
   // rhs_rules_ when the step actually runs, so installed rules may be
   // replaced between scheduling and firing without dangling references.
+  // `fire_seq` is the journal firing sequence (0 = not journaled); step
+  // progress and chain completion are logged under it.
   void ExecuteStep(int64_t rule_id, int64_t trigger_event_id, size_t step,
-                   rule::Binding binding);
+                   rule::Binding binding, uint64_t fire_seq = 0);
   // Slot-compiled twin of ExecuteStep, mirroring its semantics exactly.
   void ExecuteStepCompiled(int64_t rule_id, int64_t trigger_event_id,
-                           size_t step, rule::BindingFrame frame);
+                           size_t step, rule::BindingFrame frame,
+                           uint64_t fire_seq = 0);
   void RouteGeneratedEvent(rule::Event event, bool whole_base);
   void ReportFailure(const FailureNotice& notice);
+
+  // Self-rescheduling timer behind a P(p) rule, firing first at
+  // `first_fire` and every `period` after; invalidated by epoch bumps.
+  void ArmPeriodicRule(int64_t rule_id, Duration period, TimePoint first_fire);
+  // Journals a firing's begin record and registers it as outstanding.
+  uint64_t NoteFireBegin(const rule::Rule& r, int64_t trigger_event_id,
+                         TimePoint trigger_time,
+                         std::vector<std::pair<std::string, Value>> binding);
+  // Journals step completion / chain end and maintains outstanding_fires_.
+  void NoteFireStep(uint64_t fire_seq, size_t step);
+  void NoteFireEnd(uint64_t fire_seq);
+  // Largest RHS deadline among installed rules (recovery classification).
+  Duration MaxRuleDelta() const;
 
   // Cached reader over private_data_; built once, not per condition eval.
   const rule::DataReader& PrivateReader() const { return private_reader_; }
@@ -173,6 +243,26 @@ class Shell {
   uint64_t firings_ = 0;
   uint64_t events_matched_ = 0;
   uint64_t lhs_matches_ = 0;
+
+  // --- Durability state ---
+  storage::SiteStore* store_ = nullptr;
+  // Bumped by Crash(); scheduled continuations capture the value at
+  // creation and no-op when stale, so a dead incarnation's timers and step
+  // chains cannot touch the recovered one.
+  uint64_t epoch_ = 0;
+  bool crashed_ = false;
+  TimePoint crashed_at_;
+  size_t lost_buffered_ = 0;
+  // Suppresses journaling while Recover reinstalls replayed state (the
+  // records are already in the journal).
+  bool recovering_ = false;
+  // Periodic timers by rule id (period + absolute next fire), mirrored to
+  // the journal so recovery re-arms them phase-aligned.
+  std::map<int64_t, storage::PeriodicTimer> periodic_state_;
+  // Fires whose RHS chain is in flight, keyed by journal sequence.
+  std::map<uint64_t, storage::OutstandingFire> outstanding_fires_;
+  Duration snapshot_period_ = Duration::Zero();
+  std::function<void()> snapshot_task_;
 };
 
 }  // namespace hcm::toolkit

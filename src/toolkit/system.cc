@@ -86,6 +86,21 @@ Status System::EnsureShell(const std::string& site) {
                                        &guarantee_status_);
   shell->set_use_reference_impl(options_.use_reference_impl);
   HCM_RETURN_IF_ERROR(shell->Initialize());
+  if (options_.storage.enabled()) {
+    HCM_ASSIGN_OR_RETURN(auto store,
+                         storage::SiteStore::Open(options_.storage, site));
+    shell->AttachStorage(store.get());
+    if (options_.storage.snapshot_period > Duration::Zero()) {
+      shell->SetSnapshotTask(options_.storage.snapshot_period, [this, site]() {
+        Status s = CheckpointSite(site);
+        if (!s.ok()) {
+          HCM_LOG(Warning) << "periodic snapshot of " << site
+                           << " failed: " << s.ToString();
+        }
+      });
+    }
+    stores_.emplace(site, std::move(store));
+  }
   shells_.emplace(site, std::move(shell));
   // Refresh every shell's peer list.
   std::vector<Shell*> all;
@@ -454,6 +469,18 @@ std::string System::DescribeDispatchStats() const {
     out += line(site, shell->dispatch_stats());
   }
   out += line("TOTAL", AggregateDispatchStats());
+  // Bucket-occupancy histogram: per site, how the (kind, base)
+  // discrimination spread the installed rules and how often events had to
+  // consult a wildcard bucket.
+  out += "index buckets:\n";
+  for (const auto& [site, shell] : shells_) {
+    rule::RuleIndexStats idx = shell->lhs_index().stats();
+    out += StrFormat(
+        "  %-8s buckets=%zu max-bucket=%zu mean-bucket=%.2f "
+        "wildcard-rules=%zu wildcard-hit-rate=%.2f\n",
+        site.c_str(), idx.exact_buckets, idx.max_bucket_size,
+        idx.mean_bucket_size, idx.wildcard_rules, idx.WildcardHitRate());
+  }
   return out;
 }
 
@@ -469,6 +496,60 @@ Result<Translator*> System::TranslatorAt(const std::string& site) {
     return Status::NotFound("no translator at " + site);
   }
   return it->second.get();
+}
+
+Result<storage::SiteStore*> System::StoreAt(const std::string& site) {
+  auto it = stores_.find(site);
+  if (it == stores_.end()) return Status::NotFound("no store at " + site);
+  return it->second.get();
+}
+
+Status System::CheckpointSite(const std::string& site) {
+  HCM_ASSIGN_OR_RETURN(Shell * shell, ShellAt(site));
+  HCM_ASSIGN_OR_RETURN(storage::SiteStore * store, StoreAt(site));
+  storage::SnapshotState state = shell->BuildSnapshot();
+  // The shell only knows its own state; the System layers on the pieces it
+  // owns — registry statuses and the translator's write cursor.
+  for (const auto& [key, valid] : guarantee_status_.StatusSnapshot()) {
+    state.guarantees.push_back(storage::GuaranteeStatus{key, valid});
+  }
+  auto tr = translators_.find(site);
+  if (tr != translators_.end()) {
+    state.translator_write_cursor_ms = tr->second->write_cursor().millis();
+  }
+  return store->WriteSnapshot(std::move(state));
+}
+
+Status System::CheckpointStorage() {
+  for (const auto& [site, store] : stores_) {
+    (void)store;
+    HCM_RETURN_IF_ERROR(CheckpointSite(site));
+  }
+  return Status::OK();
+}
+
+Status System::ScheduleCrash(const std::string& site, TimePoint crash_at,
+                             TimePoint restart_at, bool clean) {
+  if (!options_.storage.enabled()) {
+    return Status::FailedPrecondition(
+        "crash injection needs SystemOptions::storage configured");
+  }
+  if (restart_at <= crash_at) {
+    return Status::InvalidArgument("restart must come after the crash");
+  }
+  HCM_ASSIGN_OR_RETURN(Shell * shell, ShellAt(site));
+  failures_.CrashSite(site, crash_at, clean);
+  failures_.RestartSite(site, restart_at);
+  executor_->ScheduleAt(site, crash_at,
+                        [shell, clean]() { shell->Crash(clean); });
+  executor_->ScheduleAt(site, restart_at, [shell]() {
+    auto summary = shell->Recover();
+    if (!summary.ok()) {
+      HCM_LOG(Error) << "recovery of " << shell->site()
+                     << " failed: " << summary.status().ToString();
+    }
+  });
+  return Status::OK();
 }
 
 }  // namespace hcm::toolkit

@@ -15,6 +15,7 @@
 #include "src/spec/constraint.h"
 #include "src/spec/strategy_spec.h"
 #include "src/spec/suggester.h"
+#include "src/storage/site_store.h"
 #include "src/toolkit/registry.h"
 #include "src/toolkit/shell.h"
 #include "src/toolkit/translator.h"
@@ -36,6 +37,10 @@ struct SystemOptions {
   // set_use_reference_impl). The interned-equivalence suite runs both and
   // asserts byte-identical traces, guarantee reports, and dispatch stats.
   bool use_reference_impl = false;
+  // Durability: when storage.dir is set every shell journals its state
+  // mutations to <dir>/<site>/ and can crash + recover mid-run (see
+  // docs/STORAGE_FORMAT.md and DESIGN.md §4e).
+  storage::StorageOptions storage;
 };
 
 // The assembled toolkit: one simulated "deployment" with its raw
@@ -140,9 +145,27 @@ class System {
   void RunFor(Duration d) { executor_->RunFor(d); }
   trace::Trace FinishTrace() { return recorder_->Finish(executor_->now()); }
 
+  // --- Durability and crash injection (requires options.storage.dir) ---
+
+  // Snapshots one site's shell state (plus the registry statuses and the
+  // translator's write cursor) into its store.
+  Status CheckpointSite(const std::string& site);
+  // Snapshots every site with storage attached.
+  Status CheckpointStorage();
+
+  // Orchestrates a crash/restart pair: registers the outage with the
+  // failure injector (so the network holds messages for the site), tears
+  // the shell down at `crash_at` via Shell::Crash, and drives
+  // Shell::Recover at `restart_at`. Scheduled at setup time, the recovery
+  // event sorts before same-instant held-message deliveries, so rules are
+  // reinstalled before queued fires arrive.
+  Status ScheduleCrash(const std::string& site, TimePoint crash_at,
+                       TimePoint restart_at, bool clean = true);
+
   // Access for protocols/ and tests.
   Result<Shell*> ShellAt(const std::string& site);
   Result<Translator*> TranslatorAt(const std::string& site);
+  Result<storage::SiteStore*> StoreAt(const std::string& site);
 
   // Human-readable deployment summary (the Figure 2 topology): per site,
   // the raw source kind, translator presence, registered items with their
@@ -179,6 +202,7 @@ class System {
   std::map<std::string, std::unique_ptr<ris::biblio::BiblioStore>> biblio_;
   std::map<std::string, std::unique_ptr<Translator>> translators_;
   std::map<std::string, std::unique_ptr<Shell>> shells_;
+  std::map<std::string, std::unique_ptr<storage::SiteStore>> stores_;
   int64_t next_rule_id_ = 1;
 };
 

@@ -42,6 +42,10 @@ class Translator {
   const std::string& site() const { return config_.site; }
   const RidConfig& rid() const { return config_; }
 
+  // The native-write serialization point, captured into site snapshots so
+  // a cold restart can tell how far the translator had serialized writes.
+  TimePoint write_cursor() const { return last_write_at_; }
+
   // Registers the network endpoint and performs interface setup (declaring
   // triggers for notify interfaces, starting periodic-notify timers, ...).
   Status Initialize();

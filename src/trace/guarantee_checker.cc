@@ -1,7 +1,9 @@
 #include "src/trace/guarantee_checker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
 #include <unordered_map>
 
 #include "src/common/string_util.h"
@@ -72,6 +74,9 @@ class CheckerImpl {
 
   Result<GuaranteeCheckResult> Run() {
     GuaranteeCheckResult result;
+    // The universal enumeration below is sequential and shares one context;
+    // the per-witness existential search may fan out over worker contexts.
+    EvalContext ctx;
     // Enumerate universal witnesses over the LHS.
     std::vector<Assignment> witnesses = {Assignment{}};
     for (const auto& atom : guarantee_.lhs_atoms) {
@@ -81,7 +86,8 @@ class CheckerImpl {
                        [&next](Assignment&& ext) {
                          next.push_back(std::move(ext));
                          return false;  // keep enumerating
-                       });
+                       },
+                       ctx);
         if (next.size() > options_.max_lhs_witnesses) {
           result.truncated = true;
           next.resize(options_.max_lhs_witnesses);
@@ -144,25 +150,77 @@ class CheckerImpl {
         representative.push_back(&w);
       }
     }
-    for (const Assignment* wp : representative) {
-      const Assignment& w = *wp;
-      if (!SatisfyRhs(0, w)) {
-        ++result.violations;
-        if (result.counterexamples.size() < options_.max_counterexamples) {
-          Counterexample ce;
-          ce.values = w.values;
-          ce.times = w.times;
-          result.counterexamples.push_back(std::move(ce));
+    // Existential search per representative. Each witness's verdict is
+    // independent, so with num_threads > 1 the representatives are fanned
+    // over workers, each owning its own memo caches, and the verdicts are
+    // merged back in witness order — violation counts and counterexamples
+    // (capped only after the merge) are byte-identical at any thread count.
+    size_t threads = options_.use_reference_impl
+                         ? 1
+                         : std::max<size_t>(1, options_.num_threads);
+    threads = std::min(threads, std::max<size_t>(1, representative.size()));
+    std::vector<uint8_t> violated(representative.size(), 0);
+    if (threads <= 1) {
+      for (size_t i = 0; i < representative.size(); ++i) {
+        violated[i] = SatisfyRhs(0, *representative[i], ctx) ? 0 : 1;
+      }
+    } else {
+      // Warm the interner's lazily built sorted views: the workers' const
+      // timeline queries must never be the first to materialize them.
+      (void)timeline_.items().SortedIds();
+      for (const auto& ref : all_refs_) {
+        (void)timeline_.ItemIdsWithBase(ref.base);
+      }
+      std::vector<EvalContext> worker_ctx(threads);
+      std::atomic<size_t> next_index{0};
+      const size_t chunk =
+          std::max<size_t>(1, representative.size() / (threads * 8));
+      auto worker = [&](size_t wi) {
+        EvalContext& wctx = worker_ctx[wi];
+        for (;;) {
+          size_t begin = next_index.fetch_add(chunk);
+          if (begin >= representative.size()) break;
+          size_t end = std::min(begin + chunk, representative.size());
+          for (size_t i = begin; i < end; ++i) {
+            violated[i] = SatisfyRhs(0, *representative[i], wctx) ? 0 : 1;
+          }
         }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(threads - 1);
+      for (size_t wi = 1; wi < threads; ++wi) pool.emplace_back(worker, wi);
+      worker(0);
+      for (auto& t : pool) t.join();
+      for (const EvalContext& wctx : worker_ctx) {
+        ctx.stats.sample_cache_hits += wctx.stats.sample_cache_hits;
+        ctx.stats.sample_cache_misses += wctx.stats.sample_cache_misses;
+        ctx.stats.match_cache_hits += wctx.stats.match_cache_hits;
+        ctx.stats.match_cache_misses += wctx.stats.match_cache_misses;
+        ctx.stats.atom_evals += wctx.stats.atom_evals;
+      }
+    }
+    for (size_t i = 0; i < representative.size(); ++i) {
+      if (!violated[i]) continue;
+      ++result.violations;
+      if (result.counterexamples.size() < options_.max_counterexamples) {
+        Counterexample ce;
+        ce.values = representative[i]->values;
+        ce.times = representative[i]->times;
+        result.counterexamples.push_back(std::move(ce));
       }
     }
     result.holds = result.violations == 0;
-    stats_.items = timeline_.items().size();
-    result.stats = stats_;
+    ctx.stats.items = timeline_.items().size();
+    result.stats = ctx.stats;
     return result;
   }
 
  private:
+  // Per-strand memoization and counters; defined after the cache key types
+  // below. One per worker thread — the methods that take one never touch
+  // shared mutable state.
+  struct EvalContext;
+
   // ------------------------------------------------------------------
   // State access
   // ------------------------------------------------------------------
@@ -253,9 +311,9 @@ class CheckerImpl {
   // shape as (item, binding-delta) pairs and replayed onto each concrete
   // binding. Reference mode re-unifies against every instance per call.
   std::vector<std::pair<uint32_t, Binding>> MatchingItems(
-      const ItemRef& ref, const Binding& binding) const {
+      const ItemRef& ref, const Binding& binding, EvalContext& ctx) const {
     if (options_.use_reference_impl) {
-      ++stats_.match_cache_misses;
+      ++ctx.stats.match_cache_misses;
       std::vector<std::pair<uint32_t, Binding>> out;
       for (uint32_t id : timeline_.ItemIdsWithBase(ref.base)) {
         Binding b = binding;
@@ -274,9 +332,9 @@ class CheckerImpl {
                               ? std::optional<Value>()
                               : std::optional<Value>(bound->second));
     }
-    auto cached = match_cache_.find(key);
-    if (cached == match_cache_.end()) {
-      ++stats_.match_cache_misses;
+    auto cached = ctx.match_cache.find(key);
+    if (cached == ctx.match_cache.end()) {
+      ++ctx.stats.match_cache_misses;
       std::vector<CachedMatch> entry;
       for (uint32_t id : timeline_.ItemIdsWithBase(ref.base)) {
         Binding b = binding;
@@ -288,9 +346,9 @@ class CheckerImpl {
         }
         entry.push_back(std::move(m));
       }
-      cached = match_cache_.emplace(std::move(key), std::move(entry)).first;
+      cached = ctx.match_cache.emplace(std::move(key), std::move(entry)).first;
     } else {
-      ++stats_.match_cache_hits;
+      ++ctx.stats.match_cache_hits;
     }
     std::vector<std::pair<uint32_t, Binding>> out;
     out.reserve(cached->second.size());
@@ -345,28 +403,30 @@ class CheckerImpl {
     return std::vector<TimePoint>(points.begin(), points.end());
   }
 
-  const std::vector<TimePoint>& SamplePoints(
-      const std::vector<uint32_t>& items, bool existential) const {
+  const std::vector<TimePoint>& SamplePoints(const std::vector<uint32_t>& items,
+                                             bool existential,
+                                             EvalContext& ctx) const {
     if (options_.use_reference_impl) {
-      ++stats_.sample_cache_misses;
-      scratch_points_ = ComputeSamplePoints(items, existential);
-      return scratch_points_;
+      ++ctx.stats.sample_cache_misses;
+      ctx.scratch_points = ComputeSamplePoints(items, existential);
+      return ctx.scratch_points;
     }
     // Memoized: the same item sets recur for every candidate assignment.
     // The key is the interned id list (plus the quantifier flag) — no
     // string building, and no allocation at all on a hit.
-    sample_key_scratch_.clear();
-    sample_key_scratch_.push_back(existential ? 1u : 0u);
-    sample_key_scratch_.insert(sample_key_scratch_.end(), items.begin(),
-                               items.end());
-    auto it = sample_cache_.find(sample_key_scratch_);
-    if (it != sample_cache_.end()) {
-      ++stats_.sample_cache_hits;
+    ctx.sample_key_scratch.clear();
+    ctx.sample_key_scratch.push_back(existential ? 1u : 0u);
+    ctx.sample_key_scratch.insert(ctx.sample_key_scratch.end(), items.begin(),
+                                  items.end());
+    auto it = ctx.sample_cache.find(ctx.sample_key_scratch);
+    if (it != ctx.sample_cache.end()) {
+      ++ctx.stats.sample_cache_hits;
       return it->second;
     }
-    ++stats_.sample_cache_misses;
-    return sample_cache_
-        .emplace(sample_key_scratch_, ComputeSamplePoints(items, existential))
+    ++ctx.stats.sample_cache_misses;
+    return ctx.sample_cache
+        .emplace(ctx.sample_key_scratch,
+                 ComputeSamplePoints(items, existential))
         .first->second;
   }
 
@@ -374,7 +434,8 @@ class CheckerImpl {
   // are enumerated from the trace. When the atom mentions no items at all
   // (e.g. "(true)@t"), every guarantee item is relevant.
   std::vector<uint32_t> AtomItems(const GuaranteeAtom& atom,
-                                  const Binding& binding) const {
+                                  const Binding& binding,
+                                  EvalContext& ctx) const {
     const std::vector<ItemRef>* refs = nullptr;
     std::vector<ItemRef> collected;
     if (options_.use_reference_impl) {
@@ -390,7 +451,7 @@ class CheckerImpl {
     if (refs->empty()) refs = &all_refs_;
     std::vector<uint32_t> out;
     for (const auto& ref : *refs) {
-      for (const auto& [item, b] : MatchingItems(ref, binding)) {
+      for (const auto& [item, b] : MatchingItems(ref, binding, ctx)) {
         out.push_back(item);
         (void)b;
       }
@@ -475,9 +536,9 @@ class CheckerImpl {
 
   // Truth of the atom's predicate at one instant, with equality-solving.
   // Eval errors (nonexistent item, unbound variable) count as false.
-  bool PredTrueAt(const GuaranteeAtom& atom, TimePoint t,
-                  Binding* binding) const {
-    ++stats_.atom_evals;
+  bool PredTrueAt(const GuaranteeAtom& atom, TimePoint t, Binding* binding,
+                  EvalContext& ctx) const {
+    ++ctx.stats.atom_evals;
     if (atom.exists_item.has_value()) {
       auto grounded = atom.exists_item->Ground(*binding);
       if (!grounded.ok()) return false;
@@ -499,9 +560,10 @@ class CheckerImpl {
   // `existential` selects RHS semantics (pre-origin instants allowed).
   // Returns true when the sink stopped the enumeration.
   bool ExtendWithAtom(const GuaranteeAtom& atom, const Assignment& a,
-                      bool existential, const Sink& sink) const {
+                      bool existential, const Sink& sink,
+                      EvalContext& ctx) const {
     // Enumerate item-parameter bindings first (e.g. the i in project(i)).
-    std::vector<Binding> param_bindings = ParamBindings(atom, a.values);
+    std::vector<Binding> param_bindings = ParamBindings(atom, a.values, ctx);
     for (const Binding& pb : param_bindings) {
       Assignment base = a;
       base.values = pb;
@@ -510,7 +572,7 @@ class CheckerImpl {
           auto fixed = GroundTime(atom.at, base);
           if (fixed.has_value()) {
             Assignment next = base;
-            if (PredTrueAt(atom, *fixed, &next.values) &&
+            if (PredTrueAt(atom, *fixed, &next.values, ctx) &&
                 sink(std::move(next))) {
               return true;
             }
@@ -518,10 +580,10 @@ class CheckerImpl {
           }
           // Unbound time variable: enumerate sample points, assigning
           // var = sample - offset.
-          for (TimePoint t :
-               SamplePoints(AtomItems(atom, base.values), existential)) {
+          for (TimePoint t : SamplePoints(AtomItems(atom, base.values, ctx),
+                                          existential, ctx)) {
             Assignment next = base;
-            if (!PredTrueAt(atom, t, &next.values)) continue;
+            if (!PredTrueAt(atom, t, &next.values, ctx)) continue;
             next.times[atom.at.var] = t - atom.at.offset;
             if (sink(std::move(next))) return true;
           }
@@ -535,11 +597,11 @@ class CheckerImpl {
           // E(project(i))@@[t, t+24h]) is enumerated over sample points.
           if (!lo.has_value() && !atom.lo.var.empty() &&
               base.times.count(atom.lo.var) == 0) {
-            for (TimePoint t :
-                 SamplePoints(AtomItems(atom, base.values), existential)) {
+            for (TimePoint t : SamplePoints(AtomItems(atom, base.values, ctx),
+                                            existential, ctx)) {
               Assignment enumerated = base;
               enumerated.times[atom.lo.var] = t - atom.lo.offset;
-              if (ExtendWithAtom(atom, enumerated, existential, sink)) {
+              if (ExtendWithAtom(atom, enumerated, existential, sink, ctx)) {
                 return true;
               }
             }
@@ -557,15 +619,15 @@ class CheckerImpl {
           std::vector<TimePoint> points;
           points.push_back(*lo);
           points.push_back(*hi);
-          for (TimePoint t :
-               SamplePoints(AtomItems(atom, base.values), existential)) {
+          for (TimePoint t : SamplePoints(AtomItems(atom, base.values, ctx),
+                                          existential, ctx)) {
             if (*lo < t && t < *hi) points.push_back(t);
           }
           bool all = true;
           bool any = false;
           Assignment next = base;
           for (TimePoint t : points) {
-            if (PredTrueAt(atom, t, &next.values)) {
+            if (PredTrueAt(atom, t, &next.values, ctx)) {
               any = true;
             } else {
               all = false;
@@ -587,7 +649,8 @@ class CheckerImpl {
   // enumerated from the trace's item instances. Returns at least the input
   // binding when the atom's refs are ground or have no instances.
   std::vector<Binding> ParamBindings(const GuaranteeAtom& atom,
-                                     const Binding& binding) const {
+                                     const Binding& binding,
+                                     EvalContext& ctx) const {
     const std::vector<ItemRef>* refs = nullptr;
     std::vector<ItemRef> collected;
     if (options_.use_reference_impl) {
@@ -609,7 +672,7 @@ class CheckerImpl {
       if (!has_open_args) continue;
       std::vector<Binding> next;
       for (const auto& b : current) {
-        auto matches = MatchingItems(ref, b);
+        auto matches = MatchingItems(ref, b, ctx);
         if (matches.empty()) {
           // No instance: keep the binding; the predicate will read as
           // false later.
@@ -630,7 +693,7 @@ class CheckerImpl {
   }
 
   // Depth-first existential search over the RHS atoms.
-  bool SatisfyRhs(size_t index, const Assignment& a) const {
+  bool SatisfyRhs(size_t index, const Assignment& a, EvalContext& ctx) const {
     if (!SatisfiesConstraints(guarantee_.rhs_time, a, /*partial_ok=*/true)) {
       return false;
     }
@@ -641,9 +704,10 @@ class CheckerImpl {
     // Lazy depth-first search: stop at the first satisfying extension.
     return ExtendWithAtom(guarantee_.rhs_atoms[index], a,
                           /*existential=*/true,
-                          [this, index](Assignment&& next) {
-                            return SatisfyRhs(index + 1, next);
-                          });
+                          [this, index, &ctx](Assignment&& next) {
+                            return SatisfyRhs(index + 1, next, ctx);
+                          },
+                          ctx);
   }
 
   // Memoized MatchingItems entry: the matched item plus the variable
@@ -678,6 +742,20 @@ class CheckerImpl {
     }
   };
 
+  // All memoization and work counters of one evaluation strand. Run() owns
+  // one for the sequential universal phase; each existential-search worker
+  // owns its own, so the threads share only the read-only checker state.
+  struct EvalContext {
+    std::unordered_map<std::vector<uint32_t>, std::vector<TimePoint>,
+                       SampleKeyHash>
+        sample_cache;
+    std::vector<uint32_t> sample_key_scratch;
+    std::vector<TimePoint> scratch_points;  // reference mode only
+    std::unordered_map<MatchKey, std::vector<CachedMatch>, MatchKeyHash>
+        match_cache;
+    GuaranteeCheckStats stats;
+  };
+
   const Trace& trace_;
   const spec::Guarantee& guarantee_;
   const GuaranteeCheckOptions& options_;
@@ -687,14 +765,6 @@ class CheckerImpl {
   // map, vectors never resized after construction).
   std::unordered_map<const GuaranteeAtom*, std::vector<ItemRef>> atom_refs_;
   std::vector<TimePoint> universal_extra_points_;
-  mutable std::unordered_map<std::vector<uint32_t>, std::vector<TimePoint>,
-                             SampleKeyHash>
-      sample_cache_;
-  mutable std::vector<uint32_t> sample_key_scratch_;
-  mutable std::vector<TimePoint> scratch_points_;  // reference mode only
-  mutable std::unordered_map<MatchKey, std::vector<CachedMatch>, MatchKeyHash>
-      match_cache_;
-  mutable GuaranteeCheckStats stats_;
 };
 
 }  // namespace

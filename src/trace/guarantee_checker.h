@@ -25,6 +25,12 @@ struct GuaranteeCheckOptions {
   // instead of memoizing (the pre-index reference semantics). The
   // equivalence suite asserts both paths produce identical results.
   bool use_reference_impl = false;
+  // Worker threads for the per-witness existential search (the dominant
+  // cost on large traces). Each worker owns its own memo caches; violations
+  // and counterexamples are merged in witness order, so reports are
+  // byte-identical at any thread count. Reference mode runs single-threaded
+  // regardless. 0 behaves as 1.
+  size_t num_threads = 1;
 };
 
 // Work counters for one CheckGuarantee run (dispatch-stats-style). Not part

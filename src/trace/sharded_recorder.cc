@@ -63,6 +63,7 @@ int64_t ShardedTraceRecorder::Record(rule::Event event) {
 }
 
 Trace ShardedTraceRecorder::Finish(TimePoint horizon) {
+  GuardFinish("ShardedTraceRecorder");
   Trace out;
   out.horizon = horizon;
   out.initial_values = std::move(initial_values_);

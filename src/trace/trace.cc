@@ -1,7 +1,9 @@
 #include "src/trace/trace.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 
 namespace hcm::trace {
@@ -37,7 +39,20 @@ int64_t TraceRecorder::Record(rule::Event event) {
   return id;
 }
 
+void TraceRecorder::GuardFinish(const char* recorder_name) {
+  if (finished_) {
+    // A second Finish could only return a moved-from (empty) trace, and an
+    // empty trace sails through every downstream check. Fail loudly.
+    HCM_LOG(Error) << recorder_name
+                   << "::Finish called twice; the trace was already moved "
+                      "out by the first call";
+    std::abort();
+  }
+  finished_ = true;
+}
+
 Trace TraceRecorder::Finish(TimePoint horizon) {
+  GuardFinish("TraceRecorder");
   trace_.horizon = horizon;
   Trace out = std::move(trace_);
   trace_ = Trace{};

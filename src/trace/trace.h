@@ -74,8 +74,9 @@ class TraceRecorder {
 
   // Finalizes and returns the trace, *moving* the accumulated event log out
   // (large traces must not be duplicated here). The recorder is spent
-  // afterwards: further Record/Finish calls operate on an empty trace with
-  // ids continuing from where they left off.
+  // afterwards: a second Finish aborts the process — it could only hand
+  // back a silently empty trace, which downstream checkers would happily
+  // declare valid.
   virtual Trace Finish(TimePoint horizon);
 
   virtual size_t num_events() const { return trace_.events.size(); }
@@ -83,9 +84,14 @@ class TraceRecorder {
   // Single-threaded recorder only: the accumulated trace so far.
   const Trace& trace() const { return trace_; }
 
+ protected:
+  // Aborts on a repeated Finish (shared by the sharded recorder).
+  void GuardFinish(const char* recorder_name);
+
  private:
   Trace trace_;
   int64_t next_id_ = 0;
+  bool finished_ = false;
 };
 
 // One segment of an item's history: from `from` (inclusive) the item has

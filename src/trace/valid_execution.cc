@@ -146,6 +146,7 @@ class Checker {
       for (const auto& e : trace_.events) events_by_id_[e.id] = &e;
     }
     if (!options_.use_reference_impl) BuildEventIndexes();
+    if (!options_.outages.empty()) BuildSiteOfBase();
   }
 
   ExecutionReport Run() {
@@ -577,7 +578,8 @@ class Checker {
                       r.ToString());
         continue;
       }
-      TimePoint deadline = e.time + r.delta;
+      TimePoint deadline =
+          ExtendDeadlineAcrossOutages(e, r, e.time + r.delta);
       if (options_.skip_obligations_past_horizon &&
           trace_.horizon < deadline) {
         continue;  // not yet due when the run ended
@@ -615,6 +617,87 @@ class Checker {
         }
       }
     }
+  }
+
+  static std::string BaseSiteOf(const std::string& site) {
+    auto pos = site.find('#');
+    return pos == std::string::npos ? site : site.substr(0, pos);
+  }
+
+  // Maps each item base to the site it lives at, learned from the trace:
+  // write-shaped events (Ws/W/WR/INS/DEL) execute at the item's home site,
+  // so they are authoritative; any other event fills remaining gaps.
+  // Needed because strategy rules carry no "@site" pins — the System
+  // resolves placement at install time, after the specs are generated.
+  void BuildSiteOfBase() {
+    auto is_write = [](rule::EventKind k) {
+      return k == rule::EventKind::kWriteSpont ||
+             k == rule::EventKind::kWrite ||
+             k == rule::EventKind::kWriteRequest ||
+             k == rule::EventKind::kInsert || k == rule::EventKind::kDelete;
+    };
+    for (const auto& e : trace_.events) {
+      if (!is_write(e.kind)) continue;
+      site_of_base_.emplace(e.item.base, BaseSiteOf(e.site));
+    }
+    for (const auto& e : trace_.events) {
+      if (e.item.base.empty()) continue;
+      site_of_base_.emplace(e.item.base, BaseSiteOf(e.site));
+    }
+  }
+
+  // True when the outage could have delayed this obligation: it hit the
+  // site the trigger was recorded at, the site hosting the rule's LHS, or a
+  // site one of the RHS steps fires at. Step sites missing a "@site" pin
+  // fall back to where the trace observed the step's item base; a rule the
+  // trace cannot localize at all is conservatively treated as covered
+  // (extending a deadline only ever makes the checker more lenient, and a
+  // rule with no observable events has nothing to violate anyway).
+  bool OutageCoversRule(const std::string& outage_site, const rule::Event& e,
+                        const rule::Rule& r) const {
+    const std::string down = BaseSiteOf(outage_site);
+    if (BaseSiteOf(e.site) == down) return true;
+    if (!r.lhs.site.empty() && BaseSiteOf(r.lhs.site) == down) return true;
+    bool unknown = false;
+    for (const auto& step : r.rhs) {
+      std::string site = step.event.site;
+      if (site.empty()) {
+        auto it = site_of_base_.find(step.event.item.base);
+        if (it != site_of_base_.end()) site = it->second;
+      }
+      if (site.empty()) {
+        unknown = true;
+      } else if (BaseSiteOf(site) == down) {
+        return true;
+      }
+    }
+    return unknown;
+  }
+
+  // Outage-aware deadline: a down site holds its messages, so an obligation
+  // whose window overlaps an outage of an involved site is granted a fresh
+  // delta from the restart instant. Iterated to a fixed point so that an
+  // extension reaching into a later outage chains through it. Each pass
+  // strictly grows the deadline, and a window stops contributing once the
+  // deadline passes `to + delta`, so the loop terminates.
+  TimePoint ExtendDeadlineAcrossOutages(const rule::Event& e,
+                                        const rule::Rule& r,
+                                        TimePoint deadline) const {
+    if (options_.outages.empty()) return deadline;
+    bool extended = true;
+    while (extended) {
+      extended = false;
+      for (const auto& w : options_.outages) {
+        if (!(w.from <= deadline && e.time < w.to)) continue;
+        if (!OutageCoversRule(w.site, e, r)) continue;
+        TimePoint candidate = w.to + r.delta;
+        if (deadline < candidate) {
+          deadline = candidate;
+          extended = true;
+        }
+      }
+    }
+    return deadline;
   }
 
   bool ConditionFalseSomewhere(const rule::Expr& condition,
@@ -725,6 +808,8 @@ class Checker {
       return h * 1000003 + std::hash<int>()(std::get<2>(k));
     }
   };
+  // Item base -> home site, for outage coverage (built only with outages).
+  std::unordered_map<std::string, std::string> site_of_base_;
   std::unordered_map<std::tuple<int64_t, int64_t, int>, const rule::Event*,
                      FiredKeyHash>
       fired_;

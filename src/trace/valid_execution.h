@@ -45,10 +45,26 @@ struct ExecutionReport {
   std::string DescribeCheckStats() const;
 };
 
+// A known site outage [from, to): the site performed no work and answered
+// no messages in the window (a crash/restart pair from the failure
+// injector). Site names are compared by base site ("B#tr" counts as "B").
+struct SiteOutage {
+  std::string site;
+  TimePoint from;
+  TimePoint to;
+};
+
 struct ValidExecutionOptions {
   // Obligations (property 6) whose window extends past the horizon are
   // skipped — the run ended before they came due.
   bool skip_obligations_past_horizon = true;
+  // Declared outage windows. A firing obligation whose window overlaps an
+  // outage of the trigger's site, the rule's LHS site, or a site one of its
+  // RHS steps fires at is granted a fresh delta after the restart — the
+  // held trigger is only delivered once the site returns, so the fire can
+  // legally land up to `outage.to + delta`. Back-to-back outages chain (the
+  // extension iterates to a fixed point).
+  std::vector<SiteOutage> outages;
   // Cap on reported violations (the rest are counted but not materialized).
   size_t max_violations = 50;
   // Worker threads for the property checks. The write-consistency pass fans
