@@ -57,6 +57,15 @@ const char* RecordTypeName(RecordType type) {
 
 Status JournalWriter::Open(const std::string& path, uint64_t existing_bytes) {
   if (file_ != nullptr) return Status::FailedPrecondition("journal open");
+  // Counters are per-open-incarnation. A reopen after recovery must start
+  // them fresh: SiteStore accounts the surviving file as base_records_, so
+  // a records_committed() carried over from the previous incarnation would
+  // double-count the pre-crash records and inflate snapshot sequence
+  // numbers past the on-disk record count.
+  records_appended_ = 0;
+  records_dropped_ = 0;
+  records_committed_ = 0;
+  commits_ = 0;
   bool fresh = existing_bytes == 0;
   if (fresh) {
     file_ = std::fopen(path.c_str(), "wb");
@@ -80,6 +89,7 @@ Status JournalWriter::Open(const std::string& path, uint64_t existing_bytes) {
     long size = std::ftell(file_);
     if (size >= 0 && static_cast<uint64_t>(size) > existing_bytes) {
       std::fclose(file_);
+      file_ = nullptr;
       // C has no portable in-place truncate; rewrite via rename-free
       // read-truncate (the prefix was just validated by the scanner).
       std::FILE* in = std::fopen(path.c_str(), "rb");
@@ -145,7 +155,7 @@ size_t JournalWriter::DropBuffered() {
   size_t lost = buffered_records_;
   pending_.clear();
   buffered_records_ = 0;
-  records_appended_ -= lost;
+  records_dropped_ += lost;
   return lost;
 }
 

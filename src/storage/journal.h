@@ -83,7 +83,12 @@ class JournalWriter {
 
   Status Close();
 
+  // Counters cover the current open-incarnation (reset by Open), with the
+  // invariant appended = committed + buffered + dropped. Appended is
+  // append history and is never rewound; DropBuffered only moves records
+  // from buffered to dropped.
   uint64_t records_appended() const { return records_appended_; }
+  uint64_t records_dropped() const { return records_dropped_; }
   uint64_t records_committed() const { return records_committed_; }
   uint64_t bytes_committed() const { return bytes_committed_; }
   uint64_t commits() const { return commits_; }
@@ -96,6 +101,7 @@ class JournalWriter {
   Duration commit_interval_ = Duration::Millis(50);
   TimePoint last_commit_;
   uint64_t records_appended_ = 0;
+  uint64_t records_dropped_ = 0;
   uint64_t records_committed_ = 0;
   uint64_t bytes_committed_ = 0;
   uint64_t commits_ = 0;

@@ -227,6 +227,15 @@ Result<RecoveredState> SiteStore::Recover() {
   // Replay the journal tail over the snapshot. Records are id-keyed, so
   // replay is idempotent over the snapshot-covered prefix; kSymbolDef
   // records from the whole file rebuild the name dictionary.
+  //
+  // The writer-side map is rebuilt from the scan alone: after a dirty
+  // crash, DropBuffered may have discarded buffered kSymbolDef records
+  // whose names dict_ still maps, and a stale entry would stop DictId()
+  // from ever re-emitting the definition — leaving every later reference
+  // to that id undecodable. Committed defs are a dense id prefix (defs
+  // are allocated and flushed in order), so dict_.size() stays the next
+  // free id after the rebuild.
+  dict_.clear();
   std::vector<std::string> dict;
   std::map<int64_t, LhsRuleInstall> lhs;
   std::map<int64_t, RhsRuleInstall> rhs;

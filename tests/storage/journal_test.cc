@@ -103,6 +103,11 @@ TEST(JournalTest, DropBufferedLosesOnlyTheUncommittedTail) {
   w.Append(RecordType::kFireEnd, "lost1");
   w.Append(RecordType::kFireEnd, "lost2");
   EXPECT_EQ(w.DropBuffered(), 2u);
+  // Append history is not rewound: appended = committed + buffered + dropped.
+  EXPECT_EQ(w.records_appended(), 3u);
+  EXPECT_EQ(w.records_dropped(), 2u);
+  EXPECT_EQ(w.records_committed(), 1u);
+  EXPECT_EQ(w.buffered_records(), 0u);
   ASSERT_TRUE(w.Close().ok());
   auto scan = ReadJournal(path);
   ASSERT_TRUE(scan.ok());

@@ -149,6 +149,91 @@ TEST(SnapshotTest, CorruptFileIsRejected) {
             StatusCode::kNotFound);
 }
 
+TEST(SiteStoreRecoveryTest, DirtyCrashReemitsDroppedSymbolDefs) {
+  std::string root = ::testing::TempDir() + "/hcm_dirty_dict_store";
+  std::filesystem::remove_all(root);
+  StorageOptions opts;
+  opts.dir = root;
+  opts.commit_interval = Duration::Millis(1000000);  // manual flushes only
+  auto store = SiteStore::Open(opts, "B");
+  ASSERT_TRUE(store.ok());
+  TimePoint t = TimePoint::FromMillis(0);
+  (*store)->LogPrivateWrite(rule::ItemId{"committed", {}}, Value::Int(1), t);
+  ASSERT_TRUE((*store)->journal().Flush().ok());
+  // This write introduces the name "lost"; its kSymbolDef sits in the
+  // uncommitted buffer when the dirty crash drops it.
+  (*store)->LogPrivateWrite(rule::ItemId{"lost", {}}, Value::Int(2), t);
+  EXPECT_EQ((*store)->journal().DropBuffered(), 2u);
+
+  auto recovered = (*store)->Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered->state.private_data.size(), 1u);
+  EXPECT_EQ(recovered->state.private_data[0].first.base, "committed");
+
+  // The recovered incarnation reuses the name: the definition must be
+  // re-emitted, else every reference to its id decodes to "".
+  (*store)->LogPrivateWrite(rule::ItemId{"lost", {}}, Value::Int(3), t);
+  ASSERT_TRUE((*store)->journal().Close().ok());
+
+  auto inspection = InspectJournalDir(root + "/B");
+  ASSERT_TRUE(inspection.ok()) << inspection.status().ToString();
+  ASSERT_EQ(inspection->private_writes.size(), 2u);
+  EXPECT_EQ(inspection->private_writes[0].first.base, "committed");
+  EXPECT_EQ(inspection->private_writes[1].first.base, "lost");
+  EXPECT_EQ(inspection->private_writes[1].second, Value::Int(3));
+
+  // A second recovery decodes the re-emitted definition too.
+  auto again = (*store)->Recover();
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->state.private_data.size(), 2u);
+  EXPECT_EQ(again->state.private_data[0].first.base, "committed");
+  EXPECT_EQ(again->state.private_data[1].first.base, "lost");
+}
+
+TEST(SiteStoreRecoveryTest, SnapshotSeqStaysAccurateAcrossRecoveries) {
+  std::string root = ::testing::TempDir() + "/hcm_reseq_store";
+  std::filesystem::remove_all(root);
+  StorageOptions opts;
+  opts.dir = root;
+  opts.commit_interval = Duration::Millis(1000000);  // manual flushes only
+  auto store = SiteStore::Open(opts, "B");
+  ASSERT_TRUE(store.ok());
+  TimePoint t = TimePoint::FromMillis(0);
+  (*store)->LogPrivateWrite(rule::ItemId{"a", {}}, Value::Int(1), t);
+  ASSERT_TRUE((*store)->journal().Flush().ok());
+  SnapshotState snap1;  // the caller snapshots its full live state
+  snap1.private_data.emplace_back(rule::ItemId{"a", {}}, Value::Int(1));
+  ASSERT_TRUE((*store)->WriteSnapshot(std::move(snap1)).ok());
+  ASSERT_TRUE((*store)->Recover().ok());
+
+  // Post-recovery snapshot: its sequence number must equal the on-disk
+  // record count, not double-count the pre-crash commits — an inflated
+  // seq makes a later recovery skip replaying real records.
+  (*store)->LogPrivateWrite(rule::ItemId{"b", {}}, Value::Int(2), t);
+  ASSERT_TRUE((*store)->journal().Flush().ok());
+  SnapshotState snap2;
+  snap2.private_data.emplace_back(rule::ItemId{"a", {}}, Value::Int(1));
+  snap2.private_data.emplace_back(rule::ItemId{"b", {}}, Value::Int(2));
+  ASSERT_TRUE((*store)->WriteSnapshot(std::move(snap2)).ok());
+  (*store)->LogPrivateWrite(rule::ItemId{"c", {}}, Value::Int(3), t);
+  ASSERT_TRUE((*store)->journal().Flush().ok());
+
+  auto recovered = (*store)->Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->snapshot_found);
+  ASSERT_EQ(recovered->state.private_data.size(), 3u);
+  EXPECT_EQ(recovered->state.private_data[0].first.base, "a");
+  EXPECT_EQ(recovered->state.private_data[1].first.base, "b");
+  EXPECT_EQ(recovered->state.private_data[2].first.base, "c");
+
+  auto inspection = InspectJournalDir(root + "/B");
+  ASSERT_TRUE(inspection.ok());
+  for (const auto& [covered, loadable] : inspection->snapshots) {
+    EXPECT_LE(covered, inspection->records);
+    EXPECT_TRUE(loadable);
+  }
+}
+
 TEST(SiteStoreInspectionTest, ReportsRecordsAndSnapshots) {
   std::string root = ::testing::TempDir() + "/hcm_inspect_store";
   std::filesystem::remove_all(root);
