@@ -28,6 +28,38 @@ inline const char* HoldsStr(const trace::GuaranteeCheckResult& r) {
   return r.holds ? "HOLDS" : "VIOLATED";
 }
 
+// Uniform wall-clock cost reporting across the bench_* harnesses: every
+// bench that times a run quotes the same two derived units — nanoseconds of
+// host wall clock per recorded trace event, and trace events processed per
+// wall-clock second.
+struct Throughput {
+  double ns_per_event = 0;
+  double events_per_s = 0;
+};
+
+inline Throughput ComputeThroughput(double wall_ms, size_t events) {
+  Throughput t;
+  if (events > 0 && wall_ms > 0) {
+    t.ns_per_event = wall_ms * 1e6 / static_cast<double>(events);
+    t.events_per_s = static_cast<double>(events) / (wall_ms / 1e3);
+  }
+  return t;
+}
+
+// "123.4 ns/event, 8.1M events/s" — for appending to a bench table row.
+inline std::string ThroughputStr(double wall_ms, size_t events) {
+  Throughput t = ComputeThroughput(wall_ms, events);
+  char buf[64];
+  if (t.events_per_s >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns/event, %.1fM events/s",
+                  t.ns_per_event, t.events_per_s / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns/event, %.1fk events/s",
+                  t.ns_per_event, t.events_per_s / 1e3);
+  }
+  return std::string(buf);
+}
+
 // Standard two-relational-site payroll deployment used by E1/E2/E7.
 // Returns the System fully configured with `num_employees` rows per side,
 // initial salaries declared. Interface choice comes from the RID text.

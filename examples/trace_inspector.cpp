@@ -20,6 +20,7 @@
 
 #include "src/rule/lexer.h"
 #include "src/storage/site_store.h"
+#include "src/toolkit/system.h"
 #include "src/trace/guarantee_checker.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/valid_execution.h"
@@ -145,28 +146,57 @@ void PrintSummary(const trace::Trace& t) {
   }
 }
 
-trace::Trace DemoTrace() {
-  trace::TraceRecorder rec;
-  rule::ItemId x{"X", {}}, y{"Y", {}};
-  rec.SetInitialValue(x, Value::Int(0));
-  rec.SetInitialValue(y, Value::Int(0));
-  for (int i = 1; i <= 4; ++i) {
-    rule::Event ws;
-    ws.time = TimePoint::FromMillis(i * 10000);
-    ws.site = "A";
-    ws.kind = rule::EventKind::kWriteSpont;
-    ws.item = x;
-    ws.values = {Value::Int(i - 1), Value::Int(i)};
-    rec.Record(ws);
-    rule::Event w;
-    w.time = TimePoint::FromMillis(i * 10000 + 700);
-    w.site = "B";
-    w.kind = rule::EventKind::kWrite;
-    w.item = y;
-    w.values = {Value::Int(i)};
-    rec.Record(w);
+// Demo mode drives a real two-site payroll deployment on the parallel
+// engine (2 workers), so the generated trace comes with the executor's
+// superstep/clamp/elision stats block — the live counterpart of the
+// offline analyses below.
+trace::Trace DemoTrace(std::string* executor_stats) {
+  toolkit::SystemOptions opts;
+  opts.num_threads = 2;
+  toolkit::System system(opts);
+  for (const char* site : {"A", "B"}) {
+    auto* db = *system.AddRelationalSite(site);
+    db->Execute("create table employees (empid int primary key, name str, "
+                "salary int)");
+    db->Execute("insert into employees values (1, 'ann', 50000)");
+    db->Execute("insert into employees values (2, 'bob', 60000)");
   }
-  return rec.Finish(TimePoint::FromMillis(60000));
+  system.ConfigureTranslator(R"(
+ris relational
+site A
+item salary1
+  read   select salary from employees where empid = $1
+  write  update employees set salary = $v where empid = $1
+  list   select empid from employees
+  notify trigger employees salary empid
+interface notify salary1(n) 1s
+)");
+  system.ConfigureTranslator(R"(
+ris relational
+site B
+item salary2
+  read   select salary from employees where empid = $1
+  write  update employees set salary = $v where empid = $1
+  list   select empid from employees
+interface write salary2(n) 2s
+)");
+  for (int n = 1; n <= 2; ++n) {
+    system.DeclareInitial(rule::ItemId{"salary1", {Value::Int(n)}});
+    system.DeclareInitial(rule::ItemId{"salary2", {Value::Int(n)}});
+  }
+  auto constraint = *spec::MakeCopyConstraint("salary1(n)", "salary2(n)");
+  auto suggestions = *system.Suggest(constraint);
+  system.InstallStrategy("payroll", constraint, suggestions.at(0).strategy);
+  int salary = 50000;
+  for (int i = 1; i <= 4; ++i) {
+    salary += 1000 + i;
+    system.WorkloadWrite(rule::ItemId{"salary1", {Value::Int(1 + i % 2)}},
+                         Value::Int(salary));
+    system.RunFor(Duration::Seconds(10));
+  }
+  system.RunFor(Duration::Seconds(20));
+  *executor_stats = system.DescribeExecutorStats();
+  return system.FinishTrace();
 }
 
 }  // namespace
@@ -186,8 +216,11 @@ int main(int argc, char** argv) {
     return InspectJournals(argv[2], nullptr);
   }
   if (argc < 2) {
-    std::printf("(no trace file given: inspecting a generated demo trace)\n");
-    t = DemoTrace();
+    std::printf("(no trace file given: running a demo payroll deployment "
+                "on the parallel engine and inspecting its trace)\n");
+    std::string executor_stats;
+    t = DemoTrace(&executor_stats);
+    std::printf("%s", executor_stats.c_str());
     std::string path = "/tmp/hcm_demo.trace";
     if (trace::SaveTraceFile(t, path).ok()) {
       std::printf("demo trace saved to %s\n\n", path.c_str());
@@ -236,8 +269,10 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) {
     // Demo mode: also run a sample check so the output shows the feature.
-    auto g = spec::YFollowsX("X", "Y");
-    auto r = trace::CheckGuarantee(t, g);
+    auto g = spec::YFollowsX("salary1(n)", "salary2(n)");
+    trace::GuaranteeCheckOptions opts;
+    opts.settle_margin = Duration::Seconds(15);
+    auto r = trace::CheckGuarantee(t, g, opts);
     std::printf("\nsample check — %s: %s\n", g.ToString().c_str(),
                 r.ok() ? r->ToString().c_str() : "error");
   }

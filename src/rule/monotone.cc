@@ -1,0 +1,46 @@
+#include "src/rule/monotone.h"
+
+namespace hcm::rule {
+
+namespace {
+
+MonotonicityVerdict Reject(std::string reason) {
+  MonotonicityVerdict v;
+  v.monotone = false;
+  v.reason = std::move(reason);
+  return v;
+}
+
+}  // namespace
+
+MonotonicityVerdict ClassifyMonotone(const Rule& rule,
+                                     const PrivateItemPredicate& is_private) {
+  if (rule.forbids()) {
+    return Reject("F rules are prohibitions, not derivations");
+  }
+  if (rule.lhs_condition != nullptr) {
+    return Reject("guarded LHS: condition C may retract a match over time");
+  }
+  if (rule.lhs.kind != EventKind::kNotify) {
+    return Reject(std::string("LHS kind ") + EventKindName(rule.lhs.kind) +
+                  " is not a plain notify subscription");
+  }
+  for (const RhsStep& step : rule.rhs) {
+    if (step.condition != nullptr) {
+      return Reject("conditional RHS step reads mutable state: " +
+                    step.ToString());
+    }
+    if (step.event.kind != EventKind::kWrite) {
+      return Reject("RHS step " + step.ToString() +
+                    " is not a CM-private write");
+    }
+    if (!is_private || !is_private(step.event.item.base)) {
+      return Reject("RHS writes non-private item " + step.event.item.base);
+    }
+  }
+  MonotonicityVerdict v;
+  v.monotone = true;
+  return v;
+}
+
+}  // namespace hcm::rule

@@ -181,6 +181,16 @@ class Executor {
     PostAt(site_sym, now() + ClampDelay(delay), std::move(fn));
   }
 
+  // Like PostAt(site_sym, ...), but the callback is declared *elidable*:
+  // it carries the effect of a statically monotone rule (CALM), so a
+  // conservative parallel engine may deliver it without clamping it to its
+  // synchronization window. The single-queue engine runs everything in one
+  // total order and ignores the hint.
+  virtual void PostElidableAt(uint32_t site_sym, TimePoint when,
+                              std::function<void()> fn) {
+    PostAt(site_sym, when, std::move(fn));
+  }
+
   // Runs the earliest pending callback, advancing the clock. Returns false
   // when the queue is empty (cancelled entries are drained silently).
   // Single-queue engine only; ParallelExecutor callers use RunUntil.

@@ -131,11 +131,20 @@ Status Network::Send(Message message) {
   ++channel->count;
   Handler* handler = &endpoint->handler;
   uint32_t dst_base_sym = endpoint->base_sym;
+  bool elidable = message.elidable;
   // Fire-and-forget: deliveries are never cancelled, so skip the Timer
   // handle (and its cancellation ticket) on the per-message path. The
   // destination-site tag routes the handler onto the destination's lane.
-  executor_->PostAt(dst_base_sym, delivery,
-                    [handler, msg = std::move(message)]() { (*handler)(msg); });
+  // Elidable messages (monotone-rule fires) take the clamp-free path.
+  if (elidable) {
+    executor_->PostElidableAt(
+        dst_base_sym, delivery,
+        [handler, msg = std::move(message)]() { (*handler)(msg); });
+  } else {
+    executor_->PostAt(
+        dst_base_sym, delivery,
+        [handler, msg = std::move(message)]() { (*handler)(msg); });
+  }
   return Status::OK();
 }
 

@@ -34,6 +34,11 @@ struct Message {
   std::any payload;
   uint32_t src_sym = kNoSymbol;
   uint32_t dst_sym = kNoSymbol;
+  // Declares the message the product of a statically monotone rule (CALM):
+  // the parallel engine may deliver it without clamping it to its
+  // synchronization window. Stamped by the sending shell for rules the
+  // monotonicity classifier approved; see rule::ClassifyMonotone.
+  bool elidable = false;
 };
 
 struct NetworkConfig {

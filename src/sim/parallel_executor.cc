@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
 namespace hcm::sim {
@@ -12,6 +13,12 @@ ParallelExecutor::ParallelExecutor(ParallelExecutorConfig config)
     : config_(config) {
   assert(config_.lookahead > Duration::Zero());
   if (config_.num_threads < 1) config_.num_threads = 1;
+  if (config_.max_epochs_per_superstep < 1) {
+    config_.max_epochs_per_superstep = 1;
+  }
+  if (config_.max_epochs_per_superstep > kMaxEpochsPerSuperstep) {
+    config_.max_epochs_per_superstep = kMaxEpochsPerSuperstep;
+  }
   for (size_t i = 1; i < config_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -53,8 +60,11 @@ ParallelExecutor::Lane* ParallelExecutor::EnsureLaneSym(uint32_t base_sym) {
 
 void ParallelExecutor::PushLane(Lane* lane, TimePoint when,
                                 std::function<void()> fn,
-                                TimerPool::Ticket ticket) {
-  if (when < lane->now) when = lane->now;
+                                TimerPool::Ticket ticket, bool elided) {
+  // Elided deliveries keep their natural (possibly past) time: the lane's
+  // clock steps backwards over them and the trace recorder's stable sort
+  // restores time order. Everything else is clamped monotone.
+  if (!elided && when < lane->now) when = lane->now;
   lane->queue.push_back(Entry{when, lane->next_seq++, std::move(fn), ticket});
   std::push_heap(lane->queue.begin(), lane->queue.end(), EntryLater());
 }
@@ -101,10 +111,10 @@ Timer ParallelExecutor::ScheduleAt(uint32_t site_sym, TimePoint when,
       PushLane(current, when, std::move(fn), ticket);
       return Timer(&current->timers, ticket);
     }
-    // Cross-lane schedule from inside a window: buffered in this lane's
-    // outbox, applied at the barrier. No cancellation handle — the ticket
-    // would live in another lane's pool, which this thread must not touch.
-    current->outbox.push_back(CrossPost{site_sym, when, std::move(fn)});
+    // Cross-lane schedule from inside a superstep: routed through the
+    // channel protocol. No cancellation handle — the ticket would live in
+    // another lane's pool, which this thread must not touch.
+    EmitCrossPost(current, site_sym, when, std::move(fn), /*elidable=*/false);
     return Timer(nullptr, TimerPool::Ticket{});
   }
   Lane* lane = EnsureLaneSym(site_sym);
@@ -120,11 +130,89 @@ void ParallelExecutor::PostAt(uint32_t site_sym, TimePoint when,
     if (current->sym == site_sym) {
       PushLane(current, when, std::move(fn), TimerPool::Ticket{});
     } else {
-      current->outbox.push_back(CrossPost{site_sym, when, std::move(fn)});
+      EmitCrossPost(current, site_sym, when, std::move(fn),
+                    /*elidable=*/false);
     }
     return;
   }
   PushLane(EnsureLaneSym(site_sym), when, std::move(fn), TimerPool::Ticket{});
+}
+
+void ParallelExecutor::PostElidableAt(uint32_t site_sym, TimePoint when,
+                                      std::function<void()> fn) {
+  Lane* current = current_lane_;
+  if (current != nullptr && current->owner == this) {
+    if (current->sym == site_sym) {
+      PushLane(current, when, std::move(fn), TimerPool::Ticket{});
+    } else {
+      EmitCrossPost(current, site_sym, when, std::move(fn),
+                    /*elidable=*/true);
+    }
+    return;
+  }
+  PushLane(EnsureLaneSym(site_sym), when, std::move(fn), TimerPool::Ticket{});
+}
+
+void ParallelExecutor::EmitCrossPost(Lane* src, uint32_t dst_sym,
+                                     TimePoint when, std::function<void()> fn,
+                                     bool elidable) {
+  ++src->ep_cross;
+  bool elide = elidable && config_.honor_elidable;
+  auto it = src->out_by_sym.find(dst_sym);
+  LaneChannel* ch = it != src->out_by_sym.end() ? it->second : nullptr;
+  if (ch != nullptr && ch->dst->participating) {
+    size_t e = src->current_epoch;
+    if (elide) {
+      ++src->ep_elided;
+    } else if (when < epoch_end_[e]) {
+      // Arriving inside the epoch it was sent in would have raced that
+      // epoch: the lookahead under-estimates this channel's latency.
+      // Clamping is applied identically at any thread count, so runs stay
+      // deterministic; fix the lookahead to avoid the added latency.
+      when = epoch_end_[e];
+      ++src->ep_clamped;
+    }
+    ch->segments[e].push_back(CrossPost{when, std::move(fn), elide});
+    return;
+  }
+  // First contact on this channel, or the destination sat out the
+  // superstep: held on the emitting lane and merged by the driver at the
+  // superstep barrier, in site-name order.
+  src->deferred.push_back(DeferredPost{dst_sym,
+                                       static_cast<uint32_t>(src->current_epoch),
+                                       when, std::move(fn), elide});
+}
+
+ParallelExecutor::LaneChannel* ParallelExecutor::EnsureChannel(Lane* src,
+                                                               Lane* dst) {
+  auto key = std::make_pair(dst->site, src->site);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    auto ch = std::make_unique<LaneChannel>();
+    ch->src = src;
+    ch->dst = dst;
+    it = channels_.emplace(std::move(key), std::move(ch)).first;
+    channels_dirty_ = true;
+  }
+  return it->second.get();
+}
+
+void ParallelExecutor::RebuildChannelListsIfDirty() {
+  if (!channels_dirty_) return;
+  channels_dirty_ = false;
+  for (auto& [name, lane] : lanes_) {
+    lane->inbound.clear();
+    lane->outbound.clear();
+    lane->out_by_sym.clear();
+  }
+  // Map order is (dst-site, src-site): each destination's inbound list
+  // comes out in canonical source order — the drain order.
+  for (auto& [key, ch] : channels_) {
+    ch->live = true;
+    ch->dst->inbound.push_back(ch.get());
+    ch->src->outbound.push_back(ch.get());
+    ch->src->out_by_sym.emplace(ch->dst->sym, ch.get());
+  }
 }
 
 bool ParallelExecutor::EarliestPending(TimePoint* out) {
@@ -142,12 +230,88 @@ bool ParallelExecutor::EarliestPending(TimePoint* out) {
   return any;
 }
 
-size_t ParallelExecutor::RunLaneWindow(Lane* lane, TimePoint window_end) {
+void ParallelExecutor::PlanParticipants() {
+  RebuildChannelListsIfDirty();
+  participants_.clear();
+  plan_stack_.clear();
+  // Seed: lanes with work due inside the superstep span.
+  for (auto& [name, lane] : lanes_) {
+    SweepLaneTop(lane.get());
+    lane->planned = !lane->queue.empty() &&
+                    lane->queue.front().when < superstep_end_;
+    if (lane->planned) plan_stack_.push_back(lane.get());
+  }
+  // Close over the channel graph: anything a participant can send to must
+  // also run (it drains the segments). Lanes outside the closure cost this
+  // superstep nothing; posts that nevertheless reach them (first contact)
+  // are merged at the barrier.
+  while (!plan_stack_.empty()) {
+    Lane* lane = plan_stack_.back();
+    plan_stack_.pop_back();
+    for (LaneChannel* ch : lane->outbound) {
+      if (!ch->dst->planned) {
+        ch->dst->planned = true;
+        plan_stack_.push_back(ch->dst);
+      }
+    }
+  }
+  int64_t last = static_cast<int64_t>(epochs_this_superstep_) - 1;
+  for (auto& [name, lane] : lanes_) {
+    lane->participating = lane->planned;
+    if (!lane->planned) continue;
+    lane->planned = false;
+    lane->last_epoch = last;
+    lane->pub.store(-1, std::memory_order_relaxed);
+    lane->in_ready.store(false, std::memory_order_relaxed);
+    participants_.push_back(lane.get());
+  }
+}
+
+bool ParallelExecutor::RunnableNow(Lane* lane) const {
+  int64_t next = lane->pub.load() + 1;
+  if (next > lane->last_epoch) return false;
+  if (next == 0) return true;  // epoch 0 has no inbound dependency
+  for (LaneChannel* ch : lane->inbound) {
+    if (!ch->src->participating) continue;  // silent this superstep
+    if (ch->src->pub.load() < next - 1) return false;
+  }
+  return true;
+}
+
+void ParallelExecutor::MaybeEnqueue(Lane* lane) {
+  // Claim-and-recheck with seq_cst atomics: either this caller wins the
+  // claim and enqueues, or the current claimer's post-release recheck is
+  // ordered after our pub bump and re-claims — no lost wakeups.
+  if (!RunnableNow(lane)) return;
+  if (lane->in_ready.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    ready_.push_back(lane);
+  }
+  ready_cv_.notify_one();
+}
+
+size_t ParallelExecutor::RunOneEpoch(Lane* lane, size_t epoch) {
   current_lane_ = lane;
+  lane->current_epoch = epoch;
+  if (epoch > 0) {
+    // Drain inbound segments published for the previous epoch, in
+    // canonical source order (the inbound list's order).
+    for (LaneChannel* ch : lane->inbound) {
+      if (!ch->src->participating) continue;
+      auto& seg = ch->segments[epoch - 1];
+      for (CrossPost& post : seg) {
+        PushLane(lane, post.when, std::move(post.fn), TimerPool::Ticket{},
+                 post.elided);
+      }
+      seg.clear();
+    }
+  }
+  const TimePoint end = epoch_end_[epoch];
   size_t steps = 0;
   for (;;) {
     SweepLaneTop(lane);
-    if (lane->queue.empty() || window_end <= lane->queue.front().when) break;
+    if (lane->queue.empty() || end <= lane->queue.front().when) break;
     std::pop_heap(lane->queue.begin(), lane->queue.end(), EntryLater());
     Entry entry = std::move(lane->queue.back());
     lane->queue.pop_back();
@@ -156,16 +320,56 @@ size_t ParallelExecutor::RunLaneWindow(Lane* lane, TimePoint window_end) {
     entry.fn();
     ++steps;
   }
+  lane->steps_by_epoch[epoch] = steps;
   current_lane_ = nullptr;
-  lane->window_steps = steps;
+  lane->pub.store(static_cast<int64_t>(epoch));  // seq_cst publish
   return steps;
 }
 
-void ParallelExecutor::DrainWindowLanes() {
+void ParallelExecutor::RunLaneEpochs(Lane* lane) {
   for (;;) {
-    size_t i = next_window_lane_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= window_lanes_.size()) return;
-    RunLaneWindow(window_lanes_[i], window_end_);
+    bool finished = false;
+    while (RunnableNow(lane)) {
+      int64_t e = lane->pub.load(std::memory_order_relaxed) + 1;
+      RunOneEpoch(lane, static_cast<size_t>(e));
+      if (e == lane->last_epoch) finished = true;
+      // The published epoch may unblock downstream lanes.
+      for (LaneChannel* ch : lane->outbound) {
+        if (ch->dst->participating) MaybeEnqueue(ch->dst);
+      }
+    }
+    if (finished) {
+      lane->in_ready.store(false);
+      if (lanes_done_.fetch_add(1) + 1 == participants_.size()) {
+        {
+          std::lock_guard<std::mutex> lock(ready_mu_);
+          superstep_complete_ = true;
+        }
+        ready_cv_.notify_all();
+      }
+      return;
+    }
+    // Release the claim, then recheck: a publisher that bumped pub before
+    // our release saw in_ready still true and skipped enqueueing — the
+    // recheck (seq_cst-ordered after both) picks that epoch up here.
+    lane->in_ready.store(false);
+    if (!RunnableNow(lane)) return;
+    if (lane->in_ready.exchange(true)) return;  // another claimer took over
+  }
+}
+
+void ParallelExecutor::ReadyLoop() {
+  for (;;) {
+    Lane* lane = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(ready_mu_);
+      ready_cv_.wait(lock,
+                     [&] { return superstep_complete_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // complete and drained
+      lane = ready_.front();
+      ready_.pop_front();
+    }
+    RunLaneEpochs(lane);
   }
 }
 
@@ -174,11 +378,12 @@ void ParallelExecutor::WorkerLoop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(pool_mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || work_epoch_ != seen_epoch; });
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || work_epoch_ != seen_epoch; });
       if (shutdown_) return;
       seen_epoch = work_epoch_;
     }
-    DrainWindowLanes();
+    ReadyLoop();
     {
       std::lock_guard<std::mutex> lock(pool_mu_);
       if (--workers_busy_ == 0) done_cv_.notify_one();
@@ -186,82 +391,150 @@ void ParallelExecutor::WorkerLoop() {
   }
 }
 
-size_t ParallelExecutor::RunOneWindow(TimePoint window_end) {
-  window_lanes_.clear();
-  for (auto& [name, lane] : lanes_) {
-    SweepLaneTop(lane.get());
-    lane->window_steps = 0;
-    if (!lane->queue.empty() && lane->queue.front().when < window_end) {
-      window_lanes_.push_back(lane.get());
+size_t ParallelExecutor::RunSuperstep(TimePoint anchor, bool has_cap,
+                                      TimePoint cap) {
+  // Epoch grid: depth_ lookahead-wide epochs from the anchor, truncated at
+  // the cap (RunUntil's deadline). A pure function of the simulation.
+  const Duration width = config_.lookahead;
+  epochs_this_superstep_ = 0;
+  TimePoint start = anchor;
+  for (size_t e = 0; e < depth_; ++e) {
+    if (has_cap && e > 0 && start >= cap) break;
+    TimePoint end = start + width;
+    bool truncated = false;
+    if (has_cap && cap < end) {
+      end = cap;
+      truncated = true;
+    }
+    epoch_end_[e] = end;
+    ++epochs_this_superstep_;
+    if (truncated) break;
+    start = end;
+  }
+  superstep_end_ = epoch_end_[epochs_this_superstep_ - 1];
+
+  PlanParticipants();
+  if (participants_.empty()) return 0;
+
+  lanes_done_.store(0, std::memory_order_relaxed);
+  superstep_clamped_ = 0;
+  superstep_hard_deferred_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    superstep_complete_ = false;
+    for (Lane* lane : participants_) {
+      lane->in_ready.store(true, std::memory_order_relaxed);
+      ready_.push_back(lane);
     }
   }
-  if (window_lanes_.empty()) return 0;
 
-  window_end_ = window_end;
-  next_window_lane_.store(0, std::memory_order_relaxed);
-  if (workers_.empty() || window_lanes_.size() == 1) {
-    for (Lane* lane : window_lanes_) RunLaneWindow(lane, window_end);
+  if (workers_.empty() || participants_.size() == 1) {
+    ReadyLoop();
   } else {
     {
-      // The epoch bump publishes window_lanes_/window_end_ (written above)
-      // to the workers, whose condvar wait acquires pool_mu_.
+      // The epoch bump publishes the superstep state written above to the
+      // workers, whose condvar wait acquires pool_mu_.
       std::lock_guard<std::mutex> lock(pool_mu_);
       ++work_epoch_;
       workers_busy_ = workers_.size();
     }
     work_cv_.notify_all();
-    DrainWindowLanes();
+    ReadyLoop();
     std::unique_lock<std::mutex> lock(pool_mu_);
     done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
   }
 
-  size_t total = 0;
-  size_t max_lane = 0;
-  for (Lane* lane : window_lanes_) {
-    total += lane->window_steps;
-    max_lane = std::max(max_lane, lane->window_steps);
-  }
-  ++windows_;
-  total_steps_ += total;
-  critical_steps_ += max_lane;
-
-  MergeOutboxes(window_end);
-  return total;
+  return CloseSuperstep();
 }
 
-void ParallelExecutor::MergeOutboxes(TimePoint window_end) {
-  // Source lanes are visited in site-name order and each outbox in emission
-  // order — both properties of the simulation, not of worker interleaving —
-  // so destination sequence numbers come out identical at any thread count.
-  for (auto& [name, lane] : lanes_) {
-    for (CrossPost& post : lane->outbox) {
-      ++cross_posts_;
-      TimePoint when = post.when;
-      if (when < window_end) {
-        // Arriving inside the window it was sent in would have raced that
-        // window: the lookahead under-estimates this channel's latency.
-        // Clamping is applied identically at any thread count, so runs stay
-        // deterministic; fix the lookahead to avoid the added latency.
-        when = window_end;
-        ++clamped_cross_posts_;
+size_t ParallelExecutor::CloseSuperstep() {
+  const size_t epochs = epochs_this_superstep_;
+  // Final-epoch segments were published but have no following epoch to
+  // drain them; the driver does it here, same canonical order.
+  for (Lane* lane : participants_) {
+    for (LaneChannel* ch : lane->inbound) {
+      if (!ch->src->participating) continue;
+      auto& seg = ch->segments[epochs - 1];
+      for (CrossPost& post : seg) {
+        PushLane(lane, post.when, std::move(post.fn), TimerPool::Ticket{},
+                 post.elided);
       }
-      PushLane(EnsureLaneSym(post.dst_sym), when, std::move(post.fn),
-               TimerPool::Ticket{});
+      seg.clear();
     }
-    lane->outbox.clear();
   }
+  // Deferred posts: first contact on new channels and posts to lanes that
+  // sat out the superstep. Source lanes are visited in site-name order and
+  // each list in emission order — both properties of the simulation — so
+  // destination sequence numbers come out identical at any thread count.
+  for (Lane* src : participants_) {
+    for (DeferredPost& post : src->deferred) {
+      Lane* dst = EnsureLaneSym(post.dst_sym);
+      EnsureChannel(src, dst);  // live from the next plan phase on
+      TimePoint when = post.when;
+      if (post.elided) {
+        ++elided_cross_posts_;
+      } else {
+        ++superstep_hard_deferred_;
+        TimePoint floor = epoch_end_[post.epoch];
+        // A destination that ran this superstep has already executed up to
+        // the superstep end; delivering earlier would rewrite its past.
+        if (dst->participating && superstep_end_ > floor) {
+          floor = superstep_end_;
+        }
+        if (when < floor) {
+          when = floor;
+          ++clamped_cross_posts_;
+          ++superstep_clamped_;
+        }
+      }
+      PushLane(dst, when, std::move(post.fn), TimerPool::Ticket{},
+               post.elided);
+    }
+    src->deferred.clear();
+  }
+  // Fold the worker-local counters into the global stats.
+  size_t total = 0;
+  for (size_t e = 0; e < epochs; ++e) {
+    size_t max_lane = 0;
+    for (Lane* lane : participants_) {
+      size_t steps = lane->steps_by_epoch[e];
+      total += steps;
+      max_lane = std::max(max_lane, steps);
+      lane->steps_by_epoch[e] = 0;
+    }
+    critical_steps_ += max_lane;
+  }
+  for (Lane* lane : participants_) {
+    cross_posts_ += lane->ep_cross;
+    clamped_cross_posts_ += lane->ep_clamped;
+    superstep_clamped_ += lane->ep_clamped;
+    elided_cross_posts_ += lane->ep_elided;
+    lane->ep_cross = lane->ep_clamped = lane->ep_elided = 0;
+    lane->participating = false;
+  }
+  total_steps_ += total;
+  windows_ += epochs;
+  ++supersteps_;
+  // Depth adaptation: widen the barrier spacing while traffic needed no
+  // coordination (no clamps, no non-monotone first-contact deferrals),
+  // back off as soon as it did. Driven by simulation stats only, so the
+  // schedule stays a pure function of the simulation.
+  if (superstep_clamped_ == 0 && superstep_hard_deferred_ == 0) {
+    depth_ = std::min(depth_ * 2, config_.max_epochs_per_superstep);
+  } else {
+    depth_ = std::max<size_t>(depth_ / 2, 1);
+  }
+  return total;
 }
 
 size_t ParallelExecutor::RunUntil(TimePoint deadline) {
   size_t steps = 0;
   TimePoint earliest;
+  // The run boundary is inclusive of `deadline` itself; epoch ends are
+  // exclusive, so cap at one tick past it.
+  const TimePoint cap = deadline + Duration::Millis(1);
   while (EarliestPending(&earliest) && earliest <= deadline) {
-    TimePoint window_end = earliest + config_.lookahead;
-    // The run boundary is inclusive of `deadline` itself; window ends are
-    // exclusive, so cap at one tick past it.
-    TimePoint cap = deadline + Duration::Millis(1);
-    if (cap < window_end) window_end = cap;
-    steps += RunOneWindow(window_end);
+    steps += RunSuperstep(earliest, /*has_cap=*/true, cap);
   }
   if (global_now_ < deadline) global_now_ = deadline;
   for (auto& [name, lane] : lanes_) {
@@ -274,9 +547,9 @@ size_t ParallelExecutor::RunUntilIdle(size_t max_steps) {
   size_t steps = 0;
   TimePoint earliest;
   while (EarliestPending(&earliest)) {
-    steps += RunOneWindow(earliest + config_.lookahead);
-    // Window-granular bound: we never cut a window short, so the count may
-    // overshoot max_steps by up to one window.
+    steps += RunSuperstep(earliest, /*has_cap=*/false, TimePoint());
+    // Superstep-granular bound: we never cut a superstep short, so the
+    // count may overshoot max_steps by up to one superstep.
     if (max_steps != 0 && steps >= max_steps) break;
   }
   for (auto& [name, lane] : lanes_) {
@@ -298,6 +571,21 @@ double ParallelExecutor::parallelism() const {
   if (critical_steps_ == 0) return 1.0;
   return static_cast<double>(total_steps_) /
          static_cast<double>(critical_steps_);
+}
+
+std::string ParallelExecutor::DescribeStats() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "parallel executor: threads=%zu lanes=%zu\n"
+                "  supersteps=%llu windows=%llu parallelism=%.2f\n"
+                "  cross_posts=%llu clamped=%llu elided=%llu\n",
+                config_.num_threads, lanes_.size(),
+                static_cast<unsigned long long>(supersteps_),
+                static_cast<unsigned long long>(windows_), parallelism(),
+                static_cast<unsigned long long>(cross_posts_),
+                static_cast<unsigned long long>(clamped_cross_posts_),
+                static_cast<unsigned long long>(elided_cross_posts_));
+  return std::string(buf);
 }
 
 }  // namespace hcm::sim

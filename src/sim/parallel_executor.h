@@ -1,12 +1,15 @@
 #ifndef HCM_SIM_PARALLEL_EXECUTOR_H_
 #define HCM_SIM_PARALLEL_EXECUTOR_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -18,17 +21,29 @@ namespace hcm::sim {
 
 struct ParallelExecutorConfig {
   // Worker count, including the calling thread: num_threads = 1 runs every
-  // window inline (no pool), num_threads = N spawns N-1 workers and the
+  // superstep inline (no pool), num_threads = N spawns N-1 workers and the
   // driving thread participates. Values are clamped to >= 1.
   size_t num_threads = 1;
 
   // Conservative lookahead L: the minimum latency of any cross-site
-  // message. Windows are [T, T + L); within a window each site's callbacks
-  // are causally independent of the other sites' (a cross-site effect sent
-  // at t arrives no earlier than t + L >= window end), so sites execute
+  // message. Epochs are L wide; within an epoch each site's callbacks are
+  // causally independent of the other sites' (a cross-site effect sent at t
+  // arrives no earlier than t + L >= epoch end), so sites execute
   // concurrently. For toolkit deployments L is the network's base cross-
   // site latency. Must be positive.
   Duration lookahead = Duration::Millis(20);
+
+  // Adaptive synchronization widening: the driver barrier is placed every
+  // `depth` epochs, where depth doubles (up to this cap) after a superstep
+  // whose cross-lane traffic needed no clamping and no deferred first-
+  // contact deliveries, and halves otherwise. 1 = a barrier per epoch (the
+  // pre-epoch engine's cadence). Clamped to [1, kMaxEpochsPerSuperstep].
+  size_t max_epochs_per_superstep = 16;
+
+  // When false, elidable posts (PostElidableAt — messages fired by
+  // statically monotone rules) are clamped like any other cross-lane post.
+  // The elision-soundness tests flip this to compare schedules.
+  bool honor_elidable = true;
 };
 
 // Site-sharded discrete-event executor: the conservative-time-window PDES
@@ -36,36 +51,58 @@ struct ParallelExecutorConfig {
 //
 // Every callback is tagged (via the site-tagged ScheduleAt/PostAt variants)
 // with the site whose work it performs; each site gets a *lane* — its own
-// queue, clock, sequence counter, and timer pool. Execution alternates
-// between
+// queue, clock, sequence counter, and timer pool. Time is diced into
+// lookahead-wide *epochs* grouped into *supersteps* of `depth` epochs:
 //
-//   window:  every lane with work in [T, T + L) runs its entries in
-//            (time, seq) order on some worker thread; lanes never touch
-//            each other's state, so workers proceed without locks;
-//   barrier: cross-lane callbacks emitted during the window (buffered in
-//            the emitting lane's outbox — e.g. Network deliveries to other
-//            sites) are merged into the destination lanes in site-name
-//            order, assigning destination sequence numbers independent of
-//            worker interleaving.
+//   plan    (driver): anchor the superstep at the earliest pending
+//           callback, pick the epoch grid, and compute the participant set
+//           — lanes with due work plus every lane reachable from them over
+//           the cross-lane channel graph. Unreachable idle lanes pay
+//           nothing for the superstep.
+//   run     (workers): each participant lane runs its epochs in order, but
+//           lanes are NOT barrier-synchronized per epoch — a lane may start
+//           epoch e as soon as every lane it *receives from* has published
+//           epoch e-1 (per-lane atomic epoch counters). Cross-lane posts
+//           are batched into per-(src,dst) channel segment buffers and
+//           drained by the destination once per epoch, in canonical
+//           (source-site-name, emission) order. Idle workers pick any
+//           runnable lane from a shared ready queue, so a worker that
+//           finished its lane's epoch e naturally "steals ahead" into
+//           other lanes' later epochs whose inbound channels are flushed.
+//   barrier (driver): once per superstep — not per epoch — the driver
+//           drains final-epoch segments, merges deferred posts (first
+//           messages on brand-new channels, and messages to lanes outside
+//           the participant set) in site-name order, folds the per-lane
+//           worker-local step counters into the global stats, and adapts
+//           the superstep depth.
 //
-// The merge order (time, site, seq) is a function of the simulation alone,
-// so a run with N workers executes callbacks in exactly the per-lane orders
-// a 1-worker run does — traces and results are bit-identical for any
-// num_threads (the parallel-equivalence suite enforces this).
+// Every scheduling decision above (participation, epoch grid, clamping,
+// drain order, sequence assignment) is a pure function of the simulation,
+// never of worker interleaving, so a run with N workers executes callbacks
+// in exactly the per-lane orders a 1-worker run does — traces and results
+// are bit-identical for any num_threads (the parallel-equivalence suite
+// enforces this).
 //
-// Conservativeness is asserted at the barrier: a cross-lane callback due
-// before the window end would have raced the window it was emitted in; it
-// is clamped to the window end and counted (clamped_cross_posts()), which
-// keeps runs deterministic even for a mis-sized lookahead, at the cost of
-// delaying that delivery. Untagged scheduling from inside a lane callback
-// stays on that lane; untagged scheduling from outside any window (e.g.
-// main-thread setup) lands on a control lane named "".
+// Conservativeness: a cross-lane post due inside the epoch it was emitted
+// in would have raced that epoch; it is clamped to the epoch end and
+// counted (clamped_cross_posts()). Posts declared *elidable* via
+// PostElidableAt — messages fired by statically monotone rules, which per
+// CALM need no coordination — skip the clamp and keep their natural
+// delivery time (elided_cross_posts()); the destination lane's clock may
+// step backwards over them, which the sharded trace recorder's stable sort
+// absorbs. Untagged scheduling from inside a lane callback stays on that
+// lane; untagged scheduling from outside any superstep (e.g. main-thread
+// setup) lands on a control lane named "".
 //
 // Limitations (documented, asserted where cheap): Step()/RunRealtimeFor
 // are unsupported; Timers for cross-lane schedules cannot be cancelled;
 // Timer::Cancel must be called from the owning lane or between runs.
 class ParallelExecutor : public Executor {
  public:
+  // Upper bound on epochs per superstep (sizes the per-channel segment
+  // ring, which is why it is a compile-time constant).
+  static constexpr size_t kMaxEpochsPerSuperstep = 16;
+
   explicit ParallelExecutor(ParallelExecutorConfig config);
   ~ParallelExecutor() override;
 
@@ -84,6 +121,8 @@ class ParallelExecutor : public Executor {
                    std::function<void()> fn) override;
   void PostAt(uint32_t site_sym, TimePoint when,
               std::function<void()> fn) override;
+  void PostElidableAt(uint32_t site_sym, TimePoint when,
+                      std::function<void()> fn) override;
 
   size_t RunUntil(TimePoint deadline) override;
   size_t RunUntilIdle(size_t max_steps = 0) override;
@@ -92,14 +131,23 @@ class ParallelExecutor : public Executor {
   // --- Introspection (benches, tests; call between runs) ---
   size_t num_lanes() const { return lanes_.size(); }
   size_t num_threads() const { return config_.num_threads; }
+  // Epochs executed (the unit the pre-epoch engine called a "window").
   uint64_t windows_executed() const { return windows_; }
+  // Driver barriers: each superstep costs one plan + one barrier phase
+  // regardless of how many epochs it spans.
+  uint64_t supersteps() const { return supersteps_; }
   uint64_t cross_posts() const { return cross_posts_; }
   uint64_t clamped_cross_posts() const { return clamped_cross_posts_; }
+  // Cross-lane posts that skipped the window clamp because their sender
+  // declared them monotone (CALM elision).
+  uint64_t elided_cross_posts() const { return elided_cross_posts_; }
   // Critical-path parallelism of the run so far: total callbacks executed
-  // divided by the sum over windows of the busiest lane's callbacks — the
+  // divided by the sum over epochs of the busiest lane's callbacks — the
   // speedup an unbounded worker pool could reach on this workload,
   // independent of the host's core count.
   double parallelism() const;
+  // The human-readable stats block examples and benches print.
+  std::string DescribeStats() const;
 
  private:
   struct Entry {
@@ -114,12 +162,37 @@ class ParallelExecutor : public Executor {
       return b.seq < a.seq;
     }
   };
-  // A callback emitted during a window for another lane; applied at the
-  // barrier.
+  // A cross-lane callback buffered in a channel segment; drained by the
+  // destination at the start of the following epoch.
   struct CrossPost {
-    uint32_t dst_sym;  // interned base-site id
     TimePoint when;
     std::function<void()> fn;
+    bool elided;
+  };
+  // A cross-lane callback that cannot use the segment protocol this
+  // superstep (first message on a brand-new channel, or destination not in
+  // the participant set); merged by the driver at the superstep barrier.
+  struct DeferredPost {
+    uint32_t dst_sym;
+    uint32_t epoch;  // emission epoch (clamp reference)
+    TimePoint when;
+    std::function<void()> fn;
+    bool elided;
+  };
+  struct Lane;
+  // Per-(src,dst) cross-lane channel with one reusable segment vector per
+  // epoch. The source lane appends during its epoch e and publishes via its
+  // epoch counter; the destination drains segment e at its epoch e+1 (the
+  // publish/observe pair of seq_cst counter ops is the happens-before
+  // edge). Exactly one writer and one reader touch a segment, never
+  // concurrently.
+  struct LaneChannel {
+    Lane* src = nullptr;
+    Lane* dst = nullptr;
+    // Channels created mid-superstep stay dormant (posts deferred) until
+    // the next plan phase links them into the lane lists.
+    bool live = false;
+    std::array<std::vector<CrossPost>, kMaxEpochsPerSuperstep> segments;
   };
   struct Lane {
     Lane(ParallelExecutor* owner, SiteId site)
@@ -133,55 +206,113 @@ class ParallelExecutor : public Executor {
     uint64_t next_seq = 0;
     std::vector<Entry> queue;  // heap ordered by EntryLater
     TimerPool timers;
-    std::vector<CrossPost> outbox;
-    size_t window_steps = 0;  // written by the worker that ran the window
+
+    // --- Epoch machinery. The two atomics are the only cross-thread-hot
+    // words; each gets its own cache line so a publisher bumping `pub`
+    // never invalidates the line a claimer is spinning `in_ready` on
+    // (and neither shares a line with the queue/clock state above).
+    alignas(64) std::atomic<int64_t> pub{-1};  // last epoch completed
+    alignas(64) std::atomic<bool> in_ready{false};
+    bool participating = false;
+    int64_t last_epoch = -1;   // final epoch index this superstep
+    size_t current_epoch = 0;  // epoch being run (set by the runner)
+    // Channel lists, rebuilt by the plan phase when the graph changed.
+    // inbound is kept in canonical source-site-name order — it is the
+    // drain order and therefore a determinism anchor.
+    std::vector<LaneChannel*> inbound;
+    std::vector<LaneChannel*> outbound;
+    std::unordered_map<uint32_t, LaneChannel*> out_by_sym;
+    std::vector<DeferredPost> deferred;
+    // Worker-local counters, merged (and zeroed) by the driver at the
+    // superstep barrier — no shared atomics on the execution path.
+    std::array<size_t, kMaxEpochsPerSuperstep> steps_by_epoch{};
+    uint64_t ep_cross = 0;
+    uint64_t ep_clamped = 0;
+    uint64_t ep_elided = 0;
+    bool planned = false;  // plan-phase BFS mark
   };
 
-  Lane* EnsureLane(const SiteId& base_site);  // outside windows only
-  Lane* EnsureLaneSym(uint32_t base_sym);     // outside windows only
+  Lane* EnsureLane(const SiteId& base_site);  // outside supersteps only
+  Lane* EnsureLaneSym(uint32_t base_sym);     // outside supersteps only
   void PushLane(Lane* lane, TimePoint when, std::function<void()> fn,
-                TimerPool::Ticket ticket);
+                TimerPool::Ticket ticket, bool elided = false);
   // Drops cancelled entries off the lane's heap top.
   static void SweepLaneTop(Lane* lane);
   // Earliest pending callback across all lanes; false when idle.
   bool EarliestPending(TimePoint* out);
-  size_t RunLaneWindow(Lane* lane, TimePoint window_end);
-  // Runs one window ending (exclusively) at `window_end` over every lane
-  // with due work, then merges outboxes. Returns callbacks executed.
-  size_t RunOneWindow(TimePoint window_end);
-  void MergeOutboxes(TimePoint window_end);
+  // Routes a cross-lane post emitted from inside `src`'s epoch.
+  void EmitCrossPost(Lane* src, uint32_t dst_sym, TimePoint when,
+                     std::function<void()> fn, bool elidable);
+  // Returns (creating if needed) the channel src -> dst_sym; driver only.
+  LaneChannel* EnsureChannel(Lane* src, Lane* dst);
+  void RebuildChannelListsIfDirty();
+
+  // One superstep anchored at `anchor`; epochs never extend past `cap`
+  // when `has_cap`. Returns callbacks executed.
+  size_t RunSuperstep(TimePoint anchor, bool has_cap, TimePoint cap);
+  void PlanParticipants();
+  bool RunnableNow(Lane* lane) const;
+  void MaybeEnqueue(Lane* lane);
+  size_t RunOneEpoch(Lane* lane, size_t epoch);
+  // Claims `lane` (already popped from the ready queue) and runs every
+  // epoch its inbound dependencies currently permit.
+  void RunLaneEpochs(Lane* lane);
+  // Pops runnable lanes until the superstep completes.
+  void ReadyLoop();
   void WorkerLoop();
-  void DrainWindowLanes();
+  // Superstep barrier: final-segment drain, deferred merge, stats fold,
+  // depth adaptation. Returns callbacks executed this superstep.
+  size_t CloseSuperstep();
 
   ParallelExecutorConfig config_;
+  size_t depth_ = 1;  // current epochs-per-superstep (adaptive)
   TimePoint global_now_;
-  // Lanes in site-NAME order: window selection, outbox merging, and clock
-  // propagation all iterate this map, and name order is the determinism
+  // Lanes in site-NAME order: plan-phase iteration, deferred merging, and
+  // clock propagation all walk this map, and name order is the determinism
   // anchor (symbol ids vary with intern order; names do not).
   std::map<SiteId, std::unique_ptr<Lane>> lanes_;
   // Interned base-site id -> lane; the hot routing index.
   std::unordered_map<uint32_t, Lane*> lane_by_sym_;
+  // Channel registry keyed (dst-site, src-site): iterating it yields each
+  // destination's inbound channels in canonical source order, which is how
+  // the plan phase builds the drain lists.
+  std::map<std::pair<SiteId, SiteId>, std::unique_ptr<LaneChannel>> channels_;
+  bool channels_dirty_ = false;
+
+  // --- Superstep state (written by the driver in the plan phase, read by
+  // workers during the run phase). ---
+  std::vector<Lane*> participants_;  // canonical site-name order
+  std::array<TimePoint, kMaxEpochsPerSuperstep> epoch_end_{};
+  size_t epochs_this_superstep_ = 0;
+  TimePoint superstep_end_;
+  std::atomic<size_t> lanes_done_{0};
+  std::vector<Lane*> plan_stack_;  // BFS scratch
+
+  // Ready queue of claimable lanes.
+  std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+  std::deque<Lane*> ready_;
+  bool superstep_complete_ = false;  // guarded by ready_mu_
 
   // Worker pool (empty when num_threads == 1).
   std::vector<std::thread> workers_;
   std::mutex pool_mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  uint64_t work_epoch_ = 0;     // guarded by pool_mu_
-  size_t workers_busy_ = 0;     // guarded by pool_mu_
-  bool shutdown_ = false;       // guarded by pool_mu_
-  // Window work list; written by the driving thread before the epoch bump
-  // publishes it to workers.
-  std::vector<Lane*> window_lanes_;
-  TimePoint window_end_;
-  std::atomic<size_t> next_window_lane_{0};
-  std::atomic<size_t> window_steps_total_{0};
+  uint64_t work_epoch_ = 0;  // guarded by pool_mu_
+  size_t workers_busy_ = 0;  // guarded by pool_mu_
+  bool shutdown_ = false;    // guarded by pool_mu_
 
   uint64_t windows_ = 0;
+  uint64_t supersteps_ = 0;
   uint64_t cross_posts_ = 0;
   uint64_t clamped_cross_posts_ = 0;
+  uint64_t elided_cross_posts_ = 0;
   uint64_t critical_steps_ = 0;
   uint64_t total_steps_ = 0;
+  // Per-superstep deltas the depth adaptation consults.
+  uint64_t superstep_clamped_ = 0;
+  uint64_t superstep_hard_deferred_ = 0;
 
   static thread_local Lane* current_lane_;
 };

@@ -56,6 +56,17 @@ Status Shell::AddRhsRule(const rule::Rule& r) {
   return Status::OK();
 }
 
+size_t Shell::SetRuleElidable(int64_t rule_id, bool elidable) {
+  size_t updated = 0;
+  for (LhsEntry& entry : lhs_rules_) {
+    if (entry.rule.id == rule_id) {
+      entry.elidable = elidable;
+      ++updated;
+    }
+  }
+  return updated;
+}
+
 Status Shell::StartPeriodicRule(const rule::Rule& r) {
   if (r.lhs.kind != rule::EventKind::kPeriodic) {
     return Status::InvalidArgument("not a periodic rule: " + r.ToString());
@@ -230,8 +241,9 @@ void Shell::MatchEvent(const rule::Event& event) {
       fire.trigger_event_id = event.id;
       fire.trigger_time = event.time;
       fire.binding = std::move(binding);
-      Status s =
-          network_->Send({site_, entry.rhs_site, "fire", std::move(fire)});
+      sim::Message msg{site_, entry.rhs_site, "fire", std::move(fire)};
+      msg.elidable = entry.elidable;
+      Status s = network_->Send(std::move(msg));
       if (!s.ok()) {
         HCM_LOG(Warning) << "fire message undeliverable: " << s.ToString();
       }
@@ -259,9 +271,10 @@ void Shell::MatchEvent(const rule::Event& event) {
     fire.trigger_time = event.time;
     fire.frame = frame_scratch_;
     fire.compiled = true;
-    Status s = network_->Send({site_, entry.rhs_site, "fire",
-                               std::move(fire), site_sym_,
-                               entry.rhs_site_sym});
+    sim::Message msg{site_, entry.rhs_site, "fire", std::move(fire),
+                     site_sym_, entry.rhs_site_sym};
+    msg.elidable = entry.elidable;
+    Status s = network_->Send(std::move(msg));
     if (!s.ok()) {
       HCM_LOG(Warning) << "fire message undeliverable: " << s.ToString();
     }

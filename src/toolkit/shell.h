@@ -82,6 +82,13 @@ class Shell {
   // must also be installed via AddLhsRule/AddRhsRule.
   Status StartPeriodicRule(const rule::Rule& r);
 
+  // Marks an installed LHS rule's fire messages as elidable: the System
+  // calls this for rules the monotonicity classifier approved (see
+  // rule::ClassifyMonotone), and the parallel engine then delivers their
+  // fires without the synchronization-window clamp. Returns the number of
+  // LHS entries updated (0 when the rule is not installed here).
+  size_t SetRuleElidable(int64_t rule_id, bool elidable = true);
+
   // Host-language strategies (Demarcation Protocol, referential sweeps)
   // register programmatic work; see src/protocols.
   void AddPeriodicTask(Duration period, std::function<void()> task);
@@ -224,6 +231,8 @@ class Shell {
     rule::Rule rule;
     std::string rhs_site;
     uint32_t rhs_site_sym = kNoSymbol;
+    // Fires of this rule carry the CALM-elidable stamp (monotone rule).
+    bool elidable = false;
   };
   std::vector<LhsEntry> lhs_rules_;
   // Buckets lhs_rules_ positions by (kind, item base); MatchEvent consults

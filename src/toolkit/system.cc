@@ -1,6 +1,7 @@
 #include "src/toolkit/system.h"
 
 #include "src/common/logging.h"
+#include "src/rule/monotone.h"
 #include "src/sim/parallel_executor.h"
 #include "src/trace/sharded_recorder.h"
 #include "src/common/string_util.h"
@@ -20,6 +21,10 @@ System::System(SystemOptions options) : options_(options) {
     config.lookahead = options_.network.base_latency > Duration::Millis(1)
                            ? options_.network.base_latency
                            : Duration::Millis(1);
+    config.max_epochs_per_superstep =
+        options_.max_epochs_per_superstep > 0
+            ? options_.max_epochs_per_superstep
+            : 1;
     executor_ = std::make_unique<sim::ParallelExecutor>(config);
     recorder_ = std::make_unique<trace::ShardedTraceRecorder>();
   } else {
@@ -281,6 +286,18 @@ Status System::InstallStrategy(const std::string& key,
     if (r.lhs.kind == rule::EventKind::kPeriodic) {
       HCM_RETURN_IF_ERROR(shells_.at(lhs_site)->StartPeriodicRule(r));
     }
+    if (options_.elide_monotone_rules) {
+      // CALM pass: monotone rules' fires skip the parallel engine's window
+      // clamp. Private items were registered in the pre-pass above, so the
+      // predicate sees the strategy's own auxiliary items.
+      rule::MonotonicityVerdict verdict = rule::ClassifyMonotone(
+          r, [this](const std::string& base) {
+            return registry_.IsPrivate(base);
+          });
+      if (verdict.monotone) {
+        shells_.at(lhs_site)->SetRuleElidable(r.id);
+      }
+    }
     involved_sites.push_back(lhs_site);
     involved_sites.push_back(rhs_site);
   }
@@ -482,6 +499,14 @@ std::string System::DescribeDispatchStats() const {
         idx.mean_bucket_size, idx.wildcard_rules, idx.WildcardHitRate());
   }
   return out;
+}
+
+std::string System::DescribeExecutorStats() const {
+  auto* parallel = dynamic_cast<sim::ParallelExecutor*>(executor_.get());
+  if (parallel == nullptr) {
+    return "executor: single-queue (num_threads=0)\n";
+  }
+  return parallel->DescribeStats();
 }
 
 Result<Shell*> System::ShellAt(const std::string& site) {

@@ -32,6 +32,16 @@ struct SystemOptions {
   // 1-thread and an N-thread run of the same deployment produce
   // byte-identical traces and guarantee reports).
   size_t num_threads = 0;
+  // Upper bound on the parallel engine's adaptive superstep depth: how many
+  // lookahead-wide epochs one barrier interval may cover when no clamping
+  // is observed. 1 pins the engine to the classic one-window-per-barrier
+  // schedule (the equivalence baseline for elision soundness tests).
+  size_t max_epochs_per_superstep = 16;
+  // Runs the CALM monotonicity classifier over every installed rule and
+  // marks the monotone ones' fire messages elidable, letting the parallel
+  // engine deliver them without the synchronization-window clamp (see
+  // src/rule/monotone.h). Off = every cross-site message is clamped.
+  bool elide_monotone_rules = true;
   // Routes every shell through the string-keyed reference matching path
   // instead of the compiled slot/symbol path (see Shell::
   // set_use_reference_impl). The interned-equivalence suite runs both and
@@ -180,6 +190,11 @@ class System {
 
   // One-line-per-site rendering of the above, for examples and benches.
   std::string DescribeDispatchStats() const;
+
+  // Parallel-engine efficiency block (supersteps, windows, parallelism
+  // metric, clamped/elided cross posts); a one-liner for the single-queue
+  // engine. For examples and benches.
+  std::string DescribeExecutorStats() const;
 
  private:
   Status EnsureShell(const std::string& site);

@@ -1,0 +1,101 @@
+#include "src/rule/monotone.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/rule/parser.h"
+
+namespace hcm::rule {
+namespace {
+
+// Predicate over a fixed private-item set, standing in for
+// toolkit::ItemRegistry::IsPrivate.
+PrivateItemPredicate PrivateSet(std::set<std::string> items) {
+  return [items = std::move(items)](const std::string& base) {
+    return items.count(base) > 0;
+  };
+}
+
+Rule Parse(const std::string& text) {
+  auto r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return *r;
+}
+
+TEST(MonotoneTest, UnconditionalPrivateAccumulationIsMonotone) {
+  Rule r = Parse("relay: N(phone(n), b) -> 2s W(Relay(n), b)");
+  auto v = ClassifyMonotone(r, PrivateSet({"Relay"}));
+  EXPECT_TRUE(v.monotone) << v.reason;
+  EXPECT_TRUE(v.reason.empty());
+}
+
+TEST(MonotoneTest, MultiplePrivateWritesStayMonotone) {
+  Rule r = Parse("log: N(phone(n), b) -> 2s W(Last(n), b), W(Seen(n), b)");
+  auto v = ClassifyMonotone(r, PrivateSet({"Last", "Seen"}));
+  EXPECT_TRUE(v.monotone) << v.reason;
+}
+
+TEST(MonotoneTest, ForbidRuleIsNotMonotone) {
+  Rule r = Parse("Ws(salary2(n), b) -> 0s F");
+  auto v = ClassifyMonotone(r, PrivateSet({}));
+  EXPECT_FALSE(v.monotone);
+  EXPECT_NE(v.reason.find("prohibition"), std::string::npos) << v.reason;
+}
+
+TEST(MonotoneTest, GuardedLhsIsNotMonotone) {
+  Rule r = Parse("P(300) & X = b -> 500ms N(X, b)");
+  auto v = ClassifyMonotone(r, PrivateSet({}));
+  EXPECT_FALSE(v.monotone);
+  EXPECT_NE(v.reason.find("guarded LHS"), std::string::npos) << v.reason;
+}
+
+TEST(MonotoneTest, PeriodicHeadIsNotMonotone) {
+  // A timer head samples state at an instant; reordering it against other
+  // lanes' work changes what it observes.
+  Rule r = Parse("P(60)@A -> 1s RR(X)@A");
+  auto v = ClassifyMonotone(r, PrivateSet({}));
+  EXPECT_FALSE(v.monotone);
+  EXPECT_NE(v.reason.find("LHS kind"), std::string::npos) << v.reason;
+}
+
+TEST(MonotoneTest, ConditionalRhsStepIsNotMonotone) {
+  Rule r = Parse("fwd: N(salary1(n), b) -> 5s Cache(n) != b ? W(Cache(n), b)");
+  auto v = ClassifyMonotone(r, PrivateSet({"Cache"}));
+  EXPECT_FALSE(v.monotone);
+  EXPECT_NE(v.reason.find("conditional RHS"), std::string::npos) << v.reason;
+}
+
+TEST(MonotoneTest, RawSourceWriteIsNotMonotone) {
+  // WR reaches a raw source: its write event re-enters matching and can
+  // trigger arbitrary downstream rules, so delivery order matters.
+  Rule r = Parse("copy: N(salary1(n), b) -> 5s WR(salary2(n), b)");
+  auto v = ClassifyMonotone(r, PrivateSet({}));
+  EXPECT_FALSE(v.monotone);
+  EXPECT_NE(v.reason.find("not a CM-private write"), std::string::npos)
+      << v.reason;
+}
+
+TEST(MonotoneTest, NonPrivateWriteTargetIsNotMonotone) {
+  Rule r = Parse("relay: N(phone(n), b) -> 2s W(Relay(n), b)");
+  auto v = ClassifyMonotone(r, PrivateSet({}));  // Relay not registered
+  EXPECT_FALSE(v.monotone);
+  EXPECT_NE(v.reason.find("non-private"), std::string::npos) << v.reason;
+}
+
+TEST(MonotoneTest, MixedStepsRejectedByFirstOffender) {
+  Rule r = Parse(
+      "mixed: N(salary1(n), b) -> 5s W(Cache(n), b), WR(salary2(n), b)");
+  auto v = ClassifyMonotone(r, PrivateSet({"Cache"}));
+  EXPECT_FALSE(v.monotone);
+}
+
+TEST(MonotoneTest, NullPredicateRejectsAllWrites) {
+  Rule r = Parse("relay: N(phone(n), b) -> 2s W(Relay(n), b)");
+  auto v = ClassifyMonotone(r, nullptr);
+  EXPECT_FALSE(v.monotone);
+}
+
+}  // namespace
+}  // namespace hcm::rule
