@@ -1,23 +1,47 @@
-// Offline verification at scale: timeline reconstruction, valid-execution
-// checking (Appendix A.2) and guarantee checking over synthetic traces of
-// 10k / 100k / 1M events. The *Reference benchmarks run the pre-index
-// whole-trace-scan implementations (kept behind use_reference_impl for the
-// equivalence suite) and are registered only at sizes where they finish in
-// reasonable time; the speedup claimed in DESIGN.md §4b is Indexed vs
-// Reference at the same size.
+// Offline verification at scale — and its streaming counterpart. Timeline
+// reconstruction, valid-execution checking (Appendix A.2) and guarantee
+// checking over synthetic traces of 10k / 100k / 1M events, in the
+// bench_util table idiom: every timed row quotes ns/event and events/s.
+// The *_reference rows run the pre-index whole-trace-scan implementations
+// (kept behind use_reference_impl for the equivalence suite) and are
+// measured only at sizes where they finish in reasonable time; the speedup
+// claimed in DESIGN.md §4b is indexed vs reference at the same size.
+//
+// The streaming rows feed the identical trace through
+// trace::StreamingChecker event by event (valid-execution and guarantee
+// checked in one pass) and report the live-state high-water mark next to
+// the offline rows' fully-resident trace: the offline checkers hold every
+// event plus full per-item timelines, the streaming checker holds one
+// rule-δ horizon. The sim+check section runs a real parallel payroll
+// deployment twice — sequential sim-then-check vs the checker attached in
+// drain mode (checking overlaps execution, no offline trace is ever
+// materialized) — substantiating the DESIGN.md §4g overlap claim.
+//
+// Pass --json=FILE to dump the rows (refreshes BENCH_trace_check.json).
 
-#include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <queue>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 
 #include "src/common/rng.h"
 #include "src/rule/parser.h"
 #include "src/spec/guarantee.h"
 #include "src/trace/guarantee_checker.h"
+#include "src/trace/streaming_checker.h"
 #include "src/trace/valid_execution.h"
 
-namespace hcm {
+namespace hcm::bench {
 namespace {
 
 using rule::Event;
@@ -168,92 +192,389 @@ const BenchTrace& TraceOfSize(size_t n) {
   return it->second;
 }
 
-void BM_TimelineBuild(benchmark::State& state) {
-  const BenchTrace& b = TraceOfSize(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    trace::StateTimeline tl = trace::StateTimeline::Build(b.trace);
-    benchmark::DoNotOptimize(&tl);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(b.trace.events.size()));
+double WallMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
 }
-BENCHMARK(BM_TimelineBuild)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Arg(1000000)
-    ->Unit(benchmark::kMillisecond);
 
-void RunValidExecution(benchmark::State& state, bool reference) {
-  const BenchTrace& b = TraceOfSize(static_cast<size_t>(state.range(0)));
-  trace::ValidExecutionOptions opts;
-  opts.use_reference_impl = reference;
-  for (auto _ : state) {
-    auto report = trace::CheckValidExecution(b.trace, b.rules, opts);
-    if (!report.valid) {
-      state.SkipWithError("generated trace must be valid");
-      break;
+// Min over `reps` runs — the bench_util harness convention for short
+// single-process measurements.
+double MinWallMs(int reps, const std::function<void()>& fn) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    double ms = WallMs(fn);
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+size_t MaxRssKb() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<size_t>(ru.ru_maxrss);
+}
+
+struct CheckRow {
+  std::string name;
+  size_t events = 0;
+  double wall_ms = 0;
+  // Live-state high-water mark: the streaming checker's peak count of
+  // retained events + segments + obligations + pairs + fired entries +
+  // guarantee segments. 0 for offline rows — they hold the entire trace
+  // (`events` column) plus full per-item timelines for the whole run.
+  size_t live_state_peak = 0;
+  std::string note;
+};
+
+void StreamTraceThrough(const BenchTrace& b, trace::StreamingChecker* checker) {
+  for (const auto& [item, value] : b.trace.initial_values) {
+    checker->OnInitialValue(item, value);
+  }
+  TimePoint last = TimePoint::FromMillis(-1);
+  for (const auto& e : b.trace.events) {
+    if (last < e.time) {
+      last = e.time;
+      checker->OnWatermark(last);
     }
-    benchmark::DoNotOptimize(&report);
+    checker->OnEvent(e);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(b.trace.events.size()));
+  checker->OnFinish(b.trace.horizon);
 }
 
-void BM_ValidExecutionIndexed(benchmark::State& state) {
-  RunValidExecution(state, /*reference=*/false);
-}
-BENCHMARK(BM_ValidExecutionIndexed)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Arg(1000000)
-    ->Unit(benchmark::kMillisecond);
+std::vector<CheckRow> RunSize(size_t n) {
+  std::fprintf(stderr, "[bench] generating %zu-event trace...\n", n);
+  const BenchTrace& b = TraceOfSize(n);
+  std::fprintf(stderr, "[bench] checking %zu events...\n",
+               b.trace.events.size());
+  const size_t events = b.trace.events.size();
+  const int reps = n >= 1000000 ? 1 : 3;
+  std::vector<CheckRow> rows;
 
-// The whole-trace-scan implementation is quadratic in events for the
-// same-instant chains and O(events x rules) for obligations; 1M would take
-// minutes, so it is measured only up to 100k.
-void BM_ValidExecutionReference(benchmark::State& state) {
-  RunValidExecution(state, /*reference=*/true);
-}
-BENCHMARK(BM_ValidExecutionReference)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
+  rows.push_back({"timeline_build", events, MinWallMs(reps, [&] {
+                    trace::StateTimeline tl = trace::StateTimeline::Build(b.trace);
+                    if (tl.AllItems().empty()) std::abort();
+                  }), 0, ""});
 
-void RunGuarantee(benchmark::State& state, bool reference) {
-  const BenchTrace& b = TraceOfSize(static_cast<size_t>(state.range(0)));
-  trace::GuaranteeCheckOptions opts;
-  opts.settle_margin = Duration::Millis(kRuleDeltaMs);
-  opts.use_reference_impl = reference;
-  for (auto _ : state) {
-    auto result = trace::CheckGuarantee(b.trace, b.guarantee, opts);
-    if (!result.ok() || !result->holds) {
-      state.SkipWithError("guarantee must hold on the generated trace");
-      break;
+  trace::ValidExecutionOptions vopts;
+  rows.push_back({"valid_indexed", events, MinWallMs(reps, [&] {
+                    auto report =
+                        trace::CheckValidExecution(b.trace, b.rules, vopts);
+                    if (!report.valid) std::abort();
+                  }), 0, ""});
+  if (n <= 100000) {
+    // The whole-trace-scan implementation is quadratic in events for the
+    // same-instant chains and O(events x rules) for obligations; 1M would
+    // take minutes.
+    trace::ValidExecutionOptions ref = vopts;
+    ref.use_reference_impl = true;
+    rows.push_back({"valid_reference", events, MinWallMs(1, [&] {
+                      auto report =
+                          trace::CheckValidExecution(b.trace, b.rules, ref);
+                      if (!report.valid) std::abort();
+                    }), 0, ""});
+  }
+
+  trace::GuaranteeCheckOptions gopts;
+  gopts.settle_margin = Duration::Millis(kRuleDeltaMs);
+  rows.push_back({"guarantee_indexed", events, MinWallMs(reps, [&] {
+                    auto r = trace::CheckGuarantee(b.trace, b.guarantee, gopts);
+                    if (!r.ok() || !r->holds) std::abort();
+                  }), 0, ""});
+  if (n <= 100000) {
+    trace::GuaranteeCheckOptions ref = gopts;
+    ref.use_reference_impl = true;
+    rows.push_back({"guarantee_reference", events, MinWallMs(1, [&] {
+                      auto r =
+                          trace::CheckGuarantee(b.trace, b.guarantee, ref);
+                      if (!r.ok() || !r->holds) std::abort();
+                    }), 0, ""});
+  }
+
+  // Streaming: valid-execution and guarantee in one bounded-memory pass
+  // over the same event stream.
+  size_t live_peak = 0;
+  double stream_ms = MinWallMs(reps, [&] {
+    trace::StreamingCheckOptions sopts;
+    sopts.guarantee.settle_margin = Duration::Millis(kRuleDeltaMs);
+    trace::StreamingChecker checker(b.rules, {b.guarantee}, sopts);
+    StreamTraceThrough(b, &checker);
+    if (!checker.execution_report().valid) std::abort();
+    if (!checker.guarantee_results().begin()->second.holds) std::abort();
+    live_peak = checker.stats().live_footprint_peak;
+  });
+  char note[96];
+  std::snprintf(note, sizeof(note), "valid+guarantee, live peak %zu vs %zu resident",
+                live_peak, events);
+  rows.push_back({"streaming_check", events, stream_ms, live_peak, note});
+  return rows;
+}
+
+// --- sim+check overlap: a real parallel payroll run, checked while it
+// runs (drain mode) vs sequential sim-then-offline-check ---
+
+struct SimCheckRow {
+  std::string name;
+  size_t events = 0;
+  double wall_ms = 0;
+  size_t live_state_peak = 0;
+  std::string verdict;
+};
+
+constexpr int kSimEmployees = 32;
+constexpr int kSimUpdates = 800;
+constexpr size_t kSimThreads = 4;
+
+// Updates arrive in bursts of 20 with the sim run between bursts — the
+// workload-driver RunFor round-trip (superstep setup + barrier drain) is
+// the expensive part on a Debug 1-CPU container, so the bench batches it
+// the way a real ingest path would.
+void DriveSimWorkload(toolkit::System& system) {
+  Rng rng(11);
+  std::vector<int> ids(kSimEmployees);
+  for (int i = 0; i < kSimEmployees; ++i) ids[i] = i + 1;
+  for (int u = 0; u < kSimUpdates; ++u) {
+    if (u % 200 == 0)
+      std::fprintf(stderr, "[bench]   sim update %d/%d\n", u, kSimUpdates);
+    if (u % 20 == 0) {
+      // Distinct employees within a burst: two same-instant writes to one
+      // salary1(n) chain in the timeline, and the intermediate value the
+      // rule still propagates to salary2 would (correctly) flag
+      // y-follows-x — burst traffic to one row is a different workload.
+      for (int i = kSimEmployees - 1; i > 0; --i) {
+        std::swap(ids[i], ids[rng.Index(static_cast<size_t>(i) + 1)]);
+      }
     }
-    benchmark::DoNotOptimize(&result);
+    int n = ids[u % 20];
+    system.WorkloadWrite(ItemId{"salary1", {Value::Int(n)}},
+                         Value::Int(50000 + static_cast<int>(rng.UniformInt(0, 40000))));
+    if (u % 20 == 19) system.RunFor(Duration::Millis(rng.UniformInt(40, 120)));
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(b.trace.events.size()));
+  // Quiet tail: long enough for every 1s-delta fire to land before the
+  // horizon (the guarantee's settle margin excludes the tail anchors).
+  std::fprintf(stderr, "[bench]   sim quiet tail...\n");
+  system.RunFor(Duration::Seconds(2));
 }
 
-void BM_GuaranteeIndexed(benchmark::State& state) {
-  RunGuarantee(state, /*reference=*/false);
-}
-BENCHMARK(BM_GuaranteeIndexed)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Arg(1000000)
-    ->Unit(benchmark::kMillisecond);
+std::vector<SimCheckRow> RunSimCheck() {
+  std::vector<SimCheckRow> rows;
+  auto make = [] {
+    return PayrollDeployment::Create("interface notify salary1(n) 1s\n",
+                                     kSimEmployees, sim::NetworkConfig{},
+                                     kSimThreads);
+  };
+  auto installed_rules = [](toolkit::System& system,
+                            const spec::Constraint& constraint,
+                            std::vector<rule::Rule>* rules) {
+    auto suggestions = *system.Suggest(constraint);
+    system.InstallStrategy("payroll", constraint, suggestions.at(0).strategy);
+    int64_t next_id = 1;
+    for (rule::Rule r : suggestions.at(0).strategy.rules) {
+      if (r.forbids()) continue;
+      r.id = next_id++;
+      rules->push_back(std::move(r));
+    }
+  };
+  spec::Guarantee g = spec::YFollowsX("salary1(n)", "salary2(n)");
+  trace::GuaranteeCheckOptions gopts;
+  gopts.settle_margin = Duration::Seconds(2);
 
-void BM_GuaranteeReference(benchmark::State& state) {
-  RunGuarantee(state, /*reference=*/true);
+  // Sequential: simulate, materialize the full trace, then check offline.
+  {
+    std::fprintf(stderr, "[bench] simcheck sequential run...\n");
+    auto d = make();
+    std::vector<rule::Rule> rules;
+    installed_rules(*d.system, d.constraint, &rules);
+    SimCheckRow row;
+    row.name = "simcheck_sequential";
+    bool valid = false, holds = false;
+    row.wall_ms = WallMs([&] {
+      DriveSimWorkload(*d.system);
+      Trace t = d.system->FinishTrace();
+      row.events = t.events.size();
+      auto report = trace::CheckValidExecution(t, rules, {});
+      valid = report.valid;
+      for (size_t i = 0; !valid && i < report.violations.size() && i < 3; ++i) {
+        std::fprintf(stderr, "[bench]   violation: %s\n",
+                     report.violations[i].ToString().c_str());
+      }
+      auto r = trace::CheckGuarantee(t, g, gopts);
+      holds = r.ok() && r->holds;
+      if (r.ok() && !r->holds) {
+        std::fprintf(stderr, "[bench]   guarantee: %s\n",
+                     r->ToString().c_str());
+        for (size_t i = 0; i < r->counterexamples.size() && i < 3; ++i) {
+          std::fprintf(stderr, "[bench]   cx: %s\n",
+                       r->counterexamples[i].ToString().c_str());
+        }
+      }
+    });
+    row.verdict = valid && holds ? "VALID+HOLDS" : "FAILED";
+    rows.push_back(row);
+  }
+
+  // Overlapped: the checker rides the recorder in drain mode; the verdict
+  // is ready the moment the simulation finishes and no trace is kept.
+  {
+    std::fprintf(stderr, "[bench] simcheck streaming run...\n");
+    auto d = make();
+    std::vector<rule::Rule> rules;
+    installed_rules(*d.system, d.constraint, &rules);
+    trace::StreamingCheckOptions sopts;
+    sopts.guarantee.settle_margin = Duration::Seconds(2);
+    trace::StreamingChecker checker(rules, {g}, sopts);
+    if (d.system->AttachStreamingChecker(&checker, /*drain=*/true) !=
+        Status::OK()) {
+      std::abort();
+    }
+    SimCheckRow row;
+    row.name = "simcheck_streaming";
+    bool valid = false, holds = false;
+    row.wall_ms = WallMs([&] {
+      DriveSimWorkload(*d.system);
+      Trace drained = d.system->FinishTrace();
+      if (!drained.events.empty()) std::abort();
+      valid = checker.execution_report().valid;
+      holds = checker.guarantee_results().begin()->second.holds;
+    });
+    row.events = checker.stats().events_seen;
+    row.live_state_peak = checker.stats().live_footprint_peak;
+    row.verdict = valid && holds ? "VALID+HOLDS" : "FAILED";
+    rows.push_back(row);
+  }
+  return rows;
 }
-BENCHMARK(BM_GuaranteeReference)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
+
+void WriteJson(const std::string& path,
+               const std::map<size_t, std::vector<CheckRow>>& by_size,
+               const std::vector<SimCheckRow>& simcheck) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"executable\": \"./build/bench/bench_trace_check\",\n");
+  std::fprintf(f, "    \"max_rss_kb\": %zu,\n", MaxRssKb());
+  std::fprintf(f,
+               "    \"note\": \"live_state_peak = streaming checker's peak "
+               "retained events+segments+obligations+pairs+fired+guarantee "
+               "segments; offline rows keep the whole trace (events column) "
+               "resident. simcheck rows run a real %zu-thread payroll "
+               "deployment: sequential = sim, materialize, check offline; "
+               "streaming = checker attached in drain mode, checking "
+               "overlaps execution\"\n",
+               kSimThreads);
+  std::fprintf(f, "  },\n  \"benchmarks\": [\n");
+  bool first = true;
+  for (const auto& [n, rows] : by_size) {
+    for (const auto& r : rows) {
+      Throughput tp = ComputeThroughput(r.wall_ms, r.events);
+      std::fprintf(f,
+                   "%s    {\"name\": \"%s/%zu\", \"real_time_ms\": %.2f, "
+                   "\"ns_per_event\": %.1f, \"events_per_s\": %.0f, "
+                   "\"events\": %zu, \"live_state_peak\": %zu}",
+                   first ? "" : ",\n", r.name.c_str(), n, r.wall_ms,
+                   tp.ns_per_event, tp.events_per_s, r.events,
+                   r.live_state_peak);
+      first = false;
+    }
+  }
+  for (const auto& r : simcheck) {
+    Throughput tp = ComputeThroughput(r.wall_ms, r.events);
+    std::fprintf(f,
+                 "%s    {\"name\": \"%s/employees:%d/updates:%d/threads:%zu\", "
+                 "\"real_time_ms\": %.1f, \"ns_per_event\": %.1f, "
+                 "\"events_per_s\": %.0f, \"events\": %zu, "
+                 "\"live_state_peak\": %zu, \"verdict\": \"%s\"}",
+                 first ? "" : ",\n", r.name.c_str(), kSimEmployees,
+                 kSimUpdates, kSimThreads, r.wall_ms, tp.ns_per_event,
+                 tp.events_per_s, r.events, r.live_state_peak, r.verdict.c_str());
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace
-}  // namespace hcm
+}  // namespace hcm::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace hcm;
+  using namespace hcm::bench;
+  std::string json_path;
+  std::vector<size_t> sizes = {10000, 100000, 1000000};
+  bool run_sim = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--sizes=", 8) == 0) {
+      // CI smoke: --sizes=10000 runs one size instead of the full ladder.
+      sizes.clear();
+      for (const char* p = argv[i] + 8; *p != '\0';) {
+        char* end = nullptr;
+        sizes.push_back(static_cast<size_t>(std::strtoull(p, &end, 10)));
+        p = (end != nullptr && *end == ',') ? end + 1 : end;
+        if (p == nullptr || sizes.back() == 0) {
+          std::fprintf(stderr, "bad --sizes list\n");
+          return 2;
+        }
+      }
+    } else if (std::strcmp(argv[i], "--no-sim") == 0) {
+      run_sim = false;
+    }
+  }
+
+  Banner("trace checking: offline vs streaming (10k / 100k / 1M events)",
+         "verification cost scales with the update stream; the streaming "
+         "checker bounds memory to one rule-delta horizon and overlaps "
+         "checking with execution");
+
+  std::map<size_t, std::vector<CheckRow>> by_size;
+  for (size_t n : sizes) {
+    by_size[n] = RunSize(n);
+    std::printf("\n%zu events:\n", n);
+    std::printf("  %-22s %10s  %-28s %s\n", "check", "wall_ms", "throughput",
+                "live state");
+    for (const auto& r : by_size[n]) {
+      std::printf("  %-22s %10.2f  %-28s %s\n", r.name.c_str(), r.wall_ms,
+                  ThroughputStr(r.wall_ms, r.events).c_str(),
+                  r.live_state_peak > 0
+                      ? (std::string("peak ") + std::to_string(r.live_state_peak))
+                            .c_str()
+                      : "whole trace resident");
+    }
+  }
+
+  std::vector<SimCheckRow> simcheck;
+  if (run_sim) {
+    std::printf("\nsim+check overlap (payroll, %d employees, %d updates, "
+                "%zu threads):\n",
+                bench::kSimEmployees, bench::kSimUpdates, bench::kSimThreads);
+    simcheck = RunSimCheck();
+  }
+  double seq_ms = 0;
+  for (const auto& r : simcheck) {
+    if (r.name == "simcheck_sequential") seq_ms = r.wall_ms;
+    std::printf("  %-22s %10.1f  %-28s %s%s\n", r.name.c_str(), r.wall_ms,
+                ThroughputStr(r.wall_ms, r.events).c_str(), r.verdict.c_str(),
+                r.live_state_peak > 0
+                    ? (std::string(", live peak ") +
+                       std::to_string(r.live_state_peak))
+                          .c_str()
+                    : "");
+  }
+  for (const auto& r : simcheck) {
+    if (r.name == "simcheck_streaming" && seq_ms > 0 && r.wall_ms > 0) {
+      std::printf("  overlap speedup: %.2fx (check rides the superstep "
+                  "barriers; no offline trace)\n",
+                  seq_ms / r.wall_ms);
+    }
+  }
+  std::printf("\npeak RSS: %zu KB\n", MaxRssKb());
+
+  if (!json_path.empty()) WriteJson(json_path, by_size, simcheck);
+  return 0;
+}

@@ -535,6 +535,12 @@ size_t ParallelExecutor::RunUntil(TimePoint deadline) {
   const TimePoint cap = deadline + Duration::Millis(1);
   while (EarliestPending(&earliest) && earliest <= deadline) {
     steps += RunSuperstep(earliest, /*has_cap=*/true, cap);
+    if (barrier_hook_) {
+      TimePoint safe = deadline;
+      TimePoint next;
+      if (EarliestPending(&next) && next < safe) safe = next;
+      barrier_hook_(safe);
+    }
   }
   if (global_now_ < deadline) global_now_ = deadline;
   for (auto& [name, lane] : lanes_) {
@@ -548,6 +554,10 @@ size_t ParallelExecutor::RunUntilIdle(size_t max_steps) {
   TimePoint earliest;
   while (EarliestPending(&earliest)) {
     steps += RunSuperstep(earliest, /*has_cap=*/false, TimePoint());
+    if (barrier_hook_) {
+      TimePoint next;
+      if (EarliestPending(&next)) barrier_hook_(next);
+    }
     // Superstep-granular bound: we never cut a superstep short, so the
     // count may overshoot max_steps by up to one superstep.
     if (max_steps != 0 && steps >= max_steps) break;

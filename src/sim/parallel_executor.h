@@ -149,6 +149,16 @@ class ParallelExecutor : public Executor {
   // The human-readable stats block examples and benches print.
   std::string DescribeStats() const;
 
+  // Streaming-check support: invoked on the driver thread after every
+  // superstep barrier with an instant `safe` such that every event the run
+  // will ever produce strictly before `safe` has already been recorded
+  // (the next pending callback, capped at the run deadline). The System
+  // uses it to flush the recorder's safe prefix into an attached sink
+  // while the simulation keeps running.
+  void SetBarrierHook(std::function<void(TimePoint safe)> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
  private:
   struct Entry {
     TimePoint when;
@@ -267,6 +277,7 @@ class ParallelExecutor : public Executor {
   ParallelExecutorConfig config_;
   size_t depth_ = 1;  // current epochs-per-superstep (adaptive)
   TimePoint global_now_;
+  std::function<void(TimePoint)> barrier_hook_;
   // Lanes in site-NAME order: plan-phase iteration, deferred merging, and
   // clock propagation all walk this map, and name order is the determinism
   // anchor (symbol ids vary with intern order; names do not).

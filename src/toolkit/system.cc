@@ -4,6 +4,7 @@
 #include "src/rule/monotone.h"
 #include "src/sim/parallel_executor.h"
 #include "src/trace/sharded_recorder.h"
+#include "src/trace/streaming_checker.h"
 #include "src/common/string_util.h"
 #include "src/toolkit/translators/biblio_translator.h"
 #include "src/toolkit/translators/filestore_translator.h"
@@ -553,6 +554,30 @@ Status System::CheckpointStorage() {
   return Status::OK();
 }
 
+Status System::AttachStreamingChecker(trace::StreamingChecker* checker,
+                                      bool drain) {
+  if (checker == nullptr) {
+    return Status::InvalidArgument("streaming checker is null");
+  }
+  streaming_checker_ = checker;
+  if (auto* sharded =
+          dynamic_cast<trace::ShardedTraceRecorder*>(recorder_.get())) {
+    // Trigger remaps must survive at least as long as the checker's own
+    // lookback; pad by one flush stride worth of slack.
+    sharded->SetRemapRetention(checker->retention() + Duration::Seconds(1));
+  }
+  recorder_->AttachSink(checker, drain);
+  for (const auto& w : failures_.DownWindows()) {
+    checker->NoteOutage(trace::SiteOutage{w.site, w.from, w.to});
+  }
+  if (auto* parallel = dynamic_cast<sim::ParallelExecutor*>(executor_.get())) {
+    trace::TraceRecorder* recorder = recorder_.get();
+    parallel->SetBarrierHook(
+        [recorder](TimePoint safe) { recorder->FlushSink(safe); });
+  }
+  return Status::OK();
+}
+
 Status System::ScheduleCrash(const std::string& site, TimePoint crash_at,
                              TimePoint restart_at, bool clean) {
   if (!options_.storage.enabled()) {
@@ -574,6 +599,10 @@ Status System::ScheduleCrash(const std::string& site, TimePoint crash_at,
                      << " failed: " << summary.status().ToString();
     }
   });
+  if (streaming_checker_ != nullptr) {
+    streaming_checker_->NoteOutage(
+        trace::SiteOutage{site, crash_at, restart_at});
+  }
   return Status::OK();
 }
 

@@ -21,6 +21,10 @@
 #include "src/toolkit/translator.h"
 #include "src/trace/trace.h"
 
+namespace hcm::trace {
+class StreamingChecker;
+}  // namespace hcm::trace
+
 namespace hcm::toolkit {
 
 struct SystemOptions {
@@ -152,8 +156,24 @@ class System {
   Result<GuaranteeValidity> GuaranteeStatus(const std::string& key) const;
 
   // --- Execution ---
-  void RunFor(Duration d) { executor_->RunFor(d); }
+  void RunFor(Duration d) {
+    executor_->RunFor(d);
+    // Push the streamed watermark to the run boundary: everything strictly
+    // before `now` is final (future work is scheduled at >= now).
+    recorder_->FlushSink(executor_->now());
+  }
   trace::Trace FinishTrace() { return recorder_->Finish(executor_->now()); }
+
+  // Wires a streaming checker into the run: attaches it as the recorder's
+  // sink (drain = true stops accumulating the offline trace, bounding the
+  // recorder's memory too), flushes the safe prefix at every parallel
+  // superstep barrier (the classic recorder streams per Record call), sizes
+  // the sharded recorder's trigger-remap retention, and forwards outages —
+  // both already-scheduled down windows and future ScheduleCrash calls.
+  // Call after installing strategies, before RunFor. The checker must
+  // outlive the System's last RunFor/FinishTrace call.
+  Status AttachStreamingChecker(trace::StreamingChecker* checker,
+                                bool drain = false);
 
   // --- Durability and crash injection (requires options.storage.dir) ---
 
@@ -218,6 +238,7 @@ class System {
   std::map<std::string, std::unique_ptr<Translator>> translators_;
   std::map<std::string, std::unique_ptr<Shell>> shells_;
   std::map<std::string, std::unique_ptr<storage::SiteStore>> stores_;
+  trace::StreamingChecker* streaming_checker_ = nullptr;
   int64_t next_rule_id_ = 1;
 };
 

@@ -1,0 +1,158 @@
+#ifndef HCM_TRACE_CHECK_WINDOW_H_
+#define HCM_TRACE_CHECK_WINDOW_H_
+
+// Shared violation-windowing core for the valid-execution checkers.
+//
+// Both the offline checker (valid_execution.cc) and the streaming checker
+// (streaming_checker.cc) report violations through the same bounded sink /
+// ordered-merge machinery, so their final reports agree byte-for-byte: a
+// violation is tagged with the ordinal of the event (or channel) that
+// produced it plus a per-ordinal emission sequence, each phase keeps only
+// the `cap` earliest by that order (a max-heap evicts the latest), and the
+// phase merge sorts the kept set back into single-threaded emission order
+// while applying the global cap across phases.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/rule/event.h"
+#include "src/trace/valid_execution.h"
+
+namespace hcm::trace::internal {
+
+// A violation tagged with its merge-order key. `ord` is the source event's
+// trace index (or a channel counter for property 7); `seq` orders multiple
+// violations emitted for the same ordinal.
+struct Tagged {
+  uint64_t ord = 0;
+  uint32_t seq = 0;
+  ExecutionViolation v;
+};
+
+// "a comes before b" in merged-report order.
+struct TaggedEarlier {
+  bool operator()(const Tagged& a, const Tagged& b) const {
+    if (a.ord != b.ord) return a.ord < b.ord;
+    return a.seq < b.seq;
+  }
+};
+
+// Per-worker (or per-phase) result collector. Violations are bounded: the
+// sink keeps the `cap` earliest (by merge order) it has seen and counts
+// everything found, so a pathological trace cannot materialize unbounded
+// violation text while the global first `cap` (always a subset of each
+// sink's kept set) stays exact.
+class Sink {
+ public:
+  explicit Sink(size_t cap) : cap_(cap) {}
+
+  void Add(uint64_t ord, int property, std::vector<int64_t> ids,
+           std::string message) {
+    AddSeq(ord, next_seq_++, property, std::move(ids), std::move(message));
+  }
+
+  // Explicit-sequence variant for emitters that discover violations out of
+  // their canonical order (the streaming obligation resolver): `seq` must
+  // reproduce the relative order a sequential scan would emit within `ord`.
+  void AddSeq(uint64_t ord, uint32_t seq, int property,
+              std::vector<int64_t> ids, std::string message) {
+    ++found_;
+    if (cap_ == 0) return;
+    Tagged t{ord, seq,
+             ExecutionViolation{property, std::move(ids), std::move(message)}};
+    if (kept_.size() < cap_) {
+      kept_.push_back(std::move(t));
+      std::push_heap(kept_.begin(), kept_.end(), TaggedEarlier());
+      return;
+    }
+    if (TaggedEarlier()(t, kept_.front())) {
+      std::pop_heap(kept_.begin(), kept_.end(), TaggedEarlier());
+      kept_.back() = std::move(t);
+      std::push_heap(kept_.begin(), kept_.end(), TaggedEarlier());
+    }
+  }
+
+  // Records violations that were found but never materialized (a bounded
+  // upstream buffer already dropped their text). They still count toward
+  // found() so extra_violations and `valid` come out right.
+  void AddCountOnly(size_t n) { found_ += n; }
+
+  size_t found() const { return found_; }
+  std::vector<Tagged>& kept() { return kept_; }
+
+  // Phase-local counters, summed into the report at the merge (sums are
+  // order-independent, so stats match at any thread count).
+  size_t obligations_checked = 0;
+  uint64_t chain_lookups = 0;
+  uint64_t chain_events_scanned = 0;
+  uint64_t obligation_candidates = 0;
+  uint64_t obligation_scans_avoided = 0;
+  uint64_t condition_instants = 0;
+
+ private:
+  size_t cap_;
+  size_t found_ = 0;
+  uint32_t next_seq_ = 0;
+  std::vector<Tagged> kept_;  // heap, top = latest in merge order
+};
+
+// Folds one phase's sinks into the report: counters are summed, kept
+// violations sorted back into single-threaded emission order (ordinal, then
+// per-ordinal emission sequence — no two sinks share an ordinal), and the
+// global cap applied across phases exactly as a sequential checker's
+// running AddViolation cap would. `extra_violations` accumulates found-but-
+// not-materialized counts; the caller folds it into `report->valid`.
+inline void MergePhaseInto(std::vector<Sink> sinks, size_t max_violations,
+                           ExecutionReport* report,
+                           size_t* extra_violations) {
+  std::vector<Tagged> all;
+  size_t found = 0;
+  for (Sink& s : sinks) {
+    found += s.found();
+    for (Tagged& t : s.kept()) all.push_back(std::move(t));
+    report->obligations_checked += s.obligations_checked;
+    report->stats.chain_lookups += s.chain_lookups;
+    report->stats.chain_events_scanned += s.chain_events_scanned;
+    report->stats.obligation_candidates += s.obligation_candidates;
+    report->stats.obligation_scans_avoided += s.obligation_scans_avoided;
+    report->stats.condition_instants += s.condition_instants;
+  }
+  std::sort(all.begin(), all.end(), TaggedEarlier());
+  size_t materialized = 0;
+  for (Tagged& t : all) {
+    if (report->violations.size() >= max_violations) break;
+    report->violations.push_back(std::move(t.v));
+    ++materialized;
+  }
+  *extra_violations += found - materialized;
+}
+
+// `tpl` must already have its site cleared. A read request over a
+// parameterized item with unbound arguments is implemented as one
+// whole-base request (the translator fans out to every instance), recorded
+// with an argument-free item; accept it as matching the parameterized RR
+// template. Shared so the offline and streaming provenance checks accept
+// the same traces.
+inline bool TemplateMatchesIgnoringSite(const rule::EventTemplate& tpl,
+                                        const rule::Event& event,
+                                        rule::Binding* binding) {
+  if (tpl.kind == rule::EventKind::kReadRequest &&
+      event.kind == rule::EventKind::kReadRequest &&
+      tpl.item.base == event.item.base && event.item.args.empty()) {
+    return true;
+  }
+  return tpl.Matches(event, binding);
+}
+
+// Base site of an endpoint / event site ("B#tr" -> "B").
+inline std::string BaseSiteOf(const std::string& site) {
+  auto pos = site.find('#');
+  return pos == std::string::npos ? site : site.substr(0, pos);
+}
+
+}  // namespace hcm::trace::internal
+
+#endif  // HCM_TRACE_CHECK_WINDOW_H_

@@ -64,15 +64,32 @@ class CheckerImpl {
  public:
   CheckerImpl(const Trace& trace, const spec::Guarantee& guarantee,
               const GuaranteeCheckOptions& options)
-      : trace_(trace),
-        guarantee_(guarantee),
+      : guarantee_(guarantee),
         options_(options),
-        timeline_(StateTimeline::Build(trace, !options.use_reference_impl)) {
+        horizon_(trace.horizon),
+        owned_(StateTimeline::Build(trace, !options.use_reference_impl)),
+        timeline_(&owned_) {
     CollectGuaranteeItems();
     BuildUniversalExtraPoints();
   }
 
-  Result<GuaranteeCheckResult> Run() {
+  // Timeline-backed construction (streaming path): the checker reads no
+  // trace state beyond the timeline and the horizon, so an incrementally
+  // maintained timeline slots in directly.
+  CheckerImpl(const StateTimeline& timeline, TimePoint horizon,
+              const spec::Guarantee& guarantee,
+              const GuaranteeCheckOptions& options)
+      : guarantee_(guarantee),
+        options_(options),
+        horizon_(horizon),
+        timeline_(&timeline) {
+    CollectGuaranteeItems();
+    BuildUniversalExtraPoints();
+  }
+
+  Result<GuaranteeCheckResult> Run(
+      const GuaranteeWindow* window = nullptr,
+      std::vector<WindowedViolation>* violated_out = nullptr) {
     GuaranteeCheckResult result;
     // The universal enumeration below is sequential and shares one context;
     // the per-witness existential search may fan out over worker contexts.
@@ -104,9 +121,25 @@ class CheckerImpl {
                                                       /*partial_ok=*/false);
                        }),
         witnesses.end());
+    // Anchor window: keep only witnesses whose anchor falls in [lo, hi).
+    // An exact partition of the witness set — window runs sum to the
+    // unrestricted run.
+    if (window != nullptr && !window->anchor_var.empty()) {
+      witnesses.erase(
+          std::remove_if(witnesses.begin(), witnesses.end(),
+                         [&](const Assignment& a) {
+                           auto it = a.times.find(window->anchor_var);
+                           if (it == a.times.end()) return false;
+                           if (window->has_lo && it->second < window->lo) {
+                             return true;
+                           }
+                           return window->has_hi && !(it->second < window->hi);
+                         }),
+          witnesses.end());
+    }
     // Settle margin: drop witnesses too close to the horizon.
     if (options_.settle_margin > Duration::Zero()) {
-      TimePoint cutoff = trace_.horizon - options_.settle_margin;
+      TimePoint cutoff = horizon_ - options_.settle_margin;
       witnesses.erase(std::remove_if(witnesses.begin(), witnesses.end(),
                                      [&](const Assignment& a) {
                                        for (const auto& [v, t] : a.times) {
@@ -167,9 +200,9 @@ class CheckerImpl {
     } else {
       // Warm the interner's lazily built sorted views: the workers' const
       // timeline queries must never be the first to materialize them.
-      (void)timeline_.items().SortedIds();
+      (void)timeline().items().SortedIds();
       for (const auto& ref : all_refs_) {
-        (void)timeline_.ItemIdsWithBase(ref.base);
+        (void)timeline().ItemIdsWithBase(ref.base);
       }
       std::vector<EvalContext> worker_ctx(threads);
       std::atomic<size_t> next_index{0};
@@ -208,9 +241,24 @@ class CheckerImpl {
         ce.times = representative[i]->times;
         result.counterexamples.push_back(std::move(ce));
       }
+      if (violated_out != nullptr && window != nullptr) {
+        WindowedViolation wv;
+        for (const auto& var : window->param_vars) {
+          auto it = representative[i]->values.find(var);
+          if (it != representative[i]->values.end()) {
+            wv.param_binding.emplace_back(var, it->second);
+          }
+        }
+        auto at = representative[i]->times.find(window->anchor_var);
+        wv.anchor = at != representative[i]->times.end() ? at->second
+                                                        : TimePoint::Origin();
+        wv.ce.values = representative[i]->values;
+        wv.ce.times = representative[i]->times;
+        violated_out->push_back(std::move(wv));
+      }
     }
     result.holds = result.violations == 0;
-    ctx.stats.items = timeline_.items().size();
+    ctx.stats.items = timeline().items().size();
     result.stats = ctx.stats;
     return result;
   }
@@ -227,7 +275,7 @@ class CheckerImpl {
 
   rule::DataReader ReaderAt(TimePoint t) const {
     return [this, t](const ItemId& item) -> Result<Value> {
-      auto v = timeline_.ValueAt(item, t);
+      auto v = timeline().ValueAt(item, t);
       if (!v.has_value()) return Status::NotFound(item.ToString());
       return *v;
     };
@@ -286,8 +334,8 @@ class CheckerImpl {
     }
     std::set<TimePoint> points;
     for (const auto& ref : all_refs_) {
-      for (uint32_t id : timeline_.ItemIdsWithBase(ref.base)) {
-        for (const auto& seg : timeline_.SegmentsOf(id)) {
+      for (uint32_t id : timeline().ItemIdsWithBase(ref.base)) {
+        for (const auto& seg : timeline().SegmentsOf(id)) {
           points.insert(seg.from);
           for (Duration o : offsets) {
             points.insert(seg.from + o);
@@ -297,7 +345,7 @@ class CheckerImpl {
       }
     }
     for (TimePoint p : points) {
-      if (TimePoint::Origin() <= p && p <= trace_.horizon) {
+      if (TimePoint::Origin() <= p && p <= horizon_) {
         universal_extra_points_.push_back(p);
       }
     }
@@ -315,9 +363,9 @@ class CheckerImpl {
     if (options_.use_reference_impl) {
       ++ctx.stats.match_cache_misses;
       std::vector<std::pair<uint32_t, Binding>> out;
-      for (uint32_t id : timeline_.ItemIdsWithBase(ref.base)) {
+      for (uint32_t id : timeline().ItemIdsWithBase(ref.base)) {
         Binding b = binding;
-        if (ref.Unify(timeline_.items().item(id), &b)) {
+        if (ref.Unify(timeline().items().item(id), &b)) {
           out.emplace_back(id, std::move(b));
         }
       }
@@ -336,9 +384,9 @@ class CheckerImpl {
     if (cached == ctx.match_cache.end()) {
       ++ctx.stats.match_cache_misses;
       std::vector<CachedMatch> entry;
-      for (uint32_t id : timeline_.ItemIdsWithBase(ref.base)) {
+      for (uint32_t id : timeline().ItemIdsWithBase(ref.base)) {
         Binding b = binding;
-        if (!ref.Unify(timeline_.items().item(id), &b)) continue;
+        if (!ref.Unify(timeline().items().item(id), &b)) continue;
         CachedMatch m;
         m.item = id;
         for (const auto& [var, v] : b) {
@@ -369,10 +417,10 @@ class CheckerImpl {
       const std::vector<uint32_t>& items, bool existential) const {
     std::set<TimePoint> points;
     points.insert(TimePoint::Origin());
-    points.insert(trace_.horizon);
+    points.insert(horizon_);
     std::vector<TimePoint> changes;
     for (uint32_t id : items) {
-      for (const auto& seg : timeline_.SegmentsOf(id)) {
+      for (const auto& seg : timeline().SegmentsOf(id)) {
         changes.push_back(seg.from);
       }
     }
@@ -380,7 +428,7 @@ class CheckerImpl {
     for (size_t i = 0; i < changes.size(); ++i) {
       TimePoint start = changes[i];
       TimePoint end =
-          (i + 1 < changes.size()) ? changes[i + 1] : trace_.horizon;
+          (i + 1 < changes.size()) ? changes[i + 1] : horizon_;
       points.insert(start);
       if (start < end) {
         Duration span = end - start;
@@ -458,7 +506,7 @@ class CheckerImpl {
     }
     if (out.empty()) {
       // Still nothing (no guarantee items at all): fall back to the trace.
-      out = timeline_.items().SortedIds();
+      out = timeline().items().SortedIds();
     }
     return out;
   }
@@ -529,7 +577,7 @@ class CheckerImpl {
     if (binding->count(var) > 0) return;
     auto grounded = item_side->item_ref().Ground(*binding);
     if (!grounded.ok()) return;
-    auto value = timeline_.ValueAt(*grounded, t);
+    auto value = timeline().ValueAt(*grounded, t);
     if (!value.has_value()) return;
     binding->emplace(var, *value);
   }
@@ -542,7 +590,7 @@ class CheckerImpl {
     if (atom.exists_item.has_value()) {
       auto grounded = atom.exists_item->Ground(*binding);
       if (!grounded.ok()) return false;
-      bool exists = timeline_.ExistsAt(*grounded, t);
+      bool exists = timeline().ExistsAt(*grounded, t);
       return atom.negated_exists ? !exists : exists;
     }
     SolveEqualities(*atom.pred, t, binding);
@@ -756,10 +804,13 @@ class CheckerImpl {
     GuaranteeCheckStats stats;
   };
 
-  const Trace& trace_;
+  const StateTimeline& timeline() const { return *timeline_; }
+
   const spec::Guarantee& guarantee_;
   const GuaranteeCheckOptions& options_;
-  StateTimeline timeline_;
+  TimePoint horizon_;
+  StateTimeline owned_;            // set only by the trace constructor
+  const StateTimeline* timeline_;  // &owned_ or the caller's timeline
   std::vector<ItemRef> all_refs_;
   // Item references per atom, collected once (stable storage: node-based
   // map, vectors never resized after construction).
@@ -778,6 +829,18 @@ Result<GuaranteeCheckResult> CheckGuarantee(
   }
   CheckerImpl impl(trace, guarantee, options);
   return impl.Run();
+}
+
+Result<GuaranteeCheckResult> CheckGuaranteeOverTimeline(
+    const StateTimeline& timeline, TimePoint horizon,
+    const spec::Guarantee& guarantee, const GuaranteeCheckOptions& options,
+    const GuaranteeWindow* window, std::vector<WindowedViolation>* violated) {
+  if (guarantee.name.find("PARSE-ERROR") != std::string::npos) {
+    return Status::InvalidArgument("guarantee failed to parse: " +
+                                   guarantee.name);
+  }
+  CheckerImpl impl(timeline, horizon, guarantee, options);
+  return impl.Run(window, violated);
 }
 
 Result<std::map<std::string, GuaranteeCheckResult>> CheckGuarantees(

@@ -86,6 +86,42 @@ Result<GuaranteeCheckResult> CheckGuarantee(
     const Trace& trace, const spec::Guarantee& guarantee,
     const GuaranteeCheckOptions& options = {});
 
+// Streaming support: restricts a run to universal witnesses whose
+// `anchor_var` time falls in [lo, hi). The streaming checker partitions a
+// guarantee's anchor axis into disjoint windows, evaluates each over a
+// bounded state slice, and merges — the filter is an exact partition of
+// the witness set, so summed window results equal one unrestricted run.
+struct GuaranteeWindow {
+  std::string anchor_var;               // empty = no restriction
+  std::vector<std::string> param_vars;  // LHS ref-arg vars, for reporting
+  bool has_lo = false;
+  TimePoint lo;
+  bool has_hi = false;
+  TimePoint hi;
+};
+
+// One violated universal witness, reported with its merge key: the values
+// bound to the LHS item parameters (exactly `param_vars`, in that order —
+// not the RHS-extended binding, which may add state-derived variables) and
+// the anchor time. Sorting accumulated windows by (param_binding, anchor)
+// reconstructs the unrestricted run's item-major counterexample order.
+struct WindowedViolation {
+  std::vector<std::pair<std::string, Value>> param_binding;
+  TimePoint anchor;
+  Counterexample ce;
+};
+
+// Evaluates a guarantee over an externally assembled timeline instead of a
+// trace — `horizon` plus the timeline are the only trace state the checker
+// reads. `window`/`violated` support the streaming checker's windowed
+// evaluation; pass nullptr for a plain full-range run (byte-identical to
+// CheckGuarantee over the trace that produced the timeline).
+Result<GuaranteeCheckResult> CheckGuaranteeOverTimeline(
+    const StateTimeline& timeline, TimePoint horizon,
+    const spec::Guarantee& guarantee, const GuaranteeCheckOptions& options,
+    const GuaranteeWindow* window = nullptr,
+    std::vector<WindowedViolation>* violated = nullptr);
+
 // Convenience: checks several guarantees, returning name -> result.
 Result<std::map<std::string, GuaranteeCheckResult>> CheckGuarantees(
     const Trace& trace, const std::vector<spec::Guarantee>& guarantees,

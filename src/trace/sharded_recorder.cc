@@ -1,7 +1,7 @@
 #include "src/trace/sharded_recorder.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
 #include <utility>
 
 namespace hcm::trace {
@@ -29,11 +29,22 @@ int64_t ProvisionalId(uint32_t shard_index, size_t local_index) {
 
 void ShardedTraceRecorder::SetInitialValue(const rule::ItemId& item,
                                            Value value) {
+  if (sink_ != nullptr) sink_->OnInitialValue(item, value);
   initial_values_[item] = std::move(value);
 }
 
 void ShardedTraceRecorder::DeclareSite(const std::string& site) {
   ShardFor(BaseSite(site));
+}
+
+void ShardedTraceRecorder::AttachSink(TraceSink* sink, bool drain) {
+  sink_ = sink;
+  drain_ = drain;
+  if (sink_ != nullptr) {
+    for (const auto& [item, value] : initial_values_) {
+      sink_->OnInitialValue(item, value);
+    }
+  }
 }
 
 ShardedTraceRecorder::Shard* ShardedTraceRecorder::ShardFor(
@@ -52,8 +63,10 @@ int64_t ShardedTraceRecorder::Record(rule::Event event) {
   Shard* shard = ShardFor(BaseSite(event.site));
   // Single writer per shard: only the site's lane (or the main thread
   // between windows) records events stamped with this site, so the append
-  // itself needs no lock.
-  event.id = ProvisionalId(shard->index, shard->events.size());
+  // itself needs no lock. Local indices keep counting across flushes so
+  // provisional ids stay unique for the whole run.
+  event.id = ProvisionalId(shard->index, shard->recorded);
+  ++shard->recorded;
   int64_t id = event.id;
   if (shard->events.capacity() == shard->events.size()) {
     shard->events.reserve(std::max<size_t>(1024, shard->events.capacity() * 2));
@@ -62,45 +75,87 @@ int64_t ShardedTraceRecorder::Record(rule::Event event) {
   return id;
 }
 
-Trace ShardedTraceRecorder::Finish(TimePoint horizon) {
-  GuardFinish("ShardedTraceRecorder");
-  Trace out;
-  out.horizon = horizon;
-  out.initial_values = std::move(initial_values_);
-  initial_values_.clear();
-
-  size_t total = 0;
-  for (const auto& [site, shard] : shards_) total += shard->events.size();
-  out.events.reserve(total);
-  // Concatenate shards in site-name order, then stable-sort by (time, site):
-  // per-shard append order (which is deterministic lane order) breaks the
-  // remaining ties. None of these keys depend on worker interleaving.
+void ShardedTraceRecorder::EmitReady(TimePoint watermark) {
+  std::vector<rule::Event> batch;
   for (auto& [site, shard] : shards_) {
-    for (auto& event : shard->events) out.events.push_back(std::move(event));
-    shard->events.clear();
+    auto& pending = shard->events;
+    // Shard append order is not time-monotone (elided posts step a lane's
+    // clock backwards), so partition rather than prefix-slice.
+    // stable_partition keeps the relative append order of both halves —
+    // the merge's tie-break key.
+    auto mid = std::stable_partition(
+        pending.begin(), pending.end(),
+        [watermark](const rule::Event& e) { return e.time < watermark; });
+    for (auto it = pending.begin(); it != mid; ++it) {
+      batch.push_back(std::move(*it));
+    }
+    pending.erase(pending.begin(), mid);
   }
-  std::stable_sort(out.events.begin(), out.events.end(),
+  if (batch.empty()) return;
+  // Same comparator as the offline merge. The strict watermark guarantees
+  // an equal-time group is never split across batches, so concatenated
+  // per-flush sorts equal one global stable sort.
+  std::stable_sort(batch.begin(), batch.end(),
                    [](const rule::Event& a, const rule::Event& b) {
                      if (a.time != b.time) return a.time < b.time;
                      return a.site < b.site;
                    });
-
-  // Rewrite provisional ids (and the trigger references that carried them)
-  // into dense final ids in canonical order.
-  std::unordered_map<int64_t, int64_t> remap;
-  remap.reserve(out.events.size());
-  for (size_t i = 0; i < out.events.size(); ++i) {
-    remap.emplace(out.events[i].id, static_cast<int64_t>(i));
+  // Two passes: a same-instant fire can sort *before* its trigger (site
+  // order), so all final ids must exist before any trigger is remapped.
+  for (auto& event : batch) {
+    remap_.emplace(event.id,
+                   std::make_pair(next_final_id_, event.time));
+    event.id = next_final_id_++;
   }
-  for (auto& event : out.events) {
-    event.id = remap.at(event.id);
+  for (auto& event : batch) {
     if (event.trigger_event_id >= 0) {
-      auto it = remap.find(event.trigger_event_id);
-      // A trigger recorded before a previous Finish is no longer in the log;
-      // leave the stale reference alone rather than inventing one.
-      if (it != remap.end()) event.trigger_event_id = it->second;
+      auto it = remap_.find(event.trigger_event_id);
+      // A trigger recorded before a previous Finish is no longer in the
+      // log; leave the stale reference alone rather than inventing one.
+      if (it != remap_.end()) event.trigger_event_id = it->second.first;
     }
   }
+  for (auto& event : batch) {
+    if (sink_ != nullptr) sink_->OnEvent(event);
+    if (!drain_) emitted_.push_back(std::move(event));
+  }
+  // Drain mode keeps memory bounded: remap entries retire once no future
+  // event can reference them (trigger refs reach at most one rule window
+  // back; retention is sized accordingly by the caller).
+  if (drain_ && remap_.size() > remap_sweep_at_) {
+    for (auto it = remap_.begin(); it != remap_.end();) {
+      if (it->second.second + remap_retention_ < watermark) {
+        it = remap_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    remap_sweep_at_ = std::max<size_t>(1024, remap_.size() * 2);
+  }
+}
+
+void ShardedTraceRecorder::FlushSink(TimePoint watermark) {
+  if (watermark <= last_watermark_) return;
+  EmitReady(watermark);
+  last_watermark_ = watermark;
+  if (sink_ != nullptr) sink_->OnWatermark(watermark);
+}
+
+Trace ShardedTraceRecorder::Finish(TimePoint horizon) {
+  GuardFinish("ShardedTraceRecorder");
+  // Emit everything still pending; the merge machinery is the same one the
+  // streaming flushes use, so a run that was never flushed degenerates to
+  // exactly the old single-batch merge.
+  EmitReady(TimePoint::FromMillis(std::numeric_limits<int64_t>::max()));
+  if (sink_ != nullptr) sink_->OnFinish(horizon);
+  Trace out;
+  out.horizon = horizon;
+  out.initial_values = std::move(initial_values_);
+  initial_values_.clear();
+  out.events = std::move(emitted_);
+  emitted_.clear();
+  // Spent, like TraceRecorder: drained totals must be read before Finish.
+  for (auto& [site, shard] : shards_) shard->recorded = 0;
   // Stamp dense item ids against the final merged order — the same pass
   // the single-threaded recorder runs, so id assignment is identical for
   // identical event logs regardless of sharding.
@@ -111,7 +166,7 @@ Trace ShardedTraceRecorder::Finish(TimePoint horizon) {
 size_t ShardedTraceRecorder::num_events() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
-  for (const auto& [site, shard] : shards_) total += shard->events.size();
+  for (const auto& [site, shard] : shards_) total += shard->recorded;
   return total;
 }
 

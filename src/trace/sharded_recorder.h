@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "src/trace/trace.h"
 
@@ -25,6 +27,16 @@ namespace hcm::trace {
 // key are functions of the simulation (not of worker interleaving), the
 // finished trace is byte-identical at any thread count — and, between
 // events of equal (time, site), canonical even against a 1-thread run.
+//
+// With a sink attached (AttachSink), FlushSink(W) performs that merge
+// incrementally over the *safe prefix*: every pending event with time < W
+// — shard append order is not time-monotone (elided cross-lane posts step
+// a lane's clock backwards), so the ready set is a stable partition of
+// each shard, not a prefix. The watermark is strict, so an equal-time
+// group is never split across flushes and the per-flush stable sort
+// reproduces the offline merge batch for batch; final ids are assigned as
+// batches emit, which makes the streamed feed literally the Finish log,
+// delivered early.
 class ShardedTraceRecorder : public TraceRecorder {
  public:
   ShardedTraceRecorder() = default;
@@ -45,7 +57,22 @@ class ShardedTraceRecorder : public TraceRecorder {
   // Main thread only, after the run.
   Trace Finish(TimePoint horizon) override;
 
-  // Main thread only (between runs): total events across shards.
+  // Main thread only. See TraceRecorder; in drain mode emitted events are
+  // shed (bounded memory) and Finish returns a trace without events.
+  void AttachSink(TraceSink* sink, bool drain) override;
+
+  // Main thread only, and only while lanes are quiescent (the executor's
+  // superstep barrier / end of RunFor). Merges, renumbers and delivers the
+  // safe prefix, then forwards the watermark.
+  void FlushSink(TimePoint watermark) override;
+
+  // Drain mode prunes provisional→final trigger-remap entries once they
+  // fall `retention` behind the watermark (a generated event references a
+  // trigger at most one rule window back, so the System sizes this from
+  // the installed rules' max delta). Tee mode never prunes.
+  void SetRemapRetention(Duration retention) { remap_retention_ = retention; }
+
+  // Main thread only (between runs): total events recorded.
   size_t num_events() const override;
 
   size_t num_shards() const { return shards_.size(); }
@@ -53,15 +80,30 @@ class ShardedTraceRecorder : public TraceRecorder {
  private:
   struct Shard {
     uint32_t index;  // fixed at creation; part of provisional ids
-    std::vector<rule::Event> events;
+    std::vector<rule::Event> events;  // pending (not yet emitted)
+    size_t recorded = 0;              // lifetime count, single-writer
   };
 
   Shard* ShardFor(const std::string& site);
+
+  // Moves every pending event with time < `watermark` into a canonically
+  // sorted batch, assigns final ids, remaps triggers, delivers to the sink
+  // (if any) and archives into emitted_ (unless draining).
+  void EmitReady(TimePoint watermark);
 
   // Guards the shard map structure; shard contents are single-writer.
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Shard>> shards_;  // by base site
   std::map<rule::ItemId, Value> initial_values_;
+
+  // Canonical emitted prefix (final ids, merge order). Drained instead when
+  // drain mode is on; Finish then returns no events.
+  std::vector<rule::Event> emitted_;
+  int64_t next_final_id_ = 0;
+  // provisional id -> (final id, event time); time drives drain-mode pruning.
+  std::unordered_map<int64_t, std::pair<int64_t, TimePoint>> remap_;
+  size_t remap_sweep_at_ = 1024;
+  Duration remap_retention_ = Duration::Seconds(600);
 };
 
 }  // namespace hcm::trace

@@ -23,12 +23,27 @@ std::string Trace::ToString(size_t max_events) const {
 }
 
 void TraceRecorder::SetInitialValue(const rule::ItemId& item, Value value) {
+  if (sink_ != nullptr) sink_->OnInitialValue(item, value);
   trace_.initial_values[item] = std::move(value);
 }
 
 int64_t TraceRecorder::Record(rule::Event event) {
   event.id = next_id_++;
   int64_t id = event.id;
+  ++num_recorded_;
+  if (sink_ != nullptr) {
+    // Single-threaded recording is already in canonical (time, id) order
+    // with final ids, so the sink sees each event the moment it happens.
+    // Everything strictly before this event's time is final: advance the
+    // watermark first so the sink can retire state before absorbing the
+    // event.
+    if (last_watermark_ < event.time) {
+      last_watermark_ = event.time;
+      sink_->OnWatermark(last_watermark_);
+    }
+    sink_->OnEvent(event);
+    if (drain_) return id;  // sink consumed it; keep no copy
+  }
   // Every event of a run funnels through here; pre-size the log so early
   // growth doesn't repeatedly move the (string-heavy) recorded events.
   if (trace_.events.capacity() == trace_.events.size()) {
@@ -37,6 +52,23 @@ int64_t TraceRecorder::Record(rule::Event event) {
   }
   trace_.events.push_back(std::move(event));
   return id;
+}
+
+void TraceRecorder::AttachSink(TraceSink* sink, bool drain) {
+  sink_ = sink;
+  drain_ = drain;
+  // Initial values declared before the attach still reach the sink.
+  if (sink_ != nullptr) {
+    for (const auto& [item, value] : trace_.initial_values) {
+      sink_->OnInitialValue(item, value);
+    }
+  }
+}
+
+void TraceRecorder::FlushSink(TimePoint watermark) {
+  if (sink_ == nullptr || watermark <= last_watermark_) return;
+  last_watermark_ = watermark;
+  sink_->OnWatermark(watermark);
 }
 
 void TraceRecorder::GuardFinish(const char* recorder_name) {
@@ -53,9 +85,11 @@ void TraceRecorder::GuardFinish(const char* recorder_name) {
 
 Trace TraceRecorder::Finish(TimePoint horizon) {
   GuardFinish("TraceRecorder");
+  if (sink_ != nullptr) sink_->OnFinish(horizon);
   trace_.horizon = horizon;
   Trace out = std::move(trace_);
   trace_ = Trace{};
+  num_recorded_ = 0;  // spent: a drained total must be read before Finish
   InternTraceItems(&out);
   return out;
 }
@@ -162,6 +196,24 @@ StateTimeline StateTimeline::Build(const Trace& trace,
       default:
         break;  // unreachable: ChangesState filtered
     }
+  }
+  return tl;
+}
+
+StateTimeline StateTimeline::FromParts(
+    ItemInterner interner, std::vector<std::vector<Segment>> per_item) {
+  StateTimeline tl;
+  tl.interner_ = std::move(interner);
+  tl.spans_.assign(tl.interner_.size(), {0, 0});
+  size_t total = 0;
+  for (size_t id = 0; id < per_item.size() && id < tl.spans_.size(); ++id) {
+    total += per_item[id].size();
+  }
+  tl.segments_.reserve(total);
+  for (size_t id = 0; id < per_item.size() && id < tl.spans_.size(); ++id) {
+    tl.spans_[id].first = static_cast<uint32_t>(tl.segments_.size());
+    tl.spans_[id].second = static_cast<uint32_t>(per_item[id].size());
+    for (Segment& s : per_item[id]) tl.segments_.push_back(std::move(s));
   }
   return tl;
 }

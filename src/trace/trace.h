@@ -45,6 +45,39 @@ struct Trace {
 // runs that produce identical event logs produce identical ids.
 void InternTraceItems(Trace* trace);
 
+// Receives the canonical trace incrementally, while the run executes.
+// Events arrive in exactly the order (and with exactly the ids) the
+// recorder's Finish would produce — the sharded recorder merges and
+// renumbers its shards' safe prefix before delivery — so a sink observing
+// the whole feed sees the final trace, event for event. All callbacks run
+// on the thread driving the recorder (the simulation driver); sinks need
+// no internal locking.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // An item's declared time-0 value, forwarded at declaration time (before
+  // any event). Re-declaring an item overrides the earlier value, matching
+  // Trace::initial_values map semantics.
+  virtual void OnInitialValue(const rule::ItemId& item, const Value& value) {
+    (void)item;
+    (void)value;
+  }
+
+  // The next event of the canonical trace. `event.id` is final and dense;
+  // `event.trigger_event_id` refers to final ids (or stays stale for
+  // triggers that never reached the trace, as in Finish).
+  virtual void OnEvent(const rule::Event& event) = 0;
+
+  // Every event with time < `watermark` has been delivered; no later
+  // OnEvent will carry an earlier time. Watermarks are nondecreasing.
+  virtual void OnWatermark(TimePoint watermark) { (void)watermark; }
+
+  // Recording is complete: all events delivered, `horizon` is the value
+  // passed to Finish. Called exactly once, from inside Finish.
+  virtual void OnFinish(TimePoint horizon) { (void)horizon; }
+};
+
 // Assigns event ids and accumulates the trace. The CM-Shells and workload
 // generators all record through one recorder so ids are globally unique and
 // the order is the executor's total order.
@@ -79,7 +112,23 @@ class TraceRecorder {
   // declare valid.
   virtual Trace Finish(TimePoint horizon);
 
-  virtual size_t num_events() const { return trace_.events.size(); }
+  // Attaches a streaming sink (at most one; call before recording starts).
+  // In drain mode the recorder sheds events once delivered — memory stays
+  // bounded by the undelivered window, but Finish then returns a trace
+  // without events (initial values + horizon only). Without drain (tee
+  // mode) Finish still returns the full canonical trace.
+  virtual void AttachSink(TraceSink* sink, bool drain);
+
+  // Delivers every event known to precede `watermark` to the sink, then
+  // forwards the watermark. The single-threaded recorder records in final
+  // order and feeds the sink inside Record already, so this only forwards
+  // the watermark; the sharded recorder merges + renumbers the safe prefix
+  // here. Callers (System / ParallelExecutor barriers) must pass
+  // nondecreasing watermarks ≤ the earliest still-unrecorded instant.
+  virtual void FlushSink(TimePoint watermark);
+
+  // Count of events recorded (not reduced by drain-mode shedding).
+  virtual size_t num_events() const { return num_recorded_; }
 
   // Single-threaded recorder only: the accumulated trace so far.
   const Trace& trace() const { return trace_; }
@@ -88,9 +137,14 @@ class TraceRecorder {
   // Aborts on a repeated Finish (shared by the sharded recorder).
   void GuardFinish(const char* recorder_name);
 
+  TraceSink* sink_ = nullptr;
+  bool drain_ = false;
+  TimePoint last_watermark_;  // nondecreasing guard for FlushSink
+
  private:
   Trace trace_;
   int64_t next_id_ = 0;
+  size_t num_recorded_ = 0;
   bool finished_ = false;
 };
 
@@ -138,6 +192,15 @@ class StateTimeline {
   // force the string-keyed reference path (the use_reference_impl flag of
   // the checkers routes here, keeping both paths equivalence-testable).
   static StateTimeline Build(const Trace& trace, bool use_interned_ids = true);
+
+  // Streaming support: assembles a timeline directly from per-item segment
+  // runs, indexed by `interner`'s dense ids (per_item[id] = that item's
+  // time-ordered segments). Bypasses trace replay entirely — the streaming
+  // guarantee collector maintains the runs incrementally and snapshots them
+  // here per evaluation window. event_state_ids_ stays empty (only the
+  // valid-execution checker uses StateIdOfEvent, never this path).
+  static StateTimeline FromParts(ItemInterner interner,
+                                 std::vector<std::vector<Segment>> per_item);
 
   StateTimeline() = default;
   StateTimeline(StateTimeline&&) = default;

@@ -9,6 +9,7 @@
 
 #include "src/common/string_util.h"
 #include "src/rule/rule_index.h"
+#include "src/trace/check_window.h"
 
 namespace hcm::trace {
 
@@ -57,69 +58,14 @@ std::string ExecutionReport::DescribeCheckStats() const {
 
 namespace {
 
-// A violation found by one worker, tagged with the ordinal of the event (or
-// channel) that produced it so the merged report lists violations in exactly
-// the order a single-threaded scan would. `seq` disambiguates multiple
-// violations from the same ordinal (emission order within one worker).
-struct Tagged {
-  uint64_t ord = 0;
-  uint32_t seq = 0;
-  ExecutionViolation v;
-};
-
-// "a sorts after b" in merged-report order.
-struct TaggedEarlier {
-  bool operator()(const Tagged& a, const Tagged& b) const {
-    if (a.ord != b.ord) return a.ord < b.ord;
-    return a.seq < b.seq;
-  }
-};
-
-// Per-worker result collector. Violations are bounded: the sink keeps the
-// `cap` earliest (by merge order) it has seen — a max-heap evicts the
-// latest — and counts everything found, so a pathological trace cannot
-// materialize unbounded violation text per worker while the global first
-// `cap` (which is always a subset of each sink's kept set) stays exact.
-class Sink {
- public:
-  explicit Sink(size_t cap) : cap_(cap) {}
-
-  void Add(uint64_t ord, int property, std::vector<int64_t> ids,
-           std::string message) {
-    ++found_;
-    if (cap_ == 0) return;
-    Tagged t{ord, next_seq_++,
-             ExecutionViolation{property, std::move(ids), std::move(message)}};
-    if (kept_.size() < cap_) {
-      kept_.push_back(std::move(t));
-      std::push_heap(kept_.begin(), kept_.end(), TaggedEarlier());
-      return;
-    }
-    if (TaggedEarlier()(t, kept_.front())) {
-      std::pop_heap(kept_.begin(), kept_.end(), TaggedEarlier());
-      kept_.back() = std::move(t);
-      std::push_heap(kept_.begin(), kept_.end(), TaggedEarlier());
-    }
-  }
-
-  size_t found() const { return found_; }
-  std::vector<Tagged>& kept() { return kept_; }
-
-  // Phase-local counters, summed into the report at the merge (sums are
-  // order-independent, so stats match at any thread count).
-  size_t obligations_checked = 0;
-  uint64_t chain_lookups = 0;
-  uint64_t chain_events_scanned = 0;
-  uint64_t obligation_candidates = 0;
-  uint64_t obligation_scans_avoided = 0;
-  uint64_t condition_instants = 0;
-
- private:
-  size_t cap_;
-  size_t found_ = 0;
-  uint32_t next_seq_ = 0;
-  std::vector<Tagged> kept_;  // heap, top = latest in merge order
-};
+// The ordinal-tagged bounded sink and ordered phase merge live in
+// check_window.h, shared with the streaming checker so both paths report
+// through identical capping/ordering semantics.
+using internal::Sink;
+using internal::Tagged;
+using internal::TaggedEarlier;
+using internal::TemplateMatchesIgnoringSite;
+using internal::BaseSiteOf;
 
 class Checker {
  public:
@@ -242,32 +188,9 @@ class Checker {
     return sinks;
   }
 
-  // Folds one phase's sinks into the report: counters are summed, kept
-  // violations sorted back into single-threaded emission order (ordinal,
-  // then per-ordinal emission sequence — no two sinks share an ordinal),
-  // and the global cap applied across phases exactly as a sequential
-  // checker's running AddViolation cap would.
   void MergePhase(std::vector<Sink> sinks) {
-    std::vector<Tagged> all;
-    size_t found = 0;
-    for (Sink& s : sinks) {
-      found += s.found();
-      for (Tagged& t : s.kept()) all.push_back(std::move(t));
-      report_.obligations_checked += s.obligations_checked;
-      report_.stats.chain_lookups += s.chain_lookups;
-      report_.stats.chain_events_scanned += s.chain_events_scanned;
-      report_.stats.obligation_candidates += s.obligation_candidates;
-      report_.stats.obligation_scans_avoided += s.obligation_scans_avoided;
-      report_.stats.condition_instants += s.condition_instants;
-    }
-    std::sort(all.begin(), all.end(), TaggedEarlier());
-    size_t materialized = 0;
-    for (Tagged& t : all) {
-      if (report_.violations.size() >= options_.max_violations) break;
-      report_.violations.push_back(std::move(t.v));
-      ++materialized;
-    }
-    extra_violations_ += found - materialized;
+    internal::MergePhaseInto(std::move(sinks), options_.max_violations,
+                             &report_, &extra_violations_);
   }
 
   const rule::Event* EventById(int64_t id) const {
@@ -505,22 +428,6 @@ class Checker {
     return std::min(num_units, threads * 4);
   }
 
-  // `tpl` must already have its site cleared (see ClearedRhsTemplate).
-  static bool TemplateMatchesIgnoringSite(const rule::EventTemplate& tpl,
-                                          const rule::Event& event,
-                                          rule::Binding* binding) {
-    // A read request over a parameterized item with unbound arguments is
-    // implemented as one whole-base request (the translator fans out to
-    // every instance), recorded with an argument-free item. Accept it as
-    // matching the parameterized RR template.
-    if (tpl.kind == rule::EventKind::kReadRequest &&
-        event.kind == rule::EventKind::kReadRequest &&
-        tpl.item.base == event.item.base && event.item.args.empty()) {
-      return true;
-    }
-    return tpl.Matches(event, binding);
-  }
-
   // Property 6: firing obligations. Rules a given event could trigger come
   // from the (kind, item base) rule index — the same pruning the live
   // dispatcher uses — instead of re-unifying every rule against every event.
@@ -617,11 +524,6 @@ class Checker {
         }
       }
     }
-  }
-
-  static std::string BaseSiteOf(const std::string& site) {
-    auto pos = site.find('#');
-    return pos == std::string::npos ? site : site.substr(0, pos);
   }
 
   // Maps each item base to the site it lives at, learned from the trace:
@@ -764,12 +666,16 @@ class Checker {
               [](const auto* a, const auto* b) { return a->first < b->first; });
     for (auto* entry : ordered) {
       auto& [channel, pairs] = *entry;
-      std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
-        if (a.trigger_time != b.trigger_time) {
-          return a.trigger_time < b.trigger_time;
-        }
-        return a.event_time < b.event_time;
-      });
+      // stable_sort: ties keep insertion (trace) order, so the streaming
+      // checker — which accumulates pairs incrementally — sees the same
+      // adjacency and reports identical violations.
+      std::stable_sort(pairs.begin(), pairs.end(),
+                       [](const Pair& a, const Pair& b) {
+                         if (a.trigger_time != b.trigger_time) {
+                           return a.trigger_time < b.trigger_time;
+                         }
+                         return a.event_time < b.event_time;
+                       });
       for (size_t i = 1; i < pairs.size(); ++i) {
         // Strictly earlier trigger must not fire strictly later.
         if (pairs[i - 1].trigger_time < pairs[i].trigger_time &&

@@ -1,0 +1,672 @@
+// The acid test for trace::StreamingChecker: a checker fed incrementally
+// while the run executes must produce a final ExecutionReport — and
+// guarantee reports — byte-identical to the offline checkers over the
+// finished trace. Exercised in tee mode (sink attached, offline trace
+// still accumulated, both checked) over the E1 payroll deployment and the
+// E9 Stanford deployment at 1 and 4 worker threads, over a randomized
+// 100k-event trace with injected violations (reported live, mid-run), and
+// over a crash/recover run against the outage-aware offline checker.
+
+#include <filesystem>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/rule/parser.h"
+#include "src/spec/guarantee.h"
+#include "src/trace/guarantee_checker.h"
+#include "src/trace/streaming_checker.h"
+#include "src/trace/valid_execution.h"
+
+namespace hcm::trace {
+namespace {
+
+using rule::Event;
+using rule::EventKind;
+using rule::ItemId;
+
+// Rules as installed by the System: ids assigned from next_id in install
+// order, forbid rules skipped (they install as vetoes, not obligations).
+void AppendInstalledRules(const spec::StrategySpec& strategy,
+                          std::vector<rule::Rule>* rules, int64_t* next_id) {
+  for (rule::Rule r : strategy.rules) {
+    if (r.forbids()) continue;
+    r.id = (*next_id)++;
+    rules->push_back(std::move(r));
+  }
+}
+
+std::vector<SiteOutage> OutagesOf(toolkit::System& system) {
+  std::vector<SiteOutage> outages;
+  for (const auto& w : system.failures().DownWindows()) {
+    outages.push_back(SiteOutage{w.site, w.from, w.to});
+  }
+  return outages;
+}
+
+// Both sides of every comparison, rendered to bytes. Work-counter stats are
+// deliberately excluded (the streaming counters are approximations).
+struct CheckedRun {
+  std::string execution;  // ExecutionReport::ToString
+  std::string guarantees;  // per-guarantee name + result text, name-sorted
+};
+
+std::string RenderGuarantees(
+    const std::map<std::string, GuaranteeCheckResult>& results) {
+  std::string out;
+  for (const auto& [name, r] : results) {
+    out += name + ":\n" + r.ToString();
+  }
+  return out;
+}
+
+CheckedRun OfflineCheck(const Trace& trace,
+                        const std::vector<rule::Rule>& rules,
+                        const std::vector<spec::Guarantee>& guarantees,
+                        const ValidExecutionOptions& vopts,
+                        const GuaranteeCheckOptions& gopts) {
+  CheckedRun run;
+  run.execution = CheckValidExecution(trace, rules, vopts).ToString();
+  std::map<std::string, GuaranteeCheckResult> results;
+  for (const auto& g : guarantees) {
+    auto r = CheckGuarantee(trace, g, gopts);
+    EXPECT_TRUE(r.ok()) << g.name;
+    if (r.ok()) results[g.name] = std::move(*r);
+  }
+  run.guarantees = RenderGuarantees(results);
+  return run;
+}
+
+CheckedRun StreamingResult(const StreamingChecker& checker) {
+  CheckedRun run;
+  run.execution = checker.execution_report().ToString();
+  run.guarantees = RenderGuarantees(checker.guarantee_results());
+  return run;
+}
+
+// --- E1 payroll, tee mode, 1 and 4 threads ---
+
+void RunPayrollTee(size_t threads) {
+  auto d = bench::PayrollDeployment::Create(
+      "interface notify salary1(n) 1s\n", /*num_employees=*/6,
+      sim::NetworkConfig{}, threads);
+  auto& system = *d.system;
+  auto suggestions = *system.Suggest(d.constraint);
+  ASSERT_EQ(system.InstallStrategy("payroll", d.constraint,
+                                   suggestions.at(0).strategy),
+            Status::OK());
+  std::vector<rule::Rule> rules;
+  int64_t next_id = 1;
+  AppendInstalledRules(suggestions.at(0).strategy, &rules, &next_id);
+
+  std::vector<spec::Guarantee> guarantees = {
+      spec::YFollowsX("salary1(n)", "salary2(n)"),
+      spec::XLeadsY("salary1(n)", "salary2(n)"),
+      spec::MetricYFollowsX("salary1(n)", "salary2(n)", Duration::Seconds(10)),
+  };
+
+  StreamingCheckOptions sopts;
+  sopts.guarantee.settle_margin = Duration::Minutes(1);
+  StreamingChecker checker(rules, guarantees, sopts);
+  ASSERT_EQ(system.AttachStreamingChecker(&checker), Status::OK());
+
+  Rng rng(21);
+  for (int u = 0; u < 25; ++u) {
+    int n = static_cast<int>(rng.UniformInt(1, 6));
+    int salary = static_cast<int>(rng.UniformInt(50000, 90000));
+    ASSERT_EQ(system.WorkloadWrite(ItemId{"salary1", {Value::Int(n)}},
+                                   Value::Int(salary)),
+              Status::OK());
+    system.RunFor(Duration::Millis(rng.UniformInt(50, 2000)));
+  }
+  system.RunFor(Duration::Minutes(2));
+  Trace t = system.FinishTrace();
+  ASSERT_TRUE(checker.finished());
+
+  ValidExecutionOptions vopts;
+  GuaranteeCheckOptions gopts;
+  gopts.settle_margin = Duration::Minutes(1);
+  CheckedRun offline = OfflineCheck(t, rules, guarantees, vopts, gopts);
+  CheckedRun streaming = StreamingResult(checker);
+  EXPECT_EQ(streaming.execution, offline.execution);
+  EXPECT_EQ(streaming.guarantees, offline.guarantees);
+  EXPECT_NE(streaming.guarantees.find("HOLDS"), std::string::npos);
+  // The run actually streamed: events were retired before the finish, and
+  // the live horizon stayed below the full trace.
+  EXPECT_EQ(checker.stats().events_seen, t.events.size());
+  EXPECT_GT(checker.stats().events_retired, 0u);
+}
+
+TEST(StreamingCheckTest, PayrollTeeMatchesOfflineSingleThread) {
+  RunPayrollTee(1);
+}
+
+TEST(StreamingCheckTest, PayrollTeeMatchesOfflineFourThreads) {
+  RunPayrollTee(4);
+}
+
+// --- E9 Stanford (whois + filestore + relational), 1 and 4 threads ---
+
+constexpr const char* kRidWhois = R"(
+ris whois
+site WHOIS
+param notify_delay 200ms
+item phone
+  read   get $1 phone
+  write  set $1 phone $v
+  list   list
+  notify attr phone
+interface notify phone(n) 1s
+)";
+
+constexpr const char* kRidLookup = R"(
+ris filestore
+site LOOKUP
+item CsdPhone
+  read  /staff/phone/$1
+  write /staff/phone/$1
+  list  /staff/phone/
+interface write CsdPhone(n) 2s
+)";
+
+constexpr const char* kRidGroup = R"(
+ris relational
+site GROUP
+item GroupPhone
+  read   select phone from members where login = $1
+  write  update members set phone = $v where login = $1
+  list   select login from members
+interface write GroupPhone(n) 2s
+)";
+
+void RunStanfordTee(size_t threads) {
+  constexpr int kStaff = 8;
+  toolkit::SystemOptions opts;
+  opts.num_threads = threads;
+  toolkit::System system(opts);
+  auto* whois = *system.AddWhoisSite("WHOIS");
+  auto* lookup = *system.AddFileSite("LOOKUP");
+  auto* group = *system.AddRelationalSite("GROUP");
+  group->Execute("create table members (login str primary key, phone str)");
+  for (int i = 0; i < kStaff; ++i) {
+    std::string login = "user" + std::to_string(i);
+    whois->Query("set " + login + " phone 000-0000");
+    lookup->Write("/staff/phone/" + login, "\"000-0000\"");
+    group->Execute("insert into members values ('" + login + "', '000-0000')");
+  }
+  ASSERT_EQ(system.ConfigureTranslator(kRidWhois), Status::OK());
+  ASSERT_EQ(system.ConfigureTranslator(kRidLookup), Status::OK());
+  ASSERT_EQ(system.ConfigureTranslator(kRidGroup), Status::OK());
+  for (int i = 0; i < kStaff; ++i) {
+    Value login = Value::Str("user" + std::to_string(i));
+    system.DeclareInitial(ItemId{"phone", {login}});
+    system.DeclareInitial(ItemId{"CsdPhone", {login}});
+    system.DeclareInitial(ItemId{"GroupPhone", {login}});
+  }
+  std::vector<rule::Rule> rules;
+  std::vector<spec::Guarantee> guarantees;
+  int64_t next_id = 1;
+  for (const char* copy : {"CsdPhone(n)", "GroupPhone(n)"}) {
+    auto constraint = *spec::MakeCopyConstraint("phone(n)", copy);
+    auto suggestions = *system.Suggest(constraint);
+    ASSERT_EQ(system.InstallStrategy(std::string("c/") + copy, constraint,
+                                     suggestions.at(0).strategy),
+              Status::OK());
+    AppendInstalledRules(suggestions.at(0).strategy, &rules, &next_id);
+    guarantees.push_back(spec::YFollowsX("phone(n)", copy));
+    guarantees.back().name += std::string(" ") + copy;
+    guarantees.push_back(spec::XLeadsY("phone(n)", copy));
+    guarantees.back().name += std::string(" ") + copy;
+  }
+
+  StreamingCheckOptions sopts;
+  sopts.guarantee.settle_margin = Duration::Minutes(1);
+  StreamingChecker checker(rules, guarantees, sopts);
+  ASSERT_EQ(system.AttachStreamingChecker(&checker), Status::OK());
+
+  Rng rng(5);
+  for (int u = 0; u < 20; ++u) {
+    int i = static_cast<int>(rng.Index(kStaff));
+    std::string number = std::to_string(rng.UniformInt(200, 999)) + "-" +
+                         std::to_string(rng.UniformInt(1000, 9999));
+    ASSERT_EQ(system.WorkloadWrite(
+                  ItemId{"phone", {Value::Str("user" + std::to_string(i))}},
+                  Value::Str(number)),
+              Status::OK());
+    system.RunFor(Duration::Millis(rng.UniformInt(200, 5000)));
+  }
+  system.RunFor(Duration::Minutes(2));
+  Trace t = system.FinishTrace();
+  ASSERT_TRUE(checker.finished());
+
+  ValidExecutionOptions vopts;
+  GuaranteeCheckOptions gopts;
+  gopts.settle_margin = Duration::Minutes(1);
+  CheckedRun offline = OfflineCheck(t, rules, guarantees, vopts, gopts);
+  CheckedRun streaming = StreamingResult(checker);
+  EXPECT_EQ(streaming.execution, offline.execution);
+  EXPECT_EQ(streaming.guarantees, offline.guarantees);
+  EXPECT_EQ(checker.stats().events_seen, t.events.size());
+}
+
+TEST(StreamingCheckTest, StanfordTeeMatchesOfflineSingleThread) {
+  RunStanfordTee(1);
+}
+
+TEST(StreamingCheckTest, StanfordTeeMatchesOfflineFourThreads) {
+  RunStanfordTee(4);
+}
+
+// --- Randomized 100k-event trace with injected violations ---
+
+constexpr size_t kPairs = 64;
+constexpr size_t kTargetEvents = 100000;
+constexpr int64_t kRuleDeltaMs = 5000;
+
+ItemId Item(const std::string& base) { return ItemId{base, {}}; }
+
+struct PendingFire {
+  int64_t fire_ms = 0;
+  uint64_t seq = 0;
+  size_t pair = 0;
+  int64_t value = 0;
+  int64_t trigger_id = 0;
+  bool corrupt_value = false;
+  bool operator>(const PendingFire& o) const {
+    return fire_ms != o.fire_ms ? fire_ms > o.fire_ms : seq > o.seq;
+  }
+};
+
+// Generates a mostly-valid >= kTargetEvents trace — per-pair notify -> WR
+// propagation, spontaneous writes with same-instant chains, a scripted
+// GX -> GY copy stream — with a fixed handful of injected violations of
+// properties 2, 5 and 6, recorded through `rec` so an attached sink sees
+// the stream live.
+struct GeneratedTrace {
+  Trace trace;
+  std::vector<rule::Rule> rules;
+};
+
+std::vector<rule::Rule> GeneratorRules() {
+  std::vector<rule::Rule> rules;
+  for (size_t p = 0; p < kPairs; ++p) {
+    auto r = rule::ParseRule("N(src" + std::to_string(p) + ", b) -> 5s WR(dst" +
+                             std::to_string(p) + ", b)");
+    EXPECT_TRUE(r.ok());
+    r->id = static_cast<int64_t>(p);
+    rules.push_back(*r);
+  }
+  return rules;
+}
+
+Trace GenerateInto(TraceRecorder& rec, uint64_t seed) {
+  for (size_t p = 0; p < kPairs; ++p) {
+    rec.SetInitialValue(Item("src" + std::to_string(p)), Value::Int(0));
+    rec.SetInitialValue(Item("dst" + std::to_string(p)), Value::Int(0));
+  }
+  rec.SetInitialValue(Item("GX"), Value::Int(0));
+  rec.SetInitialValue(Item("GY"), Value::Int(0));
+
+  Rng rng(seed);
+  std::vector<int64_t> current(kPairs, 0);
+  std::priority_queue<PendingFire, std::vector<PendingFire>,
+                      std::greater<PendingFire>>
+      pending;
+  std::vector<int64_t> last_fire(kPairs, 0);
+  uint64_t seq = 0;
+  int64_t now = 0;
+  int corrupt_old = 6, dropped_wr = 4, corrupt_wr = 3;
+  int copies_left = 60;
+
+  auto notify = [&rec](size_t p, int64_t ms, int64_t v) {
+    Event e;
+    e.time = TimePoint::FromMillis(ms);
+    e.site = "S" + std::to_string(p);
+    e.kind = EventKind::kNotify;
+    e.item = Item("src" + std::to_string(p));
+    e.values = {Value::Int(v)};
+    return rec.Record(e);
+  };
+  auto write_spont = [&rec](const ItemId& item, int64_t ms, Value old_v,
+                            int64_t v) {
+    Event e;
+    e.time = TimePoint::FromMillis(ms);
+    e.site = "A";
+    e.kind = EventKind::kWriteSpont;
+    e.item = item;
+    e.values = {std::move(old_v), Value::Int(v)};
+    rec.Record(e);
+  };
+  auto flush_pending = [&](int64_t up_to_ms) {
+    while (!pending.empty() && pending.top().fire_ms <= up_to_ms) {
+      PendingFire f = pending.top();
+      pending.pop();
+      Event e;
+      e.time = TimePoint::FromMillis(f.fire_ms);
+      e.site = "D" + std::to_string(f.pair);
+      e.kind = EventKind::kWriteRequest;
+      e.item = Item("dst" + std::to_string(f.pair));
+      e.values = {Value::Int(f.corrupt_value ? f.value + 1000000 : f.value)};
+      e.rule_id = static_cast<int64_t>(f.pair);
+      e.trigger_event_id = f.trigger_id;
+      e.rhs_step = 0;
+      rec.Record(e);
+    }
+  };
+
+  int64_t gx = 0;
+  while (rec.num_events() < kTargetEvents) {
+    now += rng.UniformInt(1, 10);
+    flush_pending(now);
+    double roll = rng.UniformDouble();
+    if (roll < 0.25) {
+      size_t p = rng.Index(kPairs);
+      int64_t v = rng.UniformInt(0, 999);
+      int64_t id = notify(p, now, v);
+      if (dropped_wr > 0 && rng.Bernoulli(0.0005)) {
+        --dropped_wr;  // obligation never met: property 6
+        continue;
+      }
+      PendingFire f;
+      f.fire_ms = std::max(last_fire[p] + 1, now + rng.UniformInt(50, 4000));
+      last_fire[p] = f.fire_ms;
+      f.seq = ++seq;
+      f.pair = p;
+      f.value = v;
+      f.trigger_id = id;
+      if (corrupt_wr > 0 && rng.Bernoulli(0.0005)) {
+        --corrupt_wr;
+        f.corrupt_value = true;  // template mismatch: property 5
+      }
+      pending.push(f);
+    } else if (roll < 0.27) {
+      // Valid same-instant write chain.
+      size_t p = rng.Index(kPairs);
+      ItemId item = Item("src" + std::to_string(p));
+      int64_t a = rng.UniformInt(0, 999);
+      int64_t b = rng.UniformInt(0, 999);
+      write_spont(item, now, Value::Int(current[p]), a);
+      write_spont(item, now, Value::Int(a), b);
+      current[p] = b;
+    } else if (roll < 0.29 && copies_left > 0) {
+      --copies_left;
+      int64_t v = rng.UniformInt(0, 999);
+      write_spont(Item("GX"), now, Value::Int(gx), v);
+      int64_t gy_ms = now + rng.UniformInt(5, 40);
+      flush_pending(gy_ms);
+      write_spont(Item("GY"), gy_ms, Value::Int(gx), v);
+      gx = v;
+      now = gy_ms;
+    } else {
+      size_t p = rng.Index(kPairs);
+      int64_t v = rng.UniformInt(0, 999);
+      Value old_v = Value::Int(current[p]);
+      if (corrupt_old > 0 && rng.Bernoulli(0.0003)) {
+        --corrupt_old;
+        old_v = Value::Int(7000000 + corrupt_old);  // property 2
+      }
+      write_spont(Item("src" + std::to_string(p)), now, std::move(old_v), v);
+      current[p] = v;
+    }
+  }
+  flush_pending(now + kRuleDeltaMs + 1);
+  return rec.Finish(TimePoint::FromMillis(now + 2 * kRuleDeltaMs));
+}
+
+TEST(StreamingCheckTest, RandomizedTraceMatchesOfflineWithLiveViolations) {
+  std::vector<rule::Rule> rules = GeneratorRules();
+  std::vector<spec::Guarantee> guarantees = {
+      // Both non-windowable (free RHS time vars): their items' segments are
+      // collected and replayed at finish, still byte-identical.
+      *spec::ParseGuarantee("(GY = y)@t1 => (GX = y)@t2 & t2 <= t1"),
+      spec::MetricYFollowsX("GX", "GY", Duration::Millis(100)),
+  };
+
+  size_t live_before_finish = 0;
+  const StreamingChecker* cp = nullptr;
+  StreamingCheckOptions sopts;
+  sopts.guarantee.settle_margin = Duration::Millis(kRuleDeltaMs);
+  sopts.on_violation = [&live_before_finish, &cp](const ExecutionViolation&) {
+    if (cp == nullptr || !cp->finished()) ++live_before_finish;
+  };
+  StreamingChecker streaming(rules, guarantees, sopts);
+  cp = &streaming;
+
+  TraceRecorder rec;
+  rec.AttachSink(&streaming, /*drain=*/false);
+  Trace t = GenerateInto(rec, 20260809);
+  ASSERT_GE(t.events.size(), kTargetEvents);
+  ASSERT_TRUE(streaming.finished());
+
+  // Violations were reported live, while the trace was still streaming.
+  EXPECT_GT(live_before_finish, 0u);
+  EXPECT_GE(streaming.stats().live_violations, live_before_finish);
+
+  ValidExecutionOptions vopts;
+  GuaranteeCheckOptions gopts;
+  gopts.settle_margin = Duration::Millis(kRuleDeltaMs);
+  CheckedRun offline = OfflineCheck(t, rules, guarantees, vopts, gopts);
+  CheckedRun result = StreamingResult(streaming);
+  EXPECT_EQ(result.execution, offline.execution);
+  EXPECT_EQ(result.guarantees, offline.guarantees);
+
+  // The comparison is not vacuous and the streaming engine actually
+  // bounded its state: the live peak stayed far below the trace size.
+  EXPECT_FALSE(streaming.execution_report().valid);
+  EXPECT_GE(streaming.execution_report().violations.size(), 10u);
+  EXPECT_GT(streaming.stats().events_retired, 0u);
+  EXPECT_LT(streaming.stats().events_live_peak, t.events.size() / 2);
+}
+
+// --- Windowed guarantees: closed anchor regions evaluated mid-run ---
+
+// AlwaysLeq/AlwaysEq classify as windowed (single kAt LHS atom, every RHS
+// probe anchored at the same variable), so the streaming checker evaluates
+// them in closed anchor regions while the run streams and retires the
+// guarantee store behind each region — and the summed region results must
+// still be byte-identical to one offline pass over the full trace,
+// including the violation count, witness count, and the capped,
+// anchor-ordered counterexample list.
+TEST(StreamingCheckTest, WindowedGuaranteeRegionsMatchOffline) {
+  std::vector<spec::Guarantee> guarantees = {
+      spec::AlwaysLeq("GX", "GY"),
+      spec::AlwaysEq("GX", "GY"),
+  };
+
+  size_t live_guarantee_violations = 0;
+  const StreamingChecker* cp = nullptr;
+  StreamingCheckOptions sopts;
+  sopts.guarantee.settle_margin = Duration::Seconds(1);
+  sopts.on_guarantee_violation = [&live_guarantee_violations, &cp](
+                                     const std::string&,
+                                     const Counterexample&) {
+    if (cp == nullptr || !cp->finished()) ++live_guarantee_violations;
+  };
+  StreamingChecker streaming({}, guarantees, sopts);
+  cp = &streaming;
+
+  TraceRecorder rec;
+  rec.AttachSink(&streaming, /*drain=*/false);
+  rec.SetInitialValue(Item("GX"), Value::Int(0));
+  rec.SetInitialValue(Item("GY"), Value::Int(0));
+  auto write = [&rec](const char* base, int64_t ms, int64_t old_v,
+                      int64_t v) {
+    Event e;
+    e.time = TimePoint::FromMillis(ms);
+    e.site = "A";
+    e.kind = EventKind::kWriteSpont;
+    e.item = Item(base);
+    e.values = {Value::Int(old_v), Value::Int(v)};
+    rec.Record(e);
+  };
+
+  // 240s ramp at 100ms cadence: GY rises first, GX follows at the same
+  // instant, so GX <= GY always holds. Every 500th step GX undershoots by
+  // 3 for one step: always-eq is violated in a handful of 100ms windows
+  // spread across many regions, always-leq still holds.
+  int64_t gx = 0, gy = 0;
+  for (int64_t i = 1; i <= 2400; ++i) {
+    int64_t ms = i * 100;
+    write("GY", ms, gy, i);
+    gy = i;
+    int64_t nx = (i % 500 == 250) ? i - 3 : i;
+    write("GX", ms, gx, nx);
+    gx = nx;
+  }
+  Trace t = rec.Finish(TimePoint::FromMillis(241000));
+  ASSERT_TRUE(streaming.finished());
+
+  // The region machinery actually ran: multiple closed windows were
+  // evaluated, the guarantee store was retired behind them, and the
+  // mid-run violations were surfaced live.
+  EXPECT_GT(streaming.stats().guarantee_windows_evaluated, 4u);
+  EXPECT_GT(streaming.stats().guarantee_segments_retired, 0u);
+  EXPECT_LT(streaming.stats().guarantee_segments_live_peak,
+            streaming.stats().guarantee_segments_retired);
+  EXPECT_GT(live_guarantee_violations, 0u);
+
+  ValidExecutionOptions vopts;
+  GuaranteeCheckOptions gopts;
+  gopts.settle_margin = Duration::Seconds(1);
+  CheckedRun offline = OfflineCheck(t, {}, guarantees, vopts, gopts);
+  CheckedRun result = StreamingResult(streaming);
+  EXPECT_EQ(result.execution, offline.execution);
+  EXPECT_EQ(result.guarantees, offline.guarantees);
+  EXPECT_NE(result.guarantees.find("HOLDS"), std::string::npos);
+  EXPECT_NE(result.guarantees.find("VIOLATED"), std::string::npos);
+}
+
+// --- Crash/recover vs the outage-aware offline checker ---
+
+TEST(StreamingCheckTest, CrashRecoveryMatchesOutageAwareOffline) {
+  std::string dir = ::testing::TempDir() + "/streaming_crash_eq";
+  std::filesystem::remove_all(dir);
+  toolkit::SystemOptions opts;
+  opts.storage.dir = dir;
+  opts.storage.commit_interval = Duration::Millis(10);
+  opts.storage.snapshot_period = Duration::Seconds(5);
+  auto d = bench::PayrollDeployment::Create(
+      "interface notify salary1(n) 1s\n", /*num_employees=*/6, opts);
+  auto& system = *d.system;
+  auto suggestions = *system.Suggest(d.constraint);
+  ASSERT_EQ(system.InstallStrategy("payroll", d.constraint,
+                                   suggestions.at(0).strategy),
+            Status::OK());
+  std::vector<rule::Rule> rules;
+  int64_t next_id = 1;
+  AppendInstalledRules(suggestions.at(0).strategy, &rules, &next_id);
+
+  std::vector<spec::Guarantee> guarantees = {
+      spec::YFollowsX("salary1(n)", "salary2(n)"),
+  };
+  StreamingCheckOptions sopts;
+  sopts.guarantee.settle_margin = Duration::Minutes(1);
+  StreamingChecker checker(rules, guarantees, sopts);
+  ASSERT_EQ(system.AttachStreamingChecker(&checker), Status::OK());
+
+  // Crash B mid-run; obligations opened just before the crash get their
+  // deadlines extended across the outage window (PR 5 semantics) on both
+  // the streaming and the offline side.
+  ASSERT_EQ(system.ScheduleCrash("B", TimePoint::FromMillis(6000),
+                                 TimePoint::FromMillis(10950)),
+            Status::OK());
+
+  Rng rng(7);
+  for (int u = 0; u < 8; ++u) {
+    int n = static_cast<int>(rng.UniformInt(1, 6));
+    int salary = static_cast<int>(rng.UniformInt(50000, 90000));
+    ASSERT_EQ(system.WorkloadWrite(ItemId{"salary1", {Value::Int(n)}},
+                                   Value::Int(salary)),
+              Status::OK());
+    system.RunFor(Duration::Millis(rng.UniformInt(50, 500)));
+  }
+  // Probe write 150ms before the crash: its fire is held across the
+  // outage and resumed after restart.
+  system.RunFor(TimePoint::FromMillis(5850) - system.executor().now());
+  ASSERT_EQ(system.WorkloadWrite(ItemId{"salary1", {Value::Int(3)}},
+                                 Value::Int(99000)),
+            Status::OK());
+  for (int u = 0; u < 12; ++u) {
+    int n = static_cast<int>(rng.UniformInt(1, 6));
+    int salary = static_cast<int>(rng.UniformInt(50000, 90000));
+    ASSERT_EQ(system.WorkloadWrite(ItemId{"salary1", {Value::Int(n)}},
+                                   Value::Int(salary)),
+              Status::OK());
+    system.RunFor(Duration::Millis(rng.UniformInt(200, 1500)));
+  }
+  system.RunFor(Duration::Minutes(2));
+  Trace t = system.FinishTrace();
+  ASSERT_TRUE(checker.finished());
+
+  ValidExecutionOptions vopts;
+  vopts.outages = OutagesOf(system);
+  ASSERT_FALSE(vopts.outages.empty());
+  GuaranteeCheckOptions gopts;
+  gopts.settle_margin = Duration::Minutes(1);
+  CheckedRun offline = OfflineCheck(t, rules, guarantees, vopts, gopts);
+  CheckedRun streaming = StreamingResult(checker);
+  EXPECT_EQ(streaming.execution, offline.execution);
+  EXPECT_EQ(streaming.guarantees, offline.guarantees);
+  EXPECT_TRUE(checker.execution_report().valid)
+      << checker.execution_report().ToString();
+}
+
+// The outage windows are load-bearing on the streaming side too: cut the
+// run off right after the held notify's unextended deadline, mid-outage.
+// The strict offline checker reports the missed obligation; the
+// outage-aware offline checker skips it (extended deadline past the
+// horizon) — and the streaming checker, fed the outage via ScheduleCrash,
+// must agree with the latter byte-for-byte.
+TEST(StreamingCheckTest, MidOutageCutoffAppliesDeadlineExtensions) {
+  std::string dir = ::testing::TempDir() + "/streaming_crash_cutoff";
+  std::filesystem::remove_all(dir);
+  toolkit::SystemOptions opts;
+  opts.storage.dir = dir;
+  opts.storage.commit_interval = Duration::Millis(10);
+  opts.storage.snapshot_period = Duration::Seconds(5);
+  auto d = bench::PayrollDeployment::Create(
+      "interface notify salary1(n) 1s\n", /*num_employees=*/4, opts);
+  auto& system = *d.system;
+  auto suggestions = *system.Suggest(d.constraint);
+  ASSERT_EQ(system.InstallStrategy("payroll", d.constraint,
+                                   suggestions.at(0).strategy),
+            Status::OK());
+  std::vector<rule::Rule> rules;
+  int64_t next_id = 1;
+  AppendInstalledRules(suggestions.at(0).strategy, &rules, &next_id);
+
+  StreamingChecker checker(rules, {});
+  ASSERT_EQ(system.AttachStreamingChecker(&checker), Status::OK());
+  ASSERT_EQ(system.ScheduleCrash("B", TimePoint::FromMillis(6000),
+                                 TimePoint::FromMillis(12000)),
+            Status::OK());
+
+  // The probe's notify reaches the wire at ~6.87s (1s notify batching) and
+  // is held by the down site; its 5s deadline (~11.87s) passes with no WR
+  // in the trace, and the cut at 11.95s lands before the restart.
+  system.RunFor(Duration::Millis(5850));
+  ASSERT_EQ(system.WorkloadWrite(ItemId{"salary1", {Value::Int(1)}},
+                                 Value::Int(70000)),
+            Status::OK());
+  system.RunFor(TimePoint::FromMillis(11950) - system.executor().now());
+  auto outages = OutagesOf(system);
+  ASSERT_EQ(outages.size(), 1u);
+  Trace t = system.FinishTrace();
+  ASSERT_TRUE(checker.finished());
+
+  ExecutionReport strict = CheckValidExecution(t, rules, {});
+  EXPECT_FALSE(strict.valid)
+      << "expected a property-6 violation without outage windows";
+  ValidExecutionOptions vopts;
+  vopts.outages = outages;
+  ExecutionReport aware = CheckValidExecution(t, rules, vopts);
+  EXPECT_TRUE(aware.valid) << aware.ToString();
+  EXPECT_EQ(checker.execution_report().ToString(), aware.ToString());
+}
+
+}  // namespace
+}  // namespace hcm::trace
