@@ -197,6 +197,263 @@ BENCHMARK(BM_SiteStoreRecover)
     ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
+// --- Checkpoint cost: full base snapshots vs. incremental deltas ---
+
+// A million-item-class site state: `items` private entries.
+storage::SnapshotState BigState(const std::string& site, int items,
+                                Rng& rng) {
+  storage::SnapshotState s;
+  s.site = site;
+  s.private_data.reserve(static_cast<size_t>(items));
+  for (int i = 0; i < items; ++i) {
+    s.private_data.emplace_back(
+        rule::ItemId{"Tb", {Value::Int(static_cast<int64_t>(i))}},
+        Value::Int(static_cast<int64_t>(rng.UniformInt(1, 100000))));
+  }
+  return s;
+}
+
+// `churn` journal appends touching random keys — the between-checkpoint
+// workload both checkpoint benches share, so the measured difference is
+// purely the checkpoint representation.
+void ApplyChurn(storage::SiteStore& store, int items, int churn, Rng& rng,
+                int64_t& now_ms) {
+  for (int i = 0; i < churn; ++i) {
+    now_ms += 1;
+    store.LogPrivateWrite(
+        rule::ItemId{"Tb",
+                     {Value::Int(static_cast<int64_t>(
+                         rng.UniformInt(0, static_cast<uint64_t>(items) - 1)))}},
+        Value::Int(static_cast<int64_t>(rng.UniformInt(1, 100000))),
+        TimePoint::FromMillis(now_ms));
+  }
+}
+
+// Full checkpoint of an `items`-entry site after churn_pct% of it changed:
+// enumerate + encode + write the whole state every time. O(items)
+// regardless of churn — the cost the delta path exists to avoid.
+void BM_CheckpointFull(benchmark::State& state) {
+  const std::string dir = ScratchDir();
+  const int items = static_cast<int>(state.range(0));
+  const int churn = items * static_cast<int>(state.range(1)) / 100;
+  storage::StorageOptions opts;
+  opts.dir = dir;
+  opts.commit_interval = Duration::Millis(50);
+  auto store = storage::SiteStore::Open(opts, "B");
+  if (!store.ok()) {
+    state.SkipWithError("store open failed");
+    return;
+  }
+  Rng rng(5);
+  storage::SnapshotState big = BigState("B", items, rng);
+  int64_t now_ms = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ApplyChurn(**store, items, churn, rng, now_ms);
+    state.ResumeTiming();
+    storage::SnapshotState snap = big;  // enumerating the full live state
+    snap.taken_at_ms = now_ms;
+    if (!(*store)->WriteSnapshot(std::move(snap)).ok()) {
+      state.SkipWithError("snapshot failed");
+      return;
+    }
+  }
+  (void)(*store)->journal().Close();
+  state.SetItemsProcessed(state.iterations() * items);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointFull)
+    ->Args({100000, 1})
+    ->Args({1000000, 1})
+    ->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+// Incremental checkpoint of the same site: only the churned entries are
+// enumerated, encoded, and written. O(churn), flat in the site size.
+// max_chain_length is set high so the measurement isolates the delta
+// write itself; compaction cost is bounded separately by the chain bound
+// and amortizes to (full cost) / max_chain_length per checkpoint.
+void BM_CheckpointDelta(benchmark::State& state) {
+  const std::string dir = ScratchDir();
+  const int items = static_cast<int>(state.range(0));
+  const int churn = items * static_cast<int>(state.range(1)) / 100;
+  storage::StorageOptions opts;
+  opts.dir = dir;
+  opts.commit_interval = Duration::Millis(50);
+  opts.max_chain_length = 1 << 20;
+  auto store = storage::SiteStore::Open(opts, "B");
+  if (!store.ok()) {
+    state.SkipWithError("store open failed");
+    return;
+  }
+  Rng rng(6);
+  storage::SnapshotState base = BigState("B", items, rng);
+  if (!(*store)->WriteSnapshot(std::move(base)).ok()) {
+    state.SkipWithError("base snapshot failed");
+    return;
+  }
+  int64_t now_ms = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ApplyChurn(**store, items, churn, rng, now_ms);
+    state.ResumeTiming();
+    // Enumerate the dirty set into a delta, exactly as Shell::BuildDelta
+    // does (upserts only here; the keys just churned).
+    storage::SnapshotDelta delta;
+    delta.taken_at_ms = now_ms;
+    delta.private_upserts.reserve(static_cast<size_t>(churn));
+    for (int i = 0; i < churn; ++i) {
+      delta.private_upserts.emplace_back(
+          rule::ItemId{"Tb", {Value::Int(static_cast<int64_t>(i))}},
+          Value::Int(static_cast<int64_t>(rng.UniformInt(1, 100000))));
+    }
+    auto written = (*store)->WriteDelta(std::move(delta));
+    if (!written.ok() || !*written) {
+      state.SkipWithError("delta write failed");
+      return;
+    }
+  }
+  (void)(*store)->journal().Close();
+  state.SetItemsProcessed(state.iterations() * items);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointDelta)
+    ->Args({100000, 1})
+    ->Args({100000, 10})
+    ->Args({1000000, 1})
+    ->Args({1000000, 10})
+    ->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Recovery from a delta chain ---
+
+// Builds a store whose newest base (`items` entries) is followed by
+// `chain` deltas of 1% churn each, plus a 1%-churn journal tail; each
+// Recover() loads the base, folds the chain, and replays the tail.
+void BM_RecoverFromChain(benchmark::State& state) {
+  const std::string dir = ScratchDir();
+  const int items = static_cast<int>(state.range(0));
+  const int chain = static_cast<int>(state.range(1));
+  const int churn = items / 100;
+  storage::StorageOptions opts;
+  opts.dir = dir;
+  opts.commit_interval = Duration::Millis(50);
+  opts.max_chain_length = 1 << 20;
+  auto store = storage::SiteStore::Open(opts, "B");
+  if (!store.ok()) {
+    state.SkipWithError("store open failed");
+    return;
+  }
+  Rng rng(7);
+  storage::SnapshotState base = BigState("B", items, rng);
+  if (!(*store)->WriteSnapshot(std::move(base)).ok()) {
+    state.SkipWithError("base snapshot failed");
+    return;
+  }
+  int64_t now_ms = 0;
+  for (int link = 0; link < chain; ++link) {
+    ApplyChurn(**store, items, churn, rng, now_ms);
+    storage::SnapshotDelta delta;
+    delta.taken_at_ms = now_ms;
+    for (int i = 0; i < churn; ++i) {
+      delta.private_upserts.emplace_back(
+          rule::ItemId{"Tb", {Value::Int(static_cast<int64_t>(i))}},
+          Value::Int(static_cast<int64_t>(rng.UniformInt(1, 100000))));
+    }
+    auto written = (*store)->WriteDelta(std::move(delta));
+    if (!written.ok() || !*written) {
+      state.SkipWithError("delta write failed");
+      return;
+    }
+  }
+  ApplyChurn(**store, items, churn, rng, now_ms);  // the journal tail
+  if (!(*store)->journal().Flush().ok()) {
+    state.SkipWithError("journal flush failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto recovered = (*store)->Recover();
+    if (!recovered.ok() || recovered->lost_records() ||
+        recovered->chain_deltas != static_cast<uint64_t>(chain)) {
+      state.SkipWithError("recover failed");
+      return;
+    }
+    benchmark::DoNotOptimize(recovered->state.private_data.size());
+  }
+  (void)(*store)->journal().Close();
+  state.SetItemsProcessed(state.iterations() * items);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RecoverFromChain)
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({100000, 16})
+    ->Unit(benchmark::kMillisecond);
+
+// Same store shape as the 16-link row, but compacted before measuring:
+// recovery then loads one folded base + the tail. The delta between this
+// row and the 16-link row is what compaction buys at restart.
+void BM_RecoverCompactedChain(benchmark::State& state) {
+  const std::string dir = ScratchDir();
+  const int items = static_cast<int>(state.range(0));
+  const int churn = items / 100;
+  storage::StorageOptions opts;
+  opts.dir = dir;
+  opts.commit_interval = Duration::Millis(50);
+  opts.max_chain_length = 1 << 20;
+  auto store = storage::SiteStore::Open(opts, "B");
+  if (!store.ok()) {
+    state.SkipWithError("store open failed");
+    return;
+  }
+  Rng rng(7);
+  storage::SnapshotState base = BigState("B", items, rng);
+  if (!(*store)->WriteSnapshot(std::move(base)).ok()) {
+    state.SkipWithError("base snapshot failed");
+    return;
+  }
+  int64_t now_ms = 0;
+  for (int link = 0; link < 16; ++link) {
+    ApplyChurn(**store, items, churn, rng, now_ms);
+    storage::SnapshotDelta delta;
+    delta.taken_at_ms = now_ms;
+    for (int i = 0; i < churn; ++i) {
+      delta.private_upserts.emplace_back(
+          rule::ItemId{"Tb", {Value::Int(static_cast<int64_t>(i))}},
+          Value::Int(static_cast<int64_t>(rng.UniformInt(1, 100000))));
+    }
+    auto written = (*store)->WriteDelta(std::move(delta));
+    if (!written.ok() || !*written) {
+      state.SkipWithError("delta write failed");
+      return;
+    }
+  }
+  if (!(*store)->Compact().ok()) {
+    state.SkipWithError("compact failed");
+    return;
+  }
+  ApplyChurn(**store, items, churn, rng, now_ms);  // the journal tail
+  if (!(*store)->journal().Flush().ok()) {
+    state.SkipWithError("journal flush failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto recovered = (*store)->Recover();
+    if (!recovered.ok() || recovered->lost_records() ||
+        recovered->chain_deltas != 0) {
+      state.SkipWithError("recover failed");
+      return;
+    }
+    benchmark::DoNotOptimize(recovered->state.private_data.size());
+  }
+  (void)(*store)->journal().Close();
+  state.SetItemsProcessed(state.iterations() * items);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RecoverCompactedChain)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace hcm
 

@@ -217,6 +217,7 @@ class ScenarioRunner {
       }
       std::printf("%s", system_.DescribeDispatchStats().c_str());
       std::printf("%s", system_.DescribeExecutorStats().c_str());
+      std::printf("%s", system_.DescribeStorageStats().c_str());
       return Status::OK();
     }
     if (cmd == "save-trace") {

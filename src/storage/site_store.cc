@@ -1,6 +1,7 @@
 #include "src/storage/site_store.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "src/common/logging.h"
@@ -25,14 +26,47 @@ rule::ItemId ReadItem(ByteReader* r, const std::vector<std::string>& dict) {
   return item;
 }
 
+constexpr char kManifestMagic[] = "HCMCHN1";
+
+// Directory inventory of snapshot-chain files: base and delta files keyed
+// by the journal record count in their names, plus stale .tmp leftovers
+// from interrupted atomic writes.
+struct ChainFiles {
+  std::map<uint64_t, std::string> bases;
+  std::map<uint64_t, std::string> deltas;
+  std::vector<std::string> tmps;
+};
+
+ChainFiles ListChainFiles(const std::string& dir) {
+  ChainFiles out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      out.tmps.push_back(entry.path().string());
+    } else if (std::sscanf(name.c_str(), "snapshot-%llu.snap", &seq) == 1) {
+      out.bases.emplace(seq, entry.path().string());
+    } else if (std::sscanf(name.c_str(), "delta-%llu.snap", &seq) == 1) {
+      out.deltas.emplace(seq, entry.path().string());
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string RecoveredState::ToString() const {
   std::string out = StrFormat(
-      "recovered %s: snapshot %s (%llu records), %llu replayed",
-      state.site.c_str(), snapshot_found ? "loaded" : "none",
-      static_cast<unsigned long long>(snapshot_records),
-      static_cast<unsigned long long>(replayed_records));
+      "recovered %s: snapshot %s (%llu records", state.site.c_str(),
+      snapshot_found ? "loaded" : "none",
+      static_cast<unsigned long long>(snapshot_records));
+  if (chain_deltas > 0) {
+    out += StrFormat(" via %llu deltas",
+                     static_cast<unsigned long long>(chain_deltas));
+  }
+  out += StrFormat("), %llu replayed",
+                   static_cast<unsigned long long>(replayed_records));
   if (crc_failures > 0) {
     out += StrFormat(", CRC failure (%llu bytes discarded)",
                      static_cast<unsigned long long>(truncated_bytes));
@@ -55,14 +89,28 @@ Result<std::unique_ptr<SiteStore>> SiteStore::Open(
     return Status::Internal("cannot create storage dir " + dir + ": " +
                             ec.message());
   }
-  std::unique_ptr<SiteStore> store(new SiteStore(site, dir));
+  std::unique_ptr<SiteStore> store(new SiteStore(site, dir, options));
   store->journal_.set_commit_interval(options.commit_interval);
-  HCM_RETURN_IF_ERROR(store->journal_.Open(store->JournalPath()));
+  // A surviving journal must not be truncated by the fresh incarnation:
+  // open positioned at its end and let Recover() (which a reopening caller
+  // runs before appending) validate the prefix, drop any torn tail, and
+  // set the base record count. Opening blind with 0 existing bytes would
+  // destroy the file before recovery could read it.
+  std::error_code size_ec;
+  uint64_t existing =
+      std::filesystem::file_size(store->JournalPath(), size_ec);
+  if (size_ec) existing = 0;
+  HCM_RETURN_IF_ERROR(store->journal_.Open(store->JournalPath(), existing));
   return store;
 }
 
 std::string SiteStore::SnapshotPath(uint64_t seq) const {
   return dir_ + "/" + StrFormat("snapshot-%020llu.snap",
+                                static_cast<unsigned long long>(seq));
+}
+
+std::string SiteStore::DeltaPath(uint64_t seq) const {
+  return dir_ + "/" + StrFormat("delta-%020llu.snap",
                                 static_cast<unsigned long long>(seq));
 }
 
@@ -166,6 +214,53 @@ void SiteStore::LogFireEnd(uint64_t seq, TimePoint now) {
   Emit(RecordType::kFireEnd, w.Take(), now);
 }
 
+Status SiteStore::WriteManifest() const {
+  std::string body = std::string(kManifestMagic) + "\n";
+  for (const ChainEntry& e : chain_) {
+    body += StrFormat("%c %llu\n", e.is_base ? 'B' : 'D',
+                      static_cast<unsigned long long>(e.records));
+  }
+  // Same crash-atomicity discipline as the snapshot files; the manifest is
+  // advisory, but a torn one must not be mistaken for a short chain.
+  const std::string path = ManifestPath();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot create " + tmp);
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot write manifest " + path);
+  }
+  return Status::OK();
+}
+
+void SiteStore::RetentionGc() {
+  ChainFiles files = ListChainFiles(dir_);
+  for (const std::string& path : files.tmps) {
+    if (std::remove(path.c_str()) == 0) ++snapshot_files_deleted_;
+  }
+  if (files.bases.size() <= static_cast<size_t>(keep_snapshots_)) return;
+  // Cutoff = record count of the keep_snapshots_-th newest base. Older
+  // bases and any delta at or below the cutoff are superseded: deltas
+  // above the cutoff still chain (parent linkage is by record count, and
+  // the kept base covers exactly the cutoff prefix).
+  auto it = files.bases.end();
+  for (int i = 0; i < keep_snapshots_; ++i) --it;
+  uint64_t cutoff = it->first;
+  for (const auto& [seq, path] : files.bases) {
+    if (seq < cutoff && std::remove(path.c_str()) == 0) {
+      ++snapshot_files_deleted_;
+    }
+  }
+  for (const auto& [seq, path] : files.deltas) {
+    if (seq <= cutoff && std::remove(path.c_str()) == 0) {
+      ++snapshot_files_deleted_;
+    }
+  }
+}
+
 Status SiteStore::WriteSnapshot(SnapshotState state) {
   HCM_RETURN_IF_ERROR(journal_.Flush());
   uint64_t seq = base_records_ + journal_.records_committed();
@@ -173,10 +268,63 @@ Status SiteStore::WriteSnapshot(SnapshotState state) {
   state.journal_records = seq;
   HCM_RETURN_IF_ERROR(WriteSnapshotFile(SnapshotPath(seq), state));
   ++snapshots_written_;
+  chain_.clear();
+  chain_.push_back(ChainEntry{seq, true});
+  needs_base_ = false;
+  HCM_RETURN_IF_ERROR(WriteManifest());
+  RetentionGc();
   ByteWriter w;
   w.U64(seq);
   journal_.Append(RecordType::kSnapshotMark, w.Take());
   return journal_.Flush();
+}
+
+Result<bool> SiteStore::WriteDelta(SnapshotDelta delta) {
+  if (needs_base()) {
+    return Status::FailedPrecondition(
+        "site " + site_ + " needs a base snapshot before deltas");
+  }
+  HCM_RETURN_IF_ERROR(journal_.Flush());
+  uint64_t seq = base_records_ + journal_.records_committed();
+  uint64_t tip = chain_.back().records;
+  // Nothing to persist: the journal did not move past the chain tip (every
+  // shell state change is journaled, so same count = same state) or the
+  // dirty tracker found no changed entries (the only journal advance was
+  // bookkeeping such as snapshot marks). The caller keeps its dirty state.
+  if (seq == tip || delta.empty()) return false;
+  delta.site = site_;
+  delta.parent_records = tip;
+  delta.journal_records = seq;
+  HCM_RETURN_IF_ERROR(WriteDeltaFile(DeltaPath(seq), delta));
+  ++deltas_written_;
+  chain_.push_back(ChainEntry{seq, false});
+  HCM_RETURN_IF_ERROR(WriteManifest());
+  if (chain_.size() > static_cast<size_t>(max_chain_length_) + 1) {
+    HCM_RETURN_IF_ERROR(Compact());
+  }
+  return true;
+}
+
+Status SiteStore::Compact() {
+  if (chain_.size() < 2) return Status::OK();
+  HCM_ASSIGN_OR_RETURN(SnapshotState base,
+                       ReadSnapshotFile(SnapshotPath(chain_[0].records)));
+  FoldState fold;
+  fold.Load(base);
+  for (size_t i = 1; i < chain_.size(); ++i) {
+    HCM_ASSIGN_OR_RETURN(SnapshotDelta delta,
+                         ReadDeltaFile(DeltaPath(chain_[i].records)));
+    fold.Apply(delta);
+  }
+  uint64_t tip = chain_.back().records;
+  SnapshotState folded = fold.ToState(site_, tip);
+  HCM_RETURN_IF_ERROR(WriteSnapshotFile(SnapshotPath(tip), folded));
+  ++compactions_;
+  chain_.clear();
+  chain_.push_back(ChainEntry{tip, true});
+  HCM_RETURN_IF_ERROR(WriteManifest());
+  RetentionGc();
+  return Status::OK();
 }
 
 Result<RecoveredState> SiteStore::Recover() {
@@ -195,38 +343,139 @@ Result<RecoveredState> SiteStore::Recover() {
   out.torn_tail = scan.torn;
   out.crc_failures = scan.crc_failures;
   out.truncated_bytes = scan.file_bytes - scan.valid_bytes;
+  const uint64_t records = scan.records.size();
 
-  // Latest valid snapshot whose journal prefix survived. Corrupt or
-  // too-new snapshots are skipped in favor of older ones.
+  // Inventory the chain files. Dead-future files — record counts beyond
+  // the surviving journal — reference state the journal can no longer
+  // reproduce (a torn tail ate their prefix); they are useless forever and
+  // deleted here. Stale .tmp leftovers from interrupted atomic writes go
+  // the same way.
+  ChainFiles files = ListChainFiles(dir_);
+  for (const std::string& path : files.tmps) {
+    if (std::remove(path.c_str()) == 0) ++snapshot_files_deleted_;
+  }
+  for (auto it = files.bases.begin(); it != files.bases.end();) {
+    if (it->first > records) {
+      if (std::remove(it->second.c_str()) == 0) ++snapshot_files_deleted_;
+      it = files.bases.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = files.deltas.begin(); it != files.deltas.end();) {
+    if (it->first > records) {
+      if (std::remove(it->second.c_str()) == 0) ++snapshot_files_deleted_;
+      it = files.deltas.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Resolve the chain to restore from. Fast path: the manifest names the
+  // live chain; trust it only after every element loads and links. Fall
+  // back to a directory scan (newest loadable base, greedily extended by
+  // parent-linked deltas) when the manifest is missing, stale, or damaged.
   SnapshotState base;
   base.site = site_;
-  std::vector<std::pair<uint64_t, std::string>> candidates;
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
-    std::string name = entry.path().filename().string();
-    unsigned long long seq = 0;
-    if (std::sscanf(name.c_str(), "snapshot-%llu.snap", &seq) == 1) {
-      candidates.emplace_back(seq, entry.path().string());
+  std::vector<SnapshotDelta> chain_tail;
+  std::vector<ChainEntry> chain;
+  bool have_base = false;
+
+  auto try_manifest = [&]() -> bool {
+    std::FILE* f = std::fopen(ManifestPath().c_str(), "rb");
+    if (f == nullptr) return false;
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+    std::fclose(f);
+    if (text.rfind(std::string(kManifestMagic) + "\n", 0) != 0) return false;
+    std::vector<ChainEntry> listed;
+    size_t pos = text.find('\n') + 1;
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      char kind = 0;
+      unsigned long long seq = 0;
+      if (std::sscanf(text.substr(pos, eol - pos).c_str(), "%c %llu", &kind,
+                      &seq) != 2) {
+        return false;
+      }
+      listed.push_back(ChainEntry{seq, kind == 'B'});
+      pos = eol + 1;
     }
-  }
-  std::sort(candidates.rbegin(), candidates.rend());
-  for (const auto& [seq, path] : candidates) {
-    if (seq > scan.records.size()) continue;  // journal lost its prefix
-    auto loaded = ReadSnapshotFile(path);
-    if (!loaded.ok()) {
-      HCM_LOG(Warning) << "skipping snapshot " << path << ": "
-                       << loaded.status().ToString();
-      continue;
+    if (listed.empty() || !listed[0].is_base) return false;
+    uint64_t prev = 0;
+    for (size_t i = 0; i < listed.size(); ++i) {
+      const ChainEntry& e = listed[i];
+      if (e.records > records) return false;  // journal lost the prefix
+      if (i > 0 && (e.is_base || e.records <= prev)) return false;
+      prev = e.records;
+    }
+    auto loaded = ReadSnapshotFile(SnapshotPath(listed[0].records));
+    if (!loaded.ok() || loaded->journal_records != listed[0].records) {
+      return false;
+    }
+    std::vector<SnapshotDelta> tail;
+    for (size_t i = 1; i < listed.size(); ++i) {
+      auto d = ReadDeltaFile(DeltaPath(listed[i].records));
+      if (!d.ok() || d->journal_records != listed[i].records ||
+          d->parent_records != listed[i - 1].records) {
+        return false;
+      }
+      tail.push_back(std::move(*d));
     }
     base = std::move(*loaded);
-    out.snapshot_found = true;
-    out.snapshot_records = base.journal_records;
-    break;
+    chain_tail = std::move(tail);
+    chain = std::move(listed);
+    return true;
+  };
+
+  if (try_manifest()) {
+    have_base = true;
+  } else {
+    for (auto it = files.bases.rbegin(); it != files.bases.rend(); ++it) {
+      auto loaded = ReadSnapshotFile(it->second);
+      if (!loaded.ok()) {
+        HCM_LOG(Warning) << "skipping snapshot " << it->second << ": "
+                         << loaded.status().ToString();
+        continue;
+      }
+      base = std::move(*loaded);
+      have_base = true;
+      chain.push_back(ChainEntry{it->first, true});
+      uint64_t tip = it->first;
+      for (const auto& [seq, path] : files.deltas) {
+        if (seq <= tip) continue;
+        auto d = ReadDeltaFile(path);
+        if (!d.ok() || d->parent_records != tip || d->journal_records != seq) {
+          continue;  // belongs to another (older or broken) chain
+        }
+        chain_tail.push_back(std::move(*d));
+        chain.push_back(ChainEntry{seq, false});
+        tip = seq;
+      }
+      break;
+    }
   }
 
-  // Replay the journal tail over the snapshot. Records are id-keyed, so
-  // replay is idempotent over the snapshot-covered prefix; kSymbolDef
-  // records from the whole file rebuild the name dictionary.
+  // Fold base + deltas, then replay the journal tail over the fold.
+  FoldState fold;
+  uint64_t max_fire_seq = 0;
+  if (have_base) {
+    fold.Load(base);
+    for (const SnapshotDelta& d : chain_tail) fold.Apply(d);
+    out.snapshot_found = true;
+    out.snapshot_records = chain.back().records;
+    out.chain_deltas = chain_tail.size();
+  }
+  for (const auto& [seq, f] : fold.fires) {
+    max_fire_seq = std::max(max_fire_seq, seq);
+  }
+
+  // Records are id-keyed, so replay is idempotent over the chain-covered
+  // prefix; kSymbolDef records from the whole file rebuild the name
+  // dictionary.
   //
   // The writer-side map is rebuilt from the scan alone: after a dirty
   // crash, DropBuffered may have discarded buffered kSymbolDef records
@@ -237,23 +486,6 @@ Result<RecoveredState> SiteStore::Recover() {
   // free id after the rebuild.
   dict_.clear();
   std::vector<std::string> dict;
-  std::map<int64_t, LhsRuleInstall> lhs;
-  std::map<int64_t, RhsRuleInstall> rhs;
-  std::map<int64_t, PeriodicTimer> periodic;
-  std::map<rule::ItemId, Value> private_data;
-  std::map<uint64_t, OutstandingFire> fires;
-  for (const auto& r : base.lhs_rules) lhs[r.rule_id] = r;
-  for (const auto& r : base.rhs_rules) rhs[r.rule_id] = r;
-  for (const auto& p : base.periodic) periodic[p.rule_id] = p;
-  for (const auto& [item, value] : base.private_data) {
-    private_data[item] = value;
-  }
-  uint64_t max_fire_seq = 0;
-  for (const auto& f : base.fires) {
-    fires[f.seq] = f;
-    max_fire_seq = std::max(max_fire_seq, f.seq);
-  }
-
   uint64_t start = out.snapshot_records;
   for (size_t i = 0; i < scan.records.size(); ++i) {
     const JournalRecord& rec = scan.records[i];
@@ -273,14 +505,14 @@ Result<RecoveredState> SiteStore::Recover() {
         install.rule_id = r.I64();
         install.rhs_site = DictName(dict, r.U32());
         install.text = r.Str();
-        if (replay) lhs[install.rule_id] = std::move(install);
+        if (replay) fold.lhs[install.rule_id] = std::move(install);
         break;
       }
       case RecordType::kRhsRule: {
         RhsRuleInstall install;
         install.rule_id = r.I64();
         install.text = r.Str();
-        if (replay) rhs[install.rule_id] = std::move(install);
+        if (replay) fold.rhs[install.rule_id] = std::move(install);
         break;
       }
       case RecordType::kPeriodicStart: {
@@ -288,22 +520,22 @@ Result<RecoveredState> SiteStore::Recover() {
         p.rule_id = r.I64();
         p.period_ms = r.I64();
         p.next_fire_ms = r.I64();
-        if (replay) periodic[p.rule_id] = p;
+        if (replay) fold.periodic[p.rule_id] = p;
         break;
       }
       case RecordType::kPeriodicFire: {
         int64_t rule_id = r.I64();
         int64_t next = r.I64();
         if (replay) {
-          auto it = periodic.find(rule_id);
-          if (it != periodic.end()) it->second.next_fire_ms = next;
+          auto it = fold.periodic.find(rule_id);
+          if (it != fold.periodic.end()) it->second.next_fire_ms = next;
         }
         break;
       }
       case RecordType::kPrivateWrite: {
         rule::ItemId item = ReadItem(&r, dict);
         Value value = r.Val();
-        if (replay) private_data[item] = std::move(value);
+        if (replay) fold.private_data[item] = std::move(value);
         break;
       }
       case RecordType::kFireBegin: {
@@ -320,18 +552,18 @@ Result<RecoveredState> SiteStore::Recover() {
           f.binding.emplace_back(std::move(var), std::move(value));
         }
         max_fire_seq = std::max(max_fire_seq, f.seq);
-        if (replay) fires[f.seq] = std::move(f);
+        if (replay) fold.fires[f.seq] = std::move(f);
         break;
       }
       case RecordType::kFireStep: {
         uint64_t seq = r.U64();
         uint32_t step = r.U32();
-        auto it = fires.find(seq);
-        if (it != fires.end()) it->second.next_step = step + 1;
+        auto it = fold.fires.find(seq);
+        if (it != fold.fires.end()) it->second.next_step = step + 1;
         break;
       }
       case RecordType::kFireEnd: {
-        fires.erase(r.U64());
+        fold.fires.erase(r.U64());
         break;
       }
       case RecordType::kSymbolDef:
@@ -346,23 +578,18 @@ Result<RecoveredState> SiteStore::Recover() {
     if (replay) ++out.replayed_records;
   }
 
-  out.state.site = site_;
-  out.state.taken_at_ms = base.taken_at_ms;
-  out.state.journal_records = scan.records.size();
-  out.state.translator_write_cursor_ms = base.translator_write_cursor_ms;
-  out.state.guarantees = base.guarantees;
-  for (auto& [id, install] : lhs) out.state.lhs_rules.push_back(install);
-  for (auto& [id, install] : rhs) out.state.rhs_rules.push_back(install);
-  for (auto& [id, p] : periodic) out.state.periodic.push_back(p);
-  for (auto& [item, value] : private_data) {
-    out.state.private_data.emplace_back(item, value);
-  }
-  for (auto& [seq, f] : fires) out.state.fires.push_back(f);
+  out.state = fold.ToState(site_, records);
 
   // Re-arm the writer after the valid prefix; lost tails are gone for good
   // (that is what the failure classification charges as a logical failure).
   next_fire_seq_ = max_fire_seq + 1;
-  base_records_ = scan.records.size();
+  base_records_ = records;
+  // The discovered chain stays usable for inspection, but the first
+  // checkpoint of the new incarnation must re-base: dirty tracking in the
+  // recovered shell cannot enumerate the replayed gap, and fire tombstones
+  // from the lost pre-crash tail are unknown.
+  chain_ = std::move(chain);
+  needs_base_ = true;
   if (scan.valid_bytes > 0) {
     HCM_RETURN_IF_ERROR(journal_.Open(JournalPath(), scan.valid_bytes));
   } else {
@@ -389,6 +616,12 @@ std::string JournalInspection::ToString() const {
     out += StrFormat("  snapshot @%llu records: %s\n",
                      static_cast<unsigned long long>(covered),
                      loadable ? "ok" : "UNREADABLE");
+  }
+  for (const DeltaFile& d : deltas) {
+    out += StrFormat("  delta @%llu records (parent %llu): %s\n",
+                     static_cast<unsigned long long>(d.records),
+                     static_cast<unsigned long long>(d.parent_records),
+                     d.loadable ? "ok" : "UNREADABLE");
   }
   return out;
 }
@@ -429,18 +662,17 @@ Result<JournalInspection> InspectJournalDir(const std::string& site_dir) {
                                n);
     }
   }
-  std::vector<std::pair<uint64_t, std::string>> snaps;
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(site_dir, ec)) {
-    std::string name = entry.path().filename().string();
-    unsigned long long seq = 0;
-    if (std::sscanf(name.c_str(), "snapshot-%llu.snap", &seq) == 1) {
-      snaps.emplace_back(seq, entry.path().string());
-    }
-  }
-  std::sort(snaps.begin(), snaps.end());
-  for (const auto& [seq, path] : snaps) {
+  ChainFiles files = ListChainFiles(site_dir);
+  for (const auto& [seq, path] : files.bases) {
     out.snapshots.emplace_back(seq, ReadSnapshotFile(path).ok());
+  }
+  for (const auto& [seq, path] : files.deltas) {
+    JournalInspection::DeltaFile d;
+    d.records = seq;
+    auto loaded = ReadDeltaFile(path);
+    d.loadable = loaded.ok();
+    if (loaded.ok()) d.parent_records = loaded->parent_records;
+    out.deltas.push_back(d);
   }
   return out;
 }

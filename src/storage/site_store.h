@@ -26,16 +26,28 @@ struct StorageOptions {
   // Automatic snapshot period (simulation clock); Zero = snapshots only on
   // request (System::CheckpointStorage).
   Duration snapshot_period = Duration::Zero();
+  // Checkpoints are incremental deltas off the last base snapshot when
+  // true; every checkpoint is a full base when false (the pre-delta
+  // behavior, kept for equivalence testing and bisection).
+  bool delta_snapshots = true;
+  // Compaction bound: once a chain carries more than this many deltas the
+  // next delta checkpoint folds the chain into a new base, so recovery
+  // never applies more than max_chain_length + 1 chain files.
+  int max_chain_length = 8;
+  // Retention: bases older than the newest `keep_snapshots` (and their
+  // delta files) are deleted by the post-compaction GC. Minimum 1.
+  int keep_snapshots = 2;
 
   bool enabled() const { return !dir.empty(); }
 };
 
-// What Recover() hands back: the merged snapshot+journal state plus how it
+// What Recover() hands back: the merged chain+journal state plus how it
 // got there, for failure classification and operator reporting.
 struct RecoveredState {
   SnapshotState state;
   bool snapshot_found = false;
-  uint64_t snapshot_records = 0;  // journal prefix the snapshot covered
+  uint64_t snapshot_records = 0;  // journal prefix the chain tip covered
+  uint64_t chain_deltas = 0;      // delta links applied over the base
   uint64_t replayed_records = 0;  // journal tail applied on top
   // Journal damage observed by the scan (drives the metric-vs-logical
   // classification together with the outage duration).
@@ -47,12 +59,16 @@ struct RecoveredState {
   std::string ToString() const;
 };
 
-// Durable state for one site: an append-only write-ahead journal plus
-// numbered snapshot files under `<dir>/<site>/`. The typed append helpers
-// encode records (routing repeated strings through a journal-local
-// name dictionary emitted as kSymbolDef records) and group-commit on the
-// simulation clock. Single-writer: under ParallelExecutor only the site's
-// execution lane touches its store, mirroring the recorder sharding rule.
+// Durable state for one site: an append-only write-ahead journal plus a
+// snapshot chain under `<dir>/<site>/` — numbered base snapshots
+// (`snapshot-<records>.snap`) extended by incremental delta files
+// (`delta-<records>.snap`) linked through `parent_records`, with the
+// current chain listed in `chain.manifest` (advisory; recovery falls back
+// to a directory scan). The typed append helpers encode records (routing
+// repeated strings through a journal-local name dictionary emitted as
+// kSymbolDef records) and group-commit on the simulation clock.
+// Single-writer: under ParallelExecutor only the site's execution lane
+// touches its store, mirroring the recorder sharding rule.
 class SiteStore {
  public:
   static Result<std::unique_ptr<SiteStore>> Open(const StorageOptions& options,
@@ -81,23 +97,72 @@ class SiteStore {
   void LogFireStep(uint64_t seq, uint32_t step, TimePoint now);
   void LogFireEnd(uint64_t seq, TimePoint now);
 
-  // Flushes the journal and writes `state` as the next numbered snapshot
+  // Flushes the journal and writes `state` as the next base snapshot
   // (state.journal_records is stamped with the committed record count).
+  // Starts a fresh chain and garbage-collects superseded files.
   Status WriteSnapshot(SnapshotState state);
 
-  // Loads the latest valid snapshot, replays the journal tail over it,
+  // Flushes the journal and appends `delta` to the current chain, stamped
+  // with parent = current tip and journal_records = committed count.
+  // Returns false without writing when there is nothing to persist (the
+  // journal did not advance past the tip, or the delta carries no
+  // entries) — the caller keeps its dirty state for the next period.
+  // Triggers compaction when the chain exceeds max_chain_length.
+  // Fails with FailedPrecondition while needs_base() is true.
+  Result<bool> WriteDelta(SnapshotDelta delta);
+
+  // Folds the current base + deltas into a new base at the chain tip and
+  // garbage-collects files older than the retention horizon. No-op for a
+  // delta-less chain.
+  Status Compact();
+
+  // True when the next checkpoint must be a full base: nothing durable
+  // yet, or the store just recovered (dirty tracking cannot cover the
+  // replayed gap, so the first post-recovery checkpoint re-bases).
+  bool needs_base() const { return chain_.empty() || needs_base_; }
+
+  // Loads the newest usable snapshot chain (manifest fast path, directory
+  // scan fallback), folds base + deltas, replays the journal tail over it,
   // truncates any torn tail, and re-opens the journal for appending after
   // the valid prefix. Safe to call on an empty/missing store (fresh state).
   Result<RecoveredState> Recover();
 
+  // --- Storage stats (surfaced via System::DescribeStorageStats) ---
   uint64_t snapshots_written() const { return snapshots_written_; }
+  uint64_t deltas_written() const { return deltas_written_; }
+  uint64_t compactions() const { return compactions_; }
+  uint64_t snapshot_files_deleted() const { return snapshot_files_deleted_; }
+  // Delta links in the live chain (0 right after a base or compaction).
+  size_t chain_length() const {
+    return chain_.empty() ? 0 : chain_.size() - 1;
+  }
 
  private:
-  SiteStore(std::string site, std::string dir)
-      : site_(std::move(site)), dir_(std::move(dir)) {}
+  // One link of the live chain; `records` is the journal record count the
+  // element covers (also its file name number).
+  struct ChainEntry {
+    uint64_t records = 0;
+    bool is_base = false;
+  };
+
+  SiteStore(std::string site, std::string dir, const StorageOptions& options)
+      : site_(std::move(site)),
+        dir_(std::move(dir)),
+        max_chain_length_(options.max_chain_length < 1
+                              ? 1
+                              : options.max_chain_length),
+        keep_snapshots_(options.keep_snapshots < 1 ? 1
+                                                   : options.keep_snapshots) {}
 
   std::string JournalPath() const { return dir_ + "/journal.wal"; }
   std::string SnapshotPath(uint64_t seq) const;
+  std::string DeltaPath(uint64_t seq) const;
+  std::string ManifestPath() const { return dir_ + "/chain.manifest"; }
+
+  Status WriteManifest() const;
+  // Deletes snapshot/delta files older than the keep_snapshots-th newest
+  // base (plus stale .tmp leftovers), counting each removal.
+  void RetentionGc();
 
   // Journal-local name dictionary (see RecordType::kSymbolDef).
   uint32_t DictId(const std::string& name);
@@ -106,19 +171,27 @@ class SiteStore {
 
   std::string site_;
   std::string dir_;
+  int max_chain_length_;
+  int keep_snapshots_;
   JournalWriter journal_;
   std::map<std::string, uint32_t> dict_;
   uint64_t next_fire_seq_ = 1;
   uint64_t snapshots_written_ = 0;
+  uint64_t deltas_written_ = 0;
+  uint64_t compactions_ = 0;
+  uint64_t snapshot_files_deleted_ = 0;
   // Records that predate the current writer incarnation (set by Recover);
   // total on-disk record count = base_records_ + journal_.records_committed().
   uint64_t base_records_ = 0;
+  // Live chain, base first. Empty until the first base snapshot.
+  std::vector<ChainEntry> chain_;
+  bool needs_base_ = false;
 };
 
 // Offline inspection of one site's journal directory (`<root>/<site>`),
 // without opening a SiteStore: scans and decodes the journal, inventories
-// the snapshot files, and reports any damage. Used by trace_inspector
-// --journal and by tests that assert on-disk layout.
+// the snapshot and delta files, and reports any damage. Used by
+// trace_inspector --journal and by tests that assert on-disk layout.
 struct JournalInspection {
   std::string dir;
   uint64_t records = 0;
@@ -133,6 +206,13 @@ struct JournalInspection {
   std::vector<std::pair<rule::ItemId, Value>> private_writes;
   // Snapshot files found: (journal records covered, loadable?).
   std::vector<std::pair<uint64_t, bool>> snapshots;
+  // Delta files found: (records covered, parent records, loadable?).
+  struct DeltaFile {
+    uint64_t records = 0;
+    uint64_t parent_records = 0;
+    bool loadable = false;
+  };
+  std::vector<DeltaFile> deltas;
 
   std::string ToString() const;
 };

@@ -2,6 +2,7 @@
 #define HCM_STORAGE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -69,15 +70,83 @@ struct SnapshotState {
   std::vector<GuaranteeStatus> guarantees;
 };
 
+// One link in a snapshot chain: only the entries that changed since the
+// parent element (the base snapshot or the previous delta) was captured,
+// as enumerated by the shell's dirty tracking (DESIGN.md §4h). Applying a
+// base and its deltas in chain order reconstructs the exact state at
+// `journal_records`, so recovery replays only the journal past the chain
+// tip. Tombstones record removals (completed firing chains today; the
+// private-item tombstone section is format headroom for item deletion).
+struct SnapshotDelta {
+  std::string site;
+  int64_t taken_at_ms = 0;
+  // Chain linkage: this delta extends the chain element captured at
+  // journal record count `parent_records` and folds the journal prefix
+  // up to `journal_records`.
+  uint64_t parent_records = 0;
+  uint64_t journal_records = 0;
+  std::vector<LhsRuleInstall> lhs_rules;       // installed since parent
+  std::vector<RhsRuleInstall> rhs_rules;       // installed/replaced
+  std::vector<PeriodicTimer> periodic;         // armed or advanced
+  std::vector<std::pair<rule::ItemId, Value>> private_upserts;
+  std::vector<rule::ItemId> private_tombstones;
+  std::vector<OutstandingFire> fires;          // begun or stepped
+  std::vector<uint64_t> ended_fires;           // completed (tombstones)
+  // Small whole-section replacements: cheap enough to carry every delta,
+  // flagged so an absent section leaves the parent value untouched.
+  bool has_translator_cursor = false;
+  int64_t translator_write_cursor_ms = -1;
+  bool has_guarantees = false;
+  std::vector<GuaranteeStatus> guarantees;
+
+  // True when no section carries an entry (a checkpoint on a quiet site).
+  bool empty() const {
+    return lhs_rules.empty() && rhs_rules.empty() && periodic.empty() &&
+           private_upserts.empty() && private_tombstones.empty() &&
+           fires.empty() && ended_fires.empty();
+  }
+};
+
+// Map-keyed mutable fold of a snapshot chain: load the base, apply each
+// delta in chain order, then replay the journal tail into the same maps.
+// Shared by SiteStore::Recover and chain compaction so both resolve a
+// chain with identical semantics.
+struct FoldState {
+  std::map<int64_t, LhsRuleInstall> lhs;
+  std::map<int64_t, RhsRuleInstall> rhs;
+  std::map<int64_t, PeriodicTimer> periodic;
+  std::map<rule::ItemId, Value> private_data;
+  std::map<uint64_t, OutstandingFire> fires;
+  int64_t taken_at_ms = 0;
+  int64_t translator_write_cursor_ms = -1;
+  std::vector<GuaranteeStatus> guarantees;
+
+  void Load(const SnapshotState& base);
+  void Apply(const SnapshotDelta& delta);
+  // Flattens back to the canonical sorted-vector form, stamped as a state
+  // covering `journal_records` records.
+  SnapshotState ToState(const std::string& site,
+                        uint64_t journal_records) const;
+};
+
 // Serializes/parses the snapshot body (dictionary + sections; see
 // docs/STORAGE_FORMAT.md). The file wrapper adds magic and a whole-body
 // CRC so a torn snapshot is detected and skipped in favor of an older one.
 std::string EncodeSnapshot(const SnapshotState& state);
 Result<SnapshotState> DecodeSnapshot(const std::string& body);
 
+// Delta body codec: same dictionary scheme, sparse sections.
+std::string EncodeDelta(const SnapshotDelta& delta);
+Result<SnapshotDelta> DecodeDelta(const std::string& body);
+
 // File layout: 8-byte magic, u32 body length, body, u32 CRC-32(body).
+// Writes are crash-atomic: the bytes go to "<path>.tmp" first and rename
+// into place, so a crash mid-write can never leave a torn file under the
+// final name (the .tmp leftover is ignored by recovery and GC'd).
 Status WriteSnapshotFile(const std::string& path, const SnapshotState& state);
 Result<SnapshotState> ReadSnapshotFile(const std::string& path);
+Status WriteDeltaFile(const std::string& path, const SnapshotDelta& delta);
+Result<SnapshotDelta> ReadDeltaFile(const std::string& path);
 
 }  // namespace hcm::storage
 

@@ -50,8 +50,11 @@ Status Shell::AddRhsRule(const rule::Rule& r) {
   rule::Rule& stored = rhs_rules_[r.id];
   stored = r;
   stored.Compile();
-  if (store_ != nullptr && !recovering_) {
-    store_->LogRhsRule(r.id, stored.ToString(), executor_->now());
+  if (store_ != nullptr) {
+    rhs_dirty_.insert(r.id);
+    if (!recovering_) {
+      store_->LogRhsRule(r.id, stored.ToString(), executor_->now());
+    }
   }
   return Status::OK();
 }
@@ -83,8 +86,11 @@ Status Shell::StartPeriodicRule(const rule::Rule& r) {
   TimePoint first_fire = executor_->now() + period;
   periodic_state_[r.id] =
       storage::PeriodicTimer{r.id, period.millis(), first_fire.millis()};
-  if (store_ != nullptr && !recovering_) {
-    store_->LogPeriodicStart(r.id, period, first_fire, executor_->now());
+  if (store_ != nullptr) {
+    periodic_dirty_.insert(r.id);
+    if (!recovering_) {
+      store_->LogPeriodicStart(r.id, period, first_fire, executor_->now());
+    }
   }
   ArmPeriodicRule(r.id, period, first_fire);
   return Status::OK();
@@ -108,6 +114,7 @@ void Shell::ArmPeriodicRule(int64_t rule_id, Duration period,
     auto it = periodic_state_.find(rule_id);
     if (it != periodic_state_.end()) it->second.next_fire_ms = next.millis();
     if (store_ != nullptr) {
+      periodic_dirty_.insert(rule_id);
       store_->LogPeriodicFire(rule_id, next, executor_->now());
     }
     executor_->ScheduleAfter(site_, period, *fire);
@@ -145,8 +152,11 @@ void Shell::WritePrivate(const rule::ItemId& item, Value value,
   w.trigger_event_id = trigger_event_id;
   w.rhs_step = rhs_step;
   recorder_->Record(std::move(w));
-  if (store_ != nullptr && !recovering_) {
-    store_->LogPrivateWrite(item, value, executor_->now());
+  if (store_ != nullptr) {
+    private_dirty_.insert(item);
+    if (!recovering_) {
+      store_->LogPrivateWrite(item, value, executor_->now());
+    }
   }
   private_data_[item] = std::move(value);
 }
@@ -352,6 +362,7 @@ uint64_t Shell::NoteFireBegin(
   f.next_step = 0;
   f.binding = std::move(binding);
   outstanding_fires_.emplace(seq, std::move(f));
+  fires_dirty_.insert(seq);
   return seq;
 }
 
@@ -362,6 +373,7 @@ void Shell::NoteFireStep(uint64_t fire_seq, size_t step) {
   auto it = outstanding_fires_.find(fire_seq);
   if (it != outstanding_fires_.end()) {
     it->second.next_step = static_cast<uint32_t>(step) + 1;
+    fires_dirty_.insert(fire_seq);
   }
 }
 
@@ -369,6 +381,12 @@ void Shell::NoteFireEnd(uint64_t fire_seq) {
   if (fire_seq == 0 || store_ == nullptr) return;
   store_->LogFireEnd(fire_seq, executor_->now());
   outstanding_fires_.erase(fire_seq);
+  // Always tombstone, even when the fire began after the last checkpoint:
+  // the parent chain never saw it, so the delta's erase is an idempotent
+  // no-op on recovery. A begun-and-ended fire thus never reaches the
+  // delta's fires section at all.
+  fires_dirty_.erase(fire_seq);
+  fires_ended_.push_back(fire_seq);
 }
 
 void Shell::ExecuteStep(int64_t rule_id, int64_t trigger_event_id,
@@ -599,6 +617,12 @@ void Shell::Crash(bool clean) {
   private_data_.clear();
   periodic_state_.clear();
   outstanding_fires_.clear();
+  lhs_clean_count_ = 0;
+  rhs_dirty_.clear();
+  periodic_dirty_.clear();
+  private_dirty_.clear();
+  fires_dirty_.clear();
+  fires_ended_.clear();
   HCM_LOG(Info) << "shell at " << site_ << " crashed ("
                 << (clean ? "clean" : "dirty") << ", " << lost_buffered_
                 << " buffered records lost)";
@@ -816,6 +840,53 @@ storage::SnapshotState Shell::BuildSnapshot() const {
     s.fires.push_back(f);
   }
   return s;
+}
+
+storage::SnapshotDelta Shell::BuildDelta() const {
+  storage::SnapshotDelta d;
+  d.site = site_;
+  d.taken_at_ms = executor_->now().millis();
+  // LHS installs are append-only; everything past the watermark is new.
+  for (size_t i = lhs_clean_count_; i < lhs_rules_.size(); ++i) {
+    const LhsEntry& entry = lhs_rules_[i];
+    d.lhs_rules.push_back(storage::LhsRuleInstall{
+        entry.rule.id, entry.rhs_site, entry.rule.ToString()});
+  }
+  for (int64_t id : rhs_dirty_) {
+    auto it = rhs_rules_.find(id);
+    if (it != rhs_rules_.end()) {
+      d.rhs_rules.push_back(storage::RhsRuleInstall{id, it->second.ToString()});
+    }
+  }
+  for (int64_t id : periodic_dirty_) {
+    auto it = periodic_state_.find(id);
+    if (it != periodic_state_.end()) d.periodic.push_back(it->second);
+  }
+  for (const rule::ItemId& item : private_dirty_) {
+    auto it = private_data_.find(item);
+    if (it != private_data_.end()) {
+      d.private_upserts.emplace_back(item, it->second);
+    } else {
+      // No deletion path exists today, but a dirty mark without a live
+      // entry must still reach the chain as a removal, not vanish.
+      d.private_tombstones.push_back(item);
+    }
+  }
+  for (uint64_t seq : fires_dirty_) {
+    auto it = outstanding_fires_.find(seq);
+    if (it != outstanding_fires_.end()) d.fires.push_back(it->second);
+  }
+  d.ended_fires = fires_ended_;
+  return d;
+}
+
+void Shell::NoteCheckpoint() {
+  lhs_clean_count_ = lhs_rules_.size();
+  rhs_dirty_.clear();
+  periodic_dirty_.clear();
+  private_dirty_.clear();
+  fires_dirty_.clear();
+  fires_ended_.clear();
 }
 
 void Shell::ReportFailure(const FailureNotice& notice) {

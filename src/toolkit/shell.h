@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,7 @@ class Shell {
   // Seeds private data without recording an event (initial state).
   void SeedPrivate(const rule::ItemId& item, Value value) {
     private_data_[item] = std::move(value);
+    if (store_ != nullptr) private_dirty_.insert(item);
   }
 
   // The application-facing read API ("a simple programmatic interface to
@@ -165,6 +167,18 @@ class Shell {
   // outstanding fires). The System layers on the registry statuses and the
   // translator cursor before handing it to SiteStore::WriteSnapshot.
   storage::SnapshotState BuildSnapshot() const;
+
+  // Captures only the entries changed since the last NoteCheckpoint — the
+  // O(changes) twin of BuildSnapshot, fed by the dirty tracking below
+  // (DESIGN.md §4h). The System layers on guarantees + translator cursor
+  // and hands it to SiteStore::WriteDelta.
+  storage::SnapshotDelta BuildDelta() const;
+
+  // Marks the dirty-tracking epoch: called by the System after a
+  // checkpoint (base or delta) durably covers the current state. Clears
+  // every dirty set, so the next BuildDelta enumerates only changes from
+  // this instant.
+  void NoteCheckpoint();
 
   // Count of rule firings executed here (for benches).
   uint64_t firings() const { return firings_; }
@@ -272,6 +286,18 @@ class Shell {
   std::map<uint64_t, storage::OutstandingFire> outstanding_fires_;
   Duration snapshot_period_ = Duration::Zero();
   std::function<void()> snapshot_task_;
+
+  // --- Dirty tracking for delta snapshots (DESIGN.md §4h) ---
+  // Maintained only while a store is attached; cleared by NoteCheckpoint.
+  // LHS rules are append-only, so a clean-prefix watermark suffices; the
+  // keyed collections track changed ids/items in ordered sets (dedup +
+  // deterministic delta section order); completed fires append tombstones.
+  size_t lhs_clean_count_ = 0;
+  std::set<int64_t> rhs_dirty_;
+  std::set<int64_t> periodic_dirty_;
+  std::set<rule::ItemId> private_dirty_;
+  std::set<uint64_t> fires_dirty_;
+  std::vector<uint64_t> fires_ended_;
 };
 
 }  // namespace hcm::toolkit

@@ -510,6 +510,23 @@ std::string System::DescribeExecutorStats() const {
   return parallel->DescribeStats();
 }
 
+std::string System::DescribeStorageStats() const {
+  if (stores_.empty()) return "";
+  std::string out = "storage:\n";
+  for (const auto& [site, store] : stores_) {
+    out += StrFormat(
+        "  %-8s bases=%llu deltas=%llu compactions=%llu files-gc'd=%llu "
+        "chain=%zu\n",
+        site.c_str(),
+        static_cast<unsigned long long>(store->snapshots_written()),
+        static_cast<unsigned long long>(store->deltas_written()),
+        static_cast<unsigned long long>(store->compactions()),
+        static_cast<unsigned long long>(store->snapshot_files_deleted()),
+        store->chain_length());
+  }
+  return out;
+}
+
 Result<Shell*> System::ShellAt(const std::string& site) {
   auto it = shells_.find(site);
   if (it == shells_.end()) return Status::NotFound("no shell at " + site);
@@ -533,17 +550,40 @@ Result<storage::SiteStore*> System::StoreAt(const std::string& site) {
 Status System::CheckpointSite(const std::string& site) {
   HCM_ASSIGN_OR_RETURN(Shell * shell, ShellAt(site));
   HCM_ASSIGN_OR_RETURN(storage::SiteStore * store, StoreAt(site));
-  storage::SnapshotState state = shell->BuildSnapshot();
-  // The shell only knows its own state; the System layers on the pieces it
-  // owns — registry statuses and the translator's write cursor.
+  // A full base is written when configured (delta_snapshots=false), when
+  // the store has no chain yet, and on the first checkpoint after a
+  // recovery (the dirty tracker cannot cover the replayed gap). Otherwise
+  // the checkpoint is an O(changes) delta extending the chain.
+  if (!options_.storage.delta_snapshots || store->needs_base()) {
+    storage::SnapshotState state = shell->BuildSnapshot();
+    // The shell only knows its own state; the System layers on the pieces
+    // it owns — registry statuses and the translator's write cursor.
+    for (const auto& [key, valid] : guarantee_status_.StatusSnapshot()) {
+      state.guarantees.push_back(storage::GuaranteeStatus{key, valid});
+    }
+    auto tr = translators_.find(site);
+    if (tr != translators_.end()) {
+      state.translator_write_cursor_ms = tr->second->write_cursor().millis();
+    }
+    HCM_RETURN_IF_ERROR(store->WriteSnapshot(std::move(state)));
+    shell->NoteCheckpoint();
+    return Status::OK();
+  }
+  storage::SnapshotDelta delta = shell->BuildDelta();
+  delta.has_guarantees = true;
   for (const auto& [key, valid] : guarantee_status_.StatusSnapshot()) {
-    state.guarantees.push_back(storage::GuaranteeStatus{key, valid});
+    delta.guarantees.push_back(storage::GuaranteeStatus{key, valid});
   }
   auto tr = translators_.find(site);
   if (tr != translators_.end()) {
-    state.translator_write_cursor_ms = tr->second->write_cursor().millis();
+    delta.has_translator_cursor = true;
+    delta.translator_write_cursor_ms = tr->second->write_cursor().millis();
   }
-  return store->WriteSnapshot(std::move(state));
+  HCM_ASSIGN_OR_RETURN(bool written, store->WriteDelta(std::move(delta)));
+  // A skipped delta (quiet site) keeps its dirty state; the next period
+  // folds it in.
+  if (written) shell->NoteCheckpoint();
+  return Status::OK();
 }
 
 Status System::CheckpointStorage() {

@@ -216,6 +216,10 @@ class System {
   // engine. For examples and benches.
   std::string DescribeExecutorStats() const;
 
+  // Per-site storage counters (bases, deltas, compactions, files GC'd,
+  // live chain length). Empty string when no stores are attached.
+  std::string DescribeStorageStats() const;
+
  private:
   Status EnsureShell(const std::string& site);
   Result<std::string> RhsSiteOfRule(const rule::Rule& r,

@@ -65,6 +65,11 @@ struct CrashConfig {
   TimePoint restart_at = TimePoint::FromMillis(10950);
   Duration commit_interval = Duration::Millis(10);
   Duration snapshot_period = Duration::Seconds(5);
+  // Checkpoint mode: incremental delta chains (the default) vs. a full
+  // base snapshot at every checkpoint. The chained-equivalence tests run
+  // the same workload under both and demand byte-identical results.
+  bool delta_snapshots = true;
+  int max_chain_length = 8;
 };
 
 struct PayrollRun {
@@ -76,6 +81,8 @@ struct PayrollRun {
   toolkit::GuaranteeStatusDetail metric_detail;
   std::vector<toolkit::FailureNotice> notices;
   std::string storage_dir;
+  uint64_t deltas_written = 0;   // summed across all site stores
+  uint64_t compactions = 0;
 };
 
 // kBusy keeps writing across the crash window (held notifies, resumed
@@ -90,6 +97,8 @@ PayrollRun RunPayroll(size_t threads, const CrashConfig& cfg,
   opts.storage.dir = FreshDir(dir_name);
   opts.storage.commit_interval = cfg.commit_interval;
   opts.storage.snapshot_period = cfg.snapshot_period;
+  opts.storage.delta_snapshots = cfg.delta_snapshots;
+  opts.storage.max_chain_length = cfg.max_chain_length;
   auto d = bench::PayrollDeployment::Create(
       "interface notify salary1(n) 1s\n", /*num_employees=*/6, opts);
   auto& system = *d.system;
@@ -141,6 +150,13 @@ PayrollRun RunPayroll(size_t threads, const CrashConfig& cfg,
   run.storage_dir = opts.storage.dir;
   run.rules = InstalledRules(suggestions.at(0).strategy);
   run.outages = OutagesOf(system);
+  for (const char* site : {"A", "B"}) {
+    auto store = system.StoreAt(site);
+    if (store.ok()) {
+      run.deltas_written += (*store)->deltas_written();
+      run.compactions += (*store)->compactions();
+    }
+  }
   run.trace = system.FinishTrace();
   trace::GuaranteeCheckOptions check;
   check.settle_margin = Duration::Minutes(1);
@@ -259,6 +275,81 @@ TEST(CrashRecovery, PayrollRecoversAtRandomizedCrashPoints) {
     EXPECT_GE(crashed.metric_detail.void_windows[0].second, cfg.restart_at);
     EXPECT_TRUE(crashed.invalid_keys.empty());
   }
+}
+
+// --- Chained-recovery equivalence: delta chains vs. full snapshots ---
+//
+// The observable run must not depend on the checkpoint representation.
+// The same seeded workload crashes at the same (randomized) point twice:
+// once checkpointing through short delta chains (max_chain_length = 2, so
+// compaction folds chains mid-run) and once writing a full base snapshot
+// every time. Recovery from newest base + deltas + journal tail must put
+// the site into the exact state a full snapshot would have, so the two
+// runs' traces and guarantee reports come out byte-identical.
+void ExpectChainedRecoveryMatchesFullSnapshots(size_t threads,
+                                               const CrashConfig& cfg,
+                                               const std::string& tag) {
+  CrashConfig chained_cfg = cfg;
+  chained_cfg.delta_snapshots = true;
+  chained_cfg.max_chain_length = 2;
+  // Checkpoint fast enough that the ~13s active window grows chains past
+  // the bound (quiet-site checkpoints skip, so the 2-minute settle tail
+  // adds nothing).
+  chained_cfg.snapshot_period = Duration::Millis(500);
+  CrashConfig full_cfg = cfg;
+  full_cfg.delta_snapshots = false;
+  full_cfg.snapshot_period = chained_cfg.snapshot_period;
+  PayrollRun chained = RunPayroll(threads, chained_cfg, Workload::kBusy,
+                                  "hcm_chain_eq_delta_" + tag);
+  PayrollRun full = RunPayroll(threads, full_cfg, Workload::kBusy,
+                               "hcm_chain_eq_full_" + tag);
+
+  // The chained run really exercised the machinery under test: deltas
+  // were written and the short chain bound forced compactions.
+  EXPECT_GT(chained.deltas_written, 0u);
+  EXPECT_GT(chained.compactions, 0u);
+  EXPECT_EQ(full.deltas_written, 0u);
+
+  // Byte-identical traces and guarantee reports.
+  EXPECT_EQ(trace::SerializeTrace(chained.trace),
+            trace::SerializeTrace(full.trace));
+  EXPECT_EQ(chained.y_follows_x, full.y_follows_x);
+  EXPECT_EQ(chained.invalid_keys, full.invalid_keys);
+  ASSERT_EQ(chained.notices.size(), full.notices.size());
+
+  // And the recovered chained trace is a valid execution in its own right.
+  trace::ValidExecutionOptions vopts;
+  vopts.outages = chained.outages;
+  auto report =
+      trace::CheckValidExecution(chained.trace, chained.rules, vopts);
+  EXPECT_TRUE(report.valid) << report.ToString();
+}
+
+TEST(CrashRecovery, ChainedRecoveryByteIdenticalToFullSnapshots) {
+  Rng points(4242);
+  for (int round = 0; round < 2; ++round) {
+    CrashConfig cfg;
+    cfg.crash = true;
+    cfg.crash_at = TimePoint::FromMillis(
+        static_cast<int64_t>(points.UniformInt(2000, 12000)));
+    cfg.restart_at =
+        cfg.crash_at +
+        Duration::Millis(static_cast<int64_t>(points.UniformInt(500, 4500)));
+    ExpectChainedRecoveryMatchesFullSnapshots(
+        /*threads=*/1, cfg, "t1_r" + std::to_string(round));
+  }
+}
+
+TEST(CrashRecovery, ChainedRecoveryByteIdenticalUnderParallelExecutor) {
+  Rng points(777);
+  CrashConfig cfg;
+  cfg.crash = true;
+  cfg.crash_at = TimePoint::FromMillis(
+      static_cast<int64_t>(points.UniformInt(2000, 12000)));
+  cfg.restart_at =
+      cfg.crash_at +
+      Duration::Millis(static_cast<int64_t>(points.UniformInt(500, 4500)));
+  ExpectChainedRecoveryMatchesFullSnapshots(/*threads=*/4, cfg, "t4");
 }
 
 // With nothing in flight during the outage, replay-rejoin must be
